@@ -1,0 +1,122 @@
+//! Ablations of MadPipe's design choices, as called out in DESIGN.md:
+//!
+//! * **special processor on/off** — the paper's central contribution
+//!   (non-contiguous allocations) against the same DP restricted to
+//!   contiguous placements;
+//! * **memory compaction on/off** — the phase-2 Figure-5 interleaving;
+//! * **discretization granularity** — coarse / paper-default / fine
+//!   grids, trading planning time for solution quality.
+//!
+//! Each ablation prints the achieved periods over a small memory sweep
+//! (ResNet-50, P = 4, β = 12 GB/s) before Criterion measures the
+//! planning cost of the two headline variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use madpipe_core::{madpipe_plan, Algorithm1Config, Discretization, PlannerConfig};
+use madpipe_dnn::{resnet50, GpuModel};
+use madpipe_model::Platform;
+use madpipe_solver::PlaceConfig;
+
+fn variant(name: &str, cfg: PlannerConfig, chain: &madpipe_model::Chain) {
+    print!("{name:<28}");
+    for m in [3u64, 4, 6, 8, 12] {
+        let platform = Platform::gb(4, m, 12.0).unwrap();
+        match madpipe_plan(chain, &platform, &cfg) {
+            Ok(p) => print!(" {:>8.1}", p.period() * 1e3),
+            Err(_) => print!(" {:>8}", "inf"),
+        }
+    }
+    println!();
+}
+
+fn print_table(chain: &madpipe_model::Chain) {
+    println!("\nAblation: achieved period (ms), ResNet-50, P = 4, beta = 12 GB/s");
+    print!("{:<28}", "variant \\ M(GB)");
+    for m in [3u64, 4, 6, 8, 12] {
+        print!(" {m:>8}");
+    }
+    println!();
+
+    let default = PlannerConfig::default();
+    variant("madpipe (full)", default, chain);
+
+    variant(
+        "no special processor",
+        PlannerConfig {
+            algorithm1: Algorithm1Config {
+                use_special: false,
+                ..Algorithm1Config::default()
+            },
+            ..default
+        },
+        chain,
+    );
+    variant(
+        "no memory compaction",
+        PlannerConfig {
+            place: PlaceConfig {
+                compaction: false,
+                ..PlaceConfig::default()
+            },
+            ..default
+        },
+        chain,
+    );
+    variant(
+        "no refinement probes",
+        PlannerConfig {
+            refine_probes: 0,
+            ..default
+        },
+        chain,
+    );
+    variant(
+        "coarse discretization",
+        PlannerConfig {
+            algorithm1: Algorithm1Config {
+                discretization: Discretization::coarse(),
+                ..Algorithm1Config::default()
+            },
+            ..default
+        },
+        chain,
+    );
+    variant(
+        "fine discretization",
+        PlannerConfig {
+            algorithm1: Algorithm1Config {
+                discretization: Discretization::fine(),
+                ..Algorithm1Config::default()
+            },
+            ..default
+        },
+        chain,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let chain = resnet50().profile(8, 1000, &GpuModel::default()).unwrap();
+    print_table(&chain);
+
+    let platform = Platform::gb(4, 6, 12.0).unwrap();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("plan/default_grid", |b| {
+        b.iter(|| madpipe_plan(&chain, &platform, &PlannerConfig::default()).unwrap().period())
+    });
+    let coarse = PlannerConfig {
+        algorithm1: Algorithm1Config {
+            discretization: Discretization::coarse(),
+            ..Algorithm1Config::default()
+        },
+        ..PlannerConfig::default()
+    };
+    group.bench_function("plan/coarse_grid", |b| {
+        b.iter(|| madpipe_plan(&chain, &platform, &coarse).unwrap().period())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

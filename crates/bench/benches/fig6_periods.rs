@@ -1,0 +1,49 @@
+//! Figure 6 regenerator + planner benchmark.
+//!
+//! Running `cargo bench -p madpipe-bench --bench fig6_periods` first
+//! regenerates the Figure 6 data (ResNet-50 period vs memory limit,
+//! panels over P ∈ {2,4,8} × β ∈ {12,24}, printed and saved to
+//! `results/fig6_resnet50_periods.csv`), then benchmarks the two
+//! planners on a representative mid-pressure cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use madpipe_bench::{fig6, paper_chains, run_cells, GridConfig};
+use madpipe_core::{madpipe_plan, PlannerConfig};
+use madpipe_model::Platform;
+use madpipe_pipedream::pipedream_plan;
+
+fn generate_figure() -> madpipe_model::Chain {
+    let grid = GridConfig {
+        networks: vec!["resnet50".into()],
+        p_values: vec![2, 4, 8],
+        m_values: (3..=16).collect(),
+        beta_values: vec![12.0, 24.0],
+        ..GridConfig::full()
+    };
+    let chains = paper_chains(&grid);
+    let results = run_cells(&chains, &grid.cells(), &PlannerConfig::default(), 0, false);
+    let (text, table) = fig6::generate(&results);
+    println!("{text}");
+    table
+        .save("results/fig6_resnet50_periods.csv")
+        .expect("writable results directory");
+    chains.into_iter().next().expect("one network")
+}
+
+fn bench(c: &mut Criterion) {
+    let chain = generate_figure();
+    let platform = Platform::gb(4, 8, 12.0).unwrap();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("madpipe_plan/resnet50_p4_m8", |b| {
+        b.iter(|| madpipe_plan(&chain, &platform, &PlannerConfig::default()).unwrap().period())
+    });
+    group.bench_function("pipedream_plan/resnet50_p4_m8", |b| {
+        b.iter(|| pipedream_plan(&chain, &platform).unwrap().period())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 7 regenerator + per-network planning benchmark.
+//!
+//! Regenerates the Figure 7 data (geometric mean of the
+//! PipeDream/MadPipe period ratio over (P, β), per network and memory
+//! limit; printed and saved to `results/fig7_ratio_gmean.csv`), then
+//! benchmarks full planning on each of the four networks at one
+//! representative platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use madpipe_bench::{fig7, paper_chains, run_cells, GridConfig};
+use madpipe_core::{compare, PlannerConfig};
+use madpipe_model::Platform;
+
+fn generate_figure() -> Vec<madpipe_model::Chain> {
+    let grid = GridConfig {
+        m_values: vec![3, 4, 6, 8, 12, 16],
+        ..GridConfig::quick()
+    };
+    let chains = paper_chains(&grid);
+    let results = run_cells(&chains, &grid.cells(), &PlannerConfig::default(), 0, false);
+    let (text, table) = fig7::generate(&results);
+    println!("{text}");
+    table
+        .save("results/fig7_ratio_gmean.csv")
+        .expect("writable results directory");
+    chains
+}
+
+fn bench(c: &mut Criterion) {
+    let chains = generate_figure();
+    let platform = Platform::gb(4, 6, 12.0).unwrap();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for chain in &chains {
+        group.bench_function(format!("compare/{}_p4_m6", chain.name()), |b| {
+            b.iter(|| compare(chain, &platform, &PlannerConfig::default()).ratio())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 8 regenerator + scalability benchmark.
+//!
+//! Regenerates the Figure 8 data (speedup `U(1,L)/period` vs number of
+//! GPUs per network and memory limit; printed and saved to
+//! `results/fig8_speedups.csv`), then benchmarks MadPipe planning as a
+//! function of P on ResNet-50 (how planning cost itself scales).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use madpipe_bench::{fig8, paper_chains, run_cells, GridConfig};
+use madpipe_core::{madpipe_plan, PlannerConfig};
+use madpipe_model::Platform;
+
+fn generate_figure() -> Vec<madpipe_model::Chain> {
+    let grid = GridConfig {
+        p_values: (2..=8).collect(),
+        m_values: vec![3, 8, 16],
+        beta_values: vec![12.0],
+        ..GridConfig::quick()
+    };
+    let chains = paper_chains(&grid);
+    let results = run_cells(&chains, &grid.cells(), &PlannerConfig::default(), 0, false);
+    let (text, table) = fig8::generate(&results);
+    println!("{text}");
+    table
+        .save("results/fig8_speedups.csv")
+        .expect("writable results directory");
+    chains
+}
+
+fn bench(c: &mut Criterion) {
+    let chains = generate_figure();
+    let resnet = chains
+        .iter()
+        .find(|c| c.name() == "resnet50")
+        .expect("resnet50 in the grid");
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for p in [2usize, 4, 8] {
+        let platform = Platform::gb(p, 12, 12.0).unwrap();
+        group.bench_function(format!("madpipe_plan/resnet50_p{p}_m12"), |b| {
+            b.iter(|| madpipe_plan(resnet, &platform, &PlannerConfig::default()).unwrap().period())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Minimal CSV writing for the figure data files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular CSV table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV text (fields quoted only when needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, field) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if field.contains([',', '"', '\n']) {
+                    let _ = write!(out, "\"{}\"", field.replace('"', "\"\""));
+                } else {
+                    out.push_str(field);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Write the CSV to `path`, creating parent directories.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Format an optional seconds value as milliseconds (empty when absent).
+pub fn ms(v: Option<f64>) -> String {
+    v.map(|x| format!("{:.3}", x * 1e3)).unwrap_or_default()
+}
+
+/// Format an optional ratio with 4 decimals (empty when absent).
+pub fn ratio(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.4}")).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn quotes_fields_with_commas() {
+        let mut t = Table::new(&["x"]);
+        t.push(vec!["hello, world".into()]);
+        assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(Some(0.1234)), "123.400");
+        assert_eq!(ms(None), "");
+        assert_eq!(ratio(Some(1.25)), "1.2500");
+    }
+}

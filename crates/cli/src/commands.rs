@@ -1,0 +1,336 @@
+//! Subcommand implementations.
+
+use std::path::PathBuf;
+
+use madpipe_bench::{fig6, fig7, fig8, paper_chains, run_cells, summary, GridConfig};
+use madpipe_core::{compare, madpipe_plan, PlannerConfig};
+use madpipe_dnn::profile::Profile;
+use madpipe_dnn::{networks, GpuModel};
+use madpipe_model::{Chain, Platform, UnitSequence};
+use madpipe_schedule::gantt;
+use madpipe_sim::{replay_pattern, simulate_eager, EagerConfig};
+
+use crate::args::{parse, Args};
+
+const USAGE: &str = "\
+madpipe — memory-aware pipelined model parallelism planner
+
+USAGE:
+  madpipe networks
+      List the built-in networks with profile summaries.
+  madpipe plan <network> [--gpus P] [--memory-gb M] [--bandwidth-gb B]
+               [--batch N] [--image S] [--profile FILE]
+               [--gpu-model v100|a100|rtx3090] [--max-layers N]
+      Plan with MadPipe and the PipeDream baseline, print both.
+  madpipe gantt <network> [same flags as plan]
+      Print the ASCII Gantt chart of the MadPipe schedule.
+  madpipe simulate <network> [same flags as plan] [--batches N]
+      Replay the MadPipe schedule and run the eager 1F1B policy.
+  madpipe profile <network> [--batch N] [--image S] --out FILE
+      Write the synthetic profile (per-layer costs) as JSON.
+  madpipe hybrid <network> [same flags as plan]
+      Search replica-group counts for hybrid data+model parallelism.
+  madpipe trace <network> [same flags as plan] [--periods N] --out FILE
+      Export the MadPipe schedule as Chrome-trace JSON (chrome://tracing
+      or https://ui.perfetto.dev).
+  madpipe experiments <fig6|fig7|fig8|summary|all> [--full] [--threads N]
+               [--out DIR]
+      Regenerate the paper's figures (text + CSV under DIR, default
+      ./results). --full runs the paper's complete grid.
+
+Defaults: --gpus 4, --memory-gb 8, --bandwidth-gb 12, --batch 8,
+--image 1000.";
+
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = parse(argv, &["full", "quiet"])?;
+    match args.positional.first().map(String::as_str) {
+        Some("networks") => cmd_networks(),
+        Some("plan") => cmd_plan(&args),
+        Some("gantt") => cmd_gantt(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("profile") => cmd_profile(&args),
+        Some("experiments") => cmd_experiments(&args),
+        Some("hybrid") => cmd_hybrid(&args),
+        Some("trace") => cmd_trace(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn load_chain(args: &Args) -> Result<Chain, String> {
+    if let Some(path) = args.raw("profile") {
+        let p = Profile::load(path).map_err(|e| format!("loading profile {path}: {e}"))?;
+        return Ok(p.chain);
+    }
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("missing <network> argument")?;
+    let batch = args.get_or("batch", 8u64)?;
+    let image = args.get_or("image", 1000u64)?;
+    let spec = networks::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown network `{name}` (try: resnet50, resnet101, resnet152, inception, densenet121, vgg16)"
+        )
+    })?;
+    let gpu = match args.raw("gpu-model") {
+        Some(g) => GpuModel::by_name(g).ok_or_else(|| format!("unknown GPU model `{g}`"))?,
+        None => GpuModel::default(),
+    };
+    let chain = spec.profile(batch, image, &gpu).map_err(|e| e.to_string())?;
+    Ok(match args.get::<usize>("max-layers")? {
+        Some(cap) => madpipe_dnn::coarsen(&chain, cap),
+        None => chain,
+    })
+}
+
+fn load_platform(args: &Args) -> Result<Platform, String> {
+    let p = args.get_or("gpus", 4usize)?;
+    let m = args.get_or("memory-gb", 8u64)?;
+    let b = args.get_or("bandwidth-gb", 12.0f64)?;
+    Platform::gb(p, m, b).map_err(|e| e.to_string())
+}
+
+fn cmd_networks() -> Result<(), String> {
+    let gpu = GpuModel::default();
+    println!(
+        "{:<14} {:>7} {:>12} {:>14} {:>14}",
+        "network", "layers", "U(1,L) ms", "weights MB", "sum act MB"
+    );
+    for spec in networks::all_networks() {
+        let chain = spec.profile(8, 1000, &gpu).map_err(|e| e.to_string())?;
+        let weights: u64 = chain.weight_bytes(0..chain.len());
+        let acts: u64 = chain.stored_activation_bytes(0..chain.len());
+        println!(
+            "{:<14} {:>7} {:>12.1} {:>14.1} {:>14.1}",
+            chain.name(),
+            chain.len(),
+            chain.total_compute_time() * 1e3,
+            weights as f64 / 1e6,
+            acts as f64 / 1e6,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let chain = load_chain(args)?;
+    let platform = load_platform(args)?;
+    println!(
+        "{}: {} layers, U(1,L) = {:.1} ms | P = {}, M = {:.0} GB, beta = {:.0} GB/s",
+        chain.name(),
+        chain.len(),
+        chain.total_compute_time() * 1e3,
+        platform.n_gpus,
+        platform.memory_bytes as f64 / (1u64 << 30) as f64,
+        platform.bandwidth / (1u64 << 30) as f64,
+    );
+    let cmp = compare(&chain, &platform, &PlannerConfig::default());
+    match &cmp.madpipe {
+        Ok(plan) => {
+            println!(
+                "MadPipe   : {:.1} ms/batch ({:.2} img/s at batch 8), phase-1 estimate {:.1} ms",
+                plan.period() * 1e3,
+                8.0 * plan.throughput(),
+                plan.phase1.period * 1e3
+            );
+            for s in plan.allocation.stages() {
+                println!(
+                    "    layers {:>3}..{:<3} -> GPU {}",
+                    s.layers.start, s.layers.end, s.gpu
+                );
+            }
+        }
+        Err(e) => println!("MadPipe   : infeasible ({e})"),
+    }
+    match &cmp.pipedream {
+        Ok(plan) => println!(
+            "PipeDream : {:.1} ms/batch, DP prediction {:.1} ms, {} stages",
+            plan.period() * 1e3,
+            plan.outcome.predicted_period * 1e3,
+            plan.outcome.partition.len()
+        ),
+        Err(e) => println!("PipeDream : infeasible ({e})"),
+    }
+    if let Some(r) = cmp.ratio() {
+        println!("ratio (PipeDream/MadPipe): {r:.3}  (>1 means MadPipe wins)");
+    }
+    Ok(())
+}
+
+fn cmd_gantt(args: &Args) -> Result<(), String> {
+    let chain = load_chain(args)?;
+    let platform = load_platform(args)?;
+    let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let seq = UnitSequence::from_allocation(&chain, &platform, &plan.allocation);
+    print!("{}", gantt::render(&seq, &plan.schedule.pattern, 100));
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let chain = load_chain(args)?;
+    let platform = load_platform(args)?;
+    let batches = args.get_or("batches", 100usize)?;
+    let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let replay = replay_pattern(&chain, &platform, &plan.allocation, &plan.schedule.pattern, batches);
+    println!(
+        "replay   : period {:.1} ms (analytic {:.1} ms), peak {:.2} GB, violation: {}",
+        replay.period * 1e3,
+        plan.period() * 1e3,
+        replay.max_peak_bytes() as f64 / (1u64 << 30) as f64,
+        replay.memory_violation
+    );
+    let eager = simulate_eager(
+        &chain,
+        &platform,
+        &plan.allocation,
+        &EagerConfig {
+            batches,
+            depth: None,
+        },
+    );
+    println!(
+        "eager1F1B: period {:.1} ms, peak {:.2} GB, violation: {}",
+        eager.period * 1e3,
+        eager.max_peak_bytes() as f64 / (1u64 << 30) as f64,
+        eager.memory_violation
+    );
+    Ok(())
+}
+
+fn cmd_hybrid(args: &Args) -> Result<(), String> {
+    let chain = load_chain(args)?;
+    let platform = load_platform(args)?;
+    let hybrid = madpipe_core::best_hybrid(&chain, &platform, &PlannerConfig::default())
+        .map_err(|e| format!("no hybrid configuration plans: {e}"))?;
+    println!(
+        "best hybrid for {} on {} GPUs: {} replica group(s) x {} GPUs",
+        chain.name(),
+        platform.n_gpus,
+        hybrid.replicas,
+        hybrid.group_gpus
+    );
+    println!(
+        "  group period {:.1} ms, all-reduce bottleneck {:.2} ms, effective {:.1} ms",
+        hybrid.plan.period() * 1e3,
+        hybrid.allreduce_time * 1e3,
+        hybrid.effective_period * 1e3
+    );
+    println!("  aggregate throughput: {:.2} batches/s", hybrid.throughput());
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let chain = load_chain(args)?;
+    let platform = load_platform(args)?;
+    let periods = args.get_or("periods", 6usize)?;
+    let out: PathBuf = args.raw("out").ok_or("trace requires --out FILE")?.into();
+    let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let seq = UnitSequence::from_allocation(&chain, &platform, &plan.allocation);
+    let json = madpipe_sim::chrome_trace(&seq, &plan.schedule.pattern, periods);
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} periods of a {:.1} ms pattern)",
+        out.display(),
+        periods,
+        plan.period() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let chain = load_chain(args)?;
+    let batch = args.get_or("batch", 8u64)?;
+    let image = args.get_or("image", 1000u64)?;
+    let out: PathBuf = args
+        .raw("out")
+        .ok_or("profile requires --out FILE")?
+        .into();
+    let profile = Profile {
+        batch,
+        image_size: image,
+        gpu: Some(GpuModel::default()),
+        chain,
+    };
+    profile.save(&out).map_err(|e| e.to_string())?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn cmd_experiments(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("all");
+    let grid = if args.has("full") {
+        GridConfig::full()
+    } else {
+        GridConfig::quick()
+    };
+    let threads = args.get_or("threads", 0usize)?;
+    let out_dir: PathBuf = args.raw("out").unwrap_or("results").into();
+    let quiet = args.has("quiet");
+
+    // Figure 6 needs a dense memory axis for ResNet-50 only; figures 7
+    // and 8 use the full network grid. Evaluate the union of cells once.
+    let mut grid6 = grid.clone();
+    grid6.networks = vec!["resnet50".into()];
+    if !args.has("full") {
+        grid6.m_values = (3..=16).collect();
+    }
+    let mut cells = grid.cells();
+    for c in grid6.cells() {
+        if !cells.contains(&c) {
+            cells.push(c);
+        }
+    }
+
+    eprintln!(
+        "running {} cells on the {} grid ({} threads)...",
+        cells.len(),
+        if args.has("full") { "full" } else { "quick" },
+        if threads == 0 { "auto".to_string() } else { threads.to_string() }
+    );
+    let chains = paper_chains(&grid);
+    let planner = PlannerConfig::default();
+    let results = run_cells(&chains, &cells, &planner, threads, !quiet);
+
+    let total_planning: f64 = results.iter().map(|r| r.planning_seconds).sum();
+    eprintln!("planning time over all cells: {total_planning:.1} s");
+
+    let emit = |name: &str, text: String, table: madpipe_bench::csv::Table| -> Result<(), String> {
+        println!("{text}");
+        let path = out_dir.join(format!("{name}.csv"));
+        table.save(&path).map_err(|e| e.to_string())?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    };
+
+    if which == "fig6" || which == "all" {
+        let (text, table) = fig6::generate(&results);
+        emit("fig6_resnet50_periods", text, table)?;
+    }
+    if which == "fig7" || which == "all" {
+        let (text, table) = fig7::generate(&results);
+        emit("fig7_ratio_gmean", text, table)?;
+    }
+    if which == "fig8" || which == "all" {
+        let (text, table) = fig8::generate(&results);
+        emit("fig8_speedups", text, table)?;
+    }
+    if which == "summary" || which == "all" {
+        let (text, table) = summary::generate(&results);
+        emit("summary", text, table)?;
+    }
+    if !["fig6", "fig7", "fig8", "summary", "all"].contains(&which) {
+        return Err(format!("unknown experiment `{which}`"));
+    }
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! `madpipe` — command-line planner and experiment runner.
+//!
+//! ```text
+//! madpipe networks
+//! madpipe plan resnet50 --gpus 4 --memory-gb 8 --bandwidth-gb 12
+//! madpipe gantt resnet50 --gpus 4 --memory-gb 8
+//! madpipe simulate resnet50 --gpus 4 --memory-gb 8
+//! madpipe profile resnet50 --out resnet50.json
+//! madpipe experiments all --out results [--full] [--threads N]
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match commands::dispatch(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,150 @@
+//! Discretization grids for the continuous DP coordinates.
+//!
+//! MadPipe-DP's state carries three continuous quantities — the special
+//! processor's accumulated load `t_P`, its accumulated memory `m_P`, and
+//! the forward/backward delay bound `V`. §5.1 of the paper discretizes
+//! them onto 101 / 11 / 51 equally spaced points respectively; values are
+//! always rounded *up* onto the grid, which is conservative for both the
+//! period (`t_P`) and the memory constraints (`m_P`, `V`).
+
+use serde::{Deserialize, Serialize};
+
+/// Grid resolution for the three discretized coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Discretization {
+    /// Points for `t_P` over `[0, U(1,L)]` (paper: 101).
+    pub t_points: usize,
+    /// Points for `m_P` over `[0, M]` (paper: 11).
+    pub m_points: usize,
+    /// Points for `V` over `[0, U(1,L) + Σ C(i)]` (paper: 51).
+    pub v_points: usize,
+}
+
+impl Default for Discretization {
+    fn default() -> Self {
+        Self {
+            t_points: 101,
+            m_points: 11,
+            v_points: 51,
+        }
+    }
+}
+
+impl Discretization {
+    /// A coarse grid for fast tests and sweeps.
+    pub fn coarse() -> Self {
+        Self {
+            t_points: 41,
+            m_points: 9,
+            v_points: 21,
+        }
+    }
+
+    /// A fine grid for the highest-fidelity runs.
+    pub fn fine() -> Self {
+        Self {
+            t_points: 201,
+            m_points: 21,
+            v_points: 101,
+        }
+    }
+}
+
+/// One axis of the grid: `n` points uniformly covering `[0, max]`.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    max: f64,
+    n: usize,
+}
+
+impl Axis {
+    /// Build an axis; `max = 0` collapses to the single point `0`.
+    pub fn new(max: f64, n: usize) -> Self {
+        debug_assert!(n >= 2, "an axis needs at least two points");
+        debug_assert!(max >= 0.0 && max.is_finite());
+        Self { max, n }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the axis is degenerate (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Smallest grid index whose value is ≥ `x` (round up, clamped to the
+    /// last point).
+    pub fn index_up(&self, x: f64) -> u16 {
+        if self.max <= 0.0 || x <= 0.0 {
+            return 0;
+        }
+        let step = self.max / (self.n - 1) as f64;
+        let idx = (x / step - 1e-9).ceil() as isize;
+        idx.clamp(0, (self.n - 1) as isize) as u16
+    }
+
+    /// Value of grid point `idx`.
+    pub fn value(&self, idx: u16) -> f64 {
+        if self.max <= 0.0 {
+            return 0.0;
+        }
+        let step = self.max / (self.n - 1) as f64;
+        step * idx as f64
+    }
+
+    /// Whether `x` exceeds the axis maximum (infeasible coordinate).
+    pub fn overflows(&self, x: f64) -> bool {
+        x > self.max + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_rounds_up() {
+        let ax = Axis::new(10.0, 11); // step 1.0
+        assert_eq!(ax.index_up(0.0), 0);
+        assert_eq!(ax.index_up(0.1), 1);
+        assert_eq!(ax.index_up(1.0), 1);
+        assert_eq!(ax.index_up(1.000001), 2);
+        assert_eq!(ax.value(3), 3.0);
+        // rounding up: value(index_up(x)) ≥ x
+        for &x in &[0.0, 0.3, 2.7, 9.99, 10.0] {
+            assert!(ax.value(ax.index_up(x)) + 1e-6 >= x);
+        }
+    }
+
+    #[test]
+    fn clamps_to_last_point() {
+        let ax = Axis::new(10.0, 11);
+        assert_eq!(ax.index_up(25.0), 10);
+        assert!(ax.overflows(10.1));
+        assert!(!ax.overflows(10.0));
+    }
+
+    #[test]
+    fn zero_max_collapses() {
+        let ax = Axis::new(0.0, 11);
+        assert_eq!(ax.index_up(0.0), 0);
+        assert_eq!(ax.value(0), 0.0);
+        assert!(ax.overflows(0.5));
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let d = Discretization::default();
+        assert_eq!((d.t_points, d.m_points, d.v_points), (101, 11, 51));
+    }
+
+    #[test]
+    fn near_grid_values_do_not_bump_up() {
+        let ax = Axis::new(10.0, 11);
+        // 3.0 + noise below the 1e-9 guard stays at index 3
+        assert_eq!(ax.index_up(3.0 + 1e-11), 3);
+    }
+}

@@ -1,0 +1,377 @@
+//! MadPipe-DP (§4.2.2): the dynamic program that builds a non-contiguous
+//! allocation with one special processor.
+//!
+//! `T(l, p, t_P, m_P, V)` is the smallest period of an allocation of the
+//! first `l` layers on `p` *normal* processors (one stage each) and the
+//! single *special* processor (any number of stages), where
+//!
+//! * `V` lower-bounds the delay between the end of `F_l` and the start of
+//!   the matching `B_l` (propagated with the `⊕` operator as stages and
+//!   communications are peeled off the back of the chain),
+//! * the special processor has already been assigned stages amounting to
+//!   compute load `t_P` and (under-estimated) memory `m_P`,
+//! * a stage `[k, l)` placed on a *normal* processor must satisfy the
+//!   exact 1F1B* memory bound `M(k, l, g)` with
+//!   `g = ⌈(V + U(k,l)) / T̂⌉` live activations,
+//! * the same stage placed on the *special* processor contributes
+//!   `M(k, l, g−1)` (at least `g−1` copies are pinned at all times,
+//!   Figure 5) — an intentional under-estimate corrected in phase 2.
+//!
+//! The three continuous coordinates are discretized (rounded up) on the
+//! grids of [`crate::discrete`]; the recursion is memoized on grid
+//! indices and the chosen split points are kept for reconstruction.
+
+
+use madpipe_model::util::ceil_div;
+use madpipe_model::{Allocation, Chain, Platform, Stage};
+
+use crate::discrete::{Axis, Discretization};
+use crate::fxhash::FxHashMap;
+use crate::oplus::oplus;
+
+/// Result of one MadPipe-DP run at a fixed target period `T̂`.
+#[derive(Debug, Clone)]
+pub struct DpOutcome {
+    /// The period of the produced allocation (`∞` when the memory
+    /// constraints cannot be met at this `T̂`).
+    pub period: f64,
+    /// The reconstructed allocation: the special processor is GPU 0,
+    /// normal stages occupy GPUs `1..P`. `None` iff `period` is infinite.
+    pub allocation: Option<Allocation>,
+    /// Number of distinct memoized states.
+    pub states: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Choice {
+    /// No feasible decomposition from this state.
+    Infeasible,
+    /// `l == 0`: nothing left to place.
+    Done,
+    /// Stage `[k, l)` on a normal processor.
+    Normal(u16),
+    /// Stage `[k, l)` on the special processor.
+    Special(u16),
+}
+
+/// Packed state key: `l` (16b) | `p` (8b) | `it` (16b) | `im` (8b) | `iv` (16b).
+type Key = u64;
+
+#[inline]
+fn pack(l: usize, p: usize, it: u16, im: u16, iv: u16) -> Key {
+    debug_assert!(im < 256 && p < 256);
+    (l as u64) << 48 | (p as u64) << 40 | (it as u64) << 24 | (im as u64) << 16 | iv as u64
+}
+
+struct Dp<'a> {
+    chain: &'a Chain,
+    platform: &'a Platform,
+    t_hat: f64,
+    use_special: bool,
+    t_axis: Axis,
+    m_axis: Axis,
+    v_axis: Axis,
+    memo: FxHashMap<Key, (f64, Choice)>,
+}
+
+impl Dp<'_> {
+    fn solve(&mut self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> f64 {
+        let key = pack(l, p, it, im, iv);
+        if let Some(&(v, _)) = self.memo.get(&key) {
+            return v;
+        }
+        if l == 0 {
+            let v = self.t_axis.value(it);
+            self.memo.insert(key, (v, Choice::Done));
+            return v;
+        }
+
+        let t_val = self.t_axis.value(it);
+        let m_val = self.m_axis.value(im);
+        let v_val = self.v_axis.value(iv);
+        let memory = self.platform.memory_bytes;
+
+        let mut best = f64::INFINITY;
+        let mut choice = Choice::Infeasible;
+
+        for k in (0..l).rev() {
+            let u = self.chain.compute_time(k..l);
+            // Both options cost at least the stage load `u`, and `u` only
+            // grows as the stage extends towards the front — once it
+            // reaches the best period found at this state, no larger
+            // stage can improve it (exact prune).
+            if u >= best {
+                break;
+            }
+            let g = ceil_div(v_val + u, self.t_hat).max(1);
+            let cut = self.platform.cut_time(self.chain, k);
+            let v_next = oplus(oplus(v_val, u, self.t_hat), cut, self.t_hat);
+            let iv_next = self.v_axis.index_up(v_next);
+
+            // Memory cores (without boundary buffers), monotone as k
+            // decreases — used for the early break below.
+            let weights = 3 * self.chain.weight_bytes(k..l);
+            let stored = self.chain.stored_activation_bytes(k..l);
+            let normal_core = weights + g * stored;
+            let special_core = m_val as u64 + weights + (g - 1) * stored;
+
+            // Normal processor option.
+            if p >= 1 {
+                let mem = self.chain.stage_memory(k..l, g);
+                if mem <= memory {
+                    let sub = self.solve(k, p - 1, it, im, iv_next);
+                    let t_n = u.max(cut).max(sub);
+                    if t_n < best {
+                        best = t_n;
+                        choice = Choice::Normal(k as u16);
+                    }
+                }
+            }
+
+            // Special processor option.
+            let stage_mem = self.chain.stage_memory(k..l, g.saturating_sub(1));
+            let m_next = m_val + stage_mem as f64;
+            let t_next = t_val + u;
+            if self.use_special && !self.m_axis.overflows(m_next) && m_next <= memory as f64 {
+                let it_next = self.t_axis.index_up(t_next);
+                let im_next = self.m_axis.index_up(m_next);
+                let sub = self.solve(k, p, it_next, im_next, iv_next);
+                let t_s = self.t_axis.value(it_next).max(cut).max(sub);
+                if t_s < best {
+                    best = t_s;
+                    choice = Choice::Special(k as u16);
+                }
+            }
+
+            // Early break: both cores already exceed memory; growing the
+            // stage (smaller k) only increases weights, activations and g.
+            if normal_core > memory && (special_core > memory || !self.use_special) {
+                break;
+            }
+        }
+
+        self.memo.insert(key, (best, choice));
+        best
+    }
+
+    /// Walk the memoized choices from the root and emit the allocation.
+    fn reconstruct(&self, l0: usize, p0: usize) -> Option<Allocation> {
+        let n_gpus = self.platform.n_gpus;
+        let mut stages_rev: Vec<Stage> = Vec::new();
+        let (mut l, mut p, mut it, mut im, mut iv) = (l0, p0, 0u16, 0u16, 0u16);
+        let mut next_normal_gpu = n_gpus - 1; // count down; GPU 0 is special
+        loop {
+            let key = pack(l, p, it, im, iv);
+            let &(_, choice) = self.memo.get(&key)?;
+            match choice {
+                Choice::Infeasible => return None,
+                Choice::Done => break,
+                Choice::Normal(k16) => {
+                    let k = k16 as usize;
+                    stages_rev.push(Stage {
+                        layers: k..l,
+                        gpu: next_normal_gpu,
+                    });
+                    next_normal_gpu = next_normal_gpu.saturating_sub(1);
+                    let v_val = self.v_axis.value(iv);
+                    let u = self.chain.compute_time(k..l);
+                    let cut = self.platform.cut_time(self.chain, k);
+                    iv = self
+                        .v_axis
+                        .index_up(oplus(oplus(v_val, u, self.t_hat), cut, self.t_hat));
+                    l = k;
+                    p -= 1;
+                }
+                Choice::Special(k16) => {
+                    let k = k16 as usize;
+                    stages_rev.push(Stage {
+                        layers: k..l,
+                        gpu: 0,
+                    });
+                    let v_val = self.v_axis.value(iv);
+                    let t_val = self.t_axis.value(it);
+                    let m_val = self.m_axis.value(im);
+                    let u = self.chain.compute_time(k..l);
+                    let g = ceil_div(v_val + u, self.t_hat).max(1);
+                    let cut = self.platform.cut_time(self.chain, k);
+                    let stage_mem = self.chain.stage_memory(k..l, g.saturating_sub(1));
+                    it = self.t_axis.index_up(t_val + u);
+                    im = self.m_axis.index_up(m_val + stage_mem as f64);
+                    iv = self
+                        .v_axis
+                        .index_up(oplus(oplus(v_val, u, self.t_hat), cut, self.t_hat));
+                    l = k;
+                }
+            }
+        }
+        stages_rev.reverse();
+        Allocation::new(stages_rev, self.chain.len(), n_gpus).ok()
+    }
+}
+
+/// Run MadPipe-DP at target period `t_hat` and reconstruct the resulting
+/// allocation (special processor = GPU 0).
+pub fn madpipe_dp(
+    chain: &Chain,
+    platform: &Platform,
+    t_hat: f64,
+    disc: &Discretization,
+) -> DpOutcome {
+    madpipe_dp_with(chain, platform, t_hat, disc, true)
+}
+
+/// [`madpipe_dp`] with the special processor optionally disabled: with
+/// `use_special = false` the DP degenerates to a *memory-aware contiguous*
+/// partitioner (every GPU gets one stage, exact 1F1B* memory estimates) —
+/// the ablation isolating the contribution of non-contiguous allocations.
+pub fn madpipe_dp_with(
+    chain: &Chain,
+    platform: &Platform,
+    t_hat: f64,
+    disc: &Discretization,
+    use_special: bool,
+) -> DpOutcome {
+    assert!(t_hat > 0.0 && t_hat.is_finite(), "T̂ must be positive");
+    let total_u = chain.total_compute_time();
+    let v_max = total_u + platform.total_cut_time(chain);
+    let mut dp = Dp {
+        chain,
+        platform,
+        t_hat,
+        use_special,
+        t_axis: Axis::new(total_u, disc.t_points),
+        m_axis: Axis::new(platform.memory_bytes as f64, disc.m_points),
+        v_axis: Axis::new(v_max.max(t_hat), disc.v_points),
+        memo: FxHashMap::default(),
+    };
+    let p_normal = if use_special {
+        platform.n_gpus - 1
+    } else {
+        platform.n_gpus
+    };
+    let period = dp.solve(chain.len(), p_normal, 0, 0, 0);
+    let allocation = if period.is_finite() {
+        dp.reconstruct(chain.len(), p_normal)
+    } else {
+        None
+    };
+    DpOutcome {
+        period,
+        allocation,
+        states: dp.memo.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madpipe_model::Layer;
+
+    fn chain(costs: &[(f64, f64)], act: u64, w: u64) -> Chain {
+        let layers = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, b))| Layer::new(format!("l{i}"), f, b, w, act))
+            .collect();
+        Chain::new("t", act, layers).unwrap()
+    }
+
+    fn disc() -> Discretization {
+        Discretization::default()
+    }
+
+    #[test]
+    fn single_gpu_takes_everything_on_special() {
+        let c = chain(&[(1.0, 1.0), (2.0, 2.0)], 10, 0);
+        let platform = Platform::new(1, 1 << 30, 100.0).unwrap();
+        let out = madpipe_dp(&c, &platform, 6.0, &disc());
+        assert!((out.period - 6.0).abs() < 0.2);
+        let alloc = out.allocation.unwrap();
+        assert!(alloc.stages().iter().all(|s| s.gpu == 0));
+    }
+
+    #[test]
+    fn balanced_chain_splits_across_gpus() {
+        let c = chain(&[(1.0, 1.0); 8], 1, 0);
+        let platform = Platform::new(4, 1 << 30, 1e9).unwrap();
+        let out = madpipe_dp(&c, &platform, 4.0, &disc());
+        // 16 compute over 4 GPUs → period ≈ 4 (comm negligible).
+        assert!(out.period <= 4.3, "period {}", out.period);
+        let alloc = out.allocation.unwrap();
+        assert_eq!(alloc.n_gpus(), 4);
+        // Every GPU busy ≈ 4.
+        for g in 0..4 {
+            assert!(alloc.gpu_compute_load(&c, g) <= 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn uses_the_special_gpu_for_imbalanced_chains() {
+        // Loads 4, 8, 4 on 2 GPUs: only {0,2} vs {1} balances at 8.
+        let c = chain(&[(2.0, 2.0), (4.0, 4.0), (2.0, 2.0)], 1, 0);
+        let platform = Platform::new(2, 1 << 30, 1e9).unwrap();
+        let out = madpipe_dp(&c, &platform, 8.0, &disc());
+        assert!(out.period <= 8.4, "period {}", out.period);
+        let alloc = out.allocation.unwrap();
+        // layers 0 and 2 on the special GPU 0, layer 1 on a normal GPU.
+        assert_eq!(alloc.stages()[0].gpu, 0);
+        assert_eq!(alloc.stages()[2].gpu, 0);
+        assert_ne!(alloc.stages()[1].gpu, 0);
+    }
+
+    #[test]
+    fn memory_pressure_blocks_tight_targets() {
+        // Huge activations: at small T̂ the first stage needs many copies.
+        let c = chain(&[(1.0, 1.0); 6], 1 << 20, 0);
+        let tight = Platform::new(3, 4 << 20, 1e9).unwrap();
+        let small = madpipe_dp(&c, &tight, 4.0, &disc());
+        let large = madpipe_dp(&c, &tight, 12.0, &disc());
+        // Larger targets relax memory → period cannot get worse.
+        if small.period.is_finite() {
+            assert!(large.period <= small.period + 1e-6);
+        } else {
+            assert!(large.period.is_finite());
+        }
+    }
+
+    #[test]
+    fn impossible_memory_is_reported_infeasible() {
+        let c = chain(&[(1.0, 1.0)], 1 << 30, 1 << 28);
+        let platform = Platform::new(2, 1 << 20, 1e9).unwrap();
+        let out = madpipe_dp(&c, &platform, 2.0, &disc());
+        assert!(out.period.is_infinite());
+        assert!(out.allocation.is_none());
+    }
+
+    #[test]
+    fn dp_period_is_monotone_in_t_hat() {
+        let c = chain(
+            &[(1.0, 2.0), (3.0, 1.0), (2.0, 2.0), (1.0, 1.0), (2.0, 3.0)],
+            1 << 18,
+            1 << 10,
+        );
+        let platform = Platform::new(3, 3 << 20, 1e8).unwrap();
+        let mut last = f64::INFINITY;
+        for t_hat in [2.0f64, 4.0, 8.0, 16.0, 32.0] {
+            let out = madpipe_dp(&c, &platform, t_hat, &disc());
+            assert!(
+                out.period <= last + 0.35,
+                "period should (weakly) improve as T̂ grows: {} then {}",
+                last,
+                out.period
+            );
+            last = out.period.min(last);
+        }
+    }
+
+    #[test]
+    fn allocation_covers_the_chain_in_order() {
+        let c = chain(&[(1.0, 1.0); 10], 100, 10);
+        let platform = Platform::new(4, 1 << 30, 1e6).unwrap();
+        let out = madpipe_dp(&c, &platform, 5.0, &disc());
+        let alloc = out.allocation.unwrap();
+        let part = alloc.partition();
+        assert_eq!(part.stages().first().unwrap().start, 0);
+        assert_eq!(part.stages().last().unwrap().end, 10);
+    }
+}

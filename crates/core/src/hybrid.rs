@@ -1,0 +1,169 @@
+//! Hybrid model/data parallelism — the paper's stated perspective.
+//!
+//! §1 and §6 of the paper position MadPipe as the building block of a
+//! hybrid scheme: split the `P` GPUs into `d` *replica groups* of
+//! `P/d` GPUs, run MadPipe's pipelined model parallelism inside each
+//! group, and data parallelism across groups. Each stage's `d` replicas
+//! synchronize gradients with a ring all-reduce; following the
+//! PipeDream-2BW double-buffered weight convention already used by the
+//! memory model, the all-reduce of one batch overlaps the compute of the
+//! next, so the steady-state period of a group is
+//!
+//! `T_eff(d) = max( T_madpipe(P/d), max_s 2·(d−1)/d · W(s)/β )`
+//!
+//! and the aggregate throughput is `d / T_eff(d)`. This module searches
+//! the divisors of `P` for the best replica count.
+
+use madpipe_model::{Chain, Platform};
+
+use crate::planner::{madpipe_plan, MadPipePlan, PlanError, PlannerConfig};
+
+/// A hybrid plan: `replicas` data-parallel copies of a `group_gpus`-wide
+/// MadPipe pipeline.
+#[derive(Debug, Clone)]
+pub struct HybridPlan {
+    /// Number of data-parallel replica groups `d`.
+    pub replicas: usize,
+    /// GPUs per group (`P / d`).
+    pub group_gpus: usize,
+    /// The MadPipe plan of one group.
+    pub plan: MadPipePlan,
+    /// Ring all-reduce bottleneck per batch (`max_s 2(d−1)/d·W(s)/β`).
+    pub allreduce_time: f64,
+    /// Effective steady-state period of one group.
+    pub effective_period: f64,
+}
+
+impl HybridPlan {
+    /// Aggregate throughput in mini-batches per second across all groups.
+    pub fn throughput(&self) -> f64 {
+        self.replicas as f64 / self.effective_period
+    }
+}
+
+/// Ring all-reduce bottleneck for a given plan at `d` replicas: each GPU
+/// synchronizes the gradients of *all* its stages with its `d−1` peers,
+/// so the busiest cross-group link carries `2·(d−1)/d` times the
+/// per-GPU gradient bytes per batch.
+pub fn allreduce_bottleneck(
+    chain: &Chain,
+    platform: &Platform,
+    plan: &MadPipePlan,
+    d: usize,
+) -> f64 {
+    if d <= 1 {
+        return 0.0;
+    }
+    let factor = 2.0 * (d as f64 - 1.0) / d as f64;
+    let mut per_gpu = vec![0u64; platform.n_gpus];
+    for s in plan.allocation.stages() {
+        per_gpu[s.gpu] += chain.weight_bytes(s.layers.clone());
+    }
+    per_gpu
+        .iter()
+        .map(|&w| factor * w as f64 / platform.bandwidth)
+        .fold(0.0, f64::max)
+}
+
+/// Search the divisors of `platform.n_gpus` for the replica count with
+/// the highest aggregate throughput. `d = 1` (pure model parallelism) is
+/// always a candidate, so the result is never worse than plain MadPipe
+/// (when plain MadPipe is feasible at all; tighter per-group platforms
+/// can rescue otherwise-infeasible instances and vice versa).
+pub fn best_hybrid(
+    chain: &Chain,
+    platform: &Platform,
+    cfg: &PlannerConfig,
+) -> Result<HybridPlan, PlanError> {
+    let p = platform.n_gpus;
+    let mut best: Option<HybridPlan> = None;
+    let mut last_err = PlanError::Phase1Infeasible;
+    for d in 1..=p {
+        if !p.is_multiple_of(d) {
+            continue;
+        }
+        let group = Platform {
+            n_gpus: p / d,
+            ..*platform
+        };
+        match madpipe_plan(chain, &group, cfg) {
+            Ok(plan) => {
+                let allreduce = allreduce_bottleneck(chain, &group, &plan, d);
+                let effective = plan.period().max(allreduce);
+                let candidate = HybridPlan {
+                    replicas: d,
+                    group_gpus: p / d,
+                    plan,
+                    allreduce_time: allreduce,
+                    effective_period: effective,
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|b| candidate.throughput() > b.throughput())
+                {
+                    best = Some(candidate);
+                }
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    best.ok_or(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madpipe_model::Layer;
+
+    fn chain(n: usize, w: u64, act: u64) -> Chain {
+        let layers = (0..n)
+            .map(|i| Layer::new(format!("l{i}"), 1e-3, 2e-3, w, act))
+            .collect();
+        Chain::new("t", act, layers).unwrap()
+    }
+
+    #[test]
+    fn pure_model_parallelism_is_always_considered() {
+        let c = chain(8, 1 << 10, 1 << 12);
+        let platform = Platform::new(3, 1 << 30, 1e9).unwrap(); // prime P
+        let hybrid = best_hybrid(&c, &platform, &PlannerConfig::default()).unwrap();
+        // Divisors of 3 are {1, 3}; both group shapes are valid.
+        assert!(hybrid.replicas == 1 || hybrid.replicas == 3);
+        assert!(hybrid.throughput() > 0.0);
+    }
+
+    #[test]
+    fn hybrid_beats_pure_model_parallelism_on_wide_platforms() {
+        // Few layers, cheap comm: a deep pipeline on 8 GPUs cannot use
+        // them all (only 4 layers), but 4 replicas of 2 GPUs can.
+        let c = chain(4, 1 << 8, 1 << 10);
+        let platform = Platform::new(8, 1 << 30, 1e9).unwrap();
+        let hybrid = best_hybrid(&c, &platform, &PlannerConfig::default()).unwrap();
+        let pure = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap();
+        assert!(hybrid.throughput() + 1e-9 >= 1.0 / pure.period());
+        assert!(hybrid.replicas >= 2, "expected replication, got d = {}", hybrid.replicas);
+    }
+
+    #[test]
+    fn heavy_weights_and_slow_links_discourage_replication() {
+        // Gradient all-reduce over 1 GB of weights at 1 GB/s dominates.
+        let c = chain(8, 128 << 20, 1 << 10);
+        let platform = Platform::new(4, 16 << 30, (1u64 << 30) as f64).unwrap();
+        let hybrid = best_hybrid(&c, &platform, &PlannerConfig::default()).unwrap();
+        assert_eq!(hybrid.replicas, 1, "all-reduce cost should forbid replication");
+        assert_eq!(hybrid.allreduce_time, 0.0);
+    }
+
+    #[test]
+    fn throughput_accounting_is_consistent() {
+        let c = chain(6, 1 << 12, 1 << 12);
+        let platform = Platform::new(4, 1 << 30, 1e9).unwrap();
+        let hybrid = best_hybrid(&c, &platform, &PlannerConfig::default()).unwrap();
+        assert!(hybrid.effective_period + 1e-12 >= hybrid.plan.period());
+        assert!(hybrid.effective_period + 1e-12 >= hybrid.allreduce_time);
+        assert!(
+            (hybrid.throughput() - hybrid.replicas as f64 / hybrid.effective_period).abs() < 1e-12
+        );
+        assert_eq!(hybrid.group_gpus * hybrid.replicas, 4);
+    }
+}

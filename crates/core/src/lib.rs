@@ -1,0 +1,29 @@
+//! MadPipe: the paper's contribution (§4.2–§4.3).
+//!
+//! * [`oplus`] — the `⊕` delay-propagation algebra used to mimic 1F1B*
+//!   group formation inside the dynamic program;
+//! * [`discrete`] — the discretization grids for the continuous DP state
+//!   (`t_P`, `m_P`, `V`), with the paper's 101/11/51 default resolution;
+//! * [`dp`] — MadPipe-DP: the memoized recursion over
+//!   `T(l, p, t_P, m_P, V)` building a non-contiguous allocation with one
+//!   *special* processor;
+//! * [`algorithm1`] — the modified binary search over the target period
+//!   `T̂` (Algorithm 1, K = 10 iterations by default);
+//! * [`planner`] — the end-to-end MadPipe pipeline (phase 1 allocation +
+//!   phase 2 scheduling through `madpipe-solver`) and a side-by-side
+//!   comparison against the PipeDream baseline.
+
+pub mod algorithm1;
+pub mod discrete;
+pub mod hybrid;
+pub mod dp;
+pub mod fxhash;
+pub mod oplus;
+pub mod planner;
+
+pub use algorithm1::{madpipe_allocation, Algorithm1Config, Algorithm1Outcome};
+pub use discrete::Discretization;
+pub use hybrid::{best_hybrid, HybridPlan};
+pub use dp::{madpipe_dp, madpipe_dp_with, DpOutcome};
+pub use oplus::oplus;
+pub use planner::{compare, madpipe_plan, Comparison, MadPipePlan, PlannerConfig, PlanError};

@@ -1,0 +1,106 @@
+//! The `⊕` delay-propagation operator of §4.2.2.
+//!
+//! Inside MadPipe-DP the delay between the end of a forward operation and
+//! the start of the matching backward is propagated up the chain by
+//! mimicking 1F1B* group formation at the target period `T̂`:
+//!
+//! ```text
+//! x ⊕ y = x + y            if ⌈x/T̂⌉ = ⌈(x+y)/T̂⌉   (same group)
+//!       = T̂·⌈x/T̂⌉ + y     otherwise              (new group opens)
+//! ```
+//!
+//! `x` is the delay accumulated so far, `y` the load of the next element
+//! (stage compute time or communication time) walking towards the front
+//! of the chain. When the element still fits in the current group the
+//! delay just grows by `y`; otherwise the element starts a new group and
+//! waits until the current group's window closes (a multiple of `T̂`).
+
+use madpipe_model::util::ceil_div;
+
+/// Compute `x ⊕ y` at target period `t_hat`.
+///
+/// Zero-cost elements never open a new group (`x ⊕ 0 = x`).
+pub fn oplus(x: f64, y: f64, t_hat: f64) -> f64 {
+    debug_assert!(t_hat > 0.0, "oplus requires a positive target period");
+    debug_assert!(x >= 0.0 && y >= 0.0);
+    if y == 0.0 {
+        return x;
+    }
+    let gx = ceil_div(x, t_hat);
+    let gxy = ceil_div(x + y, t_hat);
+    if gx == gxy {
+        x + y
+    } else {
+        t_hat * gx as f64 + y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_group_is_plain_addition() {
+        // x = 1.0, y = 0.5, T̂ = 2 → ⌈0.5⌉ = ⌈0.75⌉ = 1
+        assert_eq!(oplus(1.0, 0.5, 2.0), 1.5);
+    }
+
+    #[test]
+    fn crossing_a_group_boundary_snaps_to_the_window() {
+        // x = 1.5, y = 1.0, T̂ = 2: ⌈0.75⌉=1, ⌈1.25⌉=2 → 2·1 + 1 = 3
+        assert_eq!(oplus(1.5, 1.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn zero_load_is_identity() {
+        assert_eq!(oplus(3.7, 0.0, 2.0), 3.7);
+        assert_eq!(oplus(0.0, 0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn from_zero_delay() {
+        // ⌈0⌉ = 0, ⌈y/T̂⌉ = 1 → new group: T̂·0 + y = y
+        assert_eq!(oplus(0.0, 1.5, 2.0), 1.5);
+    }
+
+    #[test]
+    fn exact_multiples_stay_in_their_group() {
+        // x = 2.0 with T̂ = 2: group 1; x+y = 2.5 → group 2 → 2·1 + 0.5
+        assert_eq!(oplus(2.0, 0.5, 2.0), 2.5);
+        // x = 2.0 + tiny rounding noise behaves identically
+        assert_eq!(oplus(2.0 + 1e-12, 0.5, 2.0), 2.5);
+    }
+
+    #[test]
+    fn result_is_monotone_in_both_arguments() {
+        let t = 3.0;
+        let xs = [0.0, 0.5, 2.9, 3.0, 3.1, 5.9, 6.0];
+        let ys = [0.0, 0.1, 1.0, 2.9, 3.0];
+        for (i, &x1) in xs.iter().enumerate() {
+            for &x2 in &xs[i..] {
+                for &y in &ys {
+                    assert!(
+                        oplus(x1, y, t) <= oplus(x2, y, t) + 1e-9,
+                        "x-monotonicity failed at x1={x1} x2={x2} y={y}"
+                    );
+                }
+            }
+        }
+        for &x in &xs {
+            for (j, &y1) in ys.iter().enumerate() {
+                for &y2 in &ys[j..] {
+                    assert!(oplus(x, y1, t) <= oplus(x, y2, t) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominates_plain_addition() {
+        for &x in &[0.0, 0.7, 1.9, 2.0, 4.4] {
+            for &y in &[0.0, 0.3, 1.0, 2.5] {
+                assert!(oplus(x, y, 2.0) + 1e-12 >= x + y);
+            }
+        }
+    }
+}

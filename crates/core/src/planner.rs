@@ -1,0 +1,271 @@
+//! End-to-end planning: MadPipe (phase 1 + phase 2) and the side-by-side
+//! comparison against the PipeDream baseline used by the experiments.
+
+use madpipe_model::{Chain, Platform};
+use madpipe_schedule::ScheduleError;
+use madpipe_solver::{best_period, PlaceConfig, SolvedSchedule};
+
+use crate::algorithm1::{madpipe_allocation, Algorithm1Config, Algorithm1Outcome};
+
+/// Tuning for the whole MadPipe pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Phase-1 (Algorithm 1 + DP discretization) parameters.
+    pub algorithm1: Algorithm1Config,
+    /// Phase-2 (branch-and-bound scheduler) parameters.
+    pub place: PlaceConfig,
+    /// Extra refinement probes: after the bisection, this many targets on
+    /// a geometric grid between the load lower bound and the best
+    /// achieved period are probed and scheduled. Algorithm 1's bisection
+    /// steers by phase-1 *estimates*; because the special processor is
+    /// deliberately under-estimated (§4.2.1), the estimate-optimal corner
+    /// is not always the achieved-optimal one, and a coarse grid over
+    /// achieved periods recovers it. `0` disables refinement (pure
+    /// Algorithm 1 probe selection).
+    pub refine_probes: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            algorithm1: Algorithm1Config::default(),
+            place: PlaceConfig::default(),
+            refine_probes: 8,
+        }
+    }
+}
+
+/// Why MadPipe failed to produce a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Phase 1 found no memory-feasible allocation at any target period.
+    Phase1Infeasible,
+    /// Phase 2 could not schedule the phase-1 allocation at any period.
+    Phase2(ScheduleError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Phase1Infeasible => {
+                write!(f, "no memory-feasible allocation at any target period")
+            }
+            PlanError::Phase2(e) => write!(f, "phase-1 allocation unschedulable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A complete MadPipe plan.
+#[derive(Debug, Clone)]
+pub struct MadPipePlan {
+    /// Phase-1 outcome: the best-estimate allocation and its optimistic
+    /// period (the dashed MadPipe line of Figure 6).
+    pub phase1: Algorithm1Outcome,
+    /// The allocation actually scheduled — the probe whose phase-2
+    /// schedule achieved the smallest valid period.
+    pub allocation: madpipe_model::Allocation,
+    /// The valid schedule found by phase 2 (the solid line).
+    pub schedule: SolvedSchedule,
+}
+
+impl MadPipePlan {
+    /// Achieved (valid) period.
+    pub fn period(&self) -> f64 {
+        self.schedule.period
+    }
+
+    /// Throughput in mini-batches per second.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.schedule.period
+    }
+
+    /// Achieved period over the phase-1 estimate (≥ 1 means phase 1 was
+    /// optimistic; the paper reports MadPipe's dashed and solid lines
+    /// nearly coincide).
+    pub fn optimism_ratio(&self) -> f64 {
+        self.schedule.period / self.phase1.period
+    }
+}
+
+/// Run the full MadPipe pipeline.
+///
+/// Phase 2 schedules every distinct allocation Algorithm 1 probed (best
+/// estimate first) and keeps the smallest *achieved* period: the special
+/// processor's deliberate `g−1` memory under-estimate makes individual
+/// probes optimistic, and the probe that schedules closest to its
+/// estimate is the right one to ship.
+pub fn madpipe_plan(
+    chain: &Chain,
+    platform: &Platform,
+    cfg: &PlannerConfig,
+) -> Result<MadPipePlan, PlanError> {
+    let phase1 =
+        madpipe_allocation(chain, platform, &cfg.algorithm1).ok_or(PlanError::Phase1Infeasible)?;
+    let mut best: Option<(madpipe_model::Allocation, SolvedSchedule)> = None;
+    let mut last_err: Option<ScheduleError> = None;
+    let consider = |alloc: &madpipe_model::Allocation,
+                        best: &mut Option<(madpipe_model::Allocation, SolvedSchedule)>,
+                        last_err: &mut Option<ScheduleError>| {
+        if let Some((a, _)) = best {
+            if a == alloc {
+                return;
+            }
+        }
+        // Contiguous allocations schedule exactly via 1F1B*; everything
+        // else goes through the branch-and-bound solver.
+        let solved: Result<SolvedSchedule, ScheduleError> = if alloc.is_contiguous() {
+            madpipe_schedule::best_contiguous_period(chain, platform, alloc).map(|b| {
+                SolvedSchedule {
+                    period: b.period,
+                    pattern: b.pattern,
+                    report: b.report,
+                }
+            })
+        } else {
+            best_period(chain, platform, alloc, &cfg.place)
+        };
+        match solved {
+            Ok(s) => {
+                if best.as_ref().is_none_or(|(_, b)| s.period < b.period) {
+                    *best = Some((alloc.clone(), s));
+                }
+            }
+            Err(e) => *last_err = Some(e),
+        }
+    };
+    for alloc in phase1.candidate_allocations() {
+        consider(alloc, &mut best, &mut last_err);
+    }
+
+    // Memory-aware contiguous fallback: the same DP without the special
+    // processor. Its allocations schedule exactly at their 1F1B* optimum,
+    // so it rescues instances where every special-processor probe is
+    // over-optimistic; it is also the ablation baseline.
+    if cfg.algorithm1.use_special {
+        let contiguous_cfg = Algorithm1Config {
+            use_special: false,
+            ..cfg.algorithm1
+        };
+        if let Some(c) = madpipe_allocation(chain, platform, &contiguous_cfg) {
+            for alloc in c.candidate_allocations() {
+                consider(alloc, &mut best, &mut last_err);
+            }
+        }
+    }
+
+    // Refinement: probe extra targets between the load lower bound and
+    // the best achieved period, selecting by achieved period.
+    if let Some((_, s)) = &best {
+        let lb = chain.total_compute_time() / platform.n_gpus as f64;
+        let hi = s.period * 1.02;
+        if cfg.refine_probes > 0 && hi > lb {
+            let ratio = (hi / lb).powf(1.0 / cfg.refine_probes as f64);
+            let mut seen: Vec<f64> = phase1.probes.iter().map(|p| p.t_hat).collect();
+            for i in 0..=cfg.refine_probes {
+                let t_hat = lb * ratio.powi(i as i32);
+                if seen
+                    .iter()
+                    .any(|&t| (t - t_hat).abs() < 1e-6 * t_hat.max(1e-12))
+                {
+                    continue;
+                }
+                seen.push(t_hat);
+                let out = crate::dp::madpipe_dp(chain, platform, t_hat, &cfg.algorithm1.discretization);
+                if let Some(alloc) = out.allocation {
+                    consider(&alloc, &mut best, &mut last_err);
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((allocation, schedule)) => Ok(MadPipePlan {
+            phase1,
+            allocation,
+            schedule,
+        }),
+        None => Err(PlanError::Phase2(last_err.expect(
+            "candidate_allocations is non-empty when phase 1 succeeds",
+        ))),
+    }
+}
+
+/// Both planners on one instance (one cell of the paper's figures).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// MadPipe plan (or failure).
+    pub madpipe: Result<MadPipePlan, PlanError>,
+    /// PipeDream baseline plan (or failure).
+    pub pipedream: Result<madpipe_pipedream::PipeDreamPlan, madpipe_pipedream::PlanError>,
+}
+
+impl Comparison {
+    /// PipeDream period / MadPipe period (> 1 means MadPipe wins), when
+    /// both produced plans.
+    pub fn ratio(&self) -> Option<f64> {
+        match (&self.madpipe, &self.pipedream) {
+            (Ok(m), Ok(p)) => Some(p.period() / m.period()),
+            _ => None,
+        }
+    }
+}
+
+/// Run MadPipe and PipeDream side by side.
+pub fn compare(chain: &Chain, platform: &Platform, cfg: &PlannerConfig) -> Comparison {
+    Comparison {
+        madpipe: madpipe_plan(chain, platform, cfg),
+        pipedream: madpipe_pipedream::pipedream_plan(chain, platform),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madpipe_model::Layer;
+
+    fn chain(costs: &[(f64, f64)], act: u64, w: u64) -> Chain {
+        let layers = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, b))| Layer::new(format!("l{i}"), f, b, w, act))
+            .collect();
+        Chain::new("t", act, layers).unwrap()
+    }
+
+    #[test]
+    fn plan_produces_a_valid_schedule() {
+        let c = chain(&[(1.0, 2.0), (2.0, 1.0), (3.0, 2.0), (1.0, 1.0)], 1 << 10, 1 << 8);
+        let platform = Platform::new(2, 1 << 20, 1e6).unwrap();
+        let plan = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap();
+        assert!(plan.period() > 0.0);
+        assert!(plan.throughput() > 0.0);
+        // The valid schedule can be slower but never faster than the
+        // load bound of its own allocation.
+        let lb = plan.phase1.allocation.load_bound(&c, &platform);
+        assert!(plan.period() + 1e-9 >= lb);
+    }
+
+    #[test]
+    fn madpipe_not_worse_than_pipedream_on_imbalanced_chain() {
+        // The {0,2} vs {1} balance needs the special processor.
+        let c = chain(&[(2.0, 2.0), (4.0, 4.0), (2.0, 2.0)], 16, 0);
+        let platform = Platform::new(2, 1 << 20, 1e6).unwrap();
+        let cmp = compare(&c, &platform, &PlannerConfig::default());
+        let ratio = cmp.ratio().expect("both must plan");
+        assert!(
+            ratio >= 1.0 - 1e-6,
+            "PipeDream/MadPipe ratio {ratio} < 1 on a special-friendly instance"
+        );
+        assert!(ratio > 1.2, "expected a clear MadPipe win, ratio {ratio}");
+    }
+
+    #[test]
+    fn infeasible_instances_error_cleanly() {
+        let c = chain(&[(1.0, 1.0)], 1 << 30, 1 << 28);
+        let platform = Platform::new(2, 1 << 12, 1e6).unwrap();
+        let err = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap_err();
+        assert_eq!(err, PlanError::Phase1Infeasible);
+    }
+}

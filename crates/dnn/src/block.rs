@@ -1,0 +1,342 @@
+//! Blocks: the linearization granularity.
+//!
+//! A [`Block`] is a (possibly branchy) sub-graph collapsed into a single
+//! node of the chain — the "classic linearization approach, also used
+//! for PipeDream" the paper mentions: residual sums and inception/dense
+//! concatenations never split across stages, so each block becomes one
+//! layer of the linearized chain, aggregating the FLOPs and parameters
+//! of its internal operators.
+//!
+//! A [`BranchPath`] may additionally fan out into sub-branches after a
+//! shared prefix (Inception-E computes one `1×1` and then both a `1×3`
+//! and a `3×1` from its output); the sub-branch outputs concatenate.
+
+use serde::{Deserialize, Serialize};
+
+use madpipe_model::Layer;
+
+use crate::cost::GpuModel;
+use crate::ops::Op;
+use crate::tensor::{TensorShape, ELEM_BYTES};
+
+/// How a block's parallel paths merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Merge {
+    /// Single path (plain sequence).
+    Single,
+    /// Element-wise sum of all path outputs (residual connection); all
+    /// paths must produce the same shape. An empty path is the identity
+    /// shortcut.
+    Add,
+    /// Channel concatenation of all path outputs (inception / dense
+    /// connectivity); spatial dims must agree.
+    Concat,
+}
+
+/// One parallel path of a block: a shared op prefix, optionally fanning
+/// out into concatenated sub-branches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchPath {
+    /// Shared op sequence (empty = identity).
+    pub ops: Vec<Op>,
+    /// Sub-branches evaluated from the prefix output and concatenated;
+    /// empty means the prefix output is the path output.
+    pub splits: Vec<Vec<Op>>,
+}
+
+impl BranchPath {
+    /// Plain sequential path.
+    pub fn seq(ops: Vec<Op>) -> Self {
+        Self {
+            ops,
+            splits: Vec::new(),
+        }
+    }
+
+    /// Path with a shared prefix and concatenated sub-branches.
+    pub fn with_splits(ops: Vec<Op>, splits: Vec<Vec<Op>>) -> Self {
+        Self { ops, splits }
+    }
+}
+
+/// A linearization unit: parallel paths merged at the end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Name of the block in the produced chain.
+    pub name: String,
+    /// The parallel paths (an empty path = identity shortcut).
+    pub paths: Vec<BranchPath>,
+    /// How the path outputs merge.
+    pub merge: Merge,
+}
+
+/// Aggregate profile of one evaluated block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockProfile {
+    /// Output activation shape.
+    pub output: TensorShape,
+    /// Total forward FLOPs of all internal ops (+ merge cost).
+    pub flops: u64,
+    /// Total trainable parameters.
+    pub params: u64,
+    /// Bytes touched (all intermediate activations read+written plus
+    /// parameters) — drives the roofline memory term.
+    pub bytes_touched: u64,
+}
+
+/// Running accumulator shared by path evaluation.
+#[derive(Default)]
+struct Acc {
+    flops: u64,
+    params: u64,
+    bytes: u64,
+}
+
+impl Acc {
+    fn run_ops(&mut self, ops: &[Op], mut shape: TensorShape) -> TensorShape {
+        for op in ops {
+            self.flops += op.flops(shape);
+            self.params += op.params(shape);
+            let out = op.output_shape(shape);
+            self.bytes += out.bytes() + op.params(shape) * ELEM_BYTES;
+            shape = out;
+        }
+        shape
+    }
+}
+
+impl Block {
+    /// A single-path block.
+    pub fn seq(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        Self {
+            name: name.into(),
+            paths: vec![BranchPath::seq(ops)],
+            merge: Merge::Single,
+        }
+    }
+
+    /// A residual block: `main` plus a shortcut (empty = identity).
+    pub fn residual(name: impl Into<String>, main: Vec<Op>, shortcut: Vec<Op>) -> Self {
+        Self {
+            name: name.into(),
+            paths: vec![BranchPath::seq(main), BranchPath::seq(shortcut)],
+            merge: Merge::Add,
+        }
+    }
+
+    /// A concatenation block over plain paths.
+    pub fn concat(name: impl Into<String>, paths: Vec<Vec<Op>>) -> Self {
+        Self {
+            name: name.into(),
+            paths: paths.into_iter().map(BranchPath::seq).collect(),
+            merge: Merge::Concat,
+        }
+    }
+
+    /// A concatenation block over paths that may carry sub-branch splits.
+    pub fn concat_paths(name: impl Into<String>, paths: Vec<BranchPath>) -> Self {
+        Self {
+            name: name.into(),
+            paths,
+            merge: Merge::Concat,
+        }
+    }
+
+    /// Propagate `input` through the block, accumulating FLOPs, params
+    /// and bytes touched.
+    pub fn evaluate(&self, input: TensorShape) -> BlockProfile {
+        assert!(!self.paths.is_empty(), "block {} has no paths", self.name);
+        let mut acc = Acc {
+            bytes: input.bytes(), // reading the block input
+            ..Acc::default()
+        };
+        let mut outputs = Vec::with_capacity(self.paths.len());
+        for path in &self.paths {
+            let prefix_out = acc.run_ops(&path.ops, input);
+            if path.splits.is_empty() {
+                outputs.push(prefix_out);
+            } else {
+                let mut c = 0;
+                let mut spatial = None;
+                for split in &path.splits {
+                    let out = acc.run_ops(split, prefix_out);
+                    let s = (out.h, out.w);
+                    assert!(
+                        spatial.is_none_or(|sp| sp == s),
+                        "split branches of {} disagree on spatial dims",
+                        self.name
+                    );
+                    spatial = Some(s);
+                    c += out.c;
+                }
+                let (h, w) = spatial.expect("non-empty splits");
+                outputs.push(TensorShape::new(prefix_out.n, c, h, w));
+            }
+        }
+        let output = match self.merge {
+            Merge::Single => {
+                assert_eq!(self.paths.len(), 1, "Single merge requires one path");
+                outputs[0]
+            }
+            Merge::Add => {
+                let first = outputs[0];
+                for o in &outputs {
+                    assert_eq!(
+                        (o.c, o.h, o.w),
+                        (first.c, first.h, first.w),
+                        "Add merge with mismatched shapes in {}",
+                        self.name
+                    );
+                }
+                // Element-wise sum of k tensors: (k-1)·elements FLOPs.
+                acc.flops += (outputs.len() as u64 - 1) * first.elements();
+                first
+            }
+            Merge::Concat => {
+                let first = outputs[0];
+                let mut c = 0;
+                for o in &outputs {
+                    assert_eq!(
+                        (o.h, o.w),
+                        (first.h, first.w),
+                        "Concat merge with mismatched spatial dims in {}",
+                        self.name
+                    );
+                    c += o.c;
+                }
+                first.with_channels(c)
+            }
+        };
+        acc.bytes += output.bytes(); // writing the block output
+        BlockProfile {
+            output,
+            flops: acc.flops,
+            params: acc.params,
+            bytes_touched: acc.bytes,
+        }
+    }
+
+    /// Turn the block into one layer of the linearized chain.
+    pub fn to_layer(&self, input: TensorShape, gpu: &GpuModel) -> (Layer, TensorShape) {
+        let p = self.evaluate(input);
+        let layer = Layer::new(
+            self.name.clone(),
+            gpu.forward_time(p.flops, p.bytes_touched),
+            gpu.backward_time(p.flops, p.bytes_touched),
+            p.params * ELEM_BYTES,
+            p.output.bytes(),
+        );
+        (layer, p.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_accumulates_flops_and_params() {
+        let b = Block::seq("stem", vec![Op::conv(64, 7, 2, 3), Op::BatchNorm, Op::Relu]);
+        let input = TensorShape::image(8, 224, 224);
+        let p = b.evaluate(input);
+        assert_eq!(p.output, TensorShape::new(8, 64, 112, 112));
+        let conv_flops = Op::conv(64, 7, 2, 3).flops(input);
+        let post = TensorShape::new(8, 64, 112, 112);
+        assert_eq!(
+            p.flops,
+            conv_flops + Op::BatchNorm.flops(post) + Op::Relu.flops(post)
+        );
+        assert_eq!(
+            p.params,
+            Op::conv(64, 7, 2, 3).params(input) + Op::BatchNorm.params(post)
+        );
+    }
+
+    #[test]
+    fn residual_identity_shortcut_keeps_shape() {
+        let b = Block::residual(
+            "res",
+            vec![Op::conv1x1(64), Op::conv3x3(64, 1), Op::conv1x1(256)],
+            vec![Op::conv1x1(256)],
+        );
+        let input = TensorShape::new(8, 256, 56, 56);
+        let p = b.evaluate(input);
+        assert_eq!(p.output, input.with_channels(256));
+        let identity = Block::residual(
+            "res2",
+            vec![Op::conv1x1(64), Op::conv3x3(64, 1), Op::conv1x1(256)],
+            vec![],
+        );
+        let q = identity.evaluate(input);
+        assert_eq!(q.output, input);
+        assert!(q.params < p.params);
+    }
+
+    #[test]
+    #[should_panic(expected = "Add merge with mismatched shapes")]
+    fn mismatched_residual_panics() {
+        let b = Block::residual("bad", vec![Op::conv1x1(64)], vec![]);
+        b.evaluate(TensorShape::new(1, 32, 8, 8));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let b = Block::concat(
+            "inc",
+            vec![
+                vec![Op::conv1x1(64)],
+                vec![Op::conv1x1(48), Op::conv(64, 5, 1, 2)],
+                vec![Op::conv3x3(96, 1)],
+            ],
+        );
+        let input = TensorShape::new(8, 192, 35, 35);
+        let p = b.evaluate(input);
+        assert_eq!(p.output.c, 64 + 64 + 96);
+        assert_eq!((p.output.h, p.output.w), (35, 35));
+    }
+
+    #[test]
+    fn split_paths_share_their_prefix() {
+        // prefix 1×1(384), then 1×3 and 3×1 sub-branches → 768 channels,
+        // with the prefix parameters counted exactly once.
+        let split = Block::concat_paths(
+            "e",
+            vec![BranchPath::with_splits(
+                vec![Op::conv1x1(384)],
+                vec![
+                    vec![Op::conv_rect(384, 1, 3, 0, 1)],
+                    vec![Op::conv_rect(384, 3, 1, 1, 0)],
+                ],
+            )],
+        );
+        let input = TensorShape::new(1, 1280, 17, 17);
+        let p = split.evaluate(input);
+        assert_eq!(p.output.c, 768);
+        let prefix_params = Op::conv1x1(384).params(input);
+        let mid = input.with_channels(384);
+        let split_params =
+            Op::conv_rect(384, 1, 3, 0, 1).params(mid) + Op::conv_rect(384, 3, 1, 1, 0).params(mid);
+        assert_eq!(p.params, prefix_params + split_params);
+
+        // The flattened (duplicated-prefix) encoding counts more.
+        let flattened = Block::concat(
+            "e_flat",
+            vec![
+                vec![Op::conv1x1(384), Op::conv_rect(384, 1, 3, 0, 1)],
+                vec![Op::conv1x1(384), Op::conv_rect(384, 3, 1, 1, 0)],
+            ],
+        );
+        assert!(flattened.evaluate(input).params > p.params);
+    }
+
+    #[test]
+    fn to_layer_reports_positive_costs() {
+        let gpu = GpuModel::default();
+        let b = Block::seq("c", vec![Op::conv3x3(32, 1)]);
+        let (layer, out) = b.to_layer(TensorShape::image(8, 64, 64), &gpu);
+        assert!(layer.forward_time > 0.0);
+        assert!(layer.backward_time > layer.forward_time);
+        assert_eq!(layer.activation_bytes, out.bytes());
+        assert!(layer.weight_bytes > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Roofline-style GPU cost model.
+//!
+//! The paper profiles per-layer durations on a real GPU; we substitute an
+//! analytic model: an operation touching `bytes` of memory and executing
+//! `flops` floating point operations runs for
+//!
+//! `time = max(flops / effective_flops, bytes / mem_bandwidth) + overhead`
+//!
+//! — the classical roofline, plus a fixed per-kernel launch overhead.
+//! Backward passes cost a constant factor more than forward passes
+//! (gradients w.r.t. both inputs and weights ≈ two convolutions against
+//! one), defaulting to 2×, consistent with common profiling wisdom and
+//! with the `u_B ≈ 2·u_F` ratios visible in PipeDream's published
+//! profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The GPU used to synthesize per-layer durations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Sustained compute throughput in FLOP/s (tensor-core fp32-accum
+    /// class hardware lands around 10–15 TFLOP/s effective).
+    pub effective_flops: f64,
+    /// Sustained memory bandwidth in B/s.
+    pub mem_bandwidth: f64,
+    /// Per-kernel launch overhead in seconds.
+    pub kernel_overhead: f64,
+    /// `u_B / u_F` ratio.
+    pub backward_factor: f64,
+}
+
+impl Default for GpuModel {
+    /// A V100-class GPU (the hardware generation of the paper).
+    fn default() -> Self {
+        Self {
+            effective_flops: 12e12,
+            mem_bandwidth: 800e9,
+            kernel_overhead: 20e-6,
+            backward_factor: 2.0,
+        }
+    }
+}
+
+impl GpuModel {
+    /// V100-class (the paper's hardware generation) — same as `default`.
+    pub fn v100() -> Self {
+        Self::default()
+    }
+
+    /// A100-class: ~2.3× the compute, ~2.5× the bandwidth of a V100.
+    pub fn a100() -> Self {
+        Self {
+            effective_flops: 28e12,
+            mem_bandwidth: 2.0e12,
+            kernel_overhead: 15e-6,
+            backward_factor: 2.0,
+        }
+    }
+
+    /// Consumer RTX-3090-class.
+    pub fn rtx3090() -> Self {
+        Self {
+            effective_flops: 15e12,
+            mem_bandwidth: 936e9,
+            kernel_overhead: 20e-6,
+            backward_factor: 2.0,
+        }
+    }
+
+    /// Look a preset up by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "v100" | "default" => Some(Self::v100()),
+            "a100" => Some(Self::a100()),
+            "rtx3090" | "3090" => Some(Self::rtx3090()),
+            _ => None,
+        }
+    }
+
+    /// Forward duration of an op with the given FLOP count and bytes
+    /// touched (inputs + outputs + parameters).
+    pub fn forward_time(&self, flops: u64, bytes: u64) -> f64 {
+        let compute = flops as f64 / self.effective_flops;
+        let memory = bytes as f64 / self.mem_bandwidth;
+        compute.max(memory) + self.kernel_overhead
+    }
+
+    /// Backward duration for the same op.
+    pub fn backward_time(&self, flops: u64, bytes: u64) -> f64 {
+        self.forward_time(flops, bytes) * self.backward_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_ops_follow_flops() {
+        let gpu = GpuModel {
+            effective_flops: 1e12,
+            mem_bandwidth: 1e12,
+            kernel_overhead: 0.0,
+            backward_factor: 2.0,
+        };
+        // 1e12 flops, tiny memory → 1 second
+        assert!((gpu.forward_time(1_000_000_000_000, 8) - 1.0).abs() < 1e-9);
+        assert!((gpu.backward_time(1_000_000_000_000, 8) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_ops_follow_bytes() {
+        let gpu = GpuModel {
+            effective_flops: 1e15,
+            mem_bandwidth: 1e9,
+            kernel_overhead: 0.0,
+            backward_factor: 2.0,
+        };
+        // 1 GB at 1 GB/s → 1 second even with negligible flops
+        assert!((gpu.forward_time(10, 1_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_floors_small_ops() {
+        let gpu = GpuModel::default();
+        assert!(gpu.forward_time(1, 1) >= gpu.kernel_overhead);
+    }
+
+    #[test]
+    fn presets_resolve_and_order_sensibly() {
+        assert_eq!(GpuModel::by_name("v100"), Some(GpuModel::default()));
+        assert!(GpuModel::by_name("A100").is_some());
+        assert!(GpuModel::by_name("tpu").is_none());
+        // An A100 is faster than a V100 on a compute-bound op.
+        let flops = 1_000_000_000_000;
+        assert!(GpuModel::a100().forward_time(flops, 8) < GpuModel::v100().forward_time(flops, 8));
+    }
+}

@@ -1,0 +1,37 @@
+//! Analytic DNN profiling: the substitute for the paper's PyTorch
+//! profiling step.
+//!
+//! The MadPipe algorithms consume only per-layer vectors
+//! `(u_F, u_B, W, a)`. The paper measures them on a real GPU; this crate
+//! *computes* them instead:
+//!
+//! * [`tensor`]/[`ops`] — exact tensor shapes, parameter counts and FLOP
+//!   counts of the standard building blocks (convolutions, batch norm,
+//!   pooling, linear);
+//! * [`cost`] — a roofline-style GPU cost model converting FLOPs and
+//!   bytes touched into forward/backward durations;
+//! * [`block`] — branchy blocks (residual sums, inception/dense
+//!   concatenations) collapsed into single chain nodes: the greedy
+//!   linearization PipeDream and the paper both apply;
+//! * [`networks`] — ResNet-50/101, Inception-v3 and DenseNet-121 at any
+//!   image size and batch size (the paper uses 1000×1000, batch 8);
+//! * [`synthetic`] — seeded random chains for tests and benchmarks;
+//! * [`profile`] — JSON persistence of profiled chains, so externally
+//!   measured profiles can be dropped in.
+
+pub mod block;
+pub mod coarsen;
+pub mod cost;
+pub mod networks;
+pub mod ops;
+pub mod profile;
+pub mod synthetic;
+pub mod tensor;
+
+pub use block::{Block, BranchPath, Merge};
+pub use coarsen::coarsen;
+pub use cost::GpuModel;
+pub use networks::{densenet121, inception_v3, resnet101, resnet152, resnet50, vgg16, NetworkSpec};
+pub use ops::Op;
+pub use synthetic::{random_chain, RandomChainConfig};
+pub use tensor::TensorShape;

@@ -1,0 +1,145 @@
+//! DenseNet-121 (Huang et al.), torchvision layout: growth rate 32,
+//! bottleneck size 4, dense blocks of 6/12/24/16 layers.
+//!
+//! Each dense layer concatenates its 32-channel output onto the running
+//! feature map; one dense layer = one chain node (identity path +
+//! bottleneck path merged by concatenation), which is exactly the greedy
+//! block linearization.
+
+use crate::block::Block;
+use crate::ops::Op;
+
+use super::NetworkSpec;
+
+const GROWTH: u64 = 32;
+const BN_SIZE: u64 = 4;
+
+/// One dense layer: `BN → ReLU → 1×1(4k) → BN → ReLU → 3×3(k)`,
+/// concatenated with its input.
+fn dense_layer(name: String) -> Block {
+    Block::concat(
+        name,
+        vec![
+            vec![], // identity: the running feature map passes through
+            vec![
+                Op::BatchNorm,
+                Op::Relu,
+                Op::conv1x1(BN_SIZE * GROWTH),
+                Op::BatchNorm,
+                Op::Relu,
+                Op::conv3x3(GROWTH, 1),
+            ],
+        ],
+    )
+}
+
+/// Transition: halve channels with a `1×1` conv, halve spatial with
+/// `2×2` average pooling.
+fn transition(name: String, out_ch: u64) -> Block {
+    Block::seq(
+        name,
+        vec![
+            Op::BatchNorm,
+            Op::Relu,
+            Op::conv1x1(out_ch),
+            Op::AvgPool {
+                kernel: 2,
+                stride: 2,
+                padding: 0,
+            },
+        ],
+    )
+}
+
+/// DenseNet-121.
+pub fn densenet121() -> NetworkSpec {
+    let mut blocks = Vec::new();
+    blocks.push(Block::seq(
+        "conv0",
+        vec![Op::conv(64, 7, 2, 3), Op::BatchNorm, Op::Relu],
+    ));
+    blocks.push(Block::seq(
+        "pool0",
+        vec![Op::MaxPool {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        }],
+    ));
+    let mut channels = 64u64;
+    for (bi, &n_layers) in [6usize, 12, 24, 16].iter().enumerate() {
+        for li in 0..n_layers {
+            blocks.push(dense_layer(format!("dense{}_{}", bi + 1, li + 1)));
+            channels += GROWTH;
+        }
+        if bi < 3 {
+            channels /= 2;
+            blocks.push(transition(format!("transition{}", bi + 1), channels));
+        }
+    }
+    blocks.push(Block::seq(
+        "head",
+        vec![
+            Op::BatchNorm,
+            Op::Relu,
+            Op::GlobalAvgPool,
+            Op::Linear { out_features: 1000 },
+        ],
+    ));
+    NetworkSpec {
+        name: "densenet121".to_string(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::TensorShape;
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        // torchvision densenet121: ≈ 7.98 M parameters.
+        let net = densenet121();
+        let mut shape = TensorShape::image(1, 224, 224);
+        let mut params = 0u64;
+        for b in &net.blocks {
+            let p = b.evaluate(shape);
+            params += p.params;
+            shape = p.output;
+        }
+        let millions = params as f64 / 1e6;
+        assert!(
+            (millions - 7.98).abs() < 0.3,
+            "densenet121 params {millions:.2} M, expected ≈ 7.98 M"
+        );
+        assert_eq!(shape, TensorShape::new(1, 1000, 1, 1));
+    }
+
+    #[test]
+    fn channel_bookkeeping_follows_the_dense_pattern() {
+        let net = densenet121();
+        let mut shape = TensorShape::image(1, 224, 224);
+        let mut channels = Vec::new();
+        for b in &net.blocks {
+            shape = b.evaluate(shape).output;
+            channels.push(shape.c);
+        }
+        // After block1 (6 layers): 64 + 192 = 256 → transition → 128;
+        // block2: 128 + 384 = 512 → 256; block3: 256+768=1024 → 512;
+        // block4: 512+512 = 1024.
+        assert_eq!(channels[1 + 6], 256); // before transition1
+        assert_eq!(channels[2 + 6], 128);
+        assert_eq!(channels[2 + 6 + 12], 512);
+        assert_eq!(channels[3 + 6 + 12], 256);
+        assert_eq!(channels[3 + 6 + 12 + 24], 1024);
+        assert_eq!(channels[4 + 6 + 12 + 24], 512);
+        assert_eq!(channels[4 + 6 + 12 + 24 + 16], 1024);
+    }
+
+    #[test]
+    fn chain_length_is_sixty_four() {
+        // 2 stem + 58 dense + 3 transitions + 1 head.
+        assert_eq!(densenet121().len(), 64);
+    }
+}

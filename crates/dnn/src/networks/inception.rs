@@ -1,0 +1,236 @@
+//! Inception-v3 (Szegedy et al.), torchvision layout with factorized
+//! convolutions; nested branch splits are flattened into sibling paths
+//! with identical aggregate FLOPs/channels.
+
+use crate::block::Block;
+use crate::ops::Op;
+
+use super::NetworkSpec;
+
+/// `conv + BN + ReLU` — Inception's BasicConv2d.
+fn basic(ops: &mut Vec<Op>, conv: Op) {
+    ops.push(conv);
+    ops.push(Op::BatchNorm);
+    ops.push(Op::Relu);
+}
+
+fn path(convs: &[Op]) -> Vec<Op> {
+    let mut v = Vec::with_capacity(convs.len() * 3);
+    for &c in convs {
+        basic(&mut v, c);
+    }
+    v
+}
+
+fn pool_path(out_ch: u64) -> Vec<Op> {
+    let mut v = vec![Op::AvgPool {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    }];
+    basic(&mut v, Op::conv1x1(out_ch));
+    v
+}
+
+/// InceptionA: 64 + 64 + 96 + pool_features channels out.
+fn inception_a(name: String, pool_features: u64) -> Block {
+    Block::concat(
+        name,
+        vec![
+            path(&[Op::conv1x1(64)]),
+            path(&[Op::conv1x1(48), Op::conv(64, 5, 1, 2)]),
+            path(&[Op::conv1x1(64), Op::conv3x3(96, 1), Op::conv3x3(96, 1)]),
+            pool_path(pool_features),
+        ],
+    )
+}
+
+/// ReductionA (torchvision InceptionB): spatial /2, out 288+384+96=768.
+fn reduction_a(name: String) -> Block {
+    Block::concat(
+        name,
+        vec![
+            path(&[Op::conv(384, 3, 2, 0)]),
+            path(&[Op::conv1x1(64), Op::conv3x3(96, 1), Op::conv(96, 3, 2, 0)]),
+            vec![Op::MaxPool {
+                kernel: 3,
+                stride: 2,
+                padding: 0,
+            }],
+        ],
+    )
+}
+
+/// InceptionB (torchvision InceptionC): factorized 7×7 branches, 768 out.
+fn inception_b(name: String, c7: u64) -> Block {
+    Block::concat(
+        name,
+        vec![
+            path(&[Op::conv1x1(192)]),
+            path(&[
+                Op::conv1x1(c7),
+                Op::conv_rect(c7, 1, 7, 0, 3),
+                Op::conv_rect(192, 7, 1, 3, 0),
+            ]),
+            path(&[
+                Op::conv1x1(c7),
+                Op::conv_rect(c7, 7, 1, 3, 0),
+                Op::conv_rect(c7, 1, 7, 0, 3),
+                Op::conv_rect(c7, 7, 1, 3, 0),
+                Op::conv_rect(192, 1, 7, 0, 3),
+            ]),
+            pool_path(192),
+        ],
+    )
+}
+
+/// ReductionB (torchvision InceptionD): spatial /2, out 320+192+768=1280.
+fn reduction_b(name: String) -> Block {
+    Block::concat(
+        name,
+        vec![
+            path(&[Op::conv1x1(192), Op::conv(320, 3, 2, 0)]),
+            path(&[
+                Op::conv1x1(192),
+                Op::conv_rect(192, 1, 7, 0, 3),
+                Op::conv_rect(192, 7, 1, 3, 0),
+                Op::conv(192, 3, 2, 0),
+            ]),
+            vec![Op::MaxPool {
+                kernel: 3,
+                stride: 2,
+                padding: 0,
+            }],
+        ],
+    )
+}
+
+/// InceptionC (torchvision InceptionE): `1×3`/`3×1` sub-branch splits
+/// after shared prefixes, 320 + 2·384 + 2·384 + 192 = 2048 out.
+fn inception_c(name: String) -> Block {
+    use crate::block::BranchPath;
+    let split_ends = || {
+        vec![
+            path(&[Op::conv_rect(384, 1, 3, 0, 1)]),
+            path(&[Op::conv_rect(384, 3, 1, 1, 0)]),
+        ]
+    };
+    Block::concat_paths(
+        name,
+        vec![
+            BranchPath::seq(path(&[Op::conv1x1(320)])),
+            // 3×3 branch: shared 1×1, then 1×3 and 3×1 siblings.
+            BranchPath::with_splits(path(&[Op::conv1x1(384)]), split_ends()),
+            // double-3×3 branch: shared 1×1 + 3×3, then the same split.
+            BranchPath::with_splits(path(&[Op::conv1x1(448), Op::conv3x3(384, 1)]), split_ends()),
+            BranchPath::seq(pool_path(192)),
+        ],
+    )
+}
+
+/// Inception-v3.
+pub fn inception_v3() -> NetworkSpec {
+    let mut blocks = Vec::new();
+    blocks.push(Block::seq("stem_conv1", path(&[Op::conv(32, 3, 2, 0)])));
+    blocks.push(Block::seq("stem_conv2", path(&[Op::conv(32, 3, 1, 0)])));
+    blocks.push(Block::seq("stem_conv3", path(&[Op::conv3x3(64, 1)])));
+    blocks.push(Block::seq(
+        "stem_pool1",
+        vec![Op::MaxPool {
+            kernel: 3,
+            stride: 2,
+            padding: 0,
+        }],
+    ));
+    blocks.push(Block::seq("stem_conv4", path(&[Op::conv1x1(80)])));
+    blocks.push(Block::seq("stem_conv5", path(&[Op::conv(192, 3, 1, 0)])));
+    blocks.push(Block::seq(
+        "stem_pool2",
+        vec![Op::MaxPool {
+            kernel: 3,
+            stride: 2,
+            padding: 0,
+        }],
+    ));
+    blocks.push(inception_a("mixed5b".into(), 32));
+    blocks.push(inception_a("mixed5c".into(), 64));
+    blocks.push(inception_a("mixed5d".into(), 64));
+    blocks.push(reduction_a("mixed6a".into()));
+    blocks.push(inception_b("mixed6b".into(), 128));
+    blocks.push(inception_b("mixed6c".into(), 160));
+    blocks.push(inception_b("mixed6d".into(), 160));
+    blocks.push(inception_b("mixed6e".into(), 192));
+    blocks.push(reduction_b("mixed7a".into()));
+    blocks.push(inception_c("mixed7b".into()));
+    blocks.push(inception_c("mixed7c".into()));
+    blocks.push(Block::seq(
+        "head",
+        vec![Op::GlobalAvgPool, Op::Linear { out_features: 1000 }],
+    ));
+    NetworkSpec {
+        name: "inception_v3".to_string(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::TensorShape;
+
+    fn totals(image: u64) -> (u64, u64, TensorShape) {
+        let net = inception_v3();
+        let mut shape = TensorShape::image(1, image, image);
+        let (mut params, mut flops) = (0u64, 0u64);
+        for b in &net.blocks {
+            let p = b.evaluate(shape);
+            params += p.params;
+            flops += p.flops;
+            shape = p.output;
+        }
+        (params, flops, shape)
+    }
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        // torchvision inception_v3 (without aux head): ≈ 23.8 M.
+        let (params, _, out) = totals(299);
+        let millions = params as f64 / 1e6;
+        assert!(
+            (millions - 23.8).abs() < 1.0,
+            "inception params {millions:.2} M, expected ≈ 23.8 M"
+        );
+        assert_eq!(out, TensorShape::new(1, 1000, 1, 1));
+    }
+
+    #[test]
+    fn channel_progression_is_canonical() {
+        let net = inception_v3();
+        let mut shape = TensorShape::image(1, 299, 299);
+        let mut channels = Vec::new();
+        for b in &net.blocks {
+            shape = b.evaluate(shape).output;
+            channels.push(shape.c);
+        }
+        // after stem: 192; A-blocks: 256, 288, 288; reduction: 768;
+        // B-blocks stay 768; reduction: 1280; C-blocks: 2048.
+        assert_eq!(channels[6], 192);
+        assert_eq!(channels[7], 256);
+        assert_eq!(channels[8], 288);
+        assert_eq!(channels[10], 768);
+        assert_eq!(channels[14], 768);
+        assert_eq!(channels[15], 1280);
+        assert_eq!(channels[17], 2048);
+    }
+
+    #[test]
+    fn flops_are_in_the_published_ballpark() {
+        // ≈ 5.7 GMAC ≈ 11.4 GFLOP at 299².
+        let (_, flops, _) = totals(299);
+        let gflops = flops as f64 / 1e9;
+        assert!(
+            (9.0..14.0).contains(&gflops),
+            "inception {gflops:.2} GFLOP, expected ≈ 11.4"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! The four networks of the paper's evaluation, as linearized chains.
+
+pub mod densenet;
+pub mod inception;
+pub mod resnet;
+pub mod vgg;
+
+use madpipe_model::{Chain, ModelError};
+use serde::{Deserialize, Serialize};
+
+use crate::block::Block;
+use crate::cost::GpuModel;
+use crate::tensor::TensorShape;
+
+pub use densenet::densenet121;
+pub use inception::inception_v3;
+pub use resnet::{resnet101, resnet152, resnet50};
+pub use vgg::vgg16;
+
+/// A network as an ordered list of linearization blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Network name (`"resnet50"`, …).
+    pub name: String,
+    /// Blocks in forward order.
+    pub blocks: Vec<Block>,
+}
+
+impl NetworkSpec {
+    /// Profile the network into a [`Chain`] for a given batch size,
+    /// square image size, and GPU cost model — the substitute for the
+    /// paper's measurement step (batch 8, 1000×1000 images, V100-class
+    /// GPU in §5.1).
+    pub fn profile(
+        &self,
+        batch: u64,
+        image_size: u64,
+        gpu: &GpuModel,
+    ) -> Result<Chain, ModelError> {
+        let mut shape = TensorShape::image(batch, image_size, image_size);
+        let input_bytes = shape.bytes();
+        let mut layers = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let (layer, out) = block.to_layer(shape, gpu);
+            layers.push(layer);
+            shape = out;
+        }
+        Chain::new(self.name.clone(), input_bytes, layers)
+    }
+
+    /// Number of chain layers the network linearizes to.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True iff the spec has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// All four evaluation networks, in the paper's order.
+pub fn all_networks() -> Vec<NetworkSpec> {
+    vec![resnet50(), resnet101(), inception_v3(), densenet121()]
+}
+
+/// Every network the crate can build (the paper's four plus extras).
+pub fn extended_networks() -> Vec<NetworkSpec> {
+    let mut nets = all_networks();
+    nets.push(resnet152());
+    nets.push(vgg16());
+    nets
+}
+
+/// Look a network up by name (case-insensitive; accepts the common
+/// aliases used on the CLI).
+pub fn by_name(name: &str) -> Option<NetworkSpec> {
+    match name.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+        "resnet50" => Some(resnet50()),
+        "resnet101" => Some(resnet101()),
+        "resnet152" => Some(resnet152()),
+        "vgg" | "vgg16" => Some(vgg16()),
+        "inception" | "inceptionv3" => Some(inception_v3()),
+        "densenet" | "densenet121" => Some(densenet121()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_networks_profile_at_paper_settings() {
+        let gpu = GpuModel::default();
+        for net in all_networks() {
+            let chain = net.profile(8, 1000, &gpu).expect("profiles cleanly");
+            assert_eq!(chain.len(), net.len());
+            assert!(chain.total_compute_time() > 0.0, "{}", net.name);
+            // Final layer of every classifier outputs batch × 1000 logits.
+            assert_eq!(
+                chain.layer(chain.len() - 1).activation_bytes,
+                8 * 1000 * 4,
+                "{}",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_resolves_aliases() {
+        assert_eq!(by_name("ResNet-50").unwrap().name, "resnet50");
+        assert_eq!(by_name("inception").unwrap().name, "inception_v3");
+        assert_eq!(by_name("DenseNet-121").unwrap().name, "densenet121");
+        assert_eq!(by_name("vgg16").unwrap().name, "vgg16");
+        assert_eq!(by_name("ResNet-152").unwrap().name, "resnet152");
+        assert!(by_name("alexnet").is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! ResNet-50 and ResNet-101 (He et al.), torchvision layout.
+
+use crate::block::Block;
+use crate::ops::Op;
+
+use super::NetworkSpec;
+
+/// Bottleneck residual block: `1×1 → 3×3(stride) → 1×1`, each followed by
+/// batch-norm (+ ReLU on the first two), with an identity shortcut or a
+/// strided `1×1` projection when shape changes.
+fn bottleneck(name: String, mid: u64, out: u64, stride: u64, project: bool) -> Block {
+    let main = vec![
+        Op::conv1x1(mid),
+        Op::BatchNorm,
+        Op::Relu,
+        Op::conv3x3(mid, stride),
+        Op::BatchNorm,
+        Op::Relu,
+        Op::conv1x1(out),
+        Op::BatchNorm,
+        // the post-addition ReLU, folded into the main path (same cost)
+        Op::Relu,
+    ];
+    let shortcut = if project {
+        vec![Op::conv(out, 1, stride, 0), Op::BatchNorm]
+    } else {
+        vec![]
+    };
+    Block::residual(name, main, shortcut)
+}
+
+fn resnet(name: &str, stage_blocks: [usize; 4]) -> NetworkSpec {
+    let mut blocks = Vec::new();
+    blocks.push(Block::seq(
+        "conv1",
+        vec![Op::conv(64, 7, 2, 3), Op::BatchNorm, Op::Relu],
+    ));
+    blocks.push(Block::seq(
+        "maxpool",
+        vec![Op::MaxPool {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        }],
+    ));
+    for (stage, &n) in stage_blocks.iter().enumerate() {
+        let mid = 64 << stage; // 64, 128, 256, 512
+        let out = mid * 4;
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            let project = b == 0; // channel change (and stride) on entry
+            blocks.push(bottleneck(
+                format!("conv{}_{}", stage + 2, b + 1),
+                mid,
+                out,
+                stride,
+                project,
+            ));
+        }
+    }
+    blocks.push(Block::seq(
+        "head",
+        vec![Op::GlobalAvgPool, Op::Linear { out_features: 1000 }],
+    ));
+    NetworkSpec {
+        name: name.to_string(),
+        blocks,
+    }
+}
+
+/// ResNet-50: stages of 3, 4, 6, 3 bottlenecks.
+pub fn resnet50() -> NetworkSpec {
+    resnet("resnet50", [3, 4, 6, 3])
+}
+
+/// ResNet-101: stages of 3, 4, 23, 3 bottlenecks.
+pub fn resnet101() -> NetworkSpec {
+    resnet("resnet101", [3, 4, 23, 3])
+}
+
+/// ResNet-152: stages of 3, 8, 36, 3 bottlenecks (not in the paper's
+/// evaluation; included as the deepest standard ResNet).
+pub fn resnet152() -> NetworkSpec {
+    resnet("resnet152", [3, 8, 36, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::GpuModel;
+    use crate::tensor::TensorShape;
+
+    #[test]
+    fn resnet50_has_the_canonical_parameter_count() {
+        // torchvision resnet50: 25.56 M parameters.
+        let net = resnet50();
+        let mut shape = TensorShape::image(1, 224, 224);
+        let mut params = 0u64;
+        for b in &net.blocks {
+            let p = b.evaluate(shape);
+            params += p.params;
+            shape = p.output;
+        }
+        let millions = params as f64 / 1e6;
+        assert!(
+            (millions - 25.56).abs() < 0.2,
+            "resnet50 params {millions:.2} M, expected ≈ 25.56 M"
+        );
+        assert_eq!(shape, TensorShape::new(1, 1000, 1, 1));
+    }
+
+    #[test]
+    fn resnet101_has_the_canonical_parameter_count() {
+        // torchvision resnet101: 44.55 M parameters.
+        let net = resnet101();
+        let mut shape = TensorShape::image(1, 224, 224);
+        let mut params = 0u64;
+        for b in &net.blocks {
+            let p = b.evaluate(shape);
+            params += p.params;
+            shape = p.output;
+        }
+        let millions = params as f64 / 1e6;
+        assert!(
+            (millions - 44.55).abs() < 0.3,
+            "resnet101 params {millions:.2} M, expected ≈ 44.55 M"
+        );
+    }
+
+    #[test]
+    fn resnet50_flops_match_published_figures() {
+        // ≈ 4.1 GFLOPs (MAC-doubled ≈ 8.2 GFLOP) per 224² image.
+        let net = resnet50();
+        let mut shape = TensorShape::image(1, 224, 224);
+        let mut flops = 0u64;
+        for b in &net.blocks {
+            let p = b.evaluate(shape);
+            flops += p.flops;
+            shape = p.output;
+        }
+        let gflops = flops as f64 / 1e9;
+        assert!(
+            (7.0..10.0).contains(&gflops),
+            "resnet50 {gflops:.2} GFLOP, expected ≈ 8.2"
+        );
+    }
+
+    #[test]
+    fn chain_lengths() {
+        assert_eq!(resnet50().len(), 2 + 16 + 1);
+        assert_eq!(resnet101().len(), 2 + 33 + 1);
+        assert_eq!(resnet152().len(), 2 + 50 + 1);
+    }
+
+    #[test]
+    fn resnet152_has_the_canonical_parameter_count() {
+        // torchvision resnet152: 60.19 M parameters.
+        let net = resnet152();
+        let mut shape = TensorShape::image(1, 224, 224);
+        let mut params = 0u64;
+        for b in &net.blocks {
+            let p = b.evaluate(shape);
+            params += p.params;
+            shape = p.output;
+        }
+        let millions = params as f64 / 1e6;
+        assert!(
+            (millions - 60.19).abs() < 0.4,
+            "resnet152 params {millions:.2} M, expected ≈ 60.19 M"
+        );
+    }
+
+    #[test]
+    fn early_layers_dominate_activation_sizes_at_large_images() {
+        let gpu = GpuModel::default();
+        let chain = resnet50().profile(8, 1000, &gpu).unwrap();
+        // conv1 output: 8 × 64 × 500 × 500 × 4 B = 512 MB.
+        assert_eq!(chain.layer(0).activation_bytes, 8 * 64 * 500 * 500 * 4);
+        let first = chain.layer(0).activation_bytes;
+        let last_block = chain.layer(chain.len() - 2).activation_bytes;
+        // 512 MB vs 67 MB: early layers dominate by ~7.6×.
+        assert!(first > 4 * last_block);
+    }
+}

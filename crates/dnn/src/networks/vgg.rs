@@ -1,0 +1,117 @@
+//! VGG-16 (Simonyan & Zisserman), torchvision layout with batch norm.
+//!
+//! Not part of the paper's evaluation, but a classic stress case for
+//! pipelined model parallelism: enormous early activations (no stride
+//! until the first pool) and a head holding ~90% of the weights — the
+//! opposite weight/activation profile of the ResNets.
+
+use crate::block::Block;
+use crate::ops::Op;
+
+use super::NetworkSpec;
+
+fn conv_block(name: String, convs: &[u64]) -> Block {
+    let mut ops = Vec::with_capacity(convs.len() * 3 + 1);
+    for &c in convs {
+        ops.push(Op::conv3x3(c, 1));
+        ops.push(Op::BatchNorm);
+        ops.push(Op::Relu);
+    }
+    ops.push(Op::MaxPool {
+        kernel: 2,
+        stride: 2,
+        padding: 0,
+    });
+    Block::seq(name, ops)
+}
+
+/// VGG-16 with batch norm (`vgg16_bn`): 13 convolutions in 5 pooled
+/// groups, then the 3-layer fully connected classifier.
+pub fn vgg16() -> NetworkSpec {
+    let blocks = vec![
+        conv_block("conv1".into(), &[64, 64]),
+        conv_block("conv2".into(), &[128, 128]),
+        conv_block("conv3".into(), &[256, 256, 256]),
+        conv_block("conv4".into(), &[512, 512, 512]),
+        conv_block("conv5".into(), &[512, 512, 512]),
+        // torchvision adapts to 7×7 before the classifier.
+        Block::seq("avgpool", vec![Op::GlobalAvgPool]),
+        Block::seq(
+            "fc1",
+            vec![Op::Linear { out_features: 4096 }, Op::Relu],
+        ),
+        Block::seq(
+            "fc2",
+            vec![Op::Linear { out_features: 4096 }, Op::Relu],
+        ),
+        Block::seq("fc3", vec![Op::Linear { out_features: 1000 }]),
+    ];
+    NetworkSpec {
+        name: "vgg16".to_string(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::TensorShape;
+
+    #[test]
+    fn convolutional_parameters_match_torchvision() {
+        // torchvision vgg16_bn features: ≈ 14.72 M conv parameters.
+        // (The classifier differs: torchvision flattens 7×7×512 into a
+        // 102.8 M-parameter fc1; our global-pool variant — the common
+        // fully-convolutional adaptation for large inputs — keeps fc1 at
+        // 512×4096.)
+        let net = vgg16();
+        let mut shape = TensorShape::image(1, 224, 224);
+        let mut conv_params = 0u64;
+        for b in &net.blocks {
+            let p = b.evaluate(shape);
+            if b.name.starts_with("conv") {
+                conv_params += p.params;
+            }
+            shape = p.output;
+        }
+        let millions = conv_params as f64 / 1e6;
+        assert!(
+            (millions - 14.72).abs() < 0.3,
+            "vgg16 conv params {millions:.2} M, expected ≈ 14.72 M"
+        );
+        assert_eq!(shape, TensorShape::new(1, 1000, 1, 1));
+    }
+
+    #[test]
+    fn activations_dwarf_weights_early() {
+        let net = vgg16();
+        let chain = net
+            .profile(8, 1000, &crate::cost::GpuModel::default())
+            .unwrap();
+        // conv1 output: 8 × 64 × 500 × 500 (after pool) … its input
+        // activations during the block are 1000², the biggest anywhere.
+        let first = chain.layer(0);
+        assert!(first.activation_bytes > 100 * first.weight_bytes);
+        // classifier: weights dominate activations.
+        let fc1 = chain.layer(6);
+        assert!(fc1.weight_bytes > 10 * fc1.activation_bytes);
+    }
+
+    #[test]
+    fn flops_are_in_the_published_ballpark() {
+        // vgg16: ≈ 15.5 GMAC ≈ 31 GFLOP at 224² (convs dominate).
+        let net = vgg16();
+        let mut shape = TensorShape::image(1, 224, 224);
+        let mut flops = 0u64;
+        for b in &net.blocks {
+            let p = b.evaluate(shape);
+            flops += p.flops;
+            shape = p.output;
+        }
+        let gflops = flops as f64 / 1e9;
+        assert!(
+            (26.0..36.0).contains(&gflops),
+            "vgg16 {gflops:.1} GFLOP, expected ≈ 31"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Primitive operators: shape propagation, parameter and FLOP counts.
+//!
+//! FLOP counts use the usual multiply-accumulate = 2 FLOPs convention;
+//! they feed the roofline cost model of [`crate::cost`]. Convolutions
+//! support rectangular kernels (Inception-v3 factorizes `7×7` into
+//! `1×7`·`7×1`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::TensorShape;
+
+/// A primitive network operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// 2-D convolution with a `kh×kw` kernel, common stride, and
+    /// `(ph, pw)` padding; bias included.
+    Conv2d {
+        out_ch: u64,
+        kh: u64,
+        kw: u64,
+        stride: u64,
+        ph: u64,
+        pw: u64,
+    },
+    /// Batch normalization (affine).
+    BatchNorm,
+    /// ReLU activation.
+    Relu,
+    /// Max pooling.
+    MaxPool { kernel: u64, stride: u64, padding: u64 },
+    /// Average pooling.
+    AvgPool { kernel: u64, stride: u64, padding: u64 },
+    /// Global average pooling to `1×1`.
+    GlobalAvgPool,
+    /// Fully connected layer on flattened input.
+    Linear { out_features: u64 },
+}
+
+impl Op {
+    /// Square-kernel convolution.
+    pub fn conv(out_ch: u64, kernel: u64, stride: u64, padding: u64) -> Self {
+        Op::Conv2d {
+            out_ch,
+            kh: kernel,
+            kw: kernel,
+            stride,
+            ph: padding,
+            pw: padding,
+        }
+    }
+
+    /// Rectangular-kernel convolution (stride 1).
+    pub fn conv_rect(out_ch: u64, kh: u64, kw: u64, ph: u64, pw: u64) -> Self {
+        Op::Conv2d {
+            out_ch,
+            kh,
+            kw,
+            stride: 1,
+            ph,
+            pw,
+        }
+    }
+
+    /// A `1×1` convolution (stride 1, no padding).
+    pub fn conv1x1(out_ch: u64) -> Self {
+        Self::conv(out_ch, 1, 1, 0)
+    }
+
+    /// A `3×3` "same" convolution.
+    pub fn conv3x3(out_ch: u64, stride: u64) -> Self {
+        Self::conv(out_ch, 3, stride, 1)
+    }
+
+    /// Output shape of the op applied to `input`.
+    pub fn output_shape(&self, input: TensorShape) -> TensorShape {
+        let spatial = |x: u64, k: u64, s: u64, p: u64| {
+            debug_assert!(x + 2 * p >= k, "kernel larger than padded input");
+            (x + 2 * p - k) / s + 1
+        };
+        match *self {
+            Op::Conv2d {
+                out_ch,
+                kh,
+                kw,
+                stride,
+                ph,
+                pw,
+            } => TensorShape::new(
+                input.n,
+                out_ch,
+                spatial(input.h, kh, stride, ph),
+                spatial(input.w, kw, stride, pw),
+            ),
+            Op::BatchNorm | Op::Relu => input,
+            Op::MaxPool {
+                kernel,
+                stride,
+                padding,
+            }
+            | Op::AvgPool {
+                kernel,
+                stride,
+                padding,
+            } => TensorShape::new(
+                input.n,
+                input.c,
+                spatial(input.h, kernel, stride, padding),
+                spatial(input.w, kernel, stride, padding),
+            ),
+            Op::GlobalAvgPool => TensorShape::new(input.n, input.c, 1, 1),
+            Op::Linear { out_features } => TensorShape::new(input.n, out_features, 1, 1),
+        }
+    }
+
+    /// Trainable parameter count.
+    pub fn params(&self, input: TensorShape) -> u64 {
+        match *self {
+            Op::Conv2d { out_ch, kh, kw, .. } => kh * kw * input.c * out_ch + out_ch,
+            Op::BatchNorm => 2 * input.c,
+            Op::Linear { out_features } => {
+                let in_features = input.c * input.h * input.w;
+                in_features * out_features + out_features
+            }
+            _ => 0,
+        }
+    }
+
+    /// Forward FLOPs.
+    pub fn flops(&self, input: TensorShape) -> u64 {
+        let out = self.output_shape(input);
+        match *self {
+            Op::Conv2d { kh, kw, .. } => 2 * kh * kw * input.c * out.elements(),
+            Op::BatchNorm => 4 * input.elements(),
+            Op::Relu => input.elements(),
+            Op::MaxPool { kernel, .. } | Op::AvgPool { kernel, .. } => {
+                kernel * kernel * out.elements()
+            }
+            Op::GlobalAvgPool => input.elements(),
+            Op::Linear { .. } => {
+                let in_features = input.c * input.h * input.w;
+                2 * input.n * in_features * out.c
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_params_flops() {
+        let input = TensorShape::new(8, 3, 224, 224);
+        let op = Op::conv(64, 7, 2, 3);
+        let out = op.output_shape(input);
+        assert_eq!(out, TensorShape::new(8, 64, 112, 112));
+        assert_eq!(op.params(input), 7 * 7 * 3 * 64 + 64);
+        assert_eq!(op.flops(input), 2 * 49 * 3 * out.elements());
+    }
+
+    #[test]
+    fn rect_conv_factorization_is_cheaper_than_square() {
+        let input = TensorShape::new(8, 192, 35, 35);
+        let a = Op::conv_rect(192, 1, 7, 0, 3);
+        let b = Op::conv_rect(192, 7, 1, 3, 0);
+        let square = Op::conv(192, 7, 1, 3);
+        let out_a = a.output_shape(input);
+        assert_eq!(out_a, input.with_channels(192));
+        assert_eq!(b.output_shape(out_a), out_a);
+        assert!(a.flops(input) + b.flops(out_a) < square.flops(input));
+    }
+
+    #[test]
+    fn linear_flattens_input() {
+        let input = TensorShape::new(8, 2048, 1, 1);
+        let op = Op::Linear { out_features: 1000 };
+        assert_eq!(op.output_shape(input), TensorShape::new(8, 1000, 1, 1));
+        assert_eq!(op.params(input), 2048 * 1000 + 1000);
+        assert_eq!(op.flops(input), 2 * 8 * 2048 * 1000);
+    }
+
+    #[test]
+    fn pointwise_ops_preserve_shape() {
+        let input = TensorShape::new(2, 16, 10, 10);
+        assert_eq!(Op::BatchNorm.output_shape(input), input);
+        assert_eq!(Op::Relu.output_shape(input), input);
+        assert_eq!(Op::BatchNorm.params(input), 32);
+        assert_eq!(Op::Relu.params(input), 0);
+    }
+
+    #[test]
+    fn global_pool_collapses_spatial() {
+        let input = TensorShape::new(2, 16, 10, 12);
+        assert_eq!(
+            Op::GlobalAvgPool.output_shape(input),
+            TensorShape::new(2, 16, 1, 1)
+        );
+    }
+
+    #[test]
+    fn pooling_counts_kernel_flops() {
+        let input = TensorShape::new(1, 4, 8, 8);
+        let op = Op::MaxPool {
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        };
+        let out = op.output_shape(input);
+        assert_eq!(out, TensorShape::new(1, 4, 4, 4));
+        assert_eq!(op.flops(input), 4 * out.elements());
+    }
+}

@@ -1,0 +1,99 @@
+//! Seeded random chains for tests and benchmarks.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use madpipe_model::{Chain, Layer};
+
+/// Parameters of the random chain generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomChainConfig {
+    /// Number of layers.
+    pub layers: usize,
+    /// Forward time range (seconds); backward is 1–3× forward.
+    pub forward_range: (f64, f64),
+    /// Weight size range (bytes).
+    pub weight_range: (u64, u64),
+    /// Activation size range (bytes).
+    pub activation_range: (u64, u64),
+    /// When true, activation sizes decay geometrically along the chain —
+    /// the CNN-like profile (early layers large) that makes memory the
+    /// binding constraint for the first stages, as in the paper.
+    pub cnn_profile: bool,
+}
+
+impl Default for RandomChainConfig {
+    fn default() -> Self {
+        Self {
+            layers: 20,
+            forward_range: (0.5e-3, 20e-3),
+            weight_range: (1 << 16, 8 << 20),
+            activation_range: (1 << 20, 256 << 20),
+            cnn_profile: true,
+        }
+    }
+}
+
+/// Generate a random chain from `cfg` with the given `seed`.
+pub fn random_chain(cfg: &RandomChainConfig, seed: u64) -> Chain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.layers.max(1);
+    let mut layers = Vec::with_capacity(n);
+    for i in 0..n {
+        let forward = rng.gen_range(cfg.forward_range.0..=cfg.forward_range.1);
+        let backward = forward * rng.gen_range(1.0..=3.0);
+        let weights = rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1);
+        let act_base = rng.gen_range(cfg.activation_range.0..=cfg.activation_range.1);
+        let act = if cfg.cnn_profile {
+            // Geometric decay: halve the scale every ~quarter of the chain.
+            let decay = 0.5f64.powf(4.0 * i as f64 / n as f64);
+            ((act_base as f64 * decay) as u64).max(1)
+        } else {
+            act_base
+        };
+        layers.push(Layer::new(format!("rand{i}"), forward, backward, weights, act));
+    }
+    let input = layers[0].activation_bytes;
+    Chain::new(format!("random-{seed}"), input, layers).expect("generated layers are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let cfg = RandomChainConfig::default();
+        let a = random_chain(&cfg, 42);
+        let b = random_chain(&cfg, 42);
+        assert_eq!(a, b);
+        let c = random_chain(&cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cnn_profile_decays_activations() {
+        let cfg = RandomChainConfig {
+            layers: 40,
+            ..Default::default()
+        };
+        let chain = random_chain(&cfg, 7);
+        let first_quarter: u64 = (0..10).map(|i| chain.layer(i).activation_bytes).sum();
+        let last_quarter: u64 = (30..40).map(|i| chain.layer(i).activation_bytes).sum();
+        assert!(first_quarter > 2 * last_quarter);
+    }
+
+    #[test]
+    fn respects_layer_count_and_positivity() {
+        let cfg = RandomChainConfig {
+            layers: 3,
+            ..Default::default()
+        };
+        let chain = random_chain(&cfg, 0);
+        assert_eq!(chain.len(), 3);
+        for l in chain.layers() {
+            assert!(l.forward_time > 0.0);
+            assert!(l.backward_time >= l.forward_time);
+        }
+    }
+}

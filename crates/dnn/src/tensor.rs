@@ -1,0 +1,88 @@
+//! Tensor shapes (NCHW, fp32).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element (fp32 training, as in the paper's profiling).
+pub const ELEM_BYTES: u64 = 4;
+
+/// A 4-D activation tensor shape in NCHW layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Batch size `N`.
+    pub n: u64,
+    /// Channels `C`.
+    pub c: u64,
+    /// Height `H`.
+    pub h: u64,
+    /// Width `W`.
+    pub w: u64,
+}
+
+impl TensorShape {
+    /// Construct a shape.
+    pub fn new(n: u64, c: u64, h: u64, w: u64) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// RGB input images (`C = 3`).
+    pub fn image(batch: u64, height: u64, width: u64) -> Self {
+        Self::new(batch, 3, height, width)
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> u64 {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Size in bytes at fp32.
+    pub fn bytes(&self) -> u64 {
+        self.elements() * ELEM_BYTES
+    }
+
+    /// Spatial size after a `k×k` kernel with stride `s` and padding `p`:
+    /// `⌊(x + 2p − k)/s⌋ + 1` on both dimensions.
+    pub fn conv_spatial(&self, k: u64, s: u64, p: u64) -> (u64, u64) {
+        let f = |x: u64| {
+            debug_assert!(x + 2 * p >= k, "kernel larger than padded input");
+            (x + 2 * p - k) / s + 1
+        };
+        (f(self.h), f(self.w))
+    }
+
+    /// Same shape with different channel count.
+    pub fn with_channels(&self, c: u64) -> Self {
+        Self { c, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_are_four_per_element() {
+        let s = TensorShape::new(8, 3, 1000, 1000);
+        assert_eq!(s.elements(), 24_000_000);
+        assert_eq!(s.bytes(), 96_000_000);
+    }
+
+    #[test]
+    fn conv_spatial_matches_torch_convention() {
+        let s = TensorShape::new(1, 3, 224, 224);
+        // conv 7×7 stride 2 pad 3 → 112
+        assert_eq!(s.conv_spatial(7, 2, 3), (112, 112));
+        // maxpool 3×3 stride 2 pad 1 on 112 → 56
+        let t = TensorShape::new(1, 64, 112, 112);
+        assert_eq!(t.conv_spatial(3, 2, 1), (56, 56));
+        // 1×1 stride 1 → identity
+        assert_eq!(t.conv_spatial(1, 1, 0), (112, 112));
+    }
+
+    #[test]
+    fn odd_sizes_floor() {
+        let s = TensorShape::new(1, 1, 1000, 1000);
+        assert_eq!(s.conv_spatial(7, 2, 3), (500, 500));
+        let t = TensorShape::new(1, 1, 125, 125);
+        assert_eq!(t.conv_spatial(3, 2, 1), (63, 63));
+    }
+}

@@ -1,0 +1,278 @@
+//! The linearized DNN chain and its cost/memory accessors.
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::layer::Layer;
+
+/// A linearized DNN: a chain of `L` layers plus the size of the network
+/// input (the paper's `a^{(0)}`, the tensor consumed by layer 1).
+///
+/// All algorithmic crates query costs through this type; prefix sums are
+/// precomputed so that `U(k,l)`, weights and stored-activation sums over
+/// any stage are O(1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chain {
+    name: String,
+    /// Size in bytes of the input tensor of the whole network (`a^{(0)}`).
+    input_bytes: u64,
+    layers: Vec<Layer>,
+    /// `fwd_prefix[i]` = Σ_{j<i} u_F[j].
+    #[serde(skip)]
+    fwd_prefix: Vec<f64>,
+    /// `bwd_prefix[i]` = Σ_{j<i} u_B[j].
+    #[serde(skip)]
+    bwd_prefix: Vec<f64>,
+    /// `weight_prefix[i]` = Σ_{j<i} W[j].
+    #[serde(skip)]
+    weight_prefix: Vec<u64>,
+    /// `stored_prefix[i]` = Σ_{j<i} a_in(j) — inputs of each layer, the
+    /// paper's `Σ a_{i-1}`.
+    #[serde(skip)]
+    stored_prefix: Vec<u64>,
+}
+
+impl Chain {
+    /// Build a chain, validating every layer.
+    pub fn new(
+        name: impl Into<String>,
+        input_bytes: u64,
+        layers: Vec<Layer>,
+    ) -> Result<Self, ModelError> {
+        if layers.is_empty() {
+            return Err(ModelError::EmptyChain);
+        }
+        for (index, l) in layers.iter().enumerate() {
+            if !l.is_well_formed() {
+                return Err(ModelError::MalformedLayer { index });
+            }
+        }
+        let mut chain = Self {
+            name: name.into(),
+            input_bytes,
+            layers,
+            fwd_prefix: Vec::new(),
+            bwd_prefix: Vec::new(),
+            weight_prefix: Vec::new(),
+            stored_prefix: Vec::new(),
+        };
+        chain.rebuild_prefixes();
+        Ok(chain)
+    }
+
+    /// Recompute the prefix sums (needed after deserialization, which
+    /// skips them).
+    pub fn rebuild_prefixes(&mut self) {
+        let n = self.layers.len();
+        self.fwd_prefix = Vec::with_capacity(n + 1);
+        self.bwd_prefix = Vec::with_capacity(n + 1);
+        self.weight_prefix = Vec::with_capacity(n + 1);
+        self.stored_prefix = Vec::with_capacity(n + 1);
+        self.fwd_prefix.push(0.0);
+        self.bwd_prefix.push(0.0);
+        self.weight_prefix.push(0);
+        self.stored_prefix.push(0);
+        for i in 0..n {
+            let l = &self.layers[i];
+            self.fwd_prefix.push(self.fwd_prefix[i] + l.forward_time);
+            self.bwd_prefix.push(self.bwd_prefix[i] + l.backward_time);
+            self.weight_prefix.push(self.weight_prefix[i] + l.weight_bytes);
+            self.stored_prefix.push(
+                self.stored_prefix[i] + self.activation_in(i) + self.layers[i].internal_stored_bytes,
+            );
+        }
+    }
+
+    /// Chain name (network identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of layers `L`.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True iff the chain has no layers (never true for a validated chain).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers as a slice.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Layer at 0-based index `i`.
+    pub fn layer(&self, i: usize) -> &Layer {
+        &self.layers[i]
+    }
+
+    /// Size of the network input tensor `a^{(0)}`.
+    pub fn input_bytes(&self) -> u64 {
+        self.input_bytes
+    }
+
+    /// Input activation of layer `i` (0-based): the paper's `a_{i-1}`
+    /// with `a_0` = network input.
+    pub fn activation_in(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.input_bytes
+        } else {
+            self.layers[i - 1].activation_bytes
+        }
+    }
+
+    /// Output activation of layer `i` (0-based): the paper's `a_i`.
+    pub fn activation_out(&self, i: usize) -> u64 {
+        self.layers[i].activation_bytes
+    }
+
+    /// Total forward time over `range` (0-based, half-open).
+    pub fn forward_time(&self, range: Range<usize>) -> f64 {
+        self.fwd_prefix[range.end] - self.fwd_prefix[range.start]
+    }
+
+    /// Total backward time over `range`.
+    pub fn backward_time(&self, range: Range<usize>) -> f64 {
+        self.bwd_prefix[range.end] - self.bwd_prefix[range.start]
+    }
+
+    /// The paper's `U(k,l)` — total compute (forward + backward) time of
+    /// the layers in `range`.
+    pub fn compute_time(&self, range: Range<usize>) -> f64 {
+        self.forward_time(range.clone()) + self.backward_time(range)
+    }
+
+    /// Total compute time of the whole chain, `U(1,L)` — the sequential
+    /// execution time used as the speedup baseline in Figure 8.
+    pub fn total_compute_time(&self) -> f64 {
+        self.compute_time(0..self.len())
+    }
+
+    /// Sum of parameter-weight bytes over `range` (Σ W_i, *not* tripled).
+    pub fn weight_bytes(&self, range: Range<usize>) -> u64 {
+        self.weight_prefix[range.end] - self.weight_prefix[range.start]
+    }
+
+    /// Stored-activation bytes of a stage covering `range`: the paper's
+    /// `ā_s = Σ_{i∈s} a_{i-1}` — one copy of the input of every layer of
+    /// the stage, which is what one in-flight mini-batch pins in memory
+    /// (plus any internal stored bytes of grouped layers).
+    pub fn stored_activation_bytes(&self, range: Range<usize>) -> u64 {
+        self.stored_prefix[range.end] - self.stored_prefix[range.start]
+    }
+
+    /// The paper's stage memory estimate `M(k, l, g)` for layers `range`
+    /// kept with `g` in-flight activations:
+    ///
+    /// `Σ_{i∈range} (3·W_i + g·a_{i-1})  +  2·(a_in + a_out)`
+    ///
+    /// where the `2·a` communication buffers are only counted on sides of
+    /// the stage that actually cut the chain (dropped at `k = 0` and
+    /// `l = L` exactly as in the paper).
+    pub fn stage_memory(&self, range: Range<usize>, g: u64) -> u64 {
+        let weights = 3 * self.weight_bytes(range.clone());
+        let activations = g * self.stored_activation_bytes(range.clone());
+        let mut buffers = 0;
+        if range.start > 0 {
+            buffers += 2 * self.activation_in(range.start);
+        }
+        if range.end < self.len() {
+            buffers += 2 * self.activation_out(range.end - 1);
+        }
+        weights + activations + buffers
+    }
+
+    /// Largest single-layer compute time — a lower bound on any period.
+    pub fn max_layer_compute_time(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(Layer::compute_time)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> Chain {
+        // input = 100; layers with distinct costs to catch index slips.
+        Chain::new(
+            "t",
+            100,
+            vec![
+                Layer::new("l0", 1.0, 2.0, 10, 200),
+                Layer::new("l1", 3.0, 4.0, 20, 300),
+                Layer::new("l2", 5.0, 6.0, 30, 400),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert_eq!(Chain::new("e", 0, vec![]), Err(ModelError::EmptyChain));
+        let bad = vec![Layer::new("x", f64::NAN, 0.0, 0, 0)];
+        assert_eq!(
+            Chain::new("b", 0, bad),
+            Err(ModelError::MalformedLayer { index: 0 })
+        );
+    }
+
+    #[test]
+    fn activation_indexing_matches_paper() {
+        let c = chain3();
+        assert_eq!(c.activation_in(0), 100); // a_0 = input
+        assert_eq!(c.activation_in(1), 200); // a_1 = output of layer 0
+        assert_eq!(c.activation_out(0), 200);
+        assert_eq!(c.activation_out(2), 400);
+    }
+
+    #[test]
+    fn compute_time_is_u_k_l() {
+        let c = chain3();
+        assert_eq!(c.compute_time(0..3), 21.0);
+        assert_eq!(c.compute_time(1..2), 7.0);
+        assert_eq!(c.compute_time(1..1), 0.0);
+        assert_eq!(c.total_compute_time(), 21.0);
+    }
+
+    #[test]
+    fn stored_activation_bytes_sums_layer_inputs() {
+        let c = chain3();
+        // ā over all layers = a_0 + a_1 + a_2 = 100 + 200 + 300
+        assert_eq!(c.stored_activation_bytes(0..3), 600);
+        assert_eq!(c.stored_activation_bytes(2..3), 300);
+    }
+
+    #[test]
+    fn stage_memory_counts_buffers_only_at_cuts() {
+        let c = chain3();
+        // middle stage [1,2): 3*20 + g*200 + 2*(200 + 300)
+        assert_eq!(c.stage_memory(1..2, 1), 60 + 200 + 1000);
+        assert_eq!(c.stage_memory(1..2, 3), 60 + 600 + 1000);
+        // first stage [0,1): no input buffer, output buffer 2*200
+        assert_eq!(c.stage_memory(0..1, 1), 30 + 100 + 400);
+        // whole chain: no buffers at all
+        assert_eq!(c.stage_memory(0..3, 2), 3 * 60 + 2 * 600);
+    }
+
+    #[test]
+    fn max_layer_compute_time_is_max() {
+        assert_eq!(chain3().max_layer_compute_time(), 11.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_then_rebuild() {
+        let c = chain3();
+        let json = serde_json::to_string(&c).unwrap();
+        let mut back: Chain = serde_json::from_str(&json).unwrap();
+        back.rebuild_prefixes();
+        assert_eq!(back.compute_time(0..3), c.compute_time(0..3));
+        assert_eq!(back.stored_activation_bytes(0..3), 600);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type shared by the model crate.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A chain must contain at least one layer.
+    EmptyChain,
+    /// A layer carried a NaN/infinite/negative cost.
+    MalformedLayer { index: usize },
+    /// A partition/allocation does not cover `0..L` with contiguous,
+    /// in-order, non-empty stages.
+    BadCover { detail: String },
+    /// A stage references a GPU outside `0..P`.
+    GpuOutOfRange { gpu: usize, n_gpus: usize },
+    /// A platform parameter is non-positive or non-finite.
+    BadPlatform { detail: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyChain => write!(f, "chain must contain at least one layer"),
+            ModelError::MalformedLayer { index } => {
+                write!(f, "layer {index} has NaN/infinite/negative cost")
+            }
+            ModelError::BadCover { detail } => write!(f, "stages do not cover the chain: {detail}"),
+            ModelError::GpuOutOfRange { gpu, n_gpus } => {
+                write!(f, "stage assigned to GPU {gpu} but platform has {n_gpus} GPUs")
+            }
+            ModelError::BadPlatform { detail } => write!(f, "invalid platform: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::GpuOutOfRange { gpu: 9, n_gpus: 4 };
+        assert!(e.to_string().contains("GPU 9"));
+        assert!(e.to_string().contains("4 GPUs"));
+    }
+}

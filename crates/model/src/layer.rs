@@ -1,0 +1,111 @@
+//! A single layer of a linearized DNN.
+
+use serde::{Deserialize, Serialize};
+
+/// One layer of the linearized chain (the paper's layer `l`).
+///
+/// A layer bundles the profiled (or synthesized) costs of one node of the
+/// chain of Figure 1: the forward operation `F_l`, the backward operation
+/// `B_l`, its parameter weights `W_l` and the activation tensor `a^{(l)}`
+/// that `F_l` outputs. The gradient `b^{(l)}` consumed by `B_l` has the
+/// same size as `a^{(l)}` (each gradient matches the activation it is
+/// taken with respect to), so it is not stored separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable identifier (e.g. `"conv2_block1"`).
+    pub name: String,
+    /// Duration of the forward task `F_l` for one mini-batch, in seconds
+    /// (the paper's `u_{F_l}`).
+    pub forward_time: f64,
+    /// Duration of the backward task `B_l` for one mini-batch, in seconds
+    /// (the paper's `u_{B_l}`).
+    pub backward_time: f64,
+    /// Size of the parameter weights `W_l`, in bytes.
+    pub weight_bytes: u64,
+    /// Size of the output activation tensor `a^{(l)}` for one mini-batch,
+    /// in bytes.
+    pub activation_bytes: u64,
+    /// Extra bytes pinned per live mini-batch *inside* the layer, beyond
+    /// its input activation — non-zero only for layers produced by
+    /// grouping several original layers (see `madpipe_dnn::coarsen`):
+    /// the inputs of the interior layers stay resident until the
+    /// grouped backward runs, but never cross a cut.
+    #[serde(default)]
+    pub internal_stored_bytes: u64,
+}
+
+impl Layer {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        forward_time: f64,
+        backward_time: f64,
+        weight_bytes: u64,
+        activation_bytes: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            forward_time,
+            backward_time,
+            weight_bytes,
+            activation_bytes,
+            internal_stored_bytes: 0,
+        }
+    }
+
+    /// Builder: set the internal stored bytes of a grouped layer.
+    pub fn with_internal_stored(mut self, bytes: u64) -> Self {
+        self.internal_stored_bytes = bytes;
+        self
+    }
+
+    /// Total compute time of the layer (`u_{F_l} + u_{B_l}`).
+    pub fn compute_time(&self) -> f64 {
+        self.forward_time + self.backward_time
+    }
+
+    /// Memory footprint of hosting this layer's parameters: `3·W_l`
+    /// (two weight versions plus one accumulated gradient, following the
+    /// PipeDream-2BW convention adopted in §3 of the paper).
+    pub fn weight_footprint(&self) -> u64 {
+        3 * self.weight_bytes
+    }
+
+    /// True when all costs are finite and non-negative — the validity
+    /// requirement enforced by [`crate::Chain::new`].
+    pub fn is_well_formed(&self) -> bool {
+        self.forward_time.is_finite()
+            && self.backward_time.is_finite()
+            && self.forward_time >= 0.0
+            && self.backward_time >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_time_sums_forward_and_backward() {
+        let l = Layer::new("l", 1.5, 3.0, 10, 20);
+        assert_eq!(l.compute_time(), 4.5);
+    }
+
+    #[test]
+    fn weight_footprint_is_three_copies() {
+        let l = Layer::new("l", 0.0, 0.0, 7, 0);
+        assert_eq!(l.weight_footprint(), 21);
+    }
+
+    #[test]
+    fn well_formedness_rejects_nan_and_negative() {
+        let mut l = Layer::new("l", 1.0, 1.0, 0, 0);
+        assert!(l.is_well_formed());
+        l.forward_time = f64::NAN;
+        assert!(!l.is_well_formed());
+        l.forward_time = -1.0;
+        assert!(!l.is_well_formed());
+        l.forward_time = f64::INFINITY;
+        assert!(!l.is_well_formed());
+    }
+}

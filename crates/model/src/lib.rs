@@ -1,0 +1,37 @@
+//! Shared model types for the MadPipe reproduction.
+//!
+//! This crate defines the *input model* used by every algorithm in the
+//! workspace: a linearized DNN ([`Chain`] of [`Layer`]s), the execution
+//! [`Platform`] (`P` GPUs with memory capacity `M` and pairwise links of
+//! bandwidth `β`), and the combinatorial objects the algorithms exchange —
+//! contiguous [`Partition`]s and (possibly non-contiguous) [`Allocation`]s
+//! of stages onto GPUs.
+//!
+//! Conventions (kept uniform across the workspace):
+//!
+//! * layers are 0-based half-open ranges `[k, l)` over `0..L`, while the
+//!   paper uses 1-based inclusive `k..l`; `Chain::activation_in(k)` is the
+//!   paper's `a_{k-1}` (with `a_0` = the network input);
+//! * durations are `f64` seconds, sizes are `u64` bytes, bandwidth is
+//!   `f64` bytes/second;
+//! * the memory model follows §3 of the paper: `3·W_l` per hosted layer
+//!   (two weight versions + one accumulated gradient), `g · a_{l-1}` for
+//!   `g` in-flight activations, and `2·a` of communication buffer on each
+//!   side of an inter-GPU cut.
+
+pub mod allocation;
+pub mod chain;
+pub mod error;
+pub mod layer;
+pub mod partition;
+pub mod platform;
+pub mod units;
+pub mod util;
+
+pub use allocation::{Allocation, Stage};
+pub use chain::Chain;
+pub use error::ModelError;
+pub use layer::Layer;
+pub use partition::Partition;
+pub use platform::Platform;
+pub use units::{Resource, Unit, UnitKind, UnitSequence};

@@ -1,0 +1,213 @@
+//! Contiguous partitionings of the chain into stages.
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::chain::Chain;
+use crate::error::ModelError;
+use crate::platform::Platform;
+
+/// A *partitioning* of the chain: an ordered collection of stages, each a
+/// contiguous, non-empty set of layers, jointly covering `0..L`.
+///
+/// A partition says nothing about placement; see
+/// [`crate::Allocation`] for stage→GPU assignments. A partition with at
+/// most `P` stages is *contiguous* in the paper's sense (one stage per
+/// GPU, in order).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    stages: Vec<Range<usize>>,
+}
+
+impl Partition {
+    /// Build a partition and verify it covers `0..n_layers`.
+    pub fn new(stages: Vec<Range<usize>>, n_layers: usize) -> Result<Self, ModelError> {
+        if stages.is_empty() {
+            return Err(ModelError::BadCover {
+                detail: "no stages".into(),
+            });
+        }
+        let mut cursor = 0usize;
+        for (i, s) in stages.iter().enumerate() {
+            if s.start != cursor {
+                return Err(ModelError::BadCover {
+                    detail: format!("stage {i} starts at {} but previous ended at {cursor}", s.start),
+                });
+            }
+            if s.end <= s.start {
+                return Err(ModelError::BadCover {
+                    detail: format!("stage {i} is empty ({}..{})", s.start, s.end),
+                });
+            }
+            cursor = s.end;
+        }
+        if cursor != n_layers {
+            return Err(ModelError::BadCover {
+                detail: format!("stages end at {cursor}, chain has {n_layers} layers"),
+            });
+        }
+        Ok(Self { stages })
+    }
+
+    /// Partition from cut points: `cuts` are the layer indices where a new
+    /// stage begins (excluding 0). E.g. `from_cuts(&[2, 5], 7)` yields
+    /// stages `[0,2) [2,5) [5,7)`.
+    pub fn from_cuts(cuts: &[usize], n_layers: usize) -> Result<Self, ModelError> {
+        let mut stages = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for &c in cuts {
+            stages.push(start..c);
+            start = c;
+        }
+        stages.push(start..n_layers);
+        Self::new(stages, n_layers)
+    }
+
+    /// The whole chain as a single stage.
+    pub fn single(n_layers: usize) -> Self {
+        Self {
+            stages: vec![0..n_layers],
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True iff there are no stages (never true for a validated partition).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stages, in chain order.
+    pub fn stages(&self) -> &[Range<usize>] {
+        &self.stages
+    }
+
+    /// Stage at index `i`.
+    pub fn stage(&self, i: usize) -> Range<usize> {
+        self.stages[i].clone()
+    }
+
+    /// Cut points (start of every stage except the first).
+    pub fn cuts(&self) -> Vec<usize> {
+        self.stages.iter().skip(1).map(|s| s.start).collect()
+    }
+
+    /// Maximum stage compute load `max_s U(s)` — with a cut-free schedule
+    /// this lower-bounds the period of any schedule of this partition.
+    pub fn max_stage_compute(&self, chain: &Chain) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| chain.compute_time(s.clone()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum per-resource load when each stage sits on its own GPU:
+    /// the max over stage compute times and inter-stage cut times. This
+    /// is the *period of the allocation* in the paper's sense (the period
+    /// achievable if memory constraints were ignored).
+    pub fn load_bound(&self, chain: &Chain, platform: &Platform) -> f64 {
+        let compute = self.max_stage_compute(chain);
+        let comm = self
+            .stages
+            .iter()
+            .skip(1)
+            .map(|s| platform.cut_time(chain, s.start))
+            .fold(0.0, f64::max);
+        compute.max(comm)
+    }
+
+    /// Enumerate all partitions of `n_layers` layers into exactly
+    /// `n_stages` stages (for brute-force testing on small chains).
+    pub fn enumerate(n_layers: usize, n_stages: usize) -> Vec<Partition> {
+        let mut out = Vec::new();
+        if n_stages == 0 || n_stages > n_layers {
+            return out;
+        }
+        let mut cuts = Vec::with_capacity(n_stages - 1);
+        fn rec(
+            next: usize,
+            remaining: usize,
+            n_layers: usize,
+            cuts: &mut Vec<usize>,
+            out: &mut Vec<Partition>,
+        ) {
+            if remaining == 0 {
+                out.push(Partition::from_cuts(cuts, n_layers).expect("valid by construction"));
+                return;
+            }
+            // need `remaining` more cuts strictly increasing, each < n_layers
+            for c in next..=(n_layers - remaining) {
+                cuts.push(c);
+                rec(c + 1, remaining - 1, n_layers, cuts, out);
+                cuts.pop();
+            }
+        }
+        rec(1, n_stages - 1, n_layers, &mut cuts, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+
+    fn chain4() -> Chain {
+        Chain::new(
+            "t",
+            10,
+            vec![
+                Layer::new("a", 1.0, 1.0, 0, 10),
+                Layer::new("b", 2.0, 2.0, 0, 20),
+                Layer::new("c", 3.0, 3.0, 0, 30),
+                Layer::new("d", 4.0, 4.0, 0, 40),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_catches_gaps_overlaps_and_short_cover() {
+        assert!(Partition::new(vec![0..2, 2..4], 4).is_ok());
+        assert!(Partition::new(vec![0..2, 3..4], 4).is_err()); // gap
+        assert!(Partition::new(vec![0..3, 2..4], 4).is_err()); // overlap
+        assert!(Partition::new(vec![0..2], 4).is_err()); // short
+        assert!(Partition::new(vec![0..0, 0..4], 4).is_err()); // empty stage
+        assert!(Partition::new(vec![], 4).is_err());
+    }
+
+    #[test]
+    fn from_cuts_builds_expected_stages() {
+        let p = Partition::from_cuts(&[2, 3], 4).unwrap();
+        assert_eq!(p.stages(), &[0..2, 2..3, 3..4]);
+        assert_eq!(p.cuts(), vec![2, 3]);
+    }
+
+    #[test]
+    fn load_bound_takes_comm_into_account() {
+        let c = chain4();
+        let slow_net = Platform::new(2, 1 << 30, 1.0).unwrap();
+        let p = Partition::from_cuts(&[2], 4).unwrap();
+        // compute loads: 6 and 14; cut before layer 2 carries a_1=20 → 40s
+        assert_eq!(p.max_stage_compute(&c), 14.0);
+        assert_eq!(p.load_bound(&c, &slow_net), 40.0);
+    }
+
+    #[test]
+    fn enumerate_counts_binomials() {
+        // C(3,1) = 3 ways to split 4 layers into 2 stages
+        assert_eq!(Partition::enumerate(4, 2).len(), 3);
+        // C(3,2) = 3 ways into 3 stages
+        assert_eq!(Partition::enumerate(4, 3).len(), 3);
+        assert_eq!(Partition::enumerate(4, 4).len(), 1);
+        assert_eq!(Partition::enumerate(4, 5).len(), 0);
+        assert_eq!(Partition::enumerate(4, 0).len(), 0);
+        for p in Partition::enumerate(5, 3) {
+            assert_eq!(p.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The execution platform: `P` GPUs, memory capacity `M`, link bandwidth `β`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chain::Chain;
+use crate::error::ModelError;
+
+/// Number of bytes in one gibibyte — experiment grids are specified in GB.
+pub const GIB: u64 = 1 << 30;
+
+/// The homogeneous platform of §3: `P` identical GPUs with memory `M`,
+/// every pair connected by a dedicated full-duplex-free link of capacity
+/// `β` (as in PipeDream, a single exclusive channel per GPU pair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Number of GPUs `P`.
+    pub n_gpus: usize,
+    /// Memory capacity `M` of each GPU, in bytes.
+    pub memory_bytes: u64,
+    /// Link bandwidth `β`, in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl Platform {
+    /// Build and validate a platform.
+    pub fn new(n_gpus: usize, memory_bytes: u64, bandwidth: f64) -> Result<Self, ModelError> {
+        if n_gpus == 0 {
+            return Err(ModelError::BadPlatform {
+                detail: "n_gpus must be at least 1".into(),
+            });
+        }
+        if memory_bytes == 0 {
+            return Err(ModelError::BadPlatform {
+                detail: "memory_bytes must be positive".into(),
+            });
+        }
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(ModelError::BadPlatform {
+                detail: format!("bandwidth must be positive and finite, got {bandwidth}"),
+            });
+        }
+        Ok(Self {
+            n_gpus,
+            memory_bytes,
+            bandwidth,
+        })
+    }
+
+    /// Convenience constructor with memory in GB (GiB), matching the
+    /// paper's experiment grid (`M` = 3..16 GB, `β` = 12 or 24 GB/s).
+    pub fn gb(n_gpus: usize, memory_gb: u64, bandwidth_gb_per_s: f64) -> Result<Self, ModelError> {
+        Self::new(
+            n_gpus,
+            memory_gb * GIB,
+            bandwidth_gb_per_s * GIB as f64,
+        )
+    }
+
+    /// Time to transfer `bytes` over one link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+
+    /// The paper's `C(k)` for a cut *before* layer `k` (0-based): the total
+    /// per-batch link occupancy `2·a_{k-1}/β` — the forward activation
+    /// `a^{(k-1)}` plus the backward gradient `b^{(k-1)}` of equal size.
+    ///
+    /// `cut_time(chain, 0)` is 0 by convention (no cut before the first
+    /// layer), as is `cut_time(chain, L)`.
+    pub fn cut_time(&self, chain: &Chain, k: usize) -> f64 {
+        if k == 0 || k > chain.len() {
+            return 0.0;
+        }
+        if k == chain.len() {
+            return 0.0;
+        }
+        self.transfer_time(2 * chain.activation_in(k))
+    }
+
+    /// One-way transfer time of the tensor crossing the cut before layer
+    /// `k` (half of [`Platform::cut_time`]): used when scheduling the
+    /// forward and backward communications as separate operations.
+    pub fn one_way_cut_time(&self, chain: &Chain, k: usize) -> f64 {
+        self.cut_time(chain, k) / 2.0
+    }
+
+    /// Sum of all cut times `Σ_{k=1}^{L-1} C(k)` — used as the upper bound
+    /// initialization of Algorithm 1.
+    pub fn total_cut_time(&self, chain: &Chain) -> f64 {
+        (1..chain.len()).map(|k| self.cut_time(chain, k)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+
+    fn chain() -> Chain {
+        Chain::new(
+            "t",
+            100,
+            vec![
+                Layer::new("l0", 1.0, 1.0, 0, 200),
+                Layer::new("l1", 1.0, 1.0, 0, 300),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_platforms() {
+        assert!(Platform::new(0, 1, 1.0).is_err());
+        assert!(Platform::new(1, 0, 1.0).is_err());
+        assert!(Platform::new(1, 1, 0.0).is_err());
+        assert!(Platform::new(1, 1, f64::NAN).is_err());
+        assert!(Platform::new(2, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn gb_constructor_scales() {
+        let p = Platform::gb(4, 3, 12.0).unwrap();
+        assert_eq!(p.memory_bytes, 3 * GIB);
+        assert_eq!(p.bandwidth, 12.0 * GIB as f64);
+    }
+
+    #[test]
+    fn cut_time_uses_boundary_tensor() {
+        let p = Platform::new(2, 1 << 30, 100.0).unwrap();
+        let c = chain();
+        // cut before layer 1 carries a^{(0 based: out of layer 0)} = 200 bytes
+        assert_eq!(p.cut_time(&c, 1), 2.0 * 200.0 / 100.0);
+        assert_eq!(p.cut_time(&c, 0), 0.0);
+        assert_eq!(p.cut_time(&c, 2), 0.0); // after the last layer: no cut
+        assert_eq!(p.one_way_cut_time(&c, 1), 200.0 / 100.0);
+    }
+
+    #[test]
+    fn total_cut_time_sums_interior_cuts() {
+        let p = Platform::new(2, 1 << 30, 100.0).unwrap();
+        let c = chain();
+        assert_eq!(p.total_cut_time(&c), p.cut_time(&c, 1));
+    }
+}

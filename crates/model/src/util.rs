@@ -1,0 +1,90 @@
+//! Floating-point comparison helpers.
+//!
+//! Periods, start times and durations are `f64` seconds; schedule
+//! feasibility checks compare sums of such values and must tolerate
+//! rounding noise. All crates in the workspace use the helpers below with
+//! the shared [`EPS`] so that "fits within the period" means the same
+//! thing everywhere.
+
+/// Absolute tolerance used by all schedule feasibility comparisons.
+///
+/// Model times are O(1e-3 .. 1e1) seconds, so 1e-9 is ~6 orders of
+/// magnitude below the smallest meaningful duration while well above
+/// accumulated f64 rounding error for the chain lengths we handle.
+pub const EPS: f64 = 1e-9;
+
+/// `a ≤ b` up to [`EPS`].
+#[inline]
+pub fn fle(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// `a < b` by more than [`EPS`].
+#[inline]
+pub fn flt(a: f64, b: f64) -> bool {
+    a < b - EPS
+}
+
+/// `a ≥ b` up to [`EPS`].
+#[inline]
+pub fn fge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// `a == b` up to [`EPS`].
+#[inline]
+pub fn feq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// Ceiling of `x / y` as an integer, robust to `x` being within [`EPS`]
+/// of an exact multiple of `y` (in which case the exact ratio is used).
+///
+/// This is the `⌈·/T̂⌉` used throughout §4.2 of the paper; without the
+/// tolerance, `ceil(3.0000000001/1.0)` would return 4 groups instead of 3
+/// and inflate every memory estimate.
+#[inline]
+pub fn ceil_div(x: f64, y: f64) -> u64 {
+    debug_assert!(y > 0.0, "ceil_div requires a positive divisor");
+    if x <= EPS {
+        return 0;
+    }
+    let q = x / y;
+    let r = q.round();
+    if (q - r).abs() <= EPS / y {
+        r as u64
+    } else {
+        q.ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_tolerate_eps() {
+        assert!(fle(1.0 + 1e-12, 1.0));
+        assert!(!fle(1.0 + 1e-6, 1.0));
+        assert!(flt(0.9, 1.0));
+        assert!(!flt(1.0 - 1e-12, 1.0));
+        assert!(fge(1.0 - 1e-12, 1.0));
+        assert!(feq(2.0, 2.0 + 1e-10));
+    }
+
+    #[test]
+    fn ceil_div_handles_near_multiples() {
+        assert_eq!(ceil_div(3.0, 1.0), 3);
+        assert_eq!(ceil_div(3.0 + 1e-12, 1.0), 3);
+        assert_eq!(ceil_div(3.1, 1.0), 4);
+        assert_eq!(ceil_div(0.0, 1.0), 0);
+        assert_eq!(ceil_div(-1.0, 1.0), 0);
+        assert_eq!(ceil_div(1e-12, 1.0), 0);
+    }
+
+    #[test]
+    fn ceil_div_scales_with_divisor() {
+        assert_eq!(ceil_div(10.0, 2.5), 4);
+        assert_eq!(ceil_div(10.1, 2.5), 5);
+    }
+}

@@ -1,0 +1,110 @@
+//! The full PipeDream baseline pipeline: partitioning DP + 1F1B* repair.
+
+use madpipe_model::{Allocation, Chain, Platform};
+use madpipe_schedule::{best_contiguous_period, BestPeriod, ScheduleError};
+
+use crate::dp::{pipedream_partition, PartitionOutcome};
+
+/// Why the baseline failed to produce a runnable plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The chain is empty (degenerate input).
+    EmptyChain,
+    /// The DP's partition cannot be scheduled in memory at any period.
+    Unschedulable(ScheduleError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyChain => write!(f, "empty chain"),
+            PlanError::Unschedulable(e) => write!(f, "partition unschedulable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A complete PipeDream plan: the DP's partition with its optimistic
+/// prediction, plus the valid 1F1B* schedule (the paper's `DP+1F1B*`).
+#[derive(Debug, Clone)]
+pub struct PipeDreamPlan {
+    /// The partitioning DP outcome (dashed line of Figure 6).
+    pub outcome: PartitionOutcome,
+    /// The stage → GPU placement (stage `i` on GPU `i`).
+    pub allocation: Allocation,
+    /// The valid schedule and its exact period (solid line of Figure 6).
+    pub schedule: BestPeriod,
+}
+
+impl PipeDreamPlan {
+    /// Achieved (valid) period.
+    pub fn period(&self) -> f64 {
+        self.schedule.period
+    }
+
+    /// How optimistic the DP was: achieved period / predicted period.
+    pub fn optimism_ratio(&self) -> f64 {
+        self.schedule.period / self.outcome.predicted_period
+    }
+}
+
+/// Run the whole baseline: partition with PipeDream's DP, then compute
+/// the optimal valid 1F1B* schedule of that partition.
+pub fn pipedream_plan(chain: &Chain, platform: &Platform) -> Result<PipeDreamPlan, PlanError> {
+    let outcome = pipedream_partition(chain, platform).ok_or(PlanError::EmptyChain)?;
+    let allocation = Allocation::contiguous(&outcome.partition, platform.n_gpus)
+        .expect("DP emits at most P stages");
+    let schedule =
+        best_contiguous_period(chain, platform, &allocation).map_err(PlanError::Unschedulable)?;
+    Ok(PipeDreamPlan {
+        outcome,
+        allocation,
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madpipe_model::Layer;
+
+    fn chain(acts: &[u64]) -> Chain {
+        let layers = acts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Layer::new(format!("l{i}"), 1.0, 1.0, 0, a))
+            .collect();
+        Chain::new("t", acts[0], layers).unwrap()
+    }
+
+    #[test]
+    fn plan_is_valid_and_at_least_the_prediction() {
+        let c = chain(&[100, 100, 100, 100, 100, 100]);
+        let platform = Platform::new(3, 1 << 20, 1e6).unwrap();
+        let plan = pipedream_plan(&c, &platform).unwrap();
+        assert!(plan.period() + 1e-9 >= plan.outcome.predicted_period);
+        assert!(plan.optimism_ratio() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn tight_memory_inflates_the_achieved_period() {
+        // Large early activations: the DP's estimate (≤ P versions)
+        // accepts a split whose true 1F1B* schedule needs more memory,
+        // forcing a period well above the prediction.
+        let c = chain(&[40_000, 40_000, 10, 10, 10, 10, 10, 10]);
+        let roomy = Platform::new(4, 1 << 30, 1e5).unwrap();
+        let tight = Platform::new(4, 300_000, 1e5).unwrap();
+        let roomy_plan = pipedream_plan(&c, &roomy).unwrap();
+        let tight_plan = pipedream_plan(&c, &tight).unwrap();
+        assert!(tight_plan.period() >= roomy_plan.period() - 1e-9);
+    }
+
+    #[test]
+    fn unschedulable_partition_is_reported() {
+        let c = chain(&[1_000_000, 1_000_000]);
+        let platform = Platform::new(2, 1_000, 1e6).unwrap();
+        let err = pipedream_plan(&c, &platform).unwrap_err();
+        assert!(matches!(err, PlanError::Unschedulable(_)));
+    }
+}

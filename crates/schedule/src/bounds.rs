@@ -1,0 +1,91 @@
+//! Allocation-independent lower bounds and feasibility necessities.
+//!
+//! Useful as planner sanity anchors: every valid periodic schedule of
+//! *any* allocation obeys these, so every planner result can be checked
+//! against them (the workspace test suites do).
+
+use madpipe_model::{Chain, Platform};
+
+/// Lower bound on the period of any schedule on `platform`:
+///
+/// * the total compute `U(1,L)` spread perfectly over `P` GPUs, and
+/// * the busiest single layer, which cannot be split.
+pub fn period_lower_bound(chain: &Chain, platform: &Platform) -> f64 {
+    let balance = chain.total_compute_time() / platform.n_gpus as f64;
+    balance.max(chain.max_layer_compute_time())
+}
+
+/// Aggregate memory any execution needs at some instant, summed over all
+/// GPUs: three copies of every parameter plus at least one live copy of
+/// every stored activation (the moment right before the last backward
+/// of a batch starts, every layer's input of that batch is resident
+/// somewhere).
+pub fn aggregate_memory_required(chain: &Chain) -> u64 {
+    3 * chain.weight_bytes(0..chain.len()) + chain.stored_activation_bytes(0..chain.len())
+}
+
+/// Necessity check: when the platform's pooled memory cannot hold even
+/// [`aggregate_memory_required`], no allocation of any shape can train
+/// the chain — every planner must fail.
+pub fn trivially_infeasible(chain: &Chain, platform: &Platform) -> bool {
+    (platform.n_gpus as u64).saturating_mul(platform.memory_bytes) < aggregate_memory_required(chain)
+}
+
+/// Upper bound on the useful period: the fully sequential execution
+/// (one batch at a time through every layer and every potential cut).
+/// Any sane planner lands at or below this.
+pub fn period_upper_bound(chain: &Chain, platform: &Platform) -> f64 {
+    chain.total_compute_time() + platform.total_cut_time(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madpipe_model::Layer;
+
+    fn chain() -> Chain {
+        Chain::new(
+            "t",
+            100,
+            vec![
+                Layer::new("a", 1.0, 2.0, 10, 200),
+                Layer::new("b", 4.0, 3.0, 20, 300),
+                Layer::new("c", 1.0, 1.0, 30, 400),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn period_bound_takes_the_busiest_layer() {
+        let c = chain();
+        // U = 12; on 4 GPUs balance = 3, but layer b costs 7.
+        let p4 = Platform::new(4, 1 << 30, 1e9).unwrap();
+        assert_eq!(period_lower_bound(&c, &p4), 7.0);
+        // On 1 GPU the balance term dominates.
+        let p1 = Platform::new(1, 1 << 30, 1e9).unwrap();
+        assert_eq!(period_lower_bound(&c, &p1), 12.0);
+    }
+
+    #[test]
+    fn aggregate_memory_counts_weights_and_one_activation_copy() {
+        // 3·(10+20+30) + (100+200+300)
+        assert_eq!(aggregate_memory_required(&chain()), 180 + 600);
+    }
+
+    #[test]
+    fn trivial_infeasibility_threshold() {
+        let c = chain();
+        let tight = Platform::new(2, 389, 1e9).unwrap(); // 2·389 < 780
+        assert!(trivially_infeasible(&c, &tight));
+        let enough = Platform::new(2, 390, 1e9).unwrap();
+        assert!(!trivially_infeasible(&c, &enough));
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let c = chain();
+        let p = Platform::new(3, 1 << 30, 100.0).unwrap();
+        assert!(period_lower_bound(&c, &p) <= period_upper_bound(&c, &p));
+    }
+}

@@ -1,0 +1,535 @@
+//! Exact validity and memory checking of periodic patterns.
+//!
+//! A pattern is *valid* (§3) when the infinite schedule obtained by
+//! repeating it fulfills the dependencies of Figure 1, never runs two
+//! operations of the same resource at once, and fits in GPU memory at
+//! every instant. This module checks all three exactly:
+//!
+//! * **dependencies** — for an edge `o1 → o2` (same mini-batch), validity
+//!   is `t2 + h2·T ≥ t1 + h1·T + d1`;
+//! * **resource exclusivity** — modular non-overlap of `[t, t+d)`
+//!   intervals within the period, including ops that wrap around `T`;
+//! * **memory** — an event sweep over one steady-state period. A stage
+//!   whose forward completes at phase `φ_F` with offset `κ_F` (and
+//!   backward at `φ_B`, `κ_B`) holds
+//!   `κ_B − κ_F + [τ ≥ φ_F] − [τ ≥ φ_B]` live mini-batches at phase `τ`,
+//!   each pinning its stored activations `ā_s`; weights (`3W`) and
+//!   communication buffers (`2a` on both sides of every remote cut) are
+//!   static.
+
+use std::fmt;
+
+use madpipe_model::util::{feq, fge, fle};
+use madpipe_model::{Allocation, Chain, Platform, Resource, UnitKind, UnitSequence};
+
+use crate::pattern::{Dir, Op, Pattern};
+
+/// Why a pattern was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The pattern does not contain exactly one op per (unit, direction).
+    Incomplete,
+    /// An op's duration or resource disagrees with its unit.
+    OpMismatch { unit: usize, detail: String },
+    /// An op starts outside `[0, T)` or has a negative duration.
+    OpOutOfRange { unit: usize, dir: Dir },
+    /// A dependency edge is violated by `slack` seconds.
+    DependencyViolated {
+        from: (usize, Dir),
+        to: (usize, Dir),
+        slack: f64,
+    },
+    /// Two ops overlap on the same resource.
+    ResourceOverlap {
+        resource: Resource,
+        a: (usize, Dir),
+        b: (usize, Dir),
+    },
+    /// A resource accumulates more busy time than the period.
+    ResourceOverloaded {
+        resource: Resource,
+        load: f64,
+        period: f64,
+    },
+    /// A GPU's memory peak exceeds the platform limit.
+    MemoryExceeded { gpu: usize, peak: u64, limit: u64 },
+    /// The sweep found a negative live-batch count (backward completes
+    /// more often than forward) — an internally inconsistent pattern.
+    NegativeStored { unit: usize },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Incomplete => write!(f, "pattern missing ops"),
+            ScheduleError::OpMismatch { unit, detail } => {
+                write!(f, "op of unit {unit} mismatches its unit: {detail}")
+            }
+            ScheduleError::OpOutOfRange { unit, dir } => {
+                write!(f, "op ({unit}, {dir:?}) outside [0, T)")
+            }
+            ScheduleError::DependencyViolated { from, to, slack } => write!(
+                f,
+                "dependency {:?} -> {:?} violated by {slack:.3e}s",
+                from, to
+            ),
+            ScheduleError::ResourceOverlap { resource, a, b } => {
+                write!(f, "ops {:?} and {:?} overlap on {:?}", a, b, resource)
+            }
+            ScheduleError::ResourceOverloaded {
+                resource,
+                load,
+                period,
+            } => write!(f, "{resource:?} busy {load:.6}s > period {period:.6}s"),
+            ScheduleError::MemoryExceeded { gpu, peak, limit } => {
+                write!(f, "GPU {gpu} peak {peak} B exceeds limit {limit} B")
+            }
+            ScheduleError::NegativeStored { unit } => {
+                write!(f, "unit {unit} would store a negative number of batches")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Step function of a GPU's memory over one steady-state period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryProfile {
+    /// `(phase, bytes)` samples: memory equals `bytes` from `phase` until
+    /// the next sample (cyclically).
+    pub steps: Vec<(f64, u64)>,
+}
+
+impl MemoryProfile {
+    /// Peak of the profile.
+    pub fn peak(&self) -> u64 {
+        self.steps.iter().map(|&(_, b)| b).max().unwrap_or(0)
+    }
+}
+
+/// Result of a successful check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternReport {
+    /// The pattern period.
+    pub period: f64,
+    /// Peak memory per GPU (bytes), including static weights/buffers.
+    pub gpu_peak_bytes: Vec<u64>,
+    /// Static (schedule-independent) memory per GPU.
+    pub gpu_static_bytes: Vec<u64>,
+    /// Peak number of live mini-batches per unit (0 for comm units) —
+    /// the `g` of §4.1: 1F1B* realizes exactly the group index here.
+    pub unit_live_batches: Vec<u64>,
+    /// Pipeline depth (largest shift).
+    pub max_shift: u64,
+}
+
+/// Check `pattern` against the model; returns the exact report or the
+/// first violation found.
+pub fn check_pattern(
+    chain: &Chain,
+    platform: &Platform,
+    alloc: &Allocation,
+    seq: &UnitSequence,
+    pattern: &Pattern,
+) -> Result<PatternReport, ScheduleError> {
+    let t_period = pattern.period;
+    if !pattern.is_complete_for(seq) {
+        return Err(ScheduleError::Incomplete);
+    }
+
+    // 1. op ↔ unit consistency and basic sanity
+    for op in &pattern.ops {
+        let unit = &seq.units()[op.unit];
+        let expected_d = match op.dir {
+            Dir::Forward => unit.forward_time,
+            Dir::Backward => unit.backward_time,
+        };
+        if !feq(op.duration, expected_d) {
+            return Err(ScheduleError::OpMismatch {
+                unit: op.unit,
+                detail: format!("duration {} != unit duration {}", op.duration, expected_d),
+            });
+        }
+        if op.resource != unit.resource {
+            return Err(ScheduleError::OpMismatch {
+                unit: op.unit,
+                detail: format!("resource {:?} != unit resource {:?}", op.resource, unit.resource),
+            });
+        }
+        if op.start < -madpipe_model::util::EPS
+            || !fle(op.start, t_period)
+            || op.duration < 0.0
+            || !op.start.is_finite()
+        {
+            return Err(ScheduleError::OpOutOfRange {
+                unit: op.unit,
+                dir: op.dir,
+            });
+        }
+    }
+
+    // 2. dependency edges along the transformed chain
+    let dep = |from: &Op, to: &Op| -> Result<(), ScheduleError> {
+        let lhs = to.virtual_start(t_period);
+        let rhs = from.virtual_start(t_period) + from.duration;
+        if fge(lhs, rhs) {
+            Ok(())
+        } else {
+            Err(ScheduleError::DependencyViolated {
+                from: (from.unit, from.dir),
+                to: (to.unit, to.dir),
+                slack: rhs - lhs,
+            })
+        }
+    };
+    let n = seq.len();
+    let f = |u: usize| pattern.op(u, Dir::Forward).expect("complete");
+    let b = |u: usize| pattern.op(u, Dir::Backward).expect("complete");
+    for u in 0..n - 1 {
+        dep(f(u), f(u + 1))?;
+        dep(b(u + 1), b(u))?;
+    }
+    dep(f(n - 1), b(n - 1))?;
+    // Direct F_u → B_u edges are implied transitively but cheap to assert.
+    for u in 0..n {
+        dep(f(u), b(u))?;
+    }
+
+    // 3. resource exclusivity (modular)
+    let mut by_resource: std::collections::HashMap<Resource, Vec<&Op>> =
+        std::collections::HashMap::new();
+    for op in &pattern.ops {
+        by_resource.entry(op.resource).or_default().push(op);
+    }
+    for (resource, ops) in &by_resource {
+        let load: f64 = ops.iter().map(|o| o.duration).sum();
+        if !fle(load, t_period) {
+            return Err(ScheduleError::ResourceOverloaded {
+                resource: *resource,
+                load,
+                period: t_period,
+            });
+        }
+        for i in 0..ops.len() {
+            for j in i + 1..ops.len() {
+                if modular_overlap(ops[i], ops[j], t_period) {
+                    return Err(ScheduleError::ResourceOverlap {
+                        resource: *resource,
+                        a: (ops[i].unit, ops[i].dir),
+                        b: (ops[j].unit, ops[j].dir),
+                    });
+                }
+            }
+        }
+    }
+
+    // 4. memory sweep
+    let gpu_static_bytes = static_memory(chain, alloc, seq);
+    let mut unit_live_batches = vec![0u64; n];
+    let mut gpu_peak_bytes = gpu_static_bytes.clone();
+
+    // Collect, per GPU, the stage units it hosts with (ā, φ_F, φ_B, base).
+    struct LiveStage {
+        unit: usize,
+        stored_bytes: u64,
+        base: i64, // κ_B − κ_F
+        phi_f: f64,
+        phi_b: f64,
+    }
+    let mut per_gpu: Vec<Vec<LiveStage>> = (0..alloc.n_gpus()).map(|_| Vec::new()).collect();
+    for (u, unit) in seq.units().iter().enumerate() {
+        let UnitKind::Stage { layers, .. } = &unit.kind else {
+            continue;
+        };
+        let Resource::Gpu(gpu) = unit.resource else {
+            continue;
+        };
+        let fo = f(u);
+        let bo = b(u);
+        let base = bo.completion_offset(t_period) as i64 - fo.completion_offset(t_period) as i64;
+        per_gpu[gpu].push(LiveStage {
+            unit: u,
+            stored_bytes: chain.stored_activation_bytes(layers.clone()),
+            base,
+            phi_f: fo.completion_phase(t_period),
+            phi_b: bo.completion_phase(t_period),
+        });
+    }
+
+    for (gpu, stages) in per_gpu.iter().enumerate() {
+        if stages.is_empty() {
+            continue;
+        }
+        // Event phases: every completion phase plus 0.
+        let mut events: Vec<f64> = vec![0.0];
+        for s in stages {
+            events.push(s.phi_f);
+            events.push(s.phi_b);
+        }
+        for &tau in &events {
+            let mut dynamic: i64 = 0;
+            for s in stages {
+                let mut live = s.base;
+                if fge(tau, s.phi_f) {
+                    live += 1;
+                }
+                if fge(tau, s.phi_b) {
+                    live -= 1;
+                }
+                if live < 0 {
+                    return Err(ScheduleError::NegativeStored { unit: s.unit });
+                }
+                unit_live_batches[s.unit] = unit_live_batches[s.unit].max(live as u64);
+                dynamic += live * s.stored_bytes as i64;
+            }
+            let total = gpu_static_bytes[gpu] + dynamic as u64;
+            gpu_peak_bytes[gpu] = gpu_peak_bytes[gpu].max(total);
+        }
+        if gpu_peak_bytes[gpu] > platform.memory_bytes {
+            return Err(ScheduleError::MemoryExceeded {
+                gpu,
+                peak: gpu_peak_bytes[gpu],
+                limit: platform.memory_bytes,
+            });
+        }
+    }
+
+    Ok(PatternReport {
+        period: t_period,
+        gpu_peak_bytes,
+        gpu_static_bytes,
+        unit_live_batches,
+        max_shift: pattern.max_shift(),
+    })
+}
+
+/// Memory step profile of one GPU under `pattern` (for inspection and
+/// Gantt rendering); assumes the pattern already passed [`check_pattern`].
+pub fn memory_profile(
+    chain: &Chain,
+    alloc: &Allocation,
+    seq: &UnitSequence,
+    pattern: &Pattern,
+    gpu: usize,
+) -> MemoryProfile {
+    let t_period = pattern.period;
+    let static_bytes = static_memory(chain, alloc, seq)[gpu];
+    let mut events: Vec<(f64, i64)> = Vec::new(); // (phase, delta bytes)
+    let mut base_total: i64 = 0;
+    for (u, unit) in seq.units().iter().enumerate() {
+        let UnitKind::Stage { layers, .. } = &unit.kind else {
+            continue;
+        };
+        if unit.resource != Resource::Gpu(gpu) {
+            continue;
+        }
+        let fo = pattern.op(u, Dir::Forward).expect("complete");
+        let bo = pattern.op(u, Dir::Backward).expect("complete");
+        let stored = chain.stored_activation_bytes(layers.clone()) as i64;
+        let base = bo.completion_offset(t_period) as i64 - fo.completion_offset(t_period) as i64;
+        base_total += base * stored;
+        events.push((fo.completion_phase(t_period), stored));
+        events.push((bo.completion_phase(t_period), -stored));
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite phases"));
+    let mut steps = Vec::with_capacity(events.len() + 1);
+    let mut level = base_total;
+    // Deltas with phase ~0 apply from the period start.
+    steps.push((0.0, (static_bytes as i64 + level) as u64));
+    for (phase, delta) in events {
+        level += delta;
+        steps.push((phase, (static_bytes as i64 + level).max(0) as u64));
+    }
+    MemoryProfile { steps }
+}
+
+/// Static memory per GPU: `3W` for each hosted layer plus `2a` of
+/// communication buffer on both end GPUs of every remote cut.
+pub fn static_memory(chain: &Chain, alloc: &Allocation, seq: &UnitSequence) -> Vec<u64> {
+    let mut bytes = vec![0u64; alloc.n_gpus()];
+    for s in alloc.stages() {
+        bytes[s.gpu] += 3 * chain.weight_bytes(s.layers.clone());
+    }
+    for unit in seq.units() {
+        if let UnitKind::Comm { cut_layer, stage_before } = unit.kind {
+            let buf = 2 * chain.activation_in(cut_layer);
+            let before = alloc.stages()[stage_before].gpu;
+            let after = alloc.stages()[stage_before + 1].gpu;
+            bytes[before] += buf;
+            bytes[after] += buf;
+        }
+    }
+    bytes
+}
+
+/// Whether two ops overlap on the cyclic timeline of length `period`.
+fn modular_overlap(a: &Op, b: &Op, period: f64) -> bool {
+    if a.duration <= madpipe_model::util::EPS || b.duration <= madpipe_model::util::EPS {
+        return false;
+    }
+    let segs = |o: &Op| -> Vec<(f64, f64)> {
+        let end = o.start + o.duration;
+        if fle(end, period) {
+            vec![(o.start, end)]
+        } else {
+            vec![(o.start, period), (0.0, end - period)]
+        }
+    };
+    for (s1, e1) in segs(a) {
+        for (s2, e2) in segs(b) {
+            let lo = s1.max(s2);
+            let hi = e1.min(e2);
+            if hi - lo > madpipe_model::util::EPS {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madpipe_model::{Layer, Partition};
+
+    /// Two unit chain on one GPU each, no comm (co-located), trivial case.
+    fn tiny() -> (Chain, Platform, Allocation, UnitSequence) {
+        let chain = Chain::new(
+            "t",
+            100,
+            vec![
+                Layer::new("a", 1.0, 1.0, 10, 100),
+                Layer::new("b", 1.0, 1.0, 10, 100),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::new(2, 10_000, 100.0).unwrap();
+        let part = Partition::from_cuts(&[1], 2).unwrap();
+        let alloc = Allocation::contiguous(&part, 2).unwrap();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        (chain, platform, alloc, seq)
+    }
+
+    fn op(unit: usize, dir: Dir, start: f64, duration: f64, shift: u64, resource: Resource) -> Op {
+        Op {
+            unit,
+            dir,
+            start,
+            duration,
+            shift,
+            resource,
+        }
+    }
+
+    /// Hand-built valid pattern for `tiny()` with period 6:
+    /// units: stage0(gpu0), comm(link01), stage1(gpu1); all durations 1
+    /// except comm = 2B/100 = 2*100/100/2 = 1 each way.
+    fn valid_pattern() -> Pattern {
+        Pattern {
+            period: 6.0,
+            ops: vec![
+                op(0, Dir::Forward, 0.0, 1.0, 0, Resource::Gpu(0)),
+                op(1, Dir::Forward, 1.0, 1.0, 0, Resource::Link(0, 1)),
+                op(2, Dir::Forward, 2.0, 1.0, 0, Resource::Gpu(1)),
+                op(2, Dir::Backward, 3.0, 1.0, 0, Resource::Gpu(1)),
+                op(1, Dir::Backward, 4.0, 1.0, 0, Resource::Link(0, 1)),
+                op(0, Dir::Backward, 5.0, 1.0, 0, Resource::Gpu(0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn accepts_a_valid_sequential_pattern() {
+        let (chain, platform, alloc, seq) = tiny();
+        let report = check_pattern(&chain, &platform, &alloc, &seq, &valid_pattern()).unwrap();
+        assert_eq!(report.unit_live_batches, vec![1, 0, 1]);
+        // static: gpu0 3*10 + 2*100 buffer, gpu1 same
+        assert_eq!(report.gpu_static_bytes, vec![230, 230]);
+        // dynamic: stage0 stores ā = a_in(0)=100 for 1 batch
+        assert_eq!(report.gpu_peak_bytes[0], 230 + 100);
+        assert_eq!(report.max_shift, 0);
+    }
+
+    #[test]
+    fn rejects_dependency_violation() {
+        let (chain, platform, alloc, seq) = tiny();
+        let mut p = valid_pattern();
+        p.ops[2].start = 0.5; // F of stage1 before comm finishes
+        let err = check_pattern(&chain, &platform, &alloc, &seq, &p).unwrap_err();
+        assert!(matches!(err, ScheduleError::DependencyViolated { .. }));
+    }
+
+    #[test]
+    fn rejects_resource_overlap() {
+        let (chain, platform, alloc, seq) = tiny();
+        let mut p = valid_pattern();
+        p.ops[5].start = 0.5; // B of stage0 overlaps F of stage0 on gpu0
+        // fix dependency by bumping shift high enough
+        p.ops[5].shift = 2;
+        let err = check_pattern(&chain, &platform, &alloc, &seq, &p).unwrap_err();
+        assert!(matches!(err, ScheduleError::ResourceOverlap { .. }));
+    }
+
+    #[test]
+    fn rejects_memory_overflow() {
+        let (chain, _platform, alloc, seq) = tiny();
+        let strict = Platform::new(2, 250, 100.0).unwrap(); // static alone is 230
+        let err = check_pattern(&chain, &strict, &alloc, &seq, &valid_pattern()).unwrap_err();
+        assert!(matches!(err, ScheduleError::MemoryExceeded { gpu: 0, .. }));
+    }
+
+    #[test]
+    fn wrapped_ops_are_handled() {
+        let (chain, platform, alloc, seq) = tiny();
+        // Same schedule shifted so B of stage0 wraps the period boundary.
+        let mut p = valid_pattern();
+        for o in &mut p.ops {
+            o.start += 0.5;
+        }
+        p.ops[5].start = 5.5; // B stage0 at 5.5..6.5 wraps
+        let report = check_pattern(&chain, &platform, &alloc, &seq, &p).unwrap();
+        assert_eq!(report.unit_live_batches[0], 1);
+    }
+
+    #[test]
+    fn pipelined_pattern_counts_two_live_batches() {
+        let (chain, platform, alloc, seq) = tiny();
+        // Period 2: every op busy half the time, pipeline depth grows.
+        let p = Pattern {
+            period: 2.0,
+            ops: vec![
+                op(0, Dir::Forward, 0.0, 1.0, 0, Resource::Gpu(0)),
+                op(1, Dir::Forward, 1.0, 1.0, 0, Resource::Link(0, 1)),
+                op(2, Dir::Forward, 0.0, 1.0, 1, Resource::Gpu(1)),
+                op(2, Dir::Backward, 1.0, 1.0, 1, Resource::Gpu(1)),
+                op(1, Dir::Backward, 0.0, 1.0, 2, Resource::Link(0, 1)),
+                op(0, Dir::Backward, 1.0, 1.0, 2, Resource::Gpu(0)),
+            ],
+        };
+        let report = check_pattern(&chain, &platform, &alloc, &seq, &p).unwrap();
+        // stage0: F completes at phase 1 offset 0; B completes at phase 0
+        // offset 3 → base 3, minus indicator … peak = 3 at τ∈[1,2), i.e.
+        // batches i-2..i live together after F_i completes.
+        assert_eq!(report.unit_live_batches[0], 3);
+        assert_eq!(report.unit_live_batches[2], 1);
+        assert_eq!(report.max_shift, 2);
+    }
+
+    #[test]
+    fn modular_overlap_detects_wrapped_collisions() {
+        let a = op(0, Dir::Forward, 9.0, 2.0, 0, Resource::Gpu(0)); // 9..11 wraps to 9..10 + 0..1
+        let b = op(1, Dir::Forward, 0.5, 1.0, 0, Resource::Gpu(0));
+        assert!(modular_overlap(&a, &b, 10.0));
+        let c = op(1, Dir::Forward, 1.5, 1.0, 0, Resource::Gpu(0));
+        assert!(!modular_overlap(&a, &c, 10.0));
+    }
+
+    #[test]
+    fn memory_profile_steps_match_peak() {
+        let (chain, _platform, alloc, seq) = tiny();
+        let p = valid_pattern();
+        let prof = memory_profile(&chain, &alloc, &seq, &p, 0);
+        assert_eq!(prof.peak(), 330);
+    }
+}

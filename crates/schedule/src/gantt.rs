@@ -1,0 +1,118 @@
+//! ASCII Gantt rendering of periodic patterns (one period), in the style
+//! of the paper's Figures 2 and 3.
+
+use std::fmt::Write as _;
+
+use madpipe_model::{Resource, UnitSequence};
+
+use crate::pattern::{Dir, Pattern};
+
+/// Render one period of `pattern` as an ASCII Gantt chart, one row per
+/// resource. Forward ops print as `F`, backwards as `B`, communications
+/// as `f`/`b`; the index shift of each op is listed below the chart.
+pub fn render(seq: &UnitSequence, pattern: &Pattern, width: usize) -> String {
+    let width = width.max(20);
+    let t = pattern.period;
+    let mut resources: Vec<Resource> = pattern.ops.iter().map(|o| o.resource).collect();
+    resources.sort();
+    resources.dedup();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "period T = {:.6}s  ({} ops)", t, pattern.ops.len());
+    for r in &resources {
+        let mut row = vec!['.'; width];
+        for op in pattern.ops.iter().filter(|o| o.resource == *r) {
+            let is_comm = seq.units()[op.unit].is_comm();
+            let ch = match (op.dir, is_comm) {
+                (Dir::Forward, false) => 'F',
+                (Dir::Backward, false) => 'B',
+                (Dir::Forward, true) => 'f',
+                (Dir::Backward, true) => 'b',
+            };
+            paint(&mut row, op.start, op.duration, t, ch);
+        }
+        let label = match r {
+            Resource::Gpu(g) => format!("gpu{g:<2}"),
+            Resource::Link(a, b) => format!("l{a}-{b} "),
+        };
+        let _ = writeln!(out, "{label} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "shifts:");
+    let mut ops: Vec<_> = pattern.ops.iter().collect();
+    ops.sort_by_key(|a| (a.unit, a.dir == Dir::Backward));
+    for op in ops {
+        let kind = if seq.units()[op.unit].is_comm() { "comm" } else { "stage" };
+        let dir = match op.dir {
+            Dir::Forward => "F",
+            Dir::Backward => "B",
+        };
+        let _ = writeln!(
+            out,
+            "  {dir} {kind:<5} unit {:<3} start {:>9.4}  dur {:>9.4}  shift {}",
+            op.unit, op.start, op.duration, op.shift
+        );
+    }
+    out
+}
+
+/// Paint the (possibly wrapped) interval `[start, start+dur)` into `row`.
+fn paint(row: &mut [char], start: f64, dur: f64, period: f64, ch: char) {
+    if dur <= 0.0 {
+        return;
+    }
+    let w = row.len() as f64;
+    let mut segments = vec![];
+    let end = start + dur;
+    if end <= period {
+        segments.push((start, end));
+    } else {
+        segments.push((start, period));
+        segments.push((0.0, end - period));
+    }
+    for (s, e) in segments {
+        let a = ((s / period) * w).floor() as usize;
+        let b = (((e / period) * w).ceil() as usize).min(row.len());
+        for cell in row.iter_mut().take(b).skip(a) {
+            *cell = ch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_f1b::one_f1b_star;
+    use madpipe_model::{Allocation, Chain, Layer, Partition, Platform, UnitSequence};
+
+    #[test]
+    fn renders_rows_for_every_resource() {
+        let chain = Chain::new(
+            "t",
+            100,
+            vec![
+                Layer::new("a", 2.0, 2.0, 0, 100),
+                Layer::new("b", 2.0, 2.0, 0, 100),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::new(2, 1 << 40, 100.0).unwrap();
+        let part = Partition::from_cuts(&[1], 2).unwrap();
+        let alloc = Allocation::contiguous(&part, 2).unwrap();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        let pattern = one_f1b_star(&seq, 10.0);
+        let s = render(&seq, &pattern, 60);
+        assert!(s.contains("gpu0"));
+        assert!(s.contains("gpu1"));
+        assert!(s.contains("l0-1"));
+        assert!(s.contains("period T = 10.0"));
+        // 3 resource rows + header + shift lines for 6 ops
+        assert!(s.lines().count() >= 10);
+    }
+
+    #[test]
+    fn paint_wraps_over_the_boundary() {
+        let mut row = vec!['.'; 10];
+        paint(&mut row, 8.0, 4.0, 10.0, 'X');
+        assert_eq!(row.iter().collect::<String>(), "XX......XX");
+    }
+}

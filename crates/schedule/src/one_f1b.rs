@@ -1,0 +1,252 @@
+//! The 1F1B* algorithm (§4.1): the memory-optimal periodic pattern for a
+//! contiguous allocation and a given period `T`.
+//!
+//! The algorithm works on the transformed chain of units (stages
+//! interleaved with communication pseudo-stages, see
+//! [`madpipe_model::UnitSequence`]) in two phases:
+//!
+//! 1. **group formation** — walk the units from the *last* one backwards,
+//!    greedily packing consecutive units into groups of total load
+//!    `Σ U(s) ≤ T`; the group containing the last unit is group 1;
+//! 2. **schedule construction** — forward operations of all units are
+//!    packed back-to-back in chain order (each group's first forward
+//!    starts right after the previous group's last forward, with the same
+//!    index shift); each group's backward operations run in reverse order
+//!    immediately after its last forward. Forward ops carry shift `0`
+//!    and the backwards of group `g` carry shift `g − 1`; wrapping an
+//!    absolute time `z` into the period then adds `⌊z/T⌋` to the shift.
+//!
+//! Proposition 1 of the paper shows the resulting pattern stores the
+//! minimum possible number of live mini-batches per stage among all valid
+//! patterns of period `T`; a stage of group `g` stores exactly `g`.
+
+use madpipe_model::util::fle;
+use madpipe_model::UnitSequence;
+
+use crate::pattern::{Dir, Op, Pattern};
+
+/// Group index (1-based, group 1 holds the last unit) for every unit,
+/// following the greedy backward packing of §4.1.
+///
+/// `period` should be at least the largest unit load; an oversized unit
+/// still gets its own group so callers can inspect the assignment, but no
+/// valid pattern exists for such a period.
+pub fn group_assignment(seq: &UnitSequence, period: f64) -> Vec<usize> {
+    let n = seq.len();
+    let mut groups = vec![0usize; n];
+    let mut g = 1usize;
+    let mut acc = 0.0f64;
+    for u in (0..n).rev() {
+        let load = seq.units()[u].total_time();
+        if acc > 0.0 && !fle(acc + load, period) {
+            g += 1;
+            acc = 0.0;
+        }
+        acc += load;
+        groups[u] = g;
+    }
+    groups
+}
+
+/// Build the 1F1B* pattern for `seq` at period `period`.
+///
+/// The caller must ensure `period ≥ max unit load` for the result to be
+/// valid (checked by [`crate::check::check_pattern`] in any case).
+pub fn one_f1b_star(seq: &UnitSequence, period: f64) -> Pattern {
+    let n = seq.len();
+    let groups = group_assignment(seq, period);
+
+    // Absolute start of every forward: forwards are packed back-to-back
+    // across the whole chain (group connections preserve the shift).
+    let mut z_f = vec![0.0f64; n];
+    let mut z = 0.0;
+    for u in 0..n {
+        z_f[u] = z;
+        z += seq.units()[u].forward_time;
+    }
+
+    // Absolute starts of backwards: per group, packed in reverse order
+    // right after the group's last forward.
+    let mut z_b = vec![0.0f64; n];
+    let mut u = n;
+    while u > 0 {
+        // The group is a maximal run of equal group indices.
+        let end = u; // exclusive
+        let g = groups[end - 1];
+        let mut start = end - 1;
+        while start > 0 && groups[start - 1] == g {
+            start -= 1;
+        }
+        let last = end - 1;
+        let mut zb = z_f[last] + seq.units()[last].forward_time;
+        for v in (start..end).rev() {
+            z_b[v] = zb;
+            zb += seq.units()[v].backward_time;
+        }
+        u = start;
+    }
+
+    let mut ops = Vec::with_capacity(2 * n);
+    for v in 0..n {
+        let unit = &seq.units()[v];
+        ops.push(wrap_op(v, Dir::Forward, z_f[v], unit.forward_time, 0, unit, period));
+        ops.push(wrap_op(
+            v,
+            Dir::Backward,
+            z_b[v],
+            unit.backward_time,
+            (groups[v] - 1) as u64,
+            unit,
+            period,
+        ));
+    }
+    Pattern { period, ops }
+}
+
+/// Fold an absolute start time into `[0, T)`, accumulating the extra laps
+/// into the shift.
+fn wrap_op(
+    unit_idx: usize,
+    dir: Dir,
+    z: f64,
+    duration: f64,
+    base_shift: u64,
+    unit: &madpipe_model::Unit,
+    period: f64,
+) -> Op {
+    let laps = (z / period).floor();
+    // Guard against z being within EPS below a multiple of T, which
+    // would otherwise leave start == period.
+    let mut start = z - laps * period;
+    let mut shift = base_shift + laps as u64;
+    if period - start <= madpipe_model::util::EPS {
+        start = 0.0;
+        shift += 1;
+    }
+    Op {
+        unit: unit_idx,
+        dir,
+        start,
+        duration,
+        shift,
+        resource: unit.resource,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_pattern;
+    use madpipe_model::{Allocation, Chain, Layer, Partition, Platform};
+
+    fn setup(
+        layer_costs: &[(f64, f64)],
+        cuts: &[usize],
+        n_gpus: usize,
+        bandwidth: f64,
+        act: u64,
+    ) -> (Chain, Platform, Allocation, UnitSequence) {
+        let layers = layer_costs
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, b))| Layer::new(format!("l{i}"), f, b, 0, act))
+            .collect();
+        let chain = Chain::new("t", act, layers).unwrap();
+        let platform = Platform::new(n_gpus, u64::MAX / 4, bandwidth).unwrap();
+        let part = Partition::from_cuts(cuts, layer_costs.len()).unwrap();
+        let alloc = Allocation::contiguous(&part, n_gpus).unwrap();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        (chain, platform, alloc, seq)
+    }
+
+    #[test]
+    fn group_assignment_packs_from_the_back() {
+        // 4 units of load 2 each, period 5 → groups [2,2,1,1]
+        let (_, _, _, seq) = setup(
+            &[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0), (1.0, 1.0)],
+            &[1, 2, 3],
+            4,
+            1e12, // comm negligible but still a unit of ~0 load
+            1,
+        );
+        // 7 units: s c s c s c s with stage loads 2 and tiny comm loads
+        let groups = group_assignment(&seq, 5.0);
+        // from the back: s(2) c s(2) → 4+ε > 5? 2+ε+2 ≤ 5 yes, + ε + 2 = 6+ > 5
+        assert_eq!(groups[6], 1);
+        assert_eq!(groups[4], 1);
+        assert_eq!(groups[3], 1); // comm between units 4 and 6... index 5 comm
+        assert_eq!(groups[0], 2);
+    }
+
+    #[test]
+    fn single_group_when_period_huge() {
+        let (_, _, _, seq) = setup(&[(1.0, 1.0), (1.0, 1.0)], &[1], 2, 1e12, 1);
+        let groups = group_assignment(&seq, 1e9);
+        assert!(groups.iter().all(|&g| g == 1));
+    }
+
+    #[test]
+    fn each_unit_its_own_group_when_period_tight() {
+        let (_, _, _, seq) = setup(&[(2.0, 2.0), (2.0, 2.0)], &[1], 2, 1.0, 2);
+        // units: stage(4), comm(2+2=4 total), stage(4); period 4 → 3 groups
+        let groups = group_assignment(&seq, 4.0);
+        assert_eq!(groups, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn pattern_is_valid_and_stores_group_count() {
+        // Mirror of the paper's construction: 3 stages, tight period.
+        let (chain, platform, alloc, seq) =
+            setup(&[(2.0, 2.0), (2.0, 2.0), (2.0, 2.0)], &[1, 2], 3, 4.0, 4);
+        // comm one-way = 4/4 = 1 → each comm unit load 2; six... 5 units:
+        // s(4) c(2) s(4) c(2) s(4); period 6 → groups from back:
+        // s(4)+c(2)=6 ≤ 6 → group1 = {c,s}, +s(4) = 10 > 6 → group2 = {s,c}? 4+2=6 → {c,s}, group3={s}
+        let t = 6.0;
+        let groups = group_assignment(&seq, t);
+        assert_eq!(groups, vec![3, 2, 2, 1, 1]);
+        let pattern = one_f1b_star(&seq, t);
+        let report = check_pattern(&chain, &platform, &alloc, &seq, &pattern).unwrap();
+        // Stage units are 0, 2, 4 → live batches = their group indices.
+        assert_eq!(report.unit_live_batches[0], 3);
+        assert_eq!(report.unit_live_batches[2], 2);
+        assert_eq!(report.unit_live_batches[4], 1);
+    }
+
+    #[test]
+    fn sequential_period_gives_one_live_batch_everywhere() {
+        let (chain, platform, alloc, seq) =
+            setup(&[(2.0, 2.0), (2.0, 2.0), (2.0, 2.0)], &[1, 2], 3, 4.0, 4);
+        let t = seq.total_load();
+        let pattern = one_f1b_star(&seq, t);
+        let report = check_pattern(&chain, &platform, &alloc, &seq, &pattern).unwrap();
+        for (u, unit) in seq.units().iter().enumerate() {
+            if !unit.is_comm() {
+                assert_eq!(report.unit_live_batches[u], 1, "unit {u}");
+            }
+        }
+        assert_eq!(report.max_shift, 0);
+    }
+
+    #[test]
+    fn heterogeneous_chain_valid_at_load_bound() {
+        let (chain, platform, alloc, seq) = setup(
+            &[(1.0, 2.0), (5.0, 6.0), (0.5, 0.5), (2.0, 3.0)],
+            &[1, 2, 3],
+            4,
+            8.0,
+            16,
+        );
+        let t = seq.max_unit_load();
+        let pattern = one_f1b_star(&seq, t);
+        check_pattern(&chain, &platform, &alloc, &seq, &pattern).unwrap();
+    }
+
+    #[test]
+    fn single_stage_single_gpu() {
+        let (chain, platform, alloc, seq) = setup(&[(1.0, 2.0), (3.0, 4.0)], &[], 1, 1.0, 8);
+        assert_eq!(seq.len(), 1);
+        let pattern = one_f1b_star(&seq, 10.0);
+        let report = check_pattern(&chain, &platform, &alloc, &seq, &pattern).unwrap();
+        assert_eq!(report.unit_live_batches, vec![1]);
+    }
+}

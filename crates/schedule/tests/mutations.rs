@@ -1,0 +1,166 @@
+//! Mutation testing of the exact checker: corrupt provably valid
+//! patterns in ways that are *guaranteed* invalid and assert the checker
+//! rejects every one of them.
+//!
+//! The key guarantee exploited here is Proposition 1: 1F1B* stores the
+//! *minimum* possible number of live batches per stage among all valid
+//! patterns of its period — so any mutation that lowers a stage's stored
+//! count (decrementing its backward shift) cannot be valid, whatever
+//! else it does.
+
+use proptest::prelude::*;
+
+use madpipe_model::{Allocation, Chain, Layer, Partition, Platform, UnitSequence};
+use madpipe_schedule::{check_pattern, one_f1b_star, Dir};
+
+fn arb_instance() -> impl Strategy<Value = (Chain, Vec<usize>)> {
+    prop::collection::vec((0.2f64..4.0, 0.2f64..4.0, 1u64..10_000), 2..=8)
+        .prop_flat_map(|specs| {
+            let n = specs.len();
+            let chain = {
+                let layers = specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(f, b, a))| Layer::new(format!("l{i}"), f, b, 0, a))
+                    .collect();
+                Chain::new("mut", 2_000, layers).unwrap()
+            };
+            (Just(chain), prop::collection::vec(prop::bool::ANY, n - 1))
+        })
+        .prop_map(|(chain, mask)| {
+            let cuts = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| i + 1)
+                .collect();
+            (chain, cuts)
+        })
+}
+
+fn setup(
+    chain: &Chain,
+    cuts: &[usize],
+) -> (Platform, Allocation, UnitSequence) {
+    let part = Partition::from_cuts(cuts, chain.len()).unwrap();
+    let n_gpus = part.len();
+    let platform = Platform::new(n_gpus, u64::MAX / 4, 1_000.0).unwrap();
+    let alloc = Allocation::contiguous(&part, n_gpus).unwrap();
+    let seq = UnitSequence::from_allocation(chain, &platform, &alloc);
+    (platform, alloc, seq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lowering any backward shift reduces a stored count below the
+    /// 1F1B* optimum — Proposition 1 says no valid pattern can do that.
+    #[test]
+    fn decrementing_a_backward_shift_is_always_caught(
+        (chain, cuts) in arb_instance(),
+        pick in any::<prop::sample::Index>(),
+        t_scale in 1.0f64..2.0,
+    ) {
+        let (platform, alloc, seq) = setup(&chain, &cuts);
+        let t = seq.max_unit_load() * t_scale;
+        let pattern = one_f1b_star(&seq, t);
+        check_pattern(&chain, &platform, &alloc, &seq, &pattern).expect("baseline valid");
+
+        let backs: Vec<usize> = pattern
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.dir == Dir::Backward && o.shift >= 1 && !seq.units()[o.unit].is_comm())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!backs.is_empty());
+        let mut mutated = pattern.clone();
+        let which = backs[pick.index(backs.len())];
+        mutated.ops[which].shift -= 1;
+        prop_assert!(
+            check_pattern(&chain, &platform, &alloc, &seq, &mutated).is_err(),
+            "checker accepted a pattern storing fewer batches than the optimum"
+        );
+    }
+
+    /// Forcing two ops of one resource to the same start must be caught
+    /// (as overlap or as a broken dependency).
+    #[test]
+    fn overlapping_ops_are_always_caught(
+        (chain, cuts) in arb_instance(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let (platform, alloc, seq) = setup(&chain, &cuts);
+        let t = seq.max_unit_load();
+        let pattern = one_f1b_star(&seq, t);
+        check_pattern(&chain, &platform, &alloc, &seq, &pattern).expect("baseline valid");
+
+        // Pairs on the same resource with both durations positive.
+        let mut pairs = Vec::new();
+        for i in 0..pattern.ops.len() {
+            for j in i + 1..pattern.ops.len() {
+                if pattern.ops[i].resource == pattern.ops[j].resource
+                    && pattern.ops[i].duration > 1e-9
+                    && pattern.ops[j].duration > 1e-9
+                {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        prop_assume!(!pairs.is_empty());
+        let (i, j) = pairs[pick.index(pairs.len())];
+        let mut mutated = pattern.clone();
+        mutated.ops[j].start = mutated.ops[i].start;
+        prop_assert!(check_pattern(&chain, &platform, &alloc, &seq, &mutated).is_err());
+    }
+
+    /// Tampering with a duration is caught as an op/unit mismatch.
+    #[test]
+    fn duration_tampering_is_always_caught(
+        (chain, cuts) in arb_instance(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let (platform, alloc, seq) = setup(&chain, &cuts);
+        let t = seq.total_load();
+        let mut pattern = one_f1b_star(&seq, t);
+        let idx = pick.index(pattern.ops.len());
+        pattern.ops[idx].duration *= 0.5;
+        prop_assert!(check_pattern(&chain, &platform, &alloc, &seq, &pattern).is_err());
+    }
+
+    /// Dropping an op is caught as incompleteness.
+    #[test]
+    fn missing_ops_are_always_caught(
+        (chain, cuts) in arb_instance(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let (platform, alloc, seq) = setup(&chain, &cuts);
+        let mut pattern = one_f1b_star(&seq, seq.total_load());
+        let idx = pick.index(pattern.ops.len());
+        pattern.ops.remove(idx);
+        prop_assert!(check_pattern(&chain, &platform, &alloc, &seq, &pattern).is_err());
+    }
+
+    /// Swapping the direction of the final backward breaks the F→B edge.
+    #[test]
+    fn reversing_f_and_b_of_the_last_unit_is_caught(
+        (chain, cuts) in arb_instance(),
+    ) {
+        let (platform, alloc, seq) = setup(&chain, &cuts);
+        let mut pattern = one_f1b_star(&seq, seq.total_load());
+        let last = seq.len() - 1;
+        // Exchange the start times of F and B of the last unit, keeping
+        // the (duration, dir) pairs intact; with distinct durations this
+        // puts B strictly before F completes.
+        let fi = pattern.ops.iter().position(|o| o.unit == last && o.dir == Dir::Forward).unwrap();
+        let bi = pattern.ops.iter().position(|o| o.unit == last && o.dir == Dir::Backward).unwrap();
+        let (sf, sb) = (pattern.ops[fi].start, pattern.ops[bi].start);
+        prop_assume!((pattern.ops[fi].duration - pattern.ops[bi].duration).abs() > 1e-9
+            || (sf - sb).abs() > 1e-9);
+        pattern.ops[fi].start = sb;
+        pattern.ops[bi].start = sf;
+        // Also keep shifts: the sequential pattern has shift 0 everywhere,
+        // so B now starts before F completes on the same batch.
+        prop_assert!(check_pattern(&chain, &platform, &alloc, &seq, &pattern).is_err());
+    }
+}

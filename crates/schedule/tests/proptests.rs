@@ -1,0 +1,147 @@
+//! Property-based tests of the 1F1B* construction and the optimal-period
+//! search, on randomized chains and partitions.
+
+use proptest::prelude::*;
+
+use madpipe_model::{Allocation, Chain, Layer, Partition, Platform, UnitSequence};
+use madpipe_schedule::{best_contiguous_period, check_pattern, group_assignment, one_f1b_star};
+
+/// Strategy: a random chain of `2..=10` layers with heterogeneous costs.
+fn arb_chain() -> impl Strategy<Value = Chain> {
+    prop::collection::vec(
+        (
+            0.1f64..10.0, // forward
+            0.1f64..10.0, // backward
+            0u64..10_000, // weights
+            1u64..100_000, // activation
+        ),
+        2..=10,
+    )
+    .prop_map(|specs| {
+        let layers = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, b, w, a))| Layer::new(format!("l{i}"), f, b, w, a))
+            .collect();
+        Chain::new("random", 5_000, layers).expect("well-formed by construction")
+    })
+}
+
+/// Strategy: a random contiguous partition of `n` layers into `1..=n`
+/// stages, encoded as a bitmask of cut positions.
+fn arb_cuts(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(prop::bool::ANY, n - 1).prop_map(|mask| {
+        mask.iter()
+            .enumerate()
+            .filter(|(_, &cut)| cut)
+            .map(|(i, _)| i + 1)
+            .collect()
+    })
+}
+
+fn instance() -> impl Strategy<Value = (Chain, Vec<usize>, f64)> {
+    arb_chain().prop_flat_map(|chain| {
+        let n = chain.len();
+        (Just(chain), arb_cuts(n), 1.0f64..1000.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// 1F1B* at any period ≥ the load bound yields a pattern accepted by
+    /// the exact checker when memory is unconstrained.
+    #[test]
+    fn one_f1b_star_is_always_valid((chain, cuts, t_scale) in instance()) {
+        let part = Partition::from_cuts(&cuts, chain.len()).unwrap();
+        let n_gpus = part.len();
+        let platform = Platform::new(n_gpus, u64::MAX / 4, 1_000.0).unwrap();
+        let alloc = Allocation::contiguous(&part, n_gpus).unwrap();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        // Periods from the load bound up to beyond the total load.
+        let t = seq.max_unit_load().max(seq.total_load() * t_scale / 1000.0);
+        let pattern = one_f1b_star(&seq, t);
+        let report = check_pattern(&chain, &platform, &alloc, &seq, &pattern)
+            .expect("1F1B* must be valid at any feasible period");
+
+        // Stage units store exactly their group index (§4.1).
+        let groups = group_assignment(&seq, t);
+        for (u, unit) in seq.units().iter().enumerate() {
+            if !unit.is_comm() {
+                prop_assert_eq!(
+                    report.unit_live_batches[u],
+                    groups[u] as u64,
+                    "unit {} group {} live {}",
+                    u,
+                    groups[u],
+                    report.unit_live_batches[u]
+                );
+            }
+        }
+    }
+
+    /// Group indices never increase along the chain and group loads never
+    /// exceed the period.
+    #[test]
+    fn groups_are_monotone_and_fit((chain, cuts, _t) in instance()) {
+        let part = Partition::from_cuts(&cuts, chain.len()).unwrap();
+        let n_gpus = part.len();
+        let platform = Platform::new(n_gpus, u64::MAX / 4, 1_000.0).unwrap();
+        let alloc = Allocation::contiguous(&part, n_gpus).unwrap();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        let t = seq.max_unit_load();
+        let groups = group_assignment(&seq, t);
+        for w in groups.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // load of every group ≤ T
+        let mut loads = std::collections::HashMap::new();
+        for (u, unit) in seq.units().iter().enumerate() {
+            *loads.entry(groups[u]).or_insert(0.0) += unit.total_time();
+        }
+        for (&g, &load) in &loads {
+            prop_assert!(load <= t + 1e-6, "group {} load {} > {}", g, load, t);
+        }
+    }
+
+    /// The optimal-period search returns a valid pattern whose period is
+    /// never below the load bound, and a coarse linear scan over the same
+    /// candidates never finds a smaller feasible period.
+    #[test]
+    fn best_period_is_minimal_among_group_breakpoints(
+        (chain, cuts, mem_scale) in instance()
+    ) {
+        let part = Partition::from_cuts(&cuts, chain.len()).unwrap();
+        let n_gpus = part.len();
+        // Memory between "barely fits one live batch" and "plentiful".
+        let single = Allocation::contiguous(&part, n_gpus).unwrap();
+        let plenty = Platform::new(n_gpus, u64::MAX / 4, 1_000.0).unwrap();
+        let seq = UnitSequence::from_allocation(&chain, &plenty, &single);
+        let relaxed = one_f1b_star(&seq, seq.total_load());
+        let relaxed_report =
+            check_pattern(&chain, &plenty, &single, &seq, &relaxed).unwrap();
+        let min_needed = relaxed_report.gpu_peak_bytes.iter().copied().max().unwrap();
+        let budget = min_needed + (min_needed as f64 * mem_scale / 500.0) as u64 + 1;
+        let platform = Platform::new(n_gpus, budget, 1_000.0).unwrap();
+
+        let best = best_contiguous_period(&chain, &platform, &single)
+            .expect("budget covers the single-group schedule");
+        prop_assert!(best.period + 1e-9 >= seq.max_unit_load());
+        // Linear scan: no strictly smaller feasible period among a dense
+        // set of probes below the found optimum.
+        let probes = 16;
+        for i in 0..probes {
+            let t = seq.max_unit_load()
+                + (best.period - seq.max_unit_load()) * (i as f64 / probes as f64);
+            if t < best.period - 1e-6 {
+                let p = one_f1b_star(&seq, t);
+                prop_assert!(
+                    check_pattern(&chain, &platform, &single, &seq, &p).is_err(),
+                    "found feasible period {} below reported optimum {}",
+                    t,
+                    best.period
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Discrete-event simulation of pipelined model-parallel training.
+//!
+//! The paper's evaluation is itself a simulation; this crate provides the
+//! event-level substrate and uses it two ways:
+//!
+//! * [`replay`] — execute a periodic [`madpipe_schedule::Pattern`] for
+//!   many periods and *measure* throughput and per-GPU memory peaks,
+//!   cross-validating the analytic checker event by event;
+//! * [`eager`] — the eager 1F1B policy PipeDream actually runs (start
+//!   every operation as soon as its inputs are ready and its resource is
+//!   free, backwards preferred, bounded pipeline depth), which §4.1
+//!   criticizes for its unpredictable memory behaviour — the simulator
+//!   lets us observe exactly that.
+
+pub mod eager;
+pub mod event;
+pub mod replay;
+pub mod report;
+pub mod trace;
+
+pub use eager::{simulate_eager, EagerConfig};
+pub use replay::replay_pattern;
+pub use report::SimReport;
+pub use trace::chrome_trace;

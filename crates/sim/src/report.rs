@@ -1,0 +1,54 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Steady-state period (seconds per mini-batch), estimated from the
+    /// completion times of the last operation of each batch over the
+    /// second half of the run.
+    pub period: f64,
+    /// Total simulated wall-clock time.
+    pub makespan: f64,
+    /// Number of mini-batches fully trained.
+    pub batches: usize,
+    /// Peak memory per GPU (bytes), static + dynamic, observed event by
+    /// event.
+    pub gpu_peak_bytes: Vec<u64>,
+    /// Busy fraction per GPU over the makespan.
+    pub gpu_utilization: Vec<f64>,
+    /// Whether the run ever exceeded the platform memory on some GPU.
+    pub memory_violation: bool,
+}
+
+impl SimReport {
+    /// Throughput in mini-batches per second.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.period
+    }
+
+    /// Largest per-GPU peak.
+    pub fn max_peak_bytes(&self) -> u64 {
+        self.gpu_peak_bytes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries() {
+        let r = SimReport {
+            period: 0.5,
+            makespan: 10.0,
+            batches: 20,
+            gpu_peak_bytes: vec![10, 30, 20],
+            gpu_utilization: vec![0.9, 0.5, 0.7],
+            memory_violation: false,
+        };
+        assert_eq!(r.throughput(), 2.0);
+        assert_eq!(r.max_peak_bytes(), 30);
+    }
+}

@@ -1,0 +1,270 @@
+//! Modular occupancy timeline of one resource.
+//!
+//! A [`Timeline`] tracks the busy intervals of one resource within the
+//! period `[0, T)` and answers the core scheduling query: *the earliest
+//! absolute time `z ≥ ready` whose modular interval `[z mod T, z mod T + d)`
+//! is free*. Occupied intervals never overlap (the placer only inserts
+//! what `earliest_fit` returned), so free time forms circular gaps.
+
+use madpipe_model::util::EPS;
+
+/// Busy/free bookkeeping of one resource over the cyclic period.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    period: f64,
+    /// Sorted, non-overlapping busy segments within `[0, T)`; an op
+    /// wrapping the period boundary contributes two segments.
+    busy: Vec<(f64, f64)>,
+}
+
+impl Timeline {
+    /// Empty timeline of period `T`.
+    pub fn new(period: f64) -> Self {
+        Self {
+            period,
+            busy: Vec::new(),
+        }
+    }
+
+    /// Total busy time.
+    pub fn load(&self) -> f64 {
+        self.busy.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Earliest absolute `z ≥ ready` such that the (possibly wrapping)
+    /// modular interval of length `d` starting at `z mod T` is free.
+    /// Returns `None` when no gap of length `d` exists.
+    pub fn earliest_fit(&self, ready: f64, d: f64) -> Option<f64> {
+        let t = self.period;
+        if d <= EPS {
+            return Some(ready);
+        }
+        if d > t + EPS {
+            return None;
+        }
+        if self.busy.is_empty() {
+            return Some(ready);
+        }
+        // Circular gaps between consecutive busy segments. Gap after the
+        // last segment wraps to the first segment of the next lap.
+        let mut gaps: Vec<(f64, f64)> = Vec::with_capacity(self.busy.len());
+        for w in self.busy.windows(2) {
+            gaps.push((w[0].1, w[1].0));
+        }
+        let last = self.busy[self.busy.len() - 1].1;
+        let first = self.busy[0].0;
+        gaps.push((last, first + t)); // wrap gap, end may exceed T
+
+        let rp = modp(ready, t);
+        let rbase = ready - rp;
+        let mut best: Option<f64> = None;
+        for &(gs, ge) in &gaps {
+            if ge - gs + EPS < d {
+                continue;
+            }
+            // Allowed phases: φ ∈ [gs, ge - d] (φ taken in [0, 2T)).
+            for lap in 0..3 {
+                let z0 = rbase + (lap as f64 - 1.0) * t;
+                let lo = z0 + gs;
+                let hi = z0 + ge - d;
+                let cand = if ready > lo { ready } else { lo };
+                if cand <= hi + EPS && cand + EPS >= ready {
+                    best = Some(best.map_or(cand, |b: f64| b.min(cand)));
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Up to `max_n` distinct feasible absolute times `≥ ready` for an op
+    /// of length `d`, smallest first — the minimal candidate of each
+    /// circular gap (plus later laps of the earliest gap when fewer gaps
+    /// than `max_n` exist). Used by the placer to branch.
+    pub fn candidate_fits(&self, ready: f64, d: f64, max_n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(max_n.max(1));
+        let Some(first) = self.earliest_fit(ready, d) else {
+            return out;
+        };
+        out.push(first);
+        // Subsequent candidates: restart the query just past each found
+        // slot; `d + EPS*2` offset guarantees progress into another gap
+        // or another lap.
+        let mut probe = first;
+        while out.len() < max_n {
+            let Some(next) = self.earliest_fit(probe + d.max(EPS) + 2.0 * EPS, d) else {
+                break;
+            };
+            if next <= probe + EPS {
+                break;
+            }
+            out.push(next);
+            probe = next;
+            // Avoid unbounded lap enumeration on an empty resource.
+            if self.busy.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Latest absolute `z ∈ [lo, hi]` whose modular interval of length
+    /// `d` is free. Returns `None` when no such placement exists.
+    pub fn latest_fit(&self, lo: f64, hi: f64, d: f64) -> Option<f64> {
+        let t = self.period;
+        if hi < lo - EPS {
+            return None;
+        }
+        if d <= EPS {
+            return Some(hi);
+        }
+        if d > t + EPS {
+            return None;
+        }
+        if self.busy.is_empty() {
+            return Some(hi);
+        }
+        let mut gaps: Vec<(f64, f64)> = Vec::with_capacity(self.busy.len());
+        for w in self.busy.windows(2) {
+            gaps.push((w[0].1, w[1].0));
+        }
+        let last = self.busy[self.busy.len() - 1].1;
+        let first = self.busy[0].0;
+        gaps.push((last, first + t));
+
+        let hp = modp(hi, t);
+        let hbase = hi - hp;
+        let mut best: Option<f64> = None;
+        for &(gs, ge) in &gaps {
+            if ge - gs + EPS < d {
+                continue;
+            }
+            // Allowed phases: φ ∈ [gs, ge − d]; try laps around hi, from
+            // the latest downwards.
+            for lap in (0..3).rev() {
+                let z0 = hbase + (lap as f64 - 1.0) * t;
+                let lo_cand = z0 + gs;
+                let hi_cand = z0 + ge - d;
+                let cand = if hi < hi_cand { hi } else { hi_cand };
+                if cand + EPS >= lo_cand && cand + EPS >= lo && cand <= hi + EPS {
+                    best = Some(best.map_or(cand, |b: f64| b.max(cand)));
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Mark `[z mod T, z mod T + d)` busy. The caller must have obtained
+    /// `z` from [`Timeline::earliest_fit`] (debug-asserted).
+    pub fn insert(&mut self, z: f64, d: f64) {
+        let t = self.period;
+        if d <= EPS {
+            return;
+        }
+        let phase = modp(z, t);
+        let end = phase + d;
+        if end <= t + EPS {
+            self.push_segment(phase, end.min(t));
+        } else {
+            self.push_segment(phase, t);
+            self.push_segment(0.0, end - t);
+        }
+    }
+
+    fn push_segment(&mut self, s: f64, e: f64) {
+        if e - s <= EPS {
+            return;
+        }
+        debug_assert!(
+            self.busy
+                .iter()
+                .all(|&(bs, be)| e <= bs + EPS || be <= s + EPS),
+            "segment [{s}, {e}) overlaps existing busy time"
+        );
+        let idx = self
+            .busy
+            .partition_point(|&(bs, _)| bs < s);
+        self.busy.insert(idx, (s, e));
+    }
+}
+
+/// `x mod p` into `[0, p)`, robust to `x` within EPS of a multiple of `p`.
+fn modp(x: f64, p: f64) -> f64 {
+    let r = x - p * (x / p).floor();
+    if p - r <= EPS || r < 0.0 {
+        0.0
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_places_at_ready() {
+        let tl = Timeline::new(10.0);
+        assert_eq!(tl.earliest_fit(3.5, 2.0), Some(3.5));
+        assert_eq!(tl.earliest_fit(3.5, 11.0), None);
+    }
+
+    #[test]
+    fn fits_after_existing_segment() {
+        let mut tl = Timeline::new(10.0);
+        tl.insert(0.0, 4.0);
+        // ready 1: phase 1 is busy until 4 → earliest 4
+        assert_eq!(tl.earliest_fit(1.0, 3.0), Some(4.0));
+        // fits exactly in the wrap gap [4, 10)
+        assert_eq!(tl.earliest_fit(1.0, 6.0), Some(4.0));
+        // too big for the gap
+        assert_eq!(tl.earliest_fit(1.0, 7.0), None);
+    }
+
+    #[test]
+    fn ready_inside_gap_is_kept() {
+        let mut tl = Timeline::new(10.0);
+        tl.insert(0.0, 2.0);
+        tl.insert(8.0, 2.0);
+        assert_eq!(tl.earliest_fit(3.0, 4.0), Some(3.0));
+        // needs the next lap: gap [2,8) again at z=12
+        assert_eq!(tl.earliest_fit(9.0, 4.0), Some(12.0));
+    }
+
+    #[test]
+    fn wrap_gap_accepts_wrapping_ops() {
+        let mut tl = Timeline::new(10.0);
+        tl.insert(2.0, 4.0); // busy [2,6)
+        // gap is [6, 12): an op of 5 at phase 6 wraps to 1
+        let z = tl.earliest_fit(6.0, 5.0).unwrap();
+        assert_eq!(z, 6.0);
+        tl.insert(z, 5.0);
+        // now only [1,2) free
+        assert_eq!(tl.earliest_fit(0.0, 1.0), Some(1.0));
+        assert_eq!(tl.earliest_fit(0.0, 1.5), None);
+    }
+
+    #[test]
+    fn insert_splits_wrapping_segments() {
+        let mut tl = Timeline::new(10.0);
+        tl.insert(8.0, 4.0); // [8,10) + [0,2)
+        assert!((tl.load() - 4.0).abs() < 1e-9);
+        assert_eq!(tl.earliest_fit(0.0, 6.0), Some(2.0));
+    }
+
+    #[test]
+    fn zero_duration_ops_are_free() {
+        let mut tl = Timeline::new(10.0);
+        tl.insert(0.0, 10.0 - 1e-12);
+        assert_eq!(tl.earliest_fit(5.0, 0.0), Some(5.0));
+    }
+
+    #[test]
+    fn ready_far_in_the_future_lands_on_same_phases() {
+        let mut tl = Timeline::new(10.0);
+        tl.insert(0.0, 9.0);
+        // only [9,10) free; ready = 35.5 (phase 5.5) → next free phase 9 → z = 39
+        assert_eq!(tl.earliest_fit(35.5, 1.0), Some(39.0));
+    }
+}

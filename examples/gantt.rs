@@ -1,0 +1,48 @@
+//! Visualize a MadPipe schedule: the periodic Gantt chart (the paper's
+//! Figure 2/3 style) plus the per-GPU memory step profile over one
+//! steady-state period.
+//!
+//! ```sh
+//! cargo run --release --example gantt [network] [P] [M_gb]
+//! ```
+
+use madpipe::core::{madpipe_plan, PlannerConfig};
+use madpipe::dnn::{networks, GpuModel};
+use madpipe::model::{Platform, UnitSequence};
+use madpipe::schedule::check::memory_profile;
+use madpipe::schedule::gantt;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let net_name = args.get(1).map(String::as_str).unwrap_or("resnet50");
+    let p: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let m: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let net = networks::by_name(net_name).expect("unknown network");
+    let chain = net.profile(8, 1000, &GpuModel::default()).unwrap();
+    let platform = Platform::gb(p, m, 12.0).unwrap();
+    let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
+        .expect("planning failed — try a larger memory limit");
+
+    let seq = UnitSequence::from_allocation(&chain, &platform, &plan.allocation);
+    print!("{}", gantt::render(&seq, &plan.schedule.pattern, 100));
+
+    println!("\nper-GPU memory over one period (GB):");
+    const GIB: f64 = (1u64 << 30) as f64;
+    for gpu in 0..platform.n_gpus {
+        let profile = memory_profile(&chain, &plan.allocation, &seq, &plan.schedule.pattern, gpu);
+        let peak = profile.peak();
+        print!("  gpu{gpu}: peak {:.2} / {:.0} GB |", peak as f64 / GIB, platform.memory_bytes as f64 / GIB);
+        for (phase, bytes) in profile.steps.iter().take(8) {
+            print!(" t={:.0}ms:{:.2}", phase * 1e3, *bytes as f64 / GIB);
+        }
+        if profile.steps.len() > 8 {
+            print!(" …");
+        }
+        println!();
+    }
+    println!(
+        "\npipeline depth (max index shift): {} mini-batches in flight",
+        plan.schedule.pattern.max_shift() + 1
+    );
+}

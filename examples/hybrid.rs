@@ -1,0 +1,66 @@
+//! Hybrid model + data parallelism — the paper's future-work perspective
+//! (§6): split the GPUs into replica groups, MadPipe inside each group,
+//! ring all-reduce across groups.
+//!
+//! ```sh
+//! cargo run --release --example hybrid [network] [P] [M_gb] [beta_gb]
+//! ```
+
+use madpipe::core::hybrid::allreduce_bottleneck;
+use madpipe::core::{best_hybrid, madpipe_plan, PlannerConfig};
+use madpipe::dnn::{networks, GpuModel};
+use madpipe::model::Platform;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let net_name = args.get(1).map(String::as_str).unwrap_or("resnet50");
+    let p: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let m: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let beta: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(12.0);
+
+    let net = networks::by_name(net_name).expect("unknown network");
+    let chain = net.profile(8, 1000, &GpuModel::default()).unwrap();
+    let platform = Platform::gb(p, m, beta).unwrap();
+    let cfg = PlannerConfig::default();
+
+    println!(
+        "{} on {p} GPUs ({m} GB, {beta} GB/s): throughput by replica count\n",
+        chain.name()
+    );
+    println!(
+        "{:>9} {:>11} {:>13} {:>14} {:>13}",
+        "replicas", "group size", "period (ms)", "allreduce(ms)", "batches/s"
+    );
+    for d in 1..=p {
+        if !p.is_multiple_of(d) {
+            continue;
+        }
+        let group = Platform {
+            n_gpus: p / d,
+            ..platform
+        };
+        match madpipe_plan(&chain, &group, &cfg) {
+            Ok(plan) => {
+                let ar = allreduce_bottleneck(&chain, &group, &plan, d);
+                let eff = plan.period().max(ar);
+                println!(
+                    "{d:>9} {:>11} {:>13.1} {:>14.2} {:>13.2}",
+                    p / d,
+                    plan.period() * 1e3,
+                    ar * 1e3,
+                    d as f64 / eff
+                );
+            }
+            Err(e) => println!("{d:>9} {:>11} {:>13} ({e})", p / d, "inf"),
+        }
+    }
+
+    let best = best_hybrid(&chain, &platform, &cfg).expect("some configuration plans");
+    println!(
+        "\nbest: {} replica(s) × {} GPUs → {:.2} batches/s ({:.1} images/s at batch 8)",
+        best.replicas,
+        best.group_gpus,
+        best.throughput(),
+        8.0 * best.throughput()
+    );
+}

@@ -1,0 +1,41 @@
+//! Memory-wall study: sweep the per-GPU memory limit and watch the two
+//! planners diverge (the paper's Figure 6, single network).
+//!
+//! ```sh
+//! cargo run --release --example memory_wall [network] [P] [beta_gb]
+//! ```
+
+use madpipe::core::{compare, PlannerConfig};
+use madpipe::dnn::{networks, GpuModel};
+use madpipe::model::Platform;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let net_name = args.get(1).map(String::as_str).unwrap_or("resnet50");
+    let p: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let beta: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(12.0);
+
+    let net = networks::by_name(net_name).expect("unknown network");
+    let chain = net.profile(8, 1000, &GpuModel::default()).unwrap();
+    println!(
+        "{} | P = {p}, beta = {beta} GB/s | U(1,L) = {:.1} ms",
+        chain.name(),
+        chain.total_compute_time() * 1e3
+    );
+    println!("{:>5} | {:>12} {:>12} | {:>12} {:>12} | {:>6}", "M(GB)", "mp-est(ms)", "mp(ms)", "pd-est(ms)", "pd(ms)", "ratio");
+
+    for m in [3u64, 4, 5, 6, 7, 8, 10, 12, 14, 16] {
+        let platform = Platform::gb(p, m, beta).unwrap();
+        let cmp = compare(&chain, &platform, &PlannerConfig::default());
+        let (mp_est, mp) = match &cmp.madpipe {
+            Ok(plan) => (format!("{:.1}", plan.phase1.period * 1e3), format!("{:.1}", plan.period() * 1e3)),
+            Err(_) => ("-".into(), "inf".into()),
+        };
+        let (pd_est, pd) = match &cmp.pipedream {
+            Ok(plan) => (format!("{:.1}", plan.outcome.predicted_period * 1e3), format!("{:.1}", plan.period() * 1e3)),
+            Err(_) => ("-".into(), "inf".into()),
+        };
+        let ratio = cmp.ratio().map(|r| format!("{r:.3}")).unwrap_or("-".into());
+        println!("{m:>5} | {mp_est:>12} {mp:>12} | {pd_est:>12} {pd:>12} | {ratio:>6}");
+    }
+}

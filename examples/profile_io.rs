@@ -1,0 +1,68 @@
+//! Profile interchange: export a synthetic per-layer profile to JSON,
+//! reload it (as an externally measured profile would be), and plan from
+//! the file — the workflow for replacing the analytic cost model with
+//! real measurements.
+//!
+//! ```sh
+//! cargo run --release --example profile_io
+//! ```
+
+use madpipe::core::{madpipe_plan, PlannerConfig};
+use madpipe::dnn::profile::Profile;
+use madpipe::dnn::{inception_v3, GpuModel};
+use madpipe::model::Platform;
+
+fn main() {
+    let gpu = GpuModel::default();
+    let chain = inception_v3().profile(8, 1000, &gpu).unwrap();
+    let profile = Profile {
+        batch: 8,
+        image_size: 1000,
+        gpu: Some(gpu),
+        chain,
+    };
+
+    let dir = std::env::temp_dir().join("madpipe-example");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("inception_v3.json");
+    profile.save(&path).unwrap();
+    println!("wrote {} ({} bytes)", path.display(), std::fs::metadata(&path).unwrap().len());
+
+    // …time passes; someone re-measures the network on real hardware and
+    // hands us the file back…
+    let loaded = Profile::load(&path).unwrap();
+    println!(
+        "loaded {}: {} layers, batch {}, image {}×{}",
+        loaded.chain.name(),
+        loaded.chain.len(),
+        loaded.batch,
+        loaded.image_size,
+        loaded.image_size
+    );
+
+    let platform = Platform::gb(4, 8, 12.0).unwrap();
+    let plan = madpipe_plan(&loaded.chain, &platform, &PlannerConfig::default()).unwrap();
+    println!(
+        "planned from file: period {:.1} ms/batch, {} stages, {} in flight",
+        plan.period() * 1e3,
+        plan.allocation.len(),
+        plan.schedule.pattern.max_shift() + 1
+    );
+
+    // Per-layer dump, the numbers an external profiler must provide.
+    println!("\nfirst five layers of the profile:");
+    println!(
+        "  {:<14} {:>9} {:>9} {:>12} {:>12}",
+        "name", "u_F (ms)", "u_B (ms)", "W (MB)", "a (MB)"
+    );
+    for layer in loaded.chain.layers().iter().take(5) {
+        println!(
+            "  {:<14} {:>9.2} {:>9.2} {:>12.2} {:>12.1}",
+            layer.name,
+            layer.forward_time * 1e3,
+            layer.backward_time * 1e3,
+            layer.weight_bytes as f64 / 1e6,
+            layer.activation_bytes as f64 / 1e6,
+        );
+    }
+}

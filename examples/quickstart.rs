@@ -1,0 +1,57 @@
+//! Quickstart: plan ResNet-50 training on 4 GPUs with MadPipe and compare
+//! against the PipeDream baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use madpipe::core::{compare, PlannerConfig};
+use madpipe::dnn::{resnet50, GpuModel};
+use madpipe::model::Platform;
+
+fn main() {
+    // 1. Profile the network analytically (the paper's settings:
+    //    1000×1000 images, batch size 8, a V100-class GPU).
+    let chain = resnet50()
+        .profile(8, 1000, &GpuModel::default())
+        .expect("profiling cannot fail on a well-formed spec");
+    println!(
+        "{}: {} linearized layers, U(1,L) = {:.1} ms/batch",
+        chain.name(),
+        chain.len(),
+        chain.total_compute_time() * 1e3
+    );
+
+    // 2. Describe the platform: 4 GPUs, 8 GB each, 12 GB/s links.
+    let platform = Platform::gb(4, 8, 12.0).expect("valid platform");
+
+    // 3. Plan with both algorithms.
+    let cmp = compare(&chain, &platform, &PlannerConfig::default());
+
+    match &cmp.madpipe {
+        Ok(plan) => {
+            println!(
+                "MadPipe   : period {:.1} ms  (phase-1 estimate {:.1} ms), {} stages",
+                plan.period() * 1e3,
+                plan.phase1.period * 1e3,
+                plan.phase1.allocation.len(),
+            );
+            for s in plan.phase1.allocation.stages() {
+                println!("    layers {:>2}..{:<2} -> GPU {}", s.layers.start, s.layers.end, s.gpu);
+            }
+        }
+        Err(e) => println!("MadPipe   : FAILED ({e})"),
+    }
+    match &cmp.pipedream {
+        Ok(plan) => println!(
+            "PipeDream : period {:.1} ms  (DP prediction {:.1} ms), {} stages",
+            plan.period() * 1e3,
+            plan.outcome.predicted_period * 1e3,
+            plan.outcome.partition.len(),
+        ),
+        Err(e) => println!("PipeDream : FAILED ({e})"),
+    }
+    if let Some(r) = cmp.ratio() {
+        println!("PipeDream period / MadPipe period = {r:.3}  (>1 means MadPipe wins)");
+    }
+}

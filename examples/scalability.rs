@@ -1,0 +1,59 @@
+//! Scalability study: how far does pipelined model parallelism scale as
+//! GPUs are added, and how does the memory limit cap it? (The paper's
+//! Figure 8 view, for one network.)
+//!
+//! ```sh
+//! cargo run --release --example scalability [network] [beta_gb]
+//! ```
+
+use madpipe::core::{compare, PlannerConfig};
+use madpipe::dnn::{networks, GpuModel};
+use madpipe::model::Platform;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let net_name = args.get(1).map(String::as_str).unwrap_or("resnet50");
+    let beta: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12.0);
+
+    let net = networks::by_name(net_name).expect("unknown network");
+    let chain = net.profile(8, 1000, &GpuModel::default()).unwrap();
+    let sequential = chain.total_compute_time();
+    println!(
+        "{} | beta = {beta} GB/s | sequential U(1,L) = {:.1} ms",
+        chain.name(),
+        sequential * 1e3
+    );
+    println!(
+        "speedup = U(1,L)/period  (MadPipe / PipeDream; '-' = infeasible)"
+    );
+    print!("{:>6} |", "M(GB)");
+    let ps = [2usize, 3, 4, 6, 8];
+    for p in ps {
+        print!(" {:>12} |", format!("P={p}"));
+    }
+    println!();
+
+    for m in [3u64, 6, 12, 16] {
+        print!("{m:>6} |");
+        for p in ps {
+            let platform = Platform::gb(p, m, beta).unwrap();
+            let cmp = compare(&chain, &platform, &PlannerConfig::default());
+            let fmt = |period: Option<f64>| {
+                period
+                    .map(|t| format!("{:.2}", sequential / t))
+                    .unwrap_or_else(|| "-".into())
+            };
+            print!(
+                " {:>5}/{:<6} |",
+                fmt(cmp.madpipe.as_ref().ok().map(|x| x.period())),
+                fmt(cmp.pipedream.as_ref().ok().map(|x| x.period()))
+            );
+        }
+        println!();
+    }
+    println!(
+        "\nReading guide: with plenty of memory the speedup tracks P; at 3 GB\n\
+         the early layers' activation copies dominate and both planners\n\
+         plateau — MadPipe later than PipeDream (§5.2 of the paper)."
+    );
+}

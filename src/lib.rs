@@ -1,0 +1,19 @@
+//! Facade crate for the MadPipe reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so examples, integration
+//! tests and downstream users can `use madpipe::...` without tracking the
+//! internal crate layout.
+//!
+//! See the workspace README for a tour; the typical entry point is
+//! [`core::planner`], which runs both the MadPipe pipeline and the
+//! PipeDream baseline on a [`model::Chain`] + [`model::Platform`] pair.
+
+pub use madpipe_core as core;
+pub use madpipe_dnn as dnn;
+pub use madpipe_model as model;
+pub use madpipe_pipedream as pipedream;
+pub use madpipe_schedule as schedule;
+pub use madpipe_sim as sim;
+pub use madpipe_solver as solver;
+
+pub use madpipe_model::{Allocation, Chain, Layer, Partition, Platform, Resource, Stage};

@@ -1,0 +1,66 @@
+//! Every planner obeys the allocation-independent bounds.
+
+use proptest::prelude::*;
+
+use madpipe::core::{madpipe_plan, PlannerConfig};
+use madpipe::model::{Chain, Layer, Platform};
+use madpipe::pipedream::{gpipe_plan, pipedream_plan, GPipeConfig};
+use madpipe::schedule::{
+    period_lower_bound, period_upper_bound, trivially_infeasible,
+};
+
+fn arb_chain() -> impl Strategy<Value = Chain> {
+    prop::collection::vec((0.2f64..3.0, 0.2f64..3.0, 0u64..5_000, 1u64..50_000), 2..=7).prop_map(
+        |specs| {
+            let layers = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(f, b, w, a))| Layer::new(format!("l{i}"), f, b, w, a))
+                .collect();
+            Chain::new("bnd", 2_000, layers).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_planners_respect_the_period_bounds(
+        chain in arb_chain(),
+        p in 2usize..=4,
+        mem_exp in 18u32..=30,
+    ) {
+        let platform = Platform::new(p, 1u64 << mem_exp, 5_000.0).unwrap();
+        let lb = period_lower_bound(&chain, &platform);
+        let ub = period_upper_bound(&chain, &platform);
+
+        if let Ok(plan) = madpipe_plan(&chain, &platform, &PlannerConfig::default()) {
+            prop_assert!(plan.period() + 1e-9 >= lb, "MadPipe below the lower bound");
+            prop_assert!(plan.period() <= ub + 1e-9, "MadPipe above sequential");
+        }
+        if let Ok(plan) = pipedream_plan(&chain, &platform) {
+            prop_assert!(plan.period() + 1e-9 >= lb);
+            prop_assert!(plan.period() <= ub + 1e-9);
+        }
+        if let Some(plan) = gpipe_plan(&chain, &platform, &GPipeConfig::default()) {
+            // GPipe recomputes forwards, so its upper bound includes the
+            // extra forward pass; the lower bound still holds.
+            prop_assert!(plan.period + 1e-9 >= lb);
+        }
+    }
+
+    #[test]
+    fn trivial_infeasibility_implies_planner_failure(
+        chain in arb_chain(),
+        p in 2usize..=4,
+    ) {
+        // Shrink memory just below the aggregate requirement.
+        let need = madpipe::schedule::aggregate_memory_required(&chain);
+        let per_gpu = (need / p as u64).saturating_sub(1).max(1);
+        let platform = Platform::new(p, per_gpu, 5_000.0).unwrap();
+        prop_assume!(trivially_infeasible(&chain, &platform));
+        prop_assert!(madpipe_plan(&chain, &platform, &PlannerConfig::default()).is_err());
+        prop_assert!(pipedream_plan(&chain, &platform).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! The `⊕` delay propagation (§4.2.2) against real 1F1B* group counts.
+//!
+//! MadPipe-DP estimates the live-batch count of a stage as
+//! `g = ⌈(V + U)/T̂⌉`, with `V` built by folding the stage and
+//! communication loads behind it through `⊕`. On a contiguous
+//! partitioning scheduled at exactly `T = T̂`, that estimate must equal
+//! the group index that 1F1B*'s greedy packing actually assigns — which
+//! in turn (Proposition 1 / the schedule crate's proptests) equals the
+//! stage's true stored-activation count.
+
+use proptest::prelude::*;
+
+use madpipe::core::oplus;
+use madpipe::model::{Allocation, Chain, Layer, Partition, Platform, UnitKind, UnitSequence};
+use madpipe::schedule::group_assignment;
+use madpipe::model::util::ceil_div;
+
+fn arb_chain() -> impl Strategy<Value = Chain> {
+    prop::collection::vec((0.1f64..5.0, 0.1f64..5.0, 1u64..50_000), 2..=9).prop_map(|specs| {
+        let layers = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, b, a))| Layer::new(format!("l{i}"), f, b, 0, a))
+            .collect();
+        Chain::new("rand", 10_000, layers).unwrap()
+    })
+}
+
+fn arb_cuts(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(prop::bool::ANY, n - 1).prop_map(|mask| {
+        mask.iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i + 1)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn oplus_chain_reproduces_group_assignment(
+        (chain, cuts, slack) in arb_chain().prop_flat_map(|c| {
+            let n = c.len();
+            (Just(c), arb_cuts(n), 1.0f64..3.0)
+        })
+    ) {
+        let part = Partition::from_cuts(&cuts, chain.len()).unwrap();
+        let n_gpus = part.len();
+        let platform = Platform::new(n_gpus, u64::MAX / 4, 100.0).unwrap();
+        let alloc = Allocation::contiguous(&part, n_gpus).unwrap();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        let t_hat = seq.max_unit_load() * slack;
+        let groups = group_assignment(&seq, t_hat);
+
+        // Fold the chain from the back exactly as MadPipe-DP does:
+        // V' = (V ⊕ U(stage)) ⊕ C(cut-before-stage).
+        let mut v = 0.0f64;
+        for (idx, unit) in seq.units().iter().enumerate().rev() {
+            match &unit.kind {
+                UnitKind::Stage { .. } => {
+                    let u = unit.total_time();
+                    let g = ceil_div(v + u, t_hat).max(1);
+                    prop_assert_eq!(
+                        g,
+                        groups[idx] as u64,
+                        "stage unit {} (v = {}, u = {}, T̂ = {}): DP estimate {} vs 1F1B* group {}",
+                        idx, v, u, t_hat, g, groups[idx]
+                    );
+                    v = oplus(v, u, t_hat);
+                }
+                UnitKind::Comm { .. } => {
+                    v = oplus(v, unit.total_time(), t_hat);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The paper's qualitative claims, asserted on a reduced grid.
+//!
+//! These tests pin the *shape* of the evaluation (§5.2) — who wins,
+//! where the gap opens, how predictions relate to achieved periods — not
+//! absolute numbers (our substrate is an analytic cost model, not the
+//! authors' testbed).
+
+use madpipe::core::{compare, PlannerConfig};
+use madpipe::dnn::{resnet50, GpuModel};
+use madpipe::model::{Chain, Platform};
+
+fn chain() -> Chain {
+    // Full-scale paper setting for resnet50 (fast enough even in debug).
+    resnet50().profile(8, 1000, &GpuModel::default()).unwrap()
+}
+
+/// §5.2: "the partitioning produced by PipeDream is very optimistic and
+/// expects to achieve a very small period, but then turns out infeasible,
+/// resulting in a very high overhead" — at tight memory the achieved
+/// period must exceed the DP's prediction by a wide margin.
+#[test]
+fn pipedream_prediction_is_optimistic_at_tight_memory() {
+    let chain = chain();
+    let tight = Platform::gb(4, 3, 12.0).unwrap();
+    let cmp = compare(&chain, &tight, &PlannerConfig::default());
+    let pd = cmp.pipedream.expect("PipeDream plans at 3 GB for resnet50");
+    assert!(
+        pd.optimism_ratio() > 1.5,
+        "expected a large prediction gap at 3 GB, got {:.2}",
+        pd.optimism_ratio()
+    );
+
+    // With plentiful memory the prediction is accurate.
+    let roomy = Platform::gb(4, 16, 12.0).unwrap();
+    let cmp = compare(&chain, &roomy, &PlannerConfig::default());
+    let pd = cmp.pipedream.unwrap();
+    assert!(
+        pd.optimism_ratio() < 1.15,
+        "prediction should be near-exact at 16 GB, got {:.2}",
+        pd.optimism_ratio()
+    );
+}
+
+/// §5.2: "MadPipe allows to obtain significantly more efficient schedules
+/// in most cases, especially when the memory is more constrained" — the
+/// PipeDream/MadPipe ratio at the tightest memory beats the ratio at the
+/// loosest, and MadPipe never loses anywhere on the sweep.
+#[test]
+fn madpipe_advantage_grows_as_memory_shrinks() {
+    let chain = chain();
+    let mut ratios = Vec::new();
+    for m in [3u64, 6, 10, 16] {
+        let platform = Platform::gb(4, m, 12.0).unwrap();
+        let cmp = compare(&chain, &platform, &PlannerConfig::default());
+        let r = cmp.ratio().expect("both plan for resnet50/P=4");
+        assert!(r >= 0.99, "MadPipe lost at M={m}: ratio {r:.3}");
+        ratios.push(r);
+    }
+    assert!(
+        ratios[0] > ratios[3],
+        "tight-memory ratio {:.3} should exceed loose-memory ratio {:.3}",
+        ratios[0],
+        ratios[3]
+    );
+    assert!(
+        ratios[0] > 1.1,
+        "expected ≥10% advantage at 3 GB, got {:.3}",
+        ratios[0]
+    );
+}
+
+/// §5.2 / Figure 8: speedup grows with P when memory is plentiful.
+#[test]
+fn speedup_scales_with_gpus_at_large_memory() {
+    let chain = chain();
+    let sequential = chain.total_compute_time();
+    let mut speedups = Vec::new();
+    for p in [2usize, 4, 8] {
+        let platform = Platform::gb(p, 16, 12.0).unwrap();
+        let cmp = compare(&chain, &platform, &PlannerConfig::default());
+        let plan = cmp.madpipe.expect("plans at 16 GB");
+        speedups.push(sequential / plan.period());
+    }
+    assert!(speedups[0] > 1.5, "P=2 speedup {:.2}", speedups[0]);
+    assert!(
+        speedups[1] > speedups[0] * 1.3,
+        "P=4 ({:.2}) should clearly beat P=2 ({:.2})",
+        speedups[1],
+        speedups[0]
+    );
+    assert!(
+        speedups[2] > speedups[1],
+        "P=8 ({:.2}) should beat P=4 ({:.2})",
+        speedups[2],
+        speedups[1]
+    );
+}
+
+/// §5.2: "the speedup gets worse" when memory shrinks — at 3 GB the
+/// speedup at P=8 is far below the 16 GB speedup.
+#[test]
+fn tight_memory_caps_the_speedup() {
+    let chain = chain();
+    let sequential = chain.total_compute_time();
+    let at = |m: u64| {
+        let platform = Platform::gb(8, m, 12.0).unwrap();
+        let cmp = compare(&chain, &platform, &PlannerConfig::default());
+        sequential / cmp.madpipe.expect("plans").period()
+    };
+    let tight = at(3);
+    let roomy = at(16);
+    assert!(
+        tight < roomy * 0.6,
+        "3 GB speedup {tight:.2} should collapse vs 16 GB speedup {roomy:.2}"
+    );
+}
+
+/// §5.2: "Increasing the bandwidth does not dramatically improve this
+/// behavior" — doubling β at tight memory moves the period only mildly.
+#[test]
+fn bandwidth_is_not_the_bottleneck_at_tight_memory() {
+    let chain = chain();
+    let at = |beta: f64| {
+        let platform = Platform::gb(4, 4, beta).unwrap();
+        compare(&chain, &platform, &PlannerConfig::default())
+            .madpipe
+            .expect("plans")
+            .period()
+    };
+    let slow = at(12.0);
+    let fast = at(24.0);
+    assert!(
+        fast > slow * 0.75,
+        "doubling bandwidth should not halve the period: {:.1} → {:.1} ms",
+        slow * 1e3,
+        fast * 1e3
+    );
+}
+
+/// MadPipe's phase-1 estimate tracks its achieved period far better than
+/// PipeDream's DP tracks its own (the dashed/solid gap comparison of
+/// Figure 6).
+#[test]
+fn madpipe_estimates_are_more_honest_than_pipedreams() {
+    let chain = chain();
+    let mut mp_gap = Vec::new();
+    let mut pd_gap = Vec::new();
+    for m in [3u64, 4, 6, 8] {
+        let platform = Platform::gb(4, m, 12.0).unwrap();
+        let cmp = compare(&chain, &platform, &PlannerConfig::default());
+        if let (Ok(mp), Ok(pd)) = (&cmp.madpipe, &cmp.pipedream) {
+            mp_gap.push(mp.period() / mp.phase1.period);
+            pd_gap.push(pd.optimism_ratio());
+        }
+    }
+    let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    assert!(
+        gm(&mp_gap) < gm(&pd_gap),
+        "MadPipe gap {:.2} should be smaller than PipeDream gap {:.2}",
+        gm(&mp_gap),
+        gm(&pd_gap)
+    );
+}
