@@ -103,7 +103,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("plan/default_grid", |b| {
-        b.iter(|| madpipe_plan(&chain, &platform, &PlannerConfig::default()).unwrap().period())
+        b.iter(|| {
+            madpipe_plan(&chain, &platform, &PlannerConfig::default())
+                .unwrap()
+                .period()
+        })
     });
     let coarse = PlannerConfig {
         algorithm1: Algorithm1Config {

@@ -39,7 +39,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| check_pattern(chain, &platform, &plan.allocation, &seq, &pattern).unwrap())
         });
         group.bench_function("best_contiguous_period/resnet50", |b| {
-            b.iter(|| best_contiguous_period(chain, &platform, &plan.allocation).unwrap().period)
+            b.iter(|| {
+                best_contiguous_period(chain, &platform, &plan.allocation)
+                    .unwrap()
+                    .period
+            })
         });
         group.finish();
     }
@@ -52,7 +56,13 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("pipedream_dp", chain.name()),
                 chain,
-                |b, chain| b.iter(|| pipedream_partition(chain, &platform).unwrap().predicted_period),
+                |b, chain| {
+                    b.iter(|| {
+                        pipedream_partition(chain, &platform)
+                            .unwrap()
+                            .predicted_period
+                    })
+                },
             );
             let t_hat = chain.total_compute_time() / platform.n_gpus as f64;
             group.bench_with_input(
@@ -71,13 +81,16 @@ fn bench(c: &mut Criterion) {
     // Phase-2 solver and the simulator on a MadPipe allocation.
     {
         let chain = &chains[0];
-        let plan =
-            madpipe_core::madpipe_plan(chain, &platform, &Default::default()).unwrap();
+        let plan = madpipe_core::madpipe_plan(chain, &platform, &Default::default()).unwrap();
         let alloc: &Allocation = &plan.allocation;
         let mut group = c.benchmark_group("scheduling");
         group.sample_size(10);
         group.bench_function("solver_best_period/resnet50", |b| {
-            b.iter(|| best_period(chain, &platform, alloc, &PlaceConfig::default()).unwrap().period)
+            b.iter(|| {
+                best_period(chain, &platform, alloc, &PlaceConfig::default())
+                    .unwrap()
+                    .period
+            })
         });
         group.bench_function("simulate_eager_100_batches/resnet50", |b| {
             b.iter(|| {

@@ -54,7 +54,11 @@ fn bench(c: &mut Criterion) {
     let platform = Platform::gb(4, 8, 12.0).unwrap();
     let mut group = c.benchmark_group("baselines");
     group.bench_function("gpipe_plan/resnet50_p4_m8", |b| {
-        b.iter(|| gpipe_plan(&chain, &platform, &GPipeConfig::default()).unwrap().period)
+        b.iter(|| {
+            gpipe_plan(&chain, &platform, &GPipeConfig::default())
+                .unwrap()
+                .period
+        })
     });
     group.finish();
 }

@@ -37,7 +37,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
     group.bench_function("madpipe_plan/resnet50_p4_m8", |b| {
-        b.iter(|| madpipe_plan(&chain, &platform, &PlannerConfig::default()).unwrap().period())
+        b.iter(|| {
+            madpipe_plan(&chain, &platform, &PlannerConfig::default())
+                .unwrap()
+                .period()
+        })
     });
     group.bench_function("pipedream_plan/resnet50_p4_m8", |b| {
         b.iter(|| pipedream_plan(&chain, &platform).unwrap().period())

@@ -39,7 +39,11 @@ fn bench(c: &mut Criterion) {
     for p in [2usize, 4, 8] {
         let platform = Platform::gb(p, 12, 12.0).unwrap();
         group.bench_function(format!("madpipe_plan/resnet50_p{p}_m12"), |b| {
-            b.iter(|| madpipe_plan(resnet, &platform, &PlannerConfig::default()).unwrap().period())
+            b.iter(|| {
+                madpipe_plan(resnet, &platform, &PlannerConfig::default())
+                    .unwrap()
+                    .period()
+            })
         });
     }
     group.finish();

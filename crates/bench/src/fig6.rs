@@ -21,6 +21,9 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         "madpipe_ms",
         "pipedream_est_ms",
         "pipedream_ms",
+        "planning_s",
+        "dp_solves",
+        "dp_probes_saved",
     ]);
     let mut cells: Vec<&CellResult> = results
         .iter()
@@ -72,6 +75,9 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
             ms(r.madpipe),
             ms(r.pipedream_estimate),
             ms(r.pipedream),
+            format!("{:.3}", r.planning_seconds),
+            r.dp_solves.to_string(),
+            r.dp_probes_saved.to_string(),
         ]);
     }
     (text, table)
@@ -96,6 +102,9 @@ mod tests {
             pipedream_estimate: Some(0.1),
             pipedream: Some(0.14),
             planning_seconds: 0.5,
+            dp_solves: 3,
+            dp_probes_saved: 1,
+            dp_states: 10,
         }
     }
 

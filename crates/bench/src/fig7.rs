@@ -30,7 +30,10 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         text,
         "Figure 7 — geometric mean over (P, beta) of PipeDream/MadPipe period ratio"
     );
-    let _ = writeln!(text, "  (>1 means MadPipe is faster; 'pd-fail' counts cells only MadPipe could plan)");
+    let _ = writeln!(
+        text,
+        "  (>1 means MadPipe is faster; 'pd-fail' counts cells only MadPipe could plan)"
+    );
     let _ = write!(text, "  {:>5} |", "M(GB)");
     for net in &networks {
         let _ = write!(text, " {:>22} |", net);
@@ -53,12 +56,7 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
             let shown = gmean
                 .map(|g| format!("{g:.3}"))
                 .unwrap_or_else(|| "-".into());
-            let _ = write!(
-                text,
-                " {:>12} ({} pd-fail) |",
-                shown,
-                pd_fail
-            );
+            let _ = write!(text, " {:>12} ({} pd-fail) |", shown, pd_fail);
             table.push(vec![
                 net.to_string(),
                 m.to_string(),
@@ -92,15 +90,18 @@ mod tests {
             pipedream_estimate: pd,
             pipedream: pd,
             planning_seconds: 0.1,
+            dp_solves: 3,
+            dp_probes_saved: 0,
+            dp_states: 10,
         }
     }
 
     #[test]
     fn aggregates_ratios_per_network_and_memory() {
         let results = vec![
-            cell("resnet50", 2, 3, Some(0.1), Some(0.2)), // ratio 2
+            cell("resnet50", 2, 3, Some(0.1), Some(0.2)),  // ratio 2
             cell("resnet50", 4, 3, Some(0.1), Some(0.05)), // ratio 0.5
-            cell("resnet50", 2, 8, Some(0.1), None),      // pd failure
+            cell("resnet50", 2, 8, Some(0.1), None),       // pd failure
         ];
         let (text, table) = generate(&results);
         // gm(2, 0.5) = 1

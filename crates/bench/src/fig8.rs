@@ -49,9 +49,8 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
                             && r.cell.p == p
                             && r.cell.beta_gb as u64 == beta
                     });
-                    let fmt = |v: Option<f64>| {
-                        v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into())
-                    };
+                    let fmt =
+                        |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into());
                     match r {
                         Some(r) => {
                             let _ = write!(
@@ -103,6 +102,9 @@ mod tests {
             pipedream_estimate: None,
             pipedream: None,
             planning_seconds: 0.1,
+            dp_solves: 3,
+            dp_probes_saved: 0,
+            dp_states: 10,
         }
     }
 

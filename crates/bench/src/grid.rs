@@ -2,8 +2,6 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
 use madpipe_core::{compare, PlannerConfig};
 use madpipe_dnn::{networks, GpuModel};
 use madpipe_model::{Chain, Platform};
@@ -74,7 +72,7 @@ impl GridConfig {
 }
 
 /// One `(network, P, M, β)` instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     pub network: String,
     pub p: usize,
@@ -84,7 +82,7 @@ pub struct Cell {
 
 /// Both planners' results on one cell. Periods are seconds per
 /// mini-batch; `None` means the planner failed (memory-infeasible).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     pub cell: Cell,
     /// Sequential time `U(1,L)` of the network (speedup baseline).
@@ -99,6 +97,12 @@ pub struct CellResult {
     pub pipedream: Option<f64>,
     /// Wall-clock seconds spent planning (both planners).
     pub planning_seconds: f64,
+    /// DP solves that actually ran inside MadPipe's probe session.
+    pub dp_solves: usize,
+    /// Probes answered without a solve (outcome cache + monotone bound).
+    pub dp_probes_saved: usize,
+    /// Memoized DP states created across this cell's solves.
+    pub dp_states: u64,
 }
 
 impl CellResult {
@@ -154,6 +158,9 @@ pub fn run_cell(chain: &Chain, cell: &Cell, planner: &PlannerConfig) -> CellResu
             .map(|p| p.outcome.predicted_period),
         pipedream: cmp.pipedream.as_ref().ok().map(|p| p.period()),
         planning_seconds,
+        dp_solves: cmp.stats.dp.solves,
+        dp_probes_saved: cmp.stats.dp.probes_saved(),
+        dp_states: cmp.stats.dp.states_created,
     }
 }
 
@@ -231,6 +238,8 @@ mod tests {
         assert!(r.madpipe.is_some());
         assert!(r.pipedream.is_some());
         assert!(r.ratio().unwrap() > 0.5);
+        assert!(r.dp_solves > 0);
+        assert!(r.dp_states > 0);
         assert!(r.madpipe.unwrap() + 1e-12 >= r.sequential / 2.0 * 0.99);
     }
 }

@@ -4,7 +4,7 @@
 //! profiled at 1000×1000 / batch 8, `P ∈ 2..=8`, `M ∈ 3..=16` GB,
 //! `β ∈ {12, 24}` GB/s) and evaluates one *cell* — both planners on one
 //! `(network, P, M, β)` instance. [`parallel`] fans cells out over a
-//! crossbeam-scoped worker pool. The `fig6`/`fig7`/`fig8` modules
+//! scoped worker pool. The `fig6`/`fig7`/`fig8` modules
 //! aggregate cells into exactly the series the paper plots and render
 //! them as text tables + CSV files.
 

@@ -1,4 +1,4 @@
-//! Crossbeam-scoped worker pool fanning grid cells over CPU cores.
+//! Scoped worker pool fanning grid cells over CPU cores.
 //!
 //! The planners are pure CPU-bound functions of `(chain, cell)`, so the
 //! sweep parallelizes embarrassingly: a shared atomic cursor hands out
@@ -43,18 +43,16 @@ pub fn run_cells(
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
 
-    // Hand each worker a disjoint view over the results through raw
-    // chunking: collect (index, slot) pairs via a mutex-free split by
-    // sharing a Vec of per-cell slots is not directly possible, so use
-    // scoped threads writing through an index-sliced channel-free design:
-    // each worker collects its (index, result) pairs locally and merges
-    // at join time.
-    crossbeam::thread::scope(|scope| {
+    // Each worker pulls cell indices from a shared atomic cursor,
+    // collects its (index, result) pairs locally, and merges at join
+    // time — no `Arc`, no channels, no locks on the hot path.
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let cursor = &cursor;
             let done = &done;
-            handles.push(scope.spawn(move |_| {
+            let chain_for = &chain_for;
+            handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, CellResult)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -78,8 +76,7 @@ pub fn run_cells(
                 results[i] = Some(r);
             }
         }
-    })
-    .expect("scope panicked");
+    });
 
     results
         .into_iter()

@@ -34,6 +34,12 @@ pub struct Summary {
     pub madpipe_optimism: Option<f64>,
     /// Total planning wall-clock (both planners, all cells).
     pub planning_seconds: f64,
+    /// DP solves that actually ran across all cells (planner cost).
+    pub dp_solves: usize,
+    /// Probes answered by cross-probe reuse instead of a solve.
+    pub dp_probes_saved: usize,
+    /// Memoized DP states created across all cells.
+    pub dp_states: u64,
 }
 
 /// Compute the summary.
@@ -50,6 +56,9 @@ pub fn summarize(results: &[CellResult]) -> Summary {
         pipedream_optimism: None,
         madpipe_optimism: None,
         planning_seconds: results.iter().map(|r| r.planning_seconds).sum(),
+        dp_solves: results.iter().map(|r| r.dp_solves).sum(),
+        dp_probes_saved: results.iter().map(|r| r.dp_probes_saved).sum(),
+        dp_states: results.iter().map(|r| r.dp_states).sum(),
     };
     let mut ratios = Vec::new();
     let mut tight = Vec::new();
@@ -85,7 +94,9 @@ pub fn summarize(results: &[CellResult]) -> Summary {
         .iter()
         .flatten()
         .copied()
-        .fold(None, |acc: Option<f64>, r| Some(acc.map_or(r, |a| a.max(r))));
+        .fold(None, |acc: Option<f64>, r| {
+            Some(acc.map_or(r, |a| a.max(r)))
+        });
     s.overall_ratio = geometric_mean(ratios);
     s.tight_ratio = geometric_mean(tight);
     s.pipedream_optimism = geometric_mean(pd_gap);
@@ -118,6 +129,11 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         fmt(s.madpipe_optimism)
     );
     let _ = writeln!(text, "  total planning time: {:.1} s", s.planning_seconds);
+    let _ = writeln!(
+        text,
+        "  planner cost: {} DP solves ({} probes saved by reuse), {} states",
+        s.dp_solves, s.dp_probes_saved, s.dp_states
+    );
 
     let mut table = Table::new(&[
         "cells",
@@ -132,6 +148,9 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         "pipedream_optimism",
         "madpipe_optimism",
         "planning_seconds",
+        "dp_solves",
+        "dp_probes_saved",
+        "dp_states",
     ]);
     table.push(vec![
         results.len().to_string(),
@@ -146,6 +165,9 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         fmt(s.pipedream_optimism),
         fmt(s.madpipe_optimism),
         format!("{:.1}", s.planning_seconds),
+        s.dp_solves.to_string(),
+        s.dp_probes_saved.to_string(),
+        s.dp_states.to_string(),
     ]);
     (text, table)
 }
@@ -169,6 +191,9 @@ mod tests {
             pipedream_estimate: pd.map(|x| x * 0.5),
             pipedream: pd,
             planning_seconds: 1.0,
+            dp_solves: 5,
+            dp_probes_saved: 2,
+            dp_states: 100,
         }
     }
 
@@ -190,6 +215,9 @@ mod tests {
         assert!((s.tight_ratio.unwrap() - 2.0).abs() < 1e-12);
         assert!((s.pipedream_optimism.unwrap() - 2.0).abs() < 1e-12);
         assert_eq!(s.planning_seconds, 4.0);
+        assert_eq!(s.dp_solves, 20);
+        assert_eq!(s.dp_probes_saved, 8);
+        assert_eq!(s.dp_states, 400);
         let (text, table) = generate(&results);
         assert!(text.contains("MadPipe wins 1"));
         assert_eq!(table.len(), 1);

@@ -21,7 +21,10 @@ USAGE:
   madpipe plan <network> [--gpus P] [--memory-gb M] [--bandwidth-gb B]
                [--batch N] [--image S] [--profile FILE]
                [--gpu-model v100|a100|rtx3090] [--max-layers N]
+               [--threads N] [--stats]
       Plan with MadPipe and the PipeDream baseline, print both.
+      --threads evaluates independent probes in parallel (default 1);
+      --stats prints planner counters and the probe timeline.
   madpipe gantt <network> [same flags as plan]
       Print the ASCII Gantt chart of the MadPipe schedule.
   madpipe simulate <network> [same flags as plan] [--batches N]
@@ -42,7 +45,7 @@ Defaults: --gpus 4, --memory-gb 8, --bandwidth-gb 12, --batch 8,
 --image 1000.";
 
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
-    let args = parse(argv, &["full", "quiet"])?;
+    let args = parse(argv, &["full", "quiet", "stats"])?;
     match args.positional.first().map(String::as_str) {
         Some("networks") => cmd_networks(),
         Some("plan") => cmd_plan(&args),
@@ -65,10 +68,7 @@ fn load_chain(args: &Args) -> Result<Chain, String> {
         let p = Profile::load(path).map_err(|e| format!("loading profile {path}: {e}"))?;
         return Ok(p.chain);
     }
-    let name = args
-        .positional
-        .get(1)
-        .ok_or("missing <network> argument")?;
+    let name = args.positional.get(1).ok_or("missing <network> argument")?;
     let batch = args.get_or("batch", 8u64)?;
     let image = args.get_or("image", 1000u64)?;
     let spec = networks::by_name(name).ok_or_else(|| {
@@ -80,7 +80,9 @@ fn load_chain(args: &Args) -> Result<Chain, String> {
         Some(g) => GpuModel::by_name(g).ok_or_else(|| format!("unknown GPU model `{g}`"))?,
         None => GpuModel::default(),
     };
-    let chain = spec.profile(batch, image, &gpu).map_err(|e| e.to_string())?;
+    let chain = spec
+        .profile(batch, image, &gpu)
+        .map_err(|e| e.to_string())?;
     Ok(match args.get::<usize>("max-layers")? {
         Some(cap) => madpipe_dnn::coarsen(&chain, cap),
         None => chain,
@@ -128,7 +130,11 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         platform.memory_bytes as f64 / (1u64 << 30) as f64,
         platform.bandwidth / (1u64 << 30) as f64,
     );
-    let cmp = compare(&chain, &platform, &PlannerConfig::default());
+    let planner = PlannerConfig {
+        threads: args.get_or("threads", 1usize)?.max(1),
+        ..PlannerConfig::default()
+    };
+    let cmp = compare(&chain, &platform, &planner);
     match &cmp.madpipe {
         Ok(plan) => {
             println!(
@@ -158,6 +164,48 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     if let Some(r) = cmp.ratio() {
         println!("ratio (PipeDream/MadPipe): {r:.3}  (>1 means MadPipe wins)");
     }
+    if args.has("stats") {
+        let stats = &cmp.stats;
+        println!("planner   : {}", stats.summary());
+        println!(
+            "  phases  : phase1 {:.3}s, fallback {:.3}s, refine {:.3}s, schedule {:.3}s",
+            stats.phase1_seconds,
+            stats.fallback_seconds,
+            stats.refine_seconds,
+            stats.schedule_seconds
+        );
+        println!(
+            "  dp      : memo hits {}, load prunes {}, memory prunes {}",
+            stats.dp.memo_hits, stats.dp.load_prunes, stats.dp.memory_prunes
+        );
+        println!(
+            "  {:<12} {:>12} {:>8} {:>12} {:>8} {:>10}",
+            "probe", "T-hat ms", "special", "period ms", "states", "answer"
+        );
+        for p in &stats.probes {
+            let answer = if p.cached {
+                "cached"
+            } else if p.pruned {
+                "pruned"
+            } else {
+                "solved"
+            };
+            let period = if p.period.is_finite() {
+                format!("{:.3}", p.period * 1e3)
+            } else {
+                "inf".to_string()
+            };
+            println!(
+                "  {:<12} {:>12.3} {:>8} {:>12} {:>8} {:>10}",
+                p.source.to_string(),
+                p.t_hat * 1e3,
+                p.use_special,
+                period,
+                p.states,
+                answer
+            );
+        }
+    }
     Ok(())
 }
 
@@ -177,7 +225,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let batches = args.get_or("batches", 100usize)?;
     let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
         .map_err(|e| format!("planning failed: {e}"))?;
-    let replay = replay_pattern(&chain, &platform, &plan.allocation, &plan.schedule.pattern, batches);
+    let replay = replay_pattern(
+        &chain,
+        &platform,
+        &plan.allocation,
+        &plan.schedule.pattern,
+        batches,
+    );
     println!(
         "replay   : period {:.1} ms (analytic {:.1} ms), peak {:.2} GB, violation: {}",
         replay.period * 1e3,
@@ -221,7 +275,10 @@ fn cmd_hybrid(args: &Args) -> Result<(), String> {
         hybrid.allreduce_time * 1e3,
         hybrid.effective_period * 1e3
     );
-    println!("  aggregate throughput: {:.2} batches/s", hybrid.throughput());
+    println!(
+        "  aggregate throughput: {:.2} batches/s",
+        hybrid.throughput()
+    );
     Ok(())
 }
 
@@ -248,10 +305,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let chain = load_chain(args)?;
     let batch = args.get_or("batch", 8u64)?;
     let image = args.get_or("image", 1000u64)?;
-    let out: PathBuf = args
-        .raw("out")
-        .ok_or("profile requires --out FILE")?
-        .into();
+    let out: PathBuf = args.raw("out").ok_or("profile requires --out FILE")?.into();
     let profile = Profile {
         batch,
         image_size: image,
@@ -264,11 +318,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_experiments(args: &Args) -> Result<(), String> {
-    let which = args
-        .positional
-        .get(1)
-        .map(String::as_str)
-        .unwrap_or("all");
+    let which = args.positional.get(1).map(String::as_str).unwrap_or("all");
     let grid = if args.has("full") {
         GridConfig::full()
     } else {
@@ -296,14 +346,23 @@ fn cmd_experiments(args: &Args) -> Result<(), String> {
         "running {} cells on the {} grid ({} threads)...",
         cells.len(),
         if args.has("full") { "full" } else { "quick" },
-        if threads == 0 { "auto".to_string() } else { threads.to_string() }
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
     );
     let chains = paper_chains(&grid);
     let planner = PlannerConfig::default();
     let results = run_cells(&chains, &cells, &planner, threads, !quiet);
 
     let total_planning: f64 = results.iter().map(|r| r.planning_seconds).sum();
-    eprintln!("planning time over all cells: {total_planning:.1} s");
+    let total_solves: usize = results.iter().map(|r| r.dp_solves).sum();
+    let total_saved: usize = results.iter().map(|r| r.dp_probes_saved).sum();
+    eprintln!(
+        "planning time over all cells: {total_planning:.1} s \
+         ({total_solves} DP solves, {total_saved} probes saved by reuse)"
+    );
 
     let emit = |name: &str, text: String, table: madpipe_bench::csv::Table| -> Result<(), String> {
         println!("{text}");

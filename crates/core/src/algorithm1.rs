@@ -13,7 +13,8 @@
 use madpipe_model::{Allocation, Chain, Platform};
 
 use crate::discrete::Discretization;
-use crate::dp::madpipe_dp_with;
+use crate::dp::ProbeSession;
+use crate::stats::ProbeSource;
 
 /// Tuning of Algorithm 1.
 #[derive(Debug, Clone, Copy)]
@@ -73,8 +74,16 @@ impl Algorithm1Outcome {
     /// Distinct feasible allocations over all probes, best estimate
     /// first (deduplicated).
     pub fn candidate_allocations(&self) -> Vec<&Allocation> {
-        let mut order: Vec<&Probe> = self.probes.iter().filter(|p| p.allocation.is_some()).collect();
-        order.sort_by(|a, b| a.estimate.partial_cmp(&b.estimate).expect("finite estimates"));
+        let mut order: Vec<&Probe> = self
+            .probes
+            .iter()
+            .filter(|p| p.allocation.is_some())
+            .collect();
+        order.sort_by(|a, b| {
+            a.estimate
+                .partial_cmp(&b.estimate)
+                .expect("finite estimates")
+        });
         let mut seen: Vec<&Allocation> = Vec::new();
         for p in order {
             let alloc = p.allocation.as_ref().expect("filtered");
@@ -95,6 +104,27 @@ pub fn madpipe_allocation(
     platform: &Platform,
     cfg: &Algorithm1Config,
 ) -> Option<Algorithm1Outcome> {
+    let mut session = ProbeSession::new(chain, platform, &cfg.discretization);
+    madpipe_allocation_session(chain, platform, cfg, &mut session, cfg.use_special)
+}
+
+/// [`madpipe_allocation`] probing through a shared [`ProbeSession`], so
+/// the bisection benefits from (and feeds) the cross-probe outcome cache
+/// and infeasibility bound. `use_special` overrides the config flag — the
+/// planner runs the contiguous-fallback bisection through the same
+/// session with the special processor off.
+pub fn madpipe_allocation_session(
+    chain: &Chain,
+    platform: &Platform,
+    cfg: &Algorithm1Config,
+    session: &mut ProbeSession<'_>,
+    use_special: bool,
+) -> Option<Algorithm1Outcome> {
+    let source = if use_special {
+        ProbeSource::Bisection
+    } else {
+        ProbeSource::ContiguousFallback
+    };
     let total_u = chain.total_compute_time();
     let mut lb = total_u / platform.n_gpus as f64;
     let mut ub = total_u + platform.total_cut_time(chain);
@@ -104,7 +134,7 @@ pub fn madpipe_allocation(
     let mut probes: Vec<Probe> = Vec::with_capacity(cfg.iterations);
 
     for _ in 0..cfg.iterations {
-        let out = madpipe_dp_with(chain, platform, t_hat, &cfg.discretization, cfg.use_special);
+        let out = session.probe(t_hat, use_special, source);
         let raw = out.period;
         let estimate = raw.max(t_hat);
         probes.push(Probe {
@@ -157,7 +187,7 @@ mod tests {
 
     #[test]
     fn finds_near_perfect_balance_when_memory_is_plentiful() {
-        let c = chain(&[(1.0, 1.0); 8], 1, );
+        let c = chain(&[(1.0, 1.0); 8], 1);
         let platform = Platform::new(4, 1 << 30, 1e9).unwrap();
         let out = madpipe_allocation(&c, &platform, &Algorithm1Config::default()).unwrap();
         // Perfect balance is 16/4 = 4.
@@ -189,6 +219,11 @@ mod tests {
         let tight = Platform::new(4, 2 << 20, 1e7).unwrap();
         let a = madpipe_allocation(&c, &roomy, &cfg).unwrap();
         let b = madpipe_allocation(&c, &tight, &cfg).unwrap();
-        assert!(a.period <= b.period + 0.3, "roomy {} tight {}", a.period, b.period);
+        assert!(
+            a.period <= b.period + 0.3,
+            "roomy {} tight {}",
+            a.period,
+            b.period
+        );
     }
 }

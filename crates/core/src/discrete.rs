@@ -7,10 +7,8 @@
 //! always rounded *up* onto the grid, which is conservative for both the
 //! period (`t_P`) and the memory constraints (`m_P`, `V`).
 
-use serde::{Deserialize, Serialize};
-
 /// Grid resolution for the three discretized coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Discretization {
     /// Points for `t_P` over `[0, U(1,L)]` (paper: 101).
     pub t_points: usize,

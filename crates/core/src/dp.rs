@@ -20,7 +20,38 @@
 //! The three continuous coordinates are discretized (rounded up) on the
 //! grids of [`crate::discrete`]; the recursion is memoized on grid
 //! indices and the chosen split points are kept for reconstruction.
+//!
+//! # Cross-probe reuse
+//!
+//! Algorithm 1 and the planner probe the DP at many target periods `T̂`
+//! over the *same* chain and platform. [`ProbeSession`] owns everything
+//! those probes can share:
+//!
+//! * the `t_P`/`m_P` axes and the per-cut communication times, which do
+//!   not depend on `T̂` at all;
+//! * an **outcome cache** keyed by `(T̂, use_special)` — the bisection,
+//!   the refinement grid and the contiguous fallback regularly revisit
+//!   the same target, and a revisit costs one hash lookup instead of a
+//!   full solve;
+//! * per-probe **memo shards** — the packed [`Key`] is full (all 64 bits
+//!   carry state coordinates), so entries of different targets cannot
+//!   live in one map; instead each solve's memo is retained whole, which
+//!   keeps every per-`T̂` entry addressable and makes reconstruction of a
+//!   revisited probe free;
+//! * the **monotone infeasibility bound**: `MadPipe-DP(T̂)` is
+//!   non-increasing in `T̂` (the same fact Algorithm 1's bisection relies
+//!   on — see `crate::algorithm1`), so a target proven infeasible makes
+//!   every smaller target infeasible without solving. The bound is kept
+//!   per `use_special` flag because the two DP variants explore
+//!   different feasible sets.
+//!
+//! [`ProbeSession::probe_many`] evaluates independent targets on a
+//! scoped thread pool; results are merged in submission order, so the
+//! session state (and therefore every downstream decision) is identical
+//! whatever the thread count.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use madpipe_model::util::ceil_div;
 use madpipe_model::{Allocation, Chain, Platform, Stage};
@@ -28,6 +59,7 @@ use madpipe_model::{Allocation, Chain, Platform, Stage};
 use crate::discrete::{Axis, Discretization};
 use crate::fxhash::FxHashMap;
 use crate::oplus::oplus;
+use crate::stats::{DpStats, ProbeRecord, ProbeSource};
 
 /// Result of one MadPipe-DP run at a fixed target period `T̂`.
 #[derive(Debug, Clone)]
@@ -40,6 +72,16 @@ pub struct DpOutcome {
     pub allocation: Option<Allocation>,
     /// Number of distinct memoized states.
     pub states: usize,
+}
+
+impl DpOutcome {
+    fn infeasible() -> Self {
+        Self {
+            period: f64::INFINITY,
+            allocation: None,
+            states: 0,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,8 +101,329 @@ type Key = u64;
 
 #[inline]
 fn pack(l: usize, p: usize, it: u16, im: u16, iv: u16) -> Key {
-    debug_assert!(im < 256 && p < 256);
+    debug_assert!(l < 1 << 16, "chain length overflows the 16-bit key field");
+    debug_assert!(p < 256, "processor count overflows the 8-bit key field");
+    debug_assert!(im < 256, "memory index overflows the 8-bit key field");
     (l as u64) << 48 | (p as u64) << 40 | (it as u64) << 24 | (im as u64) << 16 | iv as u64
+}
+
+#[cfg_attr(not(test), allow(dead_code))]
+#[inline]
+fn unpack(key: Key) -> (usize, usize, u16, u16, u16) {
+    (
+        (key >> 48) as usize,
+        ((key >> 40) & 0xff) as usize,
+        ((key >> 24) & 0xffff) as u16,
+        ((key >> 16) & 0xff) as u16,
+        (key & 0xffff) as u16,
+    )
+}
+
+/// One retained probe: the full memo of a solve plus its outcome, kept
+/// addressable so revisits and reconstructions are free.
+struct Shard {
+    t_hat: f64,
+    use_special: bool,
+    memo: FxHashMap<Key, (f64, Choice)>,
+    memo_hits: u64,
+    load_prunes: u64,
+    memory_prunes: u64,
+    outcome: DpOutcome,
+}
+
+/// How one target of a [`ProbeSession::probe_many`] batch was answered.
+enum Resolution {
+    /// Served from a shard absorbed before this batch.
+    Cached(usize),
+    /// Killed by the monotone infeasibility bound.
+    Pruned,
+    /// Solved in this batch (index into the batch's pending list).
+    Solved(usize),
+    /// Duplicate of a target solved earlier in this batch.
+    Duplicate(usize),
+}
+
+/// Shared DP state for a whole planning run — see the module docs for
+/// what is reused across probes and why it is sound.
+pub struct ProbeSession<'a> {
+    chain: &'a Chain,
+    platform: &'a Platform,
+    disc: Discretization,
+    t_axis: Axis,
+    m_axis: Axis,
+    v_max: f64,
+    /// `cut_times[k]` = round-trip communication time of the cut before
+    /// layer `k` (`0` at the chain ends), shared by every probe.
+    cut_times: Vec<f64>,
+    shards: Vec<Shard>,
+    /// `(T̂ bits, use_special)` → shard index.
+    index: FxHashMap<(u64, bool), usize>,
+    /// Largest target proven infeasible, per `use_special` flag.
+    max_infeasible: [Option<f64>; 2],
+    stats: DpStats,
+    records: Vec<ProbeRecord>,
+}
+
+impl<'a> ProbeSession<'a> {
+    /// Build a session for `chain` on `platform`; every probe of one
+    /// planning run should go through the same session.
+    pub fn new(chain: &'a Chain, platform: &'a Platform, disc: &Discretization) -> Self {
+        let total_u = chain.total_compute_time();
+        let cut_times: Vec<f64> = (0..=chain.len())
+            .map(|k| platform.cut_time(chain, k))
+            .collect();
+        let v_max = total_u + cut_times.iter().sum::<f64>();
+        Self {
+            chain,
+            platform,
+            disc: *disc,
+            t_axis: Axis::new(total_u, disc.t_points),
+            m_axis: Axis::new(platform.memory_bytes as f64, disc.m_points),
+            v_max,
+            cut_times,
+            shards: Vec::new(),
+            index: FxHashMap::default(),
+            max_infeasible: [None, None],
+            stats: DpStats::default(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> &DpStats {
+        &self.stats
+    }
+
+    /// The probe timeline so far.
+    pub fn records(&self) -> &[ProbeRecord] {
+        &self.records
+    }
+
+    /// Drain the timeline (the counters stay).
+    pub fn take_records(&mut self) -> Vec<ProbeRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Probe the DP at one target period.
+    pub fn probe(&mut self, t_hat: f64, use_special: bool, source: ProbeSource) -> DpOutcome {
+        self.probe_many(&[t_hat], use_special, source, 1)
+            .pop()
+            .expect("one target in, one outcome out")
+    }
+
+    /// Probe the DP at several independent targets, solving uncached ones
+    /// on up to `threads` scoped workers. Outcomes keep the input order
+    /// and the session ends up in the same state as `threads = 1` — the
+    /// solves are pure functions of `(chain, platform, T̂)` and are merged
+    /// in submission order.
+    pub fn probe_many(
+        &mut self,
+        targets: &[f64],
+        use_special: bool,
+        source: ProbeSource,
+        threads: usize,
+    ) -> Vec<DpOutcome> {
+        for &t_hat in targets {
+            assert!(t_hat > 0.0 && t_hat.is_finite(), "T̂ must be positive");
+        }
+
+        // Classify each target; collect the distinct ones that need a solve.
+        let mut resolutions: Vec<Resolution> = Vec::with_capacity(targets.len());
+        let mut pending: Vec<f64> = Vec::new();
+        let mut pending_index: FxHashMap<u64, usize> = FxHashMap::default();
+        for &t_hat in targets {
+            if let Some(&i) = self.index.get(&(t_hat.to_bits(), use_special)) {
+                resolutions.push(Resolution::Cached(i));
+            } else if self.max_infeasible[use_special as usize].is_some_and(|b| t_hat <= b) {
+                resolutions.push(Resolution::Pruned);
+            } else if let Some(&j) = pending_index.get(&t_hat.to_bits()) {
+                resolutions.push(Resolution::Duplicate(j));
+            } else {
+                pending_index.insert(t_hat.to_bits(), pending.len());
+                resolutions.push(Resolution::Solved(pending.len()));
+                pending.push(t_hat);
+            }
+        }
+
+        // Solve the pending targets (in parallel when asked to), then
+        // absorb the shards in submission order for determinism.
+        let solved = self.solve_batch(&pending, use_special, threads);
+        let first_new_shard = self.shards.len();
+        for (shard, _) in &solved {
+            debug_assert!(shard.outcome.period.is_finite() || shard.outcome.allocation.is_none());
+        }
+        let seconds: Vec<f64> = solved.iter().map(|(_, s)| *s).collect();
+        for (shard, _) in solved {
+            self.absorb(shard);
+        }
+
+        // Emit outcomes and the timeline in target order.
+        let mut out = Vec::with_capacity(targets.len());
+        for (&t_hat, resolution) in targets.iter().zip(&resolutions) {
+            let (outcome, states, cached, pruned, secs) = match *resolution {
+                Resolution::Cached(i) => {
+                    let shard = &self.shards[i];
+                    self.stats.outcome_hits += 1;
+                    self.stats.states_reused += shard.memo.len() as u64;
+                    (
+                        shard.outcome.clone(),
+                        shard.outcome.states,
+                        true,
+                        false,
+                        0.0,
+                    )
+                }
+                Resolution::Pruned => {
+                    self.stats.bound_prunes += 1;
+                    (DpOutcome::infeasible(), 0, false, true, 0.0)
+                }
+                Resolution::Solved(j) => {
+                    let shard = &self.shards[first_new_shard + j];
+                    (
+                        shard.outcome.clone(),
+                        shard.outcome.states,
+                        false,
+                        false,
+                        seconds[j],
+                    )
+                }
+                Resolution::Duplicate(j) => {
+                    let shard = &self.shards[first_new_shard + j];
+                    self.stats.outcome_hits += 1;
+                    self.stats.states_reused += shard.memo.len() as u64;
+                    (
+                        shard.outcome.clone(),
+                        shard.outcome.states,
+                        true,
+                        false,
+                        0.0,
+                    )
+                }
+            };
+            self.records.push(ProbeRecord {
+                source,
+                t_hat,
+                use_special,
+                period: outcome.period,
+                states,
+                cached,
+                pruned,
+                seconds: secs,
+            });
+            out.push(outcome);
+        }
+        out
+    }
+
+    /// Solve `pending` targets, each with a fresh memo over the shared
+    /// axes/cut table. Returns `(shard, seconds)` in `pending` order.
+    fn solve_batch(&self, pending: &[f64], use_special: bool, threads: usize) -> Vec<(Shard, f64)> {
+        let threads = threads.max(1).min(pending.len().max(1));
+        if threads == 1 || pending.len() == 1 {
+            return pending
+                .iter()
+                .map(|&t| {
+                    let start = Instant::now();
+                    let shard = self.run_solve(t, use_special);
+                    (shard, start.elapsed().as_secs_f64())
+                })
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<(Shard, f64)>> = (0..pending.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let session = &*self;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, Shard, f64)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= pending.len() {
+                            break;
+                        }
+                        let start = Instant::now();
+                        let shard = session.run_solve(pending[i], use_special);
+                        local.push((i, shard, start.elapsed().as_secs_f64()));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                for (i, shard, secs) in h.join().expect("DP worker panicked") {
+                    slots[i] = Some((shard, secs));
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every pending target solved"))
+            .collect()
+    }
+
+    /// One full DP solve at `t_hat`. Pure: reads only the shared session
+    /// state, so independent solves can run concurrently.
+    fn run_solve(&self, t_hat: f64, use_special: bool) -> Shard {
+        let mut dp = Dp {
+            chain: self.chain,
+            platform: self.platform,
+            t_hat,
+            use_special,
+            t_axis: &self.t_axis,
+            m_axis: &self.m_axis,
+            v_axis: Axis::new(self.v_max.max(t_hat), self.disc.v_points),
+            cut_times: &self.cut_times,
+            memo: FxHashMap::default(),
+            memo_hits: 0,
+            load_prunes: 0,
+            memory_prunes: 0,
+        };
+        let p_normal = if use_special {
+            self.platform.n_gpus - 1
+        } else {
+            self.platform.n_gpus
+        };
+        let period = dp.solve(self.chain.len(), p_normal, 0, 0, 0);
+        let allocation = if period.is_finite() {
+            dp.reconstruct(self.chain.len(), p_normal)
+        } else {
+            None
+        };
+        let states = dp.memo.len();
+        Shard {
+            t_hat,
+            use_special,
+            memo: dp.memo,
+            memo_hits: dp.memo_hits,
+            load_prunes: dp.load_prunes,
+            memory_prunes: dp.memory_prunes,
+            outcome: DpOutcome {
+                period,
+                allocation,
+                states,
+            },
+        }
+    }
+
+    /// Merge a solved shard into the session (counters, infeasibility
+    /// bound, outcome cache).
+    fn absorb(&mut self, shard: Shard) {
+        self.stats.solves += 1;
+        self.stats.states_created += shard.memo.len() as u64;
+        self.stats.memo_hits += shard.memo_hits;
+        self.stats.load_prunes += shard.load_prunes;
+        self.stats.memory_prunes += shard.memory_prunes;
+        if shard.outcome.period.is_infinite() {
+            let bound = &mut self.max_infeasible[shard.use_special as usize];
+            *bound = Some(bound.map_or(shard.t_hat, |b| b.max(shard.t_hat)));
+        }
+        self.index.insert(
+            (shard.t_hat.to_bits(), shard.use_special),
+            self.shards.len(),
+        );
+        self.shards.push(shard);
+    }
 }
 
 struct Dp<'a> {
@@ -68,16 +431,21 @@ struct Dp<'a> {
     platform: &'a Platform,
     t_hat: f64,
     use_special: bool,
-    t_axis: Axis,
-    m_axis: Axis,
+    t_axis: &'a Axis,
+    m_axis: &'a Axis,
     v_axis: Axis,
+    cut_times: &'a [f64],
     memo: FxHashMap<Key, (f64, Choice)>,
+    memo_hits: u64,
+    load_prunes: u64,
+    memory_prunes: u64,
 }
 
 impl Dp<'_> {
     fn solve(&mut self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> f64 {
         let key = pack(l, p, it, im, iv);
         if let Some(&(v, _)) = self.memo.get(&key) {
+            self.memo_hits += 1;
             return v;
         }
         if l == 0 {
@@ -101,10 +469,11 @@ impl Dp<'_> {
             // reaches the best period found at this state, no larger
             // stage can improve it (exact prune).
             if u >= best {
+                self.load_prunes += 1;
                 break;
             }
             let g = ceil_div(v_val + u, self.t_hat).max(1);
-            let cut = self.platform.cut_time(self.chain, k);
+            let cut = self.cut_times[k];
             let v_next = oplus(oplus(v_val, u, self.t_hat), cut, self.t_hat);
             let iv_next = self.v_axis.index_up(v_next);
 
@@ -146,6 +515,7 @@ impl Dp<'_> {
             // Early break: both cores already exceed memory; growing the
             // stage (smaller k) only increases weights, activations and g.
             if normal_core > memory && (special_core > memory || !self.use_special) {
+                self.memory_prunes += 1;
                 break;
             }
         }
@@ -175,7 +545,7 @@ impl Dp<'_> {
                     next_normal_gpu = next_normal_gpu.saturating_sub(1);
                     let v_val = self.v_axis.value(iv);
                     let u = self.chain.compute_time(k..l);
-                    let cut = self.platform.cut_time(self.chain, k);
+                    let cut = self.cut_times[k];
                     iv = self
                         .v_axis
                         .index_up(oplus(oplus(v_val, u, self.t_hat), cut, self.t_hat));
@@ -193,7 +563,7 @@ impl Dp<'_> {
                     let m_val = self.m_axis.value(im);
                     let u = self.chain.compute_time(k..l);
                     let g = ceil_div(v_val + u, self.t_hat).max(1);
-                    let cut = self.platform.cut_time(self.chain, k);
+                    let cut = self.cut_times[k];
                     let stage_mem = self.chain.stage_memory(k..l, g.saturating_sub(1));
                     it = self.t_axis.index_up(t_val + u);
                     im = self.m_axis.index_up(m_val + stage_mem as f64);
@@ -211,6 +581,9 @@ impl Dp<'_> {
 
 /// Run MadPipe-DP at target period `t_hat` and reconstruct the resulting
 /// allocation (special processor = GPU 0).
+///
+/// One-shot convenience over [`ProbeSession`]; callers probing several
+/// targets should hold a session instead to share state between probes.
 pub fn madpipe_dp(
     chain: &Chain,
     platform: &Platform,
@@ -231,41 +604,14 @@ pub fn madpipe_dp_with(
     disc: &Discretization,
     use_special: bool,
 ) -> DpOutcome {
-    assert!(t_hat > 0.0 && t_hat.is_finite(), "T̂ must be positive");
-    let total_u = chain.total_compute_time();
-    let v_max = total_u + platform.total_cut_time(chain);
-    let mut dp = Dp {
-        chain,
-        platform,
-        t_hat,
-        use_special,
-        t_axis: Axis::new(total_u, disc.t_points),
-        m_axis: Axis::new(platform.memory_bytes as f64, disc.m_points),
-        v_axis: Axis::new(v_max.max(t_hat), disc.v_points),
-        memo: FxHashMap::default(),
-    };
-    let p_normal = if use_special {
-        platform.n_gpus - 1
-    } else {
-        platform.n_gpus
-    };
-    let period = dp.solve(chain.len(), p_normal, 0, 0, 0);
-    let allocation = if period.is_finite() {
-        dp.reconstruct(chain.len(), p_normal)
-    } else {
-        None
-    };
-    DpOutcome {
-        period,
-        allocation,
-        states: dp.memo.len(),
-    }
+    ProbeSession::new(chain, platform, disc).probe(t_hat, use_special, ProbeSource::Bisection)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use madpipe_model::Layer;
+    use proptest::prelude::*;
 
     fn chain(costs: &[(f64, f64)], act: u64, w: u64) -> Chain {
         let layers = costs
@@ -373,5 +719,136 @@ mod tests {
         let part = alloc.partition();
         assert_eq!(part.stages().first().unwrap().start, 0);
         assert_eq!(part.stages().last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn session_matches_one_shot_solves() {
+        let c = chain(
+            &[(1.0, 2.0), (3.0, 1.0), (2.0, 2.0), (1.0, 1.0)],
+            1 << 16,
+            1 << 8,
+        );
+        let platform = Platform::new(3, 8 << 20, 1e7).unwrap();
+        let mut session = ProbeSession::new(&c, &platform, &disc());
+        for t_hat in [3.0, 5.0, 9.0] {
+            let one_shot = madpipe_dp(&c, &platform, t_hat, &disc());
+            let probed = session.probe(t_hat, true, ProbeSource::Bisection);
+            assert_eq!(probed.period, one_shot.period, "T̂ = {t_hat}");
+            assert_eq!(probed.states, one_shot.states);
+            assert_eq!(
+                probed.allocation.map(|a| a.stages().to_vec()),
+                one_shot.allocation.map(|a| a.stages().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn revisited_targets_hit_the_outcome_cache() {
+        let c = chain(&[(1.0, 1.0); 6], 1 << 10, 1 << 8);
+        let platform = Platform::new(3, 1 << 26, 1e7).unwrap();
+        let mut session = ProbeSession::new(&c, &platform, &disc());
+        let a = session.probe(4.0, true, ProbeSource::Bisection);
+        assert_eq!(session.stats().solves, 1);
+        let b = session.probe(4.0, true, ProbeSource::Refinement);
+        assert_eq!(session.stats().solves, 1, "second probe must not re-solve");
+        assert_eq!(session.stats().outcome_hits, 1);
+        assert!(session.stats().states_reused > 0);
+        assert_eq!(a.period, b.period);
+        // The two DP variants are cached independently.
+        session.probe(4.0, false, ProbeSource::ContiguousFallback);
+        assert_eq!(session.stats().solves, 2);
+    }
+
+    #[test]
+    fn infeasibility_bound_prunes_smaller_targets() {
+        // Memory-hopeless at small targets: activations dominate.
+        let c = chain(&[(1.0, 1.0); 6], 1 << 20, 0);
+        let tight = Platform::new(3, 4 << 20, 1e9).unwrap();
+        let mut session = ProbeSession::new(&c, &tight, &disc());
+        let at_four = session.probe(4.0, true, ProbeSource::Bisection);
+        if at_four.period.is_infinite() {
+            let smaller = session.probe(2.0, true, ProbeSource::Bisection);
+            assert!(smaller.period.is_infinite());
+            assert_eq!(session.stats().bound_prunes, 1, "2.0 ≤ 4.0 must be pruned");
+            assert_eq!(session.stats().solves, 1);
+            // A larger target is *not* covered by the bound.
+            session.probe(50.0, true, ProbeSource::Bisection);
+            assert_eq!(session.stats().solves, 2);
+        }
+    }
+
+    #[test]
+    fn probe_many_is_deterministic_across_thread_counts() {
+        let c = chain(
+            &[(1.0, 2.0), (3.0, 1.0), (2.0, 2.0), (1.0, 1.0), (2.0, 3.0)],
+            1 << 18,
+            1 << 10,
+        );
+        let platform = Platform::new(3, 3 << 20, 1e8).unwrap();
+        let targets = [2.0, 3.5, 5.0, 5.0, 8.0, 13.0, 21.0];
+        let mut serial = ProbeSession::new(&c, &platform, &disc());
+        let mut parallel = ProbeSession::new(&c, &platform, &disc());
+        let a = serial.probe_many(&targets, true, ProbeSource::Refinement, 1);
+        let b = parallel.probe_many(&targets, true, ProbeSource::Refinement, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                x.period.to_bits() == y.period.to_bits(),
+                "periods must be bit-identical"
+            );
+            assert_eq!(x.states, y.states);
+            assert_eq!(
+                x.allocation.as_ref().map(|a| a.stages().to_vec()),
+                y.allocation.as_ref().map(|a| a.stages().to_vec())
+            );
+        }
+        // Counters (everything except wall-clock) agree too.
+        assert_eq!(serial.stats(), parallel.stats());
+        // The duplicate 5.0 was answered from the batch, not re-solved.
+        assert_eq!(serial.stats().outcome_hits, 1);
+        assert_eq!(serial.stats().solves, targets.len() - 1);
+    }
+
+    #[test]
+    fn key_fields_round_trip_at_the_limits() {
+        for &(l, p, it, im, iv) in &[
+            (0usize, 0usize, 0u16, 0u16, 0u16),
+            (65535, 255, 65535, 255, 65535),
+            (1, 255, 0, 255, 1),
+            (1234, 7, 4321, 99, 17),
+        ] {
+            assert_eq!(unpack(pack(l, p, it, im, iv)), (l, p, it, im, iv));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn packed_key_round_trips(
+            l in 0usize..65536,
+            p in 0usize..256,
+            it in 0u16..=u16::MAX,
+            im in 0u16..256,
+            iv in 0u16..=u16::MAX,
+        ) {
+            let key = pack(l, p, it, im, iv);
+            prop_assert_eq!(unpack(key), (l, p, it, im, iv));
+        }
+
+        #[test]
+        fn packed_keys_are_injective(
+            a in (0usize..65536, 0usize..256, 0u16..=u16::MAX, 0u16..256, 0u16..=u16::MAX),
+            b in (0usize..65536, 0usize..256, 0u16..=u16::MAX, 0u16..256, 0u16..=u16::MAX),
+        ) {
+            let ka = pack(a.0, a.1, a.2, a.3, a.4);
+            let kb = pack(b.0, b.1, b.2, b.3, b.4);
+            prop_assert_eq!(ka == kb, a == b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    #[cfg(debug_assertions)]
+    fn pack_rejects_overflowing_memory_index() {
+        let _ = pack(1, 1, 1, 256, 1);
     }
 }

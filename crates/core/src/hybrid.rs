@@ -141,7 +141,11 @@ mod tests {
         let hybrid = best_hybrid(&c, &platform, &PlannerConfig::default()).unwrap();
         let pure = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap();
         assert!(hybrid.throughput() + 1e-9 >= 1.0 / pure.period());
-        assert!(hybrid.replicas >= 2, "expected replication, got d = {}", hybrid.replicas);
+        assert!(
+            hybrid.replicas >= 2,
+            "expected replication, got d = {}",
+            hybrid.replicas
+        );
     }
 
     #[test]
@@ -150,7 +154,10 @@ mod tests {
         let c = chain(8, 128 << 20, 1 << 10);
         let platform = Platform::new(4, 16 << 30, (1u64 << 30) as f64).unwrap();
         let hybrid = best_hybrid(&c, &platform, &PlannerConfig::default()).unwrap();
-        assert_eq!(hybrid.replicas, 1, "all-reduce cost should forbid replication");
+        assert_eq!(
+            hybrid.replicas, 1,
+            "all-reduce cost should forbid replication"
+        );
         assert_eq!(hybrid.allreduce_time, 0.0);
     }
 

@@ -11,19 +11,29 @@
 //!   `T̂` (Algorithm 1, K = 10 iterations by default);
 //! * [`planner`] — the end-to-end MadPipe pipeline (phase 1 allocation +
 //!   phase 2 scheduling through `madpipe-solver`) and a side-by-side
-//!   comparison against the PipeDream baseline.
+//!   comparison against the PipeDream baseline;
+//! * [`stats`] — planner observability: DP memo/prune counters, the
+//!   probe timeline and per-phase wall times surfaced by
+//!   [`planner::madpipe_plan_with_stats`].
 
 pub mod algorithm1;
 pub mod discrete;
-pub mod hybrid;
 pub mod dp;
 pub mod fxhash;
+pub mod hybrid;
 pub mod oplus;
 pub mod planner;
+pub mod stats;
 
-pub use algorithm1::{madpipe_allocation, Algorithm1Config, Algorithm1Outcome};
+pub use algorithm1::{
+    madpipe_allocation, madpipe_allocation_session, Algorithm1Config, Algorithm1Outcome,
+};
 pub use discrete::Discretization;
+pub use dp::{madpipe_dp, madpipe_dp_with, DpOutcome, ProbeSession};
 pub use hybrid::{best_hybrid, HybridPlan};
-pub use dp::{madpipe_dp, madpipe_dp_with, DpOutcome};
 pub use oplus::oplus;
-pub use planner::{compare, madpipe_plan, Comparison, MadPipePlan, PlannerConfig, PlanError};
+pub use planner::{
+    compare, madpipe_plan, madpipe_plan_with_stats, Comparison, MadPipePlan, PlanError,
+    PlannerConfig,
+};
+pub use stats::{DpStats, PlannerStats, ProbeRecord, ProbeSource};

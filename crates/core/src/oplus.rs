@@ -15,24 +15,18 @@
 //! delay just grows by `y`; otherwise the element starts a new group and
 //! waits until the current group's window closes (a multiple of `T̂`).
 
-use madpipe_model::util::ceil_div;
+use madpipe_model::util::group_step;
 
 /// Compute `x ⊕ y` at target period `t_hat`.
 ///
 /// Zero-cost elements never open a new group (`x ⊕ 0 = x`).
+///
+/// Delegates to [`madpipe_model::util::group_step`]: the DP's delay
+/// propagation and 1F1B*'s greedy group packing share one implementation
+/// so their period-boundary decisions (exact multiples of `T̂` in
+/// particular) can never drift apart.
 pub fn oplus(x: f64, y: f64, t_hat: f64) -> f64 {
-    debug_assert!(t_hat > 0.0, "oplus requires a positive target period");
-    debug_assert!(x >= 0.0 && y >= 0.0);
-    if y == 0.0 {
-        return x;
-    }
-    let gx = ceil_div(x, t_hat);
-    let gxy = ceil_div(x + y, t_hat);
-    if gx == gxy {
-        x + y
-    } else {
-        t_hat * gx as f64 + y
-    }
+    group_step(x, y, t_hat)
 }
 
 #[cfg(test)]

@@ -1,11 +1,26 @@
 //! End-to-end planning: MadPipe (phase 1 + phase 2) and the side-by-side
 //! comparison against the PipeDream baseline used by the experiments.
+//!
+//! All DP probes of one plan — the bisection, the contiguous-fallback
+//! ablation and the refinement grid — go through one shared
+//! [`ProbeSession`], so revisited targets cost a hash lookup and targets
+//! below a proven-infeasible one are answered by the monotone bound.
+//! Independent work (the refinement probes and the phase-2 scheduling of
+//! distinct candidate allocations) fans out over
+//! [`PlannerConfig::threads`] scoped workers; candidates are deduplicated
+//! up front and results are folded in a fixed submission order with a
+//! strict `<`, so the plan is bit-identical whatever the thread count.
 
-use madpipe_model::{Chain, Platform};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use madpipe_model::{Allocation, Chain, Platform};
 use madpipe_schedule::ScheduleError;
 use madpipe_solver::{best_period, PlaceConfig, SolvedSchedule};
 
-use crate::algorithm1::{madpipe_allocation, Algorithm1Config, Algorithm1Outcome};
+use crate::algorithm1::{madpipe_allocation_session, Algorithm1Config, Algorithm1Outcome};
+use crate::dp::ProbeSession;
+use crate::stats::{PlannerStats, ProbeSource};
 
 /// Tuning for the whole MadPipe pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +38,10 @@ pub struct PlannerConfig {
     /// achieved periods recovers it. `0` disables refinement (pure
     /// Algorithm 1 probe selection).
     pub refine_probes: usize,
+    /// Worker threads for independent probes (refinement grid) and
+    /// phase-2 candidate scheduling. `1` (the default) runs everything
+    /// on the calling thread; any value produces bit-identical plans.
+    pub threads: usize,
 }
 
 impl Default for PlannerConfig {
@@ -31,6 +50,7 @@ impl Default for PlannerConfig {
             algorithm1: Algorithm1Config::default(),
             place: PlaceConfig::default(),
             refine_probes: 8,
+            threads: 1,
         }
     }
 }
@@ -38,6 +58,10 @@ impl Default for PlannerConfig {
 /// Why MadPipe failed to produce a plan.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
+    /// The instance is degenerate: no planner could do anything with it
+    /// (zero-compute chain, more GPUs or layers than the DP state can
+    /// index, …). The message says which precondition failed.
+    Infeasible(String),
     /// Phase 1 found no memory-feasible allocation at any target period.
     Phase1Infeasible,
     /// Phase 2 could not schedule the phase-1 allocation at any period.
@@ -47,6 +71,7 @@ pub enum PlanError {
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PlanError::Infeasible(why) => write!(f, "degenerate instance: {why}"),
             PlanError::Phase1Infeasible => {
                 write!(f, "no memory-feasible allocation at any target period")
             }
@@ -89,6 +114,90 @@ impl MadPipePlan {
     }
 }
 
+/// Reject instances the DP cannot even represent, with a message naming
+/// the failed precondition instead of a panic deep inside the recursion.
+fn validate(chain: &Chain, platform: &Platform) -> Result<(), PlanError> {
+    if chain.total_compute_time() <= 0.0 {
+        return Err(PlanError::Infeasible(
+            "chain has zero total compute time (all layers are zero-cost)".into(),
+        ));
+    }
+    if chain.len() >= 1 << 16 {
+        return Err(PlanError::Infeasible(format!(
+            "chain has {} layers; the packed DP key indexes at most 65535 (coarsen first)",
+            chain.len()
+        )));
+    }
+    if platform.n_gpus >= 256 {
+        return Err(PlanError::Infeasible(format!(
+            "platform has {} GPUs; the packed DP key indexes at most 255",
+            platform.n_gpus
+        )));
+    }
+    Ok(())
+}
+
+/// Schedule each candidate allocation (contiguous ones exactly via 1F1B*,
+/// the rest through the branch-and-bound solver) on up to `threads`
+/// workers. Results keep the input order; each solve is a pure function
+/// of its allocation, so the outcome is thread-count independent.
+fn schedule_batch(
+    chain: &Chain,
+    platform: &Platform,
+    candidates: &[Allocation],
+    place: &PlaceConfig,
+    threads: usize,
+) -> Vec<Result<SolvedSchedule, ScheduleError>> {
+    let solve_one = |alloc: &Allocation| -> Result<SolvedSchedule, ScheduleError> {
+        if alloc.is_contiguous() {
+            madpipe_schedule::best_contiguous_period(chain, platform, alloc).map(|b| {
+                SolvedSchedule {
+                    period: b.period,
+                    pattern: b.pattern,
+                    report: b.report,
+                }
+            })
+        } else {
+            best_period(chain, platform, alloc, place)
+        }
+    };
+
+    let threads = threads.max(1).min(candidates.len().max(1));
+    if threads == 1 || candidates.len() == 1 {
+        return candidates.iter().map(solve_one).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<SolvedSchedule, ScheduleError>>> =
+        (0..candidates.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let solve_one = &solve_one;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= candidates.len() {
+                        break;
+                    }
+                    local.push((i, solve_one(&candidates[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("scheduling worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every candidate scheduled"))
+        .collect()
+}
+
 /// Run the full MadPipe pipeline.
 ///
 /// Phase 2 schedules every distinct allocation Algorithm 1 probed (best
@@ -101,94 +210,170 @@ pub fn madpipe_plan(
     platform: &Platform,
     cfg: &PlannerConfig,
 ) -> Result<MadPipePlan, PlanError> {
-    let phase1 =
-        madpipe_allocation(chain, platform, &cfg.algorithm1).ok_or(PlanError::Phase1Infeasible)?;
-    let mut best: Option<(madpipe_model::Allocation, SolvedSchedule)> = None;
-    let mut last_err: Option<ScheduleError> = None;
-    let consider = |alloc: &madpipe_model::Allocation,
-                        best: &mut Option<(madpipe_model::Allocation, SolvedSchedule)>,
-                        last_err: &mut Option<ScheduleError>| {
-        if let Some((a, _)) = best {
-            if a == alloc {
-                return;
-            }
-        }
-        // Contiguous allocations schedule exactly via 1F1B*; everything
-        // else goes through the branch-and-bound solver.
-        let solved: Result<SolvedSchedule, ScheduleError> = if alloc.is_contiguous() {
-            madpipe_schedule::best_contiguous_period(chain, platform, alloc).map(|b| {
-                SolvedSchedule {
-                    period: b.period,
-                    pattern: b.pattern,
-                    report: b.report,
-                }
-            })
-        } else {
-            best_period(chain, platform, alloc, &cfg.place)
-        };
-        match solved {
-            Ok(s) => {
-                if best.as_ref().is_none_or(|(_, b)| s.period < b.period) {
-                    *best = Some((alloc.clone(), s));
-                }
-            }
-            Err(e) => *last_err = Some(e),
-        }
+    madpipe_plan_with_stats(chain, platform, cfg).0
+}
+
+/// [`madpipe_plan`] returning the planner instrumentation alongside the
+/// result. Stats are populated even on failure — the counters say where
+/// the time went and why nothing planned.
+pub fn madpipe_plan_with_stats(
+    chain: &Chain,
+    platform: &Platform,
+    cfg: &PlannerConfig,
+) -> (Result<MadPipePlan, PlanError>, PlannerStats) {
+    let total_start = Instant::now();
+    let mut stats = PlannerStats {
+        threads: cfg.threads.max(1),
+        ..PlannerStats::default()
     };
-    for alloc in phase1.candidate_allocations() {
-        consider(alloc, &mut best, &mut last_err);
-    }
+    let result = plan_inner(chain, platform, cfg, &mut stats);
+    stats.total_seconds = total_start.elapsed().as_secs_f64();
+    (result, stats)
+}
+
+fn plan_inner(
+    chain: &Chain,
+    platform: &Platform,
+    cfg: &PlannerConfig,
+    stats: &mut PlannerStats,
+) -> Result<MadPipePlan, PlanError> {
+    validate(chain, platform)?;
+    let threads = cfg.threads.max(1);
+    let mut session = ProbeSession::new(chain, platform, &cfg.algorithm1.discretization);
+
+    // Phase 1: Algorithm 1's bisection.
+    let clock = Instant::now();
+    let phase1 = madpipe_allocation_session(
+        chain,
+        platform,
+        &cfg.algorithm1,
+        &mut session,
+        cfg.algorithm1.use_special,
+    );
+    stats.phase1_seconds = clock.elapsed().as_secs_f64();
 
     // Memory-aware contiguous fallback: the same DP without the special
-    // processor. Its allocations schedule exactly at their 1F1B* optimum,
-    // so it rescues instances where every special-processor probe is
-    // over-optimistic; it is also the ablation baseline.
-    if cfg.algorithm1.use_special {
-        let contiguous_cfg = Algorithm1Config {
-            use_special: false,
-            ..cfg.algorithm1
-        };
-        if let Some(c) = madpipe_allocation(chain, platform, &contiguous_cfg) {
-            for alloc in c.candidate_allocations() {
-                consider(alloc, &mut best, &mut last_err);
+    // processor, through the same session. Its allocations schedule
+    // exactly at their 1F1B* optimum, so it rescues instances where every
+    // special-processor probe is over-optimistic; it is also the ablation
+    // baseline.
+    let clock = Instant::now();
+    let fallback = if cfg.algorithm1.use_special {
+        madpipe_allocation_session(chain, platform, &cfg.algorithm1, &mut session, false)
+    } else {
+        None
+    };
+    stats.fallback_seconds = clock.elapsed().as_secs_f64();
+
+    let finalize = |stats: &mut PlannerStats, session: &mut ProbeSession<'_>| {
+        stats.dp = *session.stats();
+        stats.probes = session.take_records();
+    };
+
+    let Some(phase1) = phase1 else {
+        finalize(stats, &mut session);
+        return Err(PlanError::Phase1Infeasible);
+    };
+
+    // Candidates from both bisections, deduplicated up front (best
+    // phase-1 estimate first, fallback after) so the parallel scheduler
+    // never solves the same allocation twice.
+    let mut candidates: Vec<Allocation> = Vec::new();
+    for alloc in phase1.candidate_allocations() {
+        if !candidates.contains(alloc) {
+            candidates.push(alloc.clone());
+        }
+    }
+    if let Some(f) = &fallback {
+        for alloc in f.candidate_allocations() {
+            if !candidates.contains(alloc) {
+                candidates.push(alloc.clone());
             }
         }
     }
 
+    // Phase 2: schedule every candidate; fold in submission order with a
+    // strict `<` so ties keep the earlier (better-estimate) candidate.
+    let mut best: Option<(Allocation, SolvedSchedule)> = None;
+    let mut last_err: Option<ScheduleError> = None;
+    let clock = Instant::now();
+    let solved = schedule_batch(chain, platform, &candidates, &cfg.place, threads);
+    stats.schedules_attempted += candidates.len();
+    for (alloc, res) in candidates.iter().zip(solved) {
+        match res {
+            Ok(s) => {
+                stats.schedules_solved += 1;
+                if best.as_ref().is_none_or(|(_, b)| s.period < b.period) {
+                    best = Some((alloc.clone(), s));
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    stats.schedule_seconds += clock.elapsed().as_secs_f64();
+
     // Refinement: probe extra targets between the load lower bound and
-    // the best achieved period, selecting by achieved period.
+    // the best achieved period, selecting by achieved period. The grid
+    // targets are independent, so they fan out in one parallel batch.
     if let Some((_, s)) = &best {
         let lb = chain.total_compute_time() / platform.n_gpus as f64;
         let hi = s.period * 1.02;
         if cfg.refine_probes > 0 && hi > lb {
+            let clock = Instant::now();
             let ratio = (hi / lb).powf(1.0 / cfg.refine_probes as f64);
-            let mut seen: Vec<f64> = phase1.probes.iter().map(|p| p.t_hat).collect();
+            let seen: Vec<f64> = phase1.probes.iter().map(|p| p.t_hat).collect();
+            let mut targets: Vec<f64> = Vec::new();
             for i in 0..=cfg.refine_probes {
                 let t_hat = lb * ratio.powi(i as i32);
-                if seen
-                    .iter()
-                    .any(|&t| (t - t_hat).abs() < 1e-6 * t_hat.max(1e-12))
-                {
-                    continue;
-                }
-                seen.push(t_hat);
-                let out = crate::dp::madpipe_dp(chain, platform, t_hat, &cfg.algorithm1.discretization);
-                if let Some(alloc) = out.allocation {
-                    consider(&alloc, &mut best, &mut last_err);
+                let dup = |&t: &f64| (t - t_hat).abs() < 1e-6 * t_hat.max(1e-12);
+                if !seen.iter().any(dup) && !targets.iter().any(dup) {
+                    targets.push(t_hat);
                 }
             }
+            let outcomes = session.probe_many(
+                &targets,
+                cfg.algorithm1.use_special,
+                ProbeSource::Refinement,
+                threads,
+            );
+            stats.refine_seconds = clock.elapsed().as_secs_f64();
+
+            let mut fresh: Vec<Allocation> = Vec::new();
+            for out in outcomes {
+                if let Some(alloc) = out.allocation {
+                    if !candidates.contains(&alloc) && !fresh.contains(&alloc) {
+                        fresh.push(alloc);
+                    }
+                }
+            }
+            let clock = Instant::now();
+            let solved = schedule_batch(chain, platform, &fresh, &cfg.place, threads);
+            stats.schedules_attempted += fresh.len();
+            for (alloc, res) in fresh.iter().zip(solved) {
+                match res {
+                    Ok(s) => {
+                        stats.schedules_solved += 1;
+                        if best.as_ref().is_none_or(|(_, b)| s.period < b.period) {
+                            best = Some((alloc.clone(), s));
+                        }
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            stats.schedule_seconds += clock.elapsed().as_secs_f64();
         }
     }
 
+    finalize(stats, &mut session);
     match best {
         Some((allocation, schedule)) => Ok(MadPipePlan {
             phase1,
             allocation,
             schedule,
         }),
-        None => Err(PlanError::Phase2(last_err.expect(
-            "candidate_allocations is non-empty when phase 1 succeeds",
-        ))),
+        None => Err(PlanError::Phase2(
+            last_err.expect("candidate_allocations is non-empty when phase 1 succeeds"),
+        )),
     }
 }
 
@@ -199,6 +384,8 @@ pub struct Comparison {
     pub madpipe: Result<MadPipePlan, PlanError>,
     /// PipeDream baseline plan (or failure).
     pub pipedream: Result<madpipe_pipedream::PipeDreamPlan, madpipe_pipedream::PlanError>,
+    /// MadPipe planner instrumentation (populated even on failure).
+    pub stats: PlannerStats,
 }
 
 impl Comparison {
@@ -214,9 +401,11 @@ impl Comparison {
 
 /// Run MadPipe and PipeDream side by side.
 pub fn compare(chain: &Chain, platform: &Platform, cfg: &PlannerConfig) -> Comparison {
+    let (madpipe, stats) = madpipe_plan_with_stats(chain, platform, cfg);
     Comparison {
-        madpipe: madpipe_plan(chain, platform, cfg),
+        madpipe,
         pipedream: madpipe_pipedream::pipedream_plan(chain, platform),
+        stats,
     }
 }
 
@@ -236,7 +425,11 @@ mod tests {
 
     #[test]
     fn plan_produces_a_valid_schedule() {
-        let c = chain(&[(1.0, 2.0), (2.0, 1.0), (3.0, 2.0), (1.0, 1.0)], 1 << 10, 1 << 8);
+        let c = chain(
+            &[(1.0, 2.0), (2.0, 1.0), (3.0, 2.0), (1.0, 1.0)],
+            1 << 10,
+            1 << 8,
+        );
         let platform = Platform::new(2, 1 << 20, 1e6).unwrap();
         let plan = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap();
         assert!(plan.period() > 0.0);
@@ -267,5 +460,123 @@ mod tests {
         let platform = Platform::new(2, 1 << 12, 1e6).unwrap();
         let err = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap_err();
         assert_eq!(err, PlanError::Phase1Infeasible);
+    }
+
+    #[test]
+    fn parallel_planning_is_bit_identical_to_sequential() {
+        let c = chain(
+            &[
+                (1.0, 2.0),
+                (3.0, 1.0),
+                (2.0, 2.0),
+                (1.0, 1.0),
+                (2.0, 3.0),
+                (1.5, 0.5),
+            ],
+            1 << 14,
+            1 << 9,
+        );
+        let platform = Platform::new(3, 4 << 20, 1e7).unwrap();
+        let serial_cfg = PlannerConfig::default();
+        let parallel_cfg = PlannerConfig {
+            threads: 4,
+            ..serial_cfg
+        };
+        let (a, sa) = madpipe_plan_with_stats(&c, &platform, &serial_cfg);
+        let (b, sb) = madpipe_plan_with_stats(&c, &platform, &parallel_cfg);
+        let a = a.unwrap();
+        let b = b.unwrap();
+        assert_eq!(a.period().to_bits(), b.period().to_bits());
+        assert_eq!(a.phase1.period.to_bits(), b.phase1.period.to_bits());
+        assert_eq!(a.allocation, b.allocation);
+        // Everything but wall-clock agrees: same probes, same counters.
+        assert_eq!(sa.dp, sb.dp);
+        assert_eq!(sa.schedules_attempted, sb.schedules_attempted);
+        assert_eq!(sa.schedules_solved, sb.schedules_solved);
+        assert_eq!(sa.probes.len(), sb.probes.len());
+        for (x, y) in sa.probes.iter().zip(&sb.probes) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.t_hat.to_bits(), y.t_hat.to_bits());
+            assert_eq!(x.period.to_bits(), y.period.to_bits());
+            assert_eq!(
+                (x.cached, x.pruned, x.states),
+                (y.cached, y.pruned, y.states)
+            );
+        }
+    }
+
+    #[test]
+    fn stats_expose_cross_probe_reuse() {
+        // The bisection converges within its 10 iterations here, so the
+        // last targets repeat exactly and are served from the cache.
+        let c = chain(&[(1.0, 1.0); 6], 1 << 19, 0);
+        let platform = Platform::new(3, 6 << 20, 1e9).unwrap();
+        let (plan, stats) = madpipe_plan_with_stats(&c, &platform, &PlannerConfig::default());
+        plan.unwrap();
+        assert_eq!(
+            stats.probes.len(),
+            stats.dp.solves + stats.dp.probes_saved()
+        );
+        assert!(stats.dp.solves > 0);
+        assert!(
+            stats.dp.probes_saved() > 0,
+            "low refinement targets must be answered by the infeasibility bound: {stats:?}"
+        );
+        assert!(stats.schedules_attempted >= stats.schedules_solved);
+        assert!(stats.schedules_solved > 0);
+        assert!(stats.total_seconds > 0.0);
+        assert!(stats
+            .probes
+            .iter()
+            .any(|p| p.source == ProbeSource::Bisection));
+        assert!(stats
+            .probes
+            .iter()
+            .any(|p| p.source == ProbeSource::ContiguousFallback));
+    }
+
+    #[test]
+    fn zero_compute_chain_is_infeasible_not_a_panic() {
+        let c = chain(&[(0.0, 0.0), (0.0, 0.0)], 1 << 10, 1 << 8);
+        let platform = Platform::new(2, 1 << 20, 1e6).unwrap();
+        let err = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap_err();
+        assert!(matches!(err, PlanError::Infeasible(_)), "got {err:?}");
+        assert!(err.to_string().contains("zero total compute"));
+    }
+
+    #[test]
+    fn single_layer_chains_plan_or_fail_cleanly() {
+        // L = 1: the DP has exactly one stage to place. Must not panic,
+        // on either a single GPU or several.
+        let c = chain(&[(1.0, 2.0)], 1 << 10, 1 << 8);
+        for gpus in [1usize, 2, 4] {
+            let platform = Platform::new(gpus, 1 << 20, 1e6).unwrap();
+            let plan = madpipe_plan(&c, &platform, &PlannerConfig::default());
+            let plan = plan.unwrap_or_else(|e| panic!("L=1 on {gpus} GPUs: {e}"));
+            assert_eq!(plan.allocation.stages().len(), 1);
+        }
+    }
+
+    #[test]
+    fn sub_minimum_memory_is_reported_not_panicked() {
+        // Even one layer at g = 1 exceeds this platform's memory.
+        let c = chain(&[(1.0, 1.0), (2.0, 2.0)], 1 << 24, 1 << 22);
+        let platform = Platform::new(2, 1 << 16, 1e6).unwrap();
+        let err = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap_err();
+        assert_eq!(err, PlanError::Phase1Infeasible);
+        // Stats still explain the failure: probes ran, none feasible.
+        let (res, stats) = madpipe_plan_with_stats(&c, &platform, &PlannerConfig::default());
+        assert!(res.is_err());
+        assert!(!stats.probes.is_empty());
+        assert!(stats.probes.iter().all(|p| p.period.is_infinite()));
+    }
+
+    #[test]
+    fn oversized_platform_is_rejected_with_a_message() {
+        let c = chain(&[(1.0, 1.0); 4], 1 << 10, 0);
+        let platform = Platform::new(300, 1 << 30, 1e9).unwrap();
+        let err = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap_err();
+        assert!(matches!(err, PlanError::Infeasible(_)));
+        assert!(err.to_string().contains("255"));
     }
 }

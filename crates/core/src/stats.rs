@@ -1,0 +1,193 @@
+//! Planner observability: counters and timings collected while MadPipe
+//! plans, exposed to the CLI (`--stats`) and the bench CSV writers.
+//!
+//! Two layers of instrumentation:
+//!
+//! * [`DpStats`] — aggregate counters of the cross-probe DP session
+//!   ([`crate::dp::ProbeSession`]): how many DP solves actually ran, how
+//!   many probes were answered from the outcome cache or the monotone
+//!   infeasibility bound, and the memoization/prune behaviour inside the
+//!   solves that did run;
+//! * [`PlannerStats`] — the end-to-end picture: the probe timeline (every
+//!   target period evaluated, tagged with the planner stage that asked
+//!   for it), phase wall-clock times, and phase-2 scheduling counts.
+
+/// Aggregate counters of one [`crate::dp::ProbeSession`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DpStats {
+    /// DP solves that actually ran (memo built from scratch).
+    pub solves: usize,
+    /// Probes answered from the cross-probe outcome cache.
+    pub outcome_hits: usize,
+    /// Probes answered by the monotone infeasibility bound (a target no
+    /// larger than one already proven infeasible).
+    pub bound_prunes: usize,
+    /// Distinct memoized states created across all solves.
+    pub states_created: u64,
+    /// States served again from retained shards by outcome-cache hits.
+    pub states_reused: u64,
+    /// Intra-solve memo lookups that hit an existing state.
+    pub memo_hits: u64,
+    /// Times the exact load prune (`u ≥ best`) cut a stage scan short.
+    pub load_prunes: u64,
+    /// Times the monotone memory-overflow break cut a stage scan short.
+    pub memory_prunes: u64,
+}
+
+impl DpStats {
+    /// Fold another set of counters into this one.
+    pub fn merge(&mut self, other: &DpStats) {
+        self.solves += other.solves;
+        self.outcome_hits += other.outcome_hits;
+        self.bound_prunes += other.bound_prunes;
+        self.states_created += other.states_created;
+        self.states_reused += other.states_reused;
+        self.memo_hits += other.memo_hits;
+        self.load_prunes += other.load_prunes;
+        self.memory_prunes += other.memory_prunes;
+    }
+
+    /// Probes answered without running a DP solve.
+    pub fn probes_saved(&self) -> usize {
+        self.outcome_hits + self.bound_prunes
+    }
+}
+
+/// Which planner stage requested a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeSource {
+    /// Algorithm 1's bisection over `T̂`.
+    Bisection,
+    /// The memory-aware contiguous ablation (special processor off).
+    ContiguousFallback,
+    /// The post-bisection refinement grid.
+    Refinement,
+}
+
+impl std::fmt::Display for ProbeSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeSource::Bisection => write!(f, "bisection"),
+            ProbeSource::ContiguousFallback => write!(f, "contiguous"),
+            ProbeSource::Refinement => write!(f, "refinement"),
+        }
+    }
+}
+
+/// One entry of the probe timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeRecord {
+    /// Stage that asked for this probe.
+    pub source: ProbeSource,
+    /// Target period `T̂`.
+    pub t_hat: f64,
+    /// Whether the special processor was enabled.
+    pub use_special: bool,
+    /// Raw DP period (infinite when infeasible).
+    pub period: f64,
+    /// Memoized states of the solve that answered this probe.
+    pub states: usize,
+    /// Answered from the cross-probe outcome cache (no solve ran).
+    pub cached: bool,
+    /// Answered by the monotone infeasibility bound (no solve ran).
+    pub pruned: bool,
+    /// Wall-clock seconds spent answering (≈ 0 for cached/pruned).
+    pub seconds: f64,
+}
+
+/// End-to-end planner instrumentation for one [`crate::madpipe_plan`]
+/// run, also available on failure (the counters explain *why* planning
+/// failed, e.g. every probe infeasible).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlannerStats {
+    /// Aggregate DP counters of the shared probe session.
+    pub dp: DpStats,
+    /// Every probe in evaluation order (parallel batches keep their
+    /// submission order, so the timeline is deterministic).
+    pub probes: Vec<ProbeRecord>,
+    /// Distinct allocations handed to phase 2.
+    pub schedules_attempted: usize,
+    /// Of those, how many produced a valid schedule.
+    pub schedules_solved: usize,
+    /// Wall time of the phase-1 bisection (including its DP solves).
+    pub phase1_seconds: f64,
+    /// Wall time of the contiguous-fallback bisection.
+    pub fallback_seconds: f64,
+    /// Wall time of the refinement-grid probes.
+    pub refine_seconds: f64,
+    /// Wall time of phase-2 scheduling (all candidate allocations).
+    pub schedule_seconds: f64,
+    /// Total wall time of the plan call.
+    pub total_seconds: f64,
+    /// Worker threads used for independent probes and scheduling.
+    pub threads: usize,
+}
+
+impl PlannerStats {
+    /// One-line summary suitable for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "probes {} ({} solved, {} cached, {} pruned), states {} (+{} reused), \
+             schedules {}/{}, {:.3}s total ({} thread{})",
+            self.probes.len(),
+            self.dp.solves,
+            self.dp.outcome_hits,
+            self.dp.bound_prunes,
+            self.dp.states_created,
+            self.dp.states_reused,
+            self.schedules_solved,
+            self.schedules_attempted,
+            self.total_seconds,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = DpStats {
+            solves: 2,
+            outcome_hits: 1,
+            bound_prunes: 0,
+            states_created: 100,
+            states_reused: 40,
+            memo_hits: 7,
+            load_prunes: 3,
+            memory_prunes: 1,
+        };
+        let b = DpStats {
+            solves: 1,
+            outcome_hits: 2,
+            bound_prunes: 3,
+            states_created: 10,
+            states_reused: 0,
+            memo_hits: 1,
+            load_prunes: 1,
+            memory_prunes: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.solves, 3);
+        assert_eq!(a.outcome_hits, 3);
+        assert_eq!(a.bound_prunes, 3);
+        assert_eq!(a.states_created, 110);
+        assert_eq!(a.probes_saved(), 6);
+    }
+
+    #[test]
+    fn summary_mentions_the_key_counters() {
+        let stats = PlannerStats {
+            threads: 4,
+            schedules_attempted: 5,
+            schedules_solved: 4,
+            ..PlannerStats::default()
+        };
+        let s = stats.summary();
+        assert!(s.contains("4/5"));
+        assert!(s.contains("4 threads"));
+    }
+}

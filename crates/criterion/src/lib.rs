@@ -1,0 +1,197 @@
+//! Workspace-internal benchmarking shim.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! crate cannot be vendored. This shim keeps the bench sources compiling
+//! unchanged and produces honest wall-clock numbers (min / median / mean
+//! over adaptively chosen samples), without the statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level driver handed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("f", "param")` renders as `f/param`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b));
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_millis(3000),
+            max_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            eprintln!("  {}/{}: no samples", self.name, id.id);
+            return;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        eprintln!(
+            "  {}/{}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            self.name,
+            id.id,
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+    }
+
+    /// End the group (report output is already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timed samples of one routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly: one warm-up call, then samples until
+    /// either the group's sample cap or a ~3 s time budget is reached.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up, also primes caches/allocations
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 2); // warm-up + at least one sample
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "x").id, "f/x");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

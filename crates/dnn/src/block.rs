@@ -11,8 +11,6 @@
 //! shared prefix (Inception-E computes one `1×1` and then both a `1×3`
 //! and a `3×1` from its output); the sub-branch outputs concatenate.
 
-use serde::{Deserialize, Serialize};
-
 use madpipe_model::Layer;
 
 use crate::cost::GpuModel;
@@ -20,7 +18,7 @@ use crate::ops::Op;
 use crate::tensor::{TensorShape, ELEM_BYTES};
 
 /// How a block's parallel paths merge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Merge {
     /// Single path (plain sequence).
     Single,
@@ -35,7 +33,7 @@ pub enum Merge {
 
 /// One parallel path of a block: a shared op prefix, optionally fanning
 /// out into concatenated sub-branches.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BranchPath {
     /// Shared op sequence (empty = identity).
     pub ops: Vec<Op>,
@@ -60,7 +58,7 @@ impl BranchPath {
 }
 
 /// A linearization unit: parallel paths merged at the end.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Name of the block in the produced chain.
     pub name: String,

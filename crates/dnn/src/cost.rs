@@ -13,10 +13,10 @@
 //! with the `u_B ≈ 2·u_F` ratios visible in PipeDream's published
 //! profiles.
 
-use serde::{Deserialize, Serialize};
+use madpipe_json::{FromJson, JsonError, ToJson, Value};
 
 /// The GPU used to synthesize per-layer durations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuModel {
     /// Sustained compute throughput in FLOP/s (tensor-core fp32-accum
     /// class hardware lands around 10–15 TFLOP/s effective).
@@ -88,6 +88,28 @@ impl GpuModel {
     /// Backward duration for the same op.
     pub fn backward_time(&self, flops: u64, bytes: u64) -> f64 {
         self.forward_time(flops, bytes) * self.backward_factor
+    }
+}
+
+impl ToJson for GpuModel {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("effective_flops".into(), self.effective_flops.to_json()),
+            ("mem_bandwidth".into(), self.mem_bandwidth.to_json()),
+            ("kernel_overhead".into(), self.kernel_overhead.to_json()),
+            ("backward_factor".into(), self.backward_factor.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GpuModel {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            effective_flops: v.field("effective_flops")?.as_f64()?,
+            mem_bandwidth: v.field("mem_bandwidth")?.as_f64()?,
+            kernel_overhead: v.field("kernel_overhead")?.as_f64()?,
+            backward_factor: v.field("backward_factor")?.as_f64()?,
+        })
     }
 }
 

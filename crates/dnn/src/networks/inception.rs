@@ -130,43 +130,44 @@ fn inception_c(name: String) -> Block {
 
 /// Inception-v3.
 pub fn inception_v3() -> NetworkSpec {
-    let mut blocks = Vec::new();
-    blocks.push(Block::seq("stem_conv1", path(&[Op::conv(32, 3, 2, 0)])));
-    blocks.push(Block::seq("stem_conv2", path(&[Op::conv(32, 3, 1, 0)])));
-    blocks.push(Block::seq("stem_conv3", path(&[Op::conv3x3(64, 1)])));
-    blocks.push(Block::seq(
-        "stem_pool1",
-        vec![Op::MaxPool {
-            kernel: 3,
-            stride: 2,
-            padding: 0,
-        }],
-    ));
-    blocks.push(Block::seq("stem_conv4", path(&[Op::conv1x1(80)])));
-    blocks.push(Block::seq("stem_conv5", path(&[Op::conv(192, 3, 1, 0)])));
-    blocks.push(Block::seq(
-        "stem_pool2",
-        vec![Op::MaxPool {
-            kernel: 3,
-            stride: 2,
-            padding: 0,
-        }],
-    ));
-    blocks.push(inception_a("mixed5b".into(), 32));
-    blocks.push(inception_a("mixed5c".into(), 64));
-    blocks.push(inception_a("mixed5d".into(), 64));
-    blocks.push(reduction_a("mixed6a".into()));
-    blocks.push(inception_b("mixed6b".into(), 128));
-    blocks.push(inception_b("mixed6c".into(), 160));
-    blocks.push(inception_b("mixed6d".into(), 160));
-    blocks.push(inception_b("mixed6e".into(), 192));
-    blocks.push(reduction_b("mixed7a".into()));
-    blocks.push(inception_c("mixed7b".into()));
-    blocks.push(inception_c("mixed7c".into()));
-    blocks.push(Block::seq(
-        "head",
-        vec![Op::GlobalAvgPool, Op::Linear { out_features: 1000 }],
-    ));
+    let blocks = vec![
+        Block::seq("stem_conv1", path(&[Op::conv(32, 3, 2, 0)])),
+        Block::seq("stem_conv2", path(&[Op::conv(32, 3, 1, 0)])),
+        Block::seq("stem_conv3", path(&[Op::conv3x3(64, 1)])),
+        Block::seq(
+            "stem_pool1",
+            vec![Op::MaxPool {
+                kernel: 3,
+                stride: 2,
+                padding: 0,
+            }],
+        ),
+        Block::seq("stem_conv4", path(&[Op::conv1x1(80)])),
+        Block::seq("stem_conv5", path(&[Op::conv(192, 3, 1, 0)])),
+        Block::seq(
+            "stem_pool2",
+            vec![Op::MaxPool {
+                kernel: 3,
+                stride: 2,
+                padding: 0,
+            }],
+        ),
+        inception_a("mixed5b".into(), 32),
+        inception_a("mixed5c".into(), 64),
+        inception_a("mixed5d".into(), 64),
+        reduction_a("mixed6a".into()),
+        inception_b("mixed6b".into(), 128),
+        inception_b("mixed6c".into(), 160),
+        inception_b("mixed6d".into(), 160),
+        inception_b("mixed6e".into(), 192),
+        reduction_b("mixed7a".into()),
+        inception_c("mixed7b".into()),
+        inception_c("mixed7c".into()),
+        Block::seq(
+            "head",
+            vec![Op::GlobalAvgPool, Op::Linear { out_features: 1000 }],
+        ),
+    ];
     NetworkSpec {
         name: "inception_v3".to_string(),
         blocks,

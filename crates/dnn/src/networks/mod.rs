@@ -6,7 +6,6 @@ pub mod resnet;
 pub mod vgg;
 
 use madpipe_model::{Chain, ModelError};
-use serde::{Deserialize, Serialize};
 
 use crate::block::Block;
 use crate::cost::GpuModel;
@@ -18,7 +17,7 @@ pub use resnet::{resnet101, resnet152, resnet50};
 pub use vgg::vgg16;
 
 /// A network as an ordered list of linearization blocks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
     /// Network name (`"resnet50"`, …).
     pub name: String,

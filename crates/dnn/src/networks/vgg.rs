@@ -36,14 +36,8 @@ pub fn vgg16() -> NetworkSpec {
         conv_block("conv5".into(), &[512, 512, 512]),
         // torchvision adapts to 7×7 before the classifier.
         Block::seq("avgpool", vec![Op::GlobalAvgPool]),
-        Block::seq(
-            "fc1",
-            vec![Op::Linear { out_features: 4096 }, Op::Relu],
-        ),
-        Block::seq(
-            "fc2",
-            vec![Op::Linear { out_features: 4096 }, Op::Relu],
-        ),
+        Block::seq("fc1", vec![Op::Linear { out_features: 4096 }, Op::Relu]),
+        Block::seq("fc2", vec![Op::Linear { out_features: 4096 }, Op::Relu]),
         Block::seq("fc3", vec![Op::Linear { out_features: 1000 }]),
     ];
     NetworkSpec {

@@ -5,12 +5,10 @@
 //! support rectangular kernels (Inception-v3 factorizes `7×7` into
 //! `1×7`·`7×1`).
 
-use serde::{Deserialize, Serialize};
-
 use crate::tensor::TensorShape;
 
 /// A primitive network operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// 2-D convolution with a `kh×kw` kernel, common stride, and
     /// `(ph, pw)` padding; bias included.
@@ -27,9 +25,17 @@ pub enum Op {
     /// ReLU activation.
     Relu,
     /// Max pooling.
-    MaxPool { kernel: u64, stride: u64, padding: u64 },
+    MaxPool {
+        kernel: u64,
+        stride: u64,
+        padding: u64,
+    },
     /// Average pooling.
-    AvgPool { kernel: u64, stride: u64, padding: u64 },
+    AvgPool {
+        kernel: u64,
+        stride: u64,
+        padding: u64,
+    },
     /// Global average pooling to `1×1`.
     GlobalAvgPool,
     /// Fully connected layer on flattened input.

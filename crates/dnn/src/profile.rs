@@ -10,14 +10,13 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
+use madpipe_json::{FromJson, JsonError, ToJson, Value};
 use madpipe_model::Chain;
 
 use crate::cost::GpuModel;
 
 /// A profiled chain plus the provenance of the numbers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Batch size used.
     pub batch: u64,
@@ -32,14 +31,30 @@ pub struct Profile {
 impl Profile {
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("profile serializes")
+        Value::Object(vec![
+            ("batch".into(), self.batch.to_json()),
+            ("image_size".into(), self.image_size.to_json()),
+            (
+                "gpu".into(),
+                self.gpu
+                    .as_ref()
+                    .map(ToJson::to_json)
+                    .unwrap_or(Value::Null),
+            ),
+            ("chain".into(), self.chain.to_json()),
+        ])
+        .to_string_pretty()
     }
 
-    /// Parse from JSON, rebuilding the chain's prefix sums.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        let mut p: Profile = serde_json::from_str(s)?;
-        p.chain.rebuild_prefixes();
-        Ok(p)
+    /// Parse from JSON (the chain's prefix sums are rebuilt on read).
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let v = Value::parse(s)?;
+        Ok(Self {
+            batch: v.field("batch")?.as_u64()?,
+            image_size: v.field("image_size")?.as_u64()?,
+            gpu: Option::<GpuModel>::from_json(v.field("gpu")?)?,
+            chain: Chain::from_json(v.field("chain")?)?,
+        })
     }
 
     /// Write to a file.

@@ -1,9 +1,39 @@
 //! Seeded random chains for tests and benchmarks.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
-
 use madpipe_model::{Chain, Layer};
+
+/// SplitMix64 — a tiny seeded generator, deterministic across platforms
+/// and toolchain versions (unlike an external RNG crate's stream, which
+/// may change between releases and silently re-seed every benchmark).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[lo, hi]`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        let span = hi - lo + 1;
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
 
 /// Parameters of the random chain generator.
 #[derive(Debug, Clone, Copy)]
@@ -36,14 +66,14 @@ impl Default for RandomChainConfig {
 
 /// Generate a random chain from `cfg` with the given `seed`.
 pub fn random_chain(cfg: &RandomChainConfig, seed: u64) -> Chain {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let n = cfg.layers.max(1);
     let mut layers = Vec::with_capacity(n);
     for i in 0..n {
-        let forward = rng.gen_range(cfg.forward_range.0..=cfg.forward_range.1);
-        let backward = forward * rng.gen_range(1.0..=3.0);
-        let weights = rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1);
-        let act_base = rng.gen_range(cfg.activation_range.0..=cfg.activation_range.1);
+        let forward = rng.f64_in(cfg.forward_range.0, cfg.forward_range.1);
+        let backward = forward * rng.f64_in(1.0, 3.0);
+        let weights = rng.u64_in(cfg.weight_range.0, cfg.weight_range.1);
+        let act_base = rng.u64_in(cfg.activation_range.0, cfg.activation_range.1);
         let act = if cfg.cnn_profile {
             // Geometric decay: halve the scale every ~quarter of the chain.
             let decay = 0.5f64.powf(4.0 * i as f64 / n as f64);
@@ -51,7 +81,13 @@ pub fn random_chain(cfg: &RandomChainConfig, seed: u64) -> Chain {
         } else {
             act_base
         };
-        layers.push(Layer::new(format!("rand{i}"), forward, backward, weights, act));
+        layers.push(Layer::new(
+            format!("rand{i}"),
+            forward,
+            backward,
+            weights,
+            act,
+        ));
     }
     let input = layers[0].activation_bytes;
     Chain::new(format!("random-{seed}"), input, layers).expect("generated layers are well-formed")

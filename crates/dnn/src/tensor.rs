@@ -1,12 +1,10 @@
 //! Tensor shapes (NCHW, fp32).
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per element (fp32 training, as in the paper's profiling).
 pub const ELEM_BYTES: u64 = 4;
 
 /// A 4-D activation tensor shape in NCHW layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TensorShape {
     /// Batch size `N`.
     pub n: u64,

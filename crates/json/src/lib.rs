@@ -1,0 +1,635 @@
+//! A small, dependency-free JSON layer.
+//!
+//! The workspace needs JSON in exactly three places — profile files
+//! (`madpipe-dnn`), Chrome traces (`madpipe-sim`) and result tables —
+//! none of which justify an external serialization framework. This crate
+//! provides a [`Value`] tree, a strict parser, compact/pretty writers and
+//! the [`ToJson`]/[`FromJson`] traits the model types implement by hand.
+//!
+//! Numbers are kept in three shapes (`u64`, `i64`, `f64`) so integer
+//! byte counts round-trip exactly; floats are printed with Rust's
+//! shortest-round-trip formatting, so `f64` values survive a round trip
+//! bit-for-bit (NaN and infinities are not representable in JSON and are
+//! rejected on write).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integer (the common case for byte counts).
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Any number written with a fraction or exponent.
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Object with insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error raised by parsing or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description, with a byte offset for parse errors.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Build an error from anything printable.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serialize a Rust value into a [`Value`] tree.
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+/// Rebuild a Rust value from a [`Value`] tree.
+pub trait FromJson: Sized {
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+impl Value {
+    /// Parse a JSON document (strict: no trailing garbage).
+    pub fn parse(s: &str) -> Result<Value, JsonError> {
+        let bytes = s.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(x) => {
+                assert!(x.is_finite(), "JSON cannot represent {x}");
+                let s = format!("{x}");
+                out.push_str(&s);
+                // Keep the float/integer distinction across a round trip.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => write_seq(
+                out,
+                indent,
+                depth,
+                '[',
+                ']',
+                items.iter(),
+                |out, v, ind, d| v.write(out, ind, d),
+            ),
+            Value::Object(fields) => write_seq(
+                out,
+                indent,
+                depth,
+                '{',
+                '}',
+                fields.iter(),
+                |out, (k, v), ind, d| {
+                    write_string(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, ind, d);
+                },
+            ),
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field.
+    pub fn field(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// The value as a `u64` (accepting exact floats).
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Value::UInt(u) => Ok(*u),
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            Value::Float(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Ok(*x as u64)
+            }
+            other => Err(JsonError::new(format!(
+                "expected unsigned integer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as an `f64`.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(x) => Ok(*x),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(v) => Ok(v),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// The object's fields as a map (for tests and ad-hoc inspection).
+    pub fn as_map(&self) -> Result<BTreeMap<&str, &Value>, JsonError> {
+        match self {
+            Value::Object(fields) => Ok(fields.iter().map(|(k, v)| (k.as_str(), v)).collect()),
+            other => Err(JsonError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::new(format!("{} at byte {}", msg, self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.err(&format!("unexpected character `{}`", b as char))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for our files;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// Blanket conveniences for common shapes.
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_u64()
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse(" 42 ").unwrap(), Value::UInt(42));
+        assert_eq!(Value::parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(Value::parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(Value::parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            Value::parse("\"a\\nb\"").unwrap(),
+            Value::Str("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Value::parse(r#"{"a": [1, 2.0, "x"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.field("b").unwrap().get("c"), Some(&Value::Null));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\"}", "nulla", "1 2", "\"unterminated"] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1, 1.0 / 3.0, 1e-300, 123456.789e10, -0.25] {
+            let v = Value::Float(x);
+            let back = Value::parse(&v.to_string_compact()).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn compact_and_pretty_parse_back_equal() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("resnet".into())),
+            (
+                "layers".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(0.5)]),
+            ),
+            ("gpu".into(), Value::Null),
+        ]);
+        assert_eq!(Value::parse(&v.to_string_compact()).unwrap(), v);
+        assert_eq!(Value::parse(&v.to_string_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn float_integer_values_keep_their_type() {
+        let v = Value::Float(3.0);
+        let s = v.to_string_compact();
+        assert_eq!(s, "3.0");
+        assert_eq!(Value::parse(&s).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = Value::Str("tab\t\"quote\"\u{1}".into());
+        let s = v.to_string_compact();
+        assert_eq!(Value::parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let v = Value::parse("\"héllo → 🚀\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "héllo → 🚀");
+    }
+}

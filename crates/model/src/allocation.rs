@@ -2,15 +2,13 @@
 
 use std::ops::Range;
 
-use serde::{Deserialize, Serialize};
-
 use crate::chain::Chain;
 use crate::error::ModelError;
 use crate::partition::Partition;
 use crate::platform::Platform;
 
 /// One stage of an allocation: a contiguous layer range placed on a GPU.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stage {
     /// Layers of the stage (0-based, half-open).
     pub layers: Range<usize>,
@@ -21,7 +19,7 @@ pub struct Stage {
 /// An *allocation*: a partitioning of the chain plus an assignment of each
 /// stage to a GPU. MadPipe allocations have one *special* GPU that may
 /// hold several stages while every other (*normal*) GPU holds at most one.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allocation {
     stages: Vec<Stage>,
     n_gpus: usize,
@@ -34,10 +32,7 @@ impl Allocation {
         Partition::new(ranges, n_layers)?;
         for s in &stages {
             if s.gpu >= n_gpus {
-                return Err(ModelError::GpuOutOfRange {
-                    gpu: s.gpu,
-                    n_gpus,
-                });
+                return Err(ModelError::GpuOutOfRange { gpu: s.gpu, n_gpus });
             }
         }
         Ok(Self { stages, n_gpus })
@@ -191,10 +186,22 @@ mod tests {
         // stages: [0,1)→gpu0, [1,2)→gpu1, [2,3)→gpu0, [3,4)→gpu1
         Allocation::new(
             vec![
-                Stage { layers: 0..1, gpu: 0 },
-                Stage { layers: 1..2, gpu: 1 },
-                Stage { layers: 2..3, gpu: 0 },
-                Stage { layers: 3..4, gpu: 1 },
+                Stage {
+                    layers: 0..1,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 1..2,
+                    gpu: 1,
+                },
+                Stage {
+                    layers: 2..3,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 3..4,
+                    gpu: 1,
+                },
             ],
             4,
             2,
@@ -215,7 +222,10 @@ mod tests {
     #[test]
     fn gpu_validation() {
         let bad = Allocation::new(
-            vec![Stage { layers: 0..4, gpu: 5 }],
+            vec![Stage {
+                layers: 0..4,
+                gpu: 5,
+            }],
             4,
             2,
         );

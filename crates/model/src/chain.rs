@@ -2,7 +2,7 @@
 
 use std::ops::Range;
 
-use serde::{Deserialize, Serialize};
+use madpipe_json::{FromJson, JsonError, ToJson, Value};
 
 use crate::error::ModelError;
 use crate::layer::Layer;
@@ -13,24 +13,20 @@ use crate::layer::Layer;
 /// All algorithmic crates query costs through this type; prefix sums are
 /// precomputed so that `U(k,l)`, weights and stored-activation sums over
 /// any stage are O(1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Chain {
     name: String,
     /// Size in bytes of the input tensor of the whole network (`a^{(0)}`).
     input_bytes: u64,
     layers: Vec<Layer>,
     /// `fwd_prefix[i]` = Σ_{j<i} u_F[j].
-    #[serde(skip)]
     fwd_prefix: Vec<f64>,
     /// `bwd_prefix[i]` = Σ_{j<i} u_B[j].
-    #[serde(skip)]
     bwd_prefix: Vec<f64>,
     /// `weight_prefix[i]` = Σ_{j<i} W[j].
-    #[serde(skip)]
     weight_prefix: Vec<u64>,
     /// `stored_prefix[i]` = Σ_{j<i} a_in(j) — inputs of each layer, the
     /// paper's `Σ a_{i-1}`.
-    #[serde(skip)]
     stored_prefix: Vec<u64>,
 }
 
@@ -78,9 +74,12 @@ impl Chain {
             let l = &self.layers[i];
             self.fwd_prefix.push(self.fwd_prefix[i] + l.forward_time);
             self.bwd_prefix.push(self.bwd_prefix[i] + l.backward_time);
-            self.weight_prefix.push(self.weight_prefix[i] + l.weight_bytes);
+            self.weight_prefix
+                .push(self.weight_prefix[i] + l.weight_bytes);
             self.stored_prefix.push(
-                self.stored_prefix[i] + self.activation_in(i) + self.layers[i].internal_stored_bytes,
+                self.stored_prefix[i]
+                    + self.activation_in(i)
+                    + self.layers[i].internal_stored_bytes,
             );
         }
     }
@@ -195,6 +194,29 @@ impl Chain {
     }
 }
 
+impl ToJson for Chain {
+    fn to_json(&self) -> Value {
+        // Prefix sums are derived state: they are rebuilt on read, never
+        // written.
+        Value::Object(vec![
+            ("name".into(), self.name.to_json()),
+            ("input_bytes".into(), self.input_bytes.to_json()),
+            ("layers".into(), self.layers.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Chain {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let name = String::from_json(v.field("name")?)?;
+        let input_bytes = v.field("input_bytes")?.as_u64()?;
+        let layers = Vec::<Layer>::from_json(v.field("layers")?)?;
+        // `Chain::new` revalidates and rebuilds the prefix sums.
+        Chain::new(name, input_bytes, layers)
+            .map_err(|e| JsonError::new(format!("invalid chain: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,11 +289,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_then_rebuild() {
+    fn json_roundtrip_rebuilds_prefixes() {
         let c = chain3();
-        let json = serde_json::to_string(&c).unwrap();
-        let mut back: Chain = serde_json::from_str(&json).unwrap();
-        back.rebuild_prefixes();
+        let json = c.to_json().to_string_compact();
+        let back = Chain::from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, c);
         assert_eq!(back.compute_time(0..3), c.compute_time(0..3));
         assert_eq!(back.stored_activation_bytes(0..3), 600);
     }

@@ -27,7 +27,10 @@ impl fmt::Display for ModelError {
             }
             ModelError::BadCover { detail } => write!(f, "stages do not cover the chain: {detail}"),
             ModelError::GpuOutOfRange { gpu, n_gpus } => {
-                write!(f, "stage assigned to GPU {gpu} but platform has {n_gpus} GPUs")
+                write!(
+                    f,
+                    "stage assigned to GPU {gpu} but platform has {n_gpus} GPUs"
+                )
             }
             ModelError::BadPlatform { detail } => write!(f, "invalid platform: {detail}"),
         }

@@ -1,6 +1,6 @@
 //! A single layer of a linearized DNN.
 
-use serde::{Deserialize, Serialize};
+use madpipe_json::{FromJson, JsonError, ToJson, Value};
 
 /// One layer of the linearized chain (the paper's layer `l`).
 ///
@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// that `F_l` outputs. The gradient `b^{(l)}` consumed by `B_l` has the
 /// same size as `a^{(l)}` (each gradient matches the activation it is
 /// taken with respect to), so it is not stored separately.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// Human-readable identifier (e.g. `"conv2_block1"`).
     pub name: String,
@@ -30,7 +30,6 @@ pub struct Layer {
     /// grouping several original layers (see `madpipe_dnn::coarsen`):
     /// the inputs of the interior layers stay resident until the
     /// grouped backward runs, but never cross a cut.
-    #[serde(default)]
     pub internal_stored_bytes: u64,
 }
 
@@ -81,6 +80,39 @@ impl Layer {
     }
 }
 
+impl ToJson for Layer {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.to_json()),
+            ("forward_time".into(), self.forward_time.to_json()),
+            ("backward_time".into(), self.backward_time.to_json()),
+            ("weight_bytes".into(), self.weight_bytes.to_json()),
+            ("activation_bytes".into(), self.activation_bytes.to_json()),
+            (
+                "internal_stored_bytes".into(),
+                self.internal_stored_bytes.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Layer {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: String::from_json(v.field("name")?)?,
+            forward_time: v.field("forward_time")?.as_f64()?,
+            backward_time: v.field("backward_time")?.as_f64()?,
+            weight_bytes: v.field("weight_bytes")?.as_u64()?,
+            activation_bytes: v.field("activation_bytes")?.as_u64()?,
+            // Older profile files omit the field; it defaults to zero.
+            internal_stored_bytes: match v.get("internal_stored_bytes") {
+                Some(b) => b.as_u64()?,
+                None => 0,
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +139,19 @@ mod tests {
         assert!(!l.is_well_formed());
         l.forward_time = f64::INFINITY;
         assert!(!l.is_well_formed());
+    }
+
+    #[test]
+    fn json_roundtrip_and_default_internal_bytes() {
+        let l = Layer::new("l", 0.25, 0.5, 10, 20).with_internal_stored(7);
+        let back = Layer::from_json(&Value::parse(&l.to_json().to_string_compact()).unwrap());
+        assert_eq!(back, Ok(l));
+        // `internal_stored_bytes` may be absent in older files.
+        let legacy = Value::parse(
+            r#"{"name":"x","forward_time":1.0,"backward_time":2.0,
+                "weight_bytes":3,"activation_bytes":4}"#,
+        )
+        .unwrap();
+        assert_eq!(Layer::from_json(&legacy).unwrap().internal_stored_bytes, 0);
     }
 }

@@ -2,8 +2,6 @@
 
 use std::ops::Range;
 
-use serde::{Deserialize, Serialize};
-
 use crate::chain::Chain;
 use crate::error::ModelError;
 use crate::platform::Platform;
@@ -15,7 +13,7 @@ use crate::platform::Platform;
 /// [`crate::Allocation`] for stage→GPU assignments. A partition with at
 /// most `P` stages is *contiguous* in the paper's sense (one stage per
 /// GPU, in order).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     stages: Vec<Range<usize>>,
 }
@@ -32,7 +30,10 @@ impl Partition {
         for (i, s) in stages.iter().enumerate() {
             if s.start != cursor {
                 return Err(ModelError::BadCover {
-                    detail: format!("stage {i} starts at {} but previous ended at {cursor}", s.start),
+                    detail: format!(
+                        "stage {i} starts at {} but previous ended at {cursor}",
+                        s.start
+                    ),
                 });
             }
             if s.end <= s.start {
@@ -67,7 +68,7 @@ impl Partition {
     /// The whole chain as a single stage.
     pub fn single(n_layers: usize) -> Self {
         Self {
-            stages: vec![0..n_layers],
+            stages: std::iter::once(0..n_layers).collect(),
         }
     }
 
@@ -171,6 +172,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // a one-stage cover is the point
     fn validation_catches_gaps_overlaps_and_short_cover() {
         assert!(Partition::new(vec![0..2, 2..4], 4).is_ok());
         assert!(Partition::new(vec![0..2, 3..4], 4).is_err()); // gap

@@ -1,7 +1,5 @@
 //! The execution platform: `P` GPUs, memory capacity `M`, link bandwidth `β`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::chain::Chain;
 use crate::error::ModelError;
 
@@ -11,7 +9,7 @@ pub const GIB: u64 = 1 << 30;
 /// The homogeneous platform of §3: `P` identical GPUs with memory `M`,
 /// every pair connected by a dedicated full-duplex-free link of capacity
 /// `β` (as in PipeDream, a single exclusive channel per GPU pair).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Number of GPUs `P`.
     pub n_gpus: usize,
@@ -49,11 +47,7 @@ impl Platform {
     /// Convenience constructor with memory in GB (GiB), matching the
     /// paper's experiment grid (`M` = 3..16 GB, `β` = 12 or 24 GB/s).
     pub fn gb(n_gpus: usize, memory_gb: u64, bandwidth_gb_per_s: f64) -> Result<Self, ModelError> {
-        Self::new(
-            n_gpus,
-            memory_gb * GIB,
-            bandwidth_gb_per_s * GIB as f64,
-        )
+        Self::new(n_gpus, memory_gb * GIB, bandwidth_gb_per_s * GIB as f64)
     }
 
     /// Time to transfer `bytes` over one link.

@@ -9,14 +9,12 @@
 
 use std::ops::Range;
 
-use serde::{Deserialize, Serialize};
-
 use crate::allocation::Allocation;
 use crate::chain::Chain;
 use crate::platform::Platform;
 
 /// An exclusive resource of the platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Resource {
     /// GPU `p`.
     Gpu(usize),
@@ -33,19 +31,22 @@ impl Resource {
 }
 
 /// What a unit stands for.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UnitKind {
     /// Stage `stage` of the allocation, covering `layers`.
     Stage { stage: usize, layers: Range<usize> },
     /// The communication crossing the cut before layer `cut_layer`
     /// (carrying `a^{(cut_layer-1)}` forward and the same-size gradient
     /// backward), between stages `stage_before` and `stage_before + 1`.
-    Comm { cut_layer: usize, stage_before: usize },
+    Comm {
+        cut_layer: usize,
+        stage_before: usize,
+    },
 }
 
 /// One unit of the transformed chain: either a stage or a communication,
 /// with its own forward/backward durations and exclusive resource.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Unit {
     pub kind: UnitKind,
     /// Forward duration (stage: `U_F(s)`; comm: `a/β`).
@@ -70,7 +71,7 @@ impl Unit {
 
 /// The transformed chain: stages interleaved with the communications that
 /// their placement induces, in chain order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnitSequence {
     units: Vec<Unit>,
 }
@@ -181,9 +182,18 @@ mod tests {
         let platform = Platform::new(2, 1 << 30, 100.0).unwrap();
         let alloc = Allocation::new(
             vec![
-                Stage { layers: 0..1, gpu: 0 },
-                Stage { layers: 1..2, gpu: 0 },
-                Stage { layers: 2..4, gpu: 1 },
+                Stage {
+                    layers: 0..1,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 1..2,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 2..4,
+                    gpu: 1,
+                },
             ],
             4,
             2,

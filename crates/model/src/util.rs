@@ -58,6 +58,40 @@ pub fn ceil_div(x: f64, y: f64) -> u64 {
     }
 }
 
+/// One step of the `⊕` delay-propagation algebra of §4.2.2: fold the
+/// load `y` of the next element (walking the chain back-to-front) into
+/// the accumulated delay `x` at target period `t`:
+///
+/// ```text
+/// x ⊕ y = x + y            if ⌈x/t⌉ = ⌈(x+y)/t⌉   (same group)
+///       = t·⌈x/t⌉ + y      otherwise               (new group opens)
+/// ```
+///
+/// Zero-cost elements never open a new group (`x ⊕ 0 = x`).
+///
+/// This lives here (not in `madpipe-core`) because *both* sides of the
+/// planner must make identical grouping decisions at period boundaries:
+/// the DP derives `g = ⌈(V + U)/T̂⌉` from delays propagated with this
+/// step, and 1F1B*'s greedy packer assigns the actual groups. Both now
+/// share this function and [`ceil_div`]'s boundary snapping, so a load
+/// landing exactly on a multiple of the period (within [`EPS`]) counts
+/// the same number of groups in the estimate and in the schedule.
+#[inline]
+pub fn group_step(x: f64, y: f64, t: f64) -> f64 {
+    debug_assert!(t > 0.0, "group_step requires a positive target period");
+    debug_assert!(x >= 0.0 && y >= 0.0);
+    if y == 0.0 {
+        return x;
+    }
+    let gx = ceil_div(x, t);
+    let gxy = ceil_div(x + y, t);
+    if gx == gxy {
+        x + y
+    } else {
+        t * gx as f64 + y
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +120,53 @@ mod tests {
     fn ceil_div_scales_with_divisor() {
         assert_eq!(ceil_div(10.0, 2.5), 4);
         assert_eq!(ceil_div(10.1, 2.5), 5);
+    }
+
+    #[test]
+    fn group_step_matches_the_paper_cases() {
+        // Same group: plain addition.
+        assert_eq!(group_step(1.0, 0.5, 2.0), 1.5);
+        // Boundary crossed: snap to the window, then add.
+        assert_eq!(group_step(1.5, 1.0, 2.0), 3.0);
+        // Zero load is the identity.
+        assert_eq!(group_step(3.7, 0.0, 2.0), 3.7);
+        // An exact multiple of the period stays in its group.
+        assert_eq!(group_step(2.0, 0.5, 2.0), 2.5);
+        assert_eq!(group_step(2.0 + 1e-12, 0.5, 2.0), 2.5);
+    }
+
+    #[test]
+    fn group_step_delay_counts_groups_via_ceil_div() {
+        // Invariant tying the two sides of the planner together: after
+        // folding loads back-to-front, ⌈delay/t⌉ equals the number of
+        // greedy groups the same loads pack into — including loads that
+        // land exactly on multiples of t.
+        let t = 4.0;
+        for loads in [
+            vec![4.0, 4.0, 4.0],      // exact multiples: one group each
+            vec![2.0, 2.0, 2.0, 2.0], // pairs fill a window exactly
+            vec![3.0, 1.0, 2.0, 2.0], // mixed, boundary-exact
+            vec![2.5, 2.5, 2.5],      // never exact
+        ] {
+            let mut delay = 0.0;
+            let mut greedy_groups = 0u64;
+            let mut acc = 0.0;
+            for &y in loads.iter().rev() {
+                delay = group_step(delay, y, t);
+                if acc > 0.0 && acc + y > t + EPS {
+                    greedy_groups += 1;
+                    acc = 0.0;
+                }
+                acc += y;
+            }
+            if acc > 0.0 {
+                greedy_groups += 1;
+            }
+            assert_eq!(
+                ceil_div(delay, t),
+                greedy_groups,
+                "loads {loads:?}: delay {delay} vs greedy {greedy_groups}"
+            );
+        }
     }
 }

@@ -94,8 +94,8 @@ fn solve(chain: &Chain, platform: &Platform, use_memory: bool) -> Option<(Partit
 
     // Best over the number of stages actually used.
     let mut best: Option<(usize, f64)> = None;
-    for p in 1..=max_stages {
-        let v = d[p][0];
+    for (p, row) in d.iter().enumerate().skip(1) {
+        let v = row[0];
         if v.is_finite() && best.map(|(_, b)| v < b).unwrap_or(true) {
             best = Some((p, v));
         }
@@ -235,8 +235,7 @@ mod tests {
             for cand in Partition::enumerate(5, p) {
                 let s_count = cand.len();
                 let mem_ok = cand.stages().iter().enumerate().all(|(i, s)| {
-                    chain.stage_memory(s.clone(), (s_count - i) as u64)
-                        <= platform.memory_bytes
+                    chain.stage_memory(s.clone(), (s_count - i) as u64) <= platform.memory_bytes
                 });
                 if !mem_ok {
                     continue;

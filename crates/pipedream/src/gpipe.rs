@@ -220,8 +220,24 @@ mod tests {
     fn bubble_shrinks_with_more_micro_batches() {
         let c = chain(8, 16, 0);
         let platform = Platform::new(4, 1 << 30, 1e9).unwrap();
-        let few = gpipe_plan(&c, &platform, &GPipeConfig { micro_batches: Some(4), recompute: false }).unwrap();
-        let many = gpipe_plan(&c, &platform, &GPipeConfig { micro_batches: Some(32), recompute: false }).unwrap();
+        let few = gpipe_plan(
+            &c,
+            &platform,
+            &GPipeConfig {
+                micro_batches: Some(4),
+                recompute: false,
+            },
+        )
+        .unwrap();
+        let many = gpipe_plan(
+            &c,
+            &platform,
+            &GPipeConfig {
+                micro_batches: Some(32),
+                recompute: false,
+            },
+        )
+        .unwrap();
         assert!(many.period < few.period);
         assert!(many.bubble_fraction() < few.bubble_fraction());
     }
@@ -230,11 +246,24 @@ mod tests {
     fn recompute_trades_memory_for_time() {
         let c = chain(8, 1 << 20, 0);
         let platform = Platform::new(4, 1 << 40, 1e9).unwrap();
-        let cfg = GPipeConfig { micro_batches: Some(8), recompute: false };
+        let cfg = GPipeConfig {
+            micro_batches: Some(8),
+            recompute: false,
+        };
         let plain = gpipe_plan(&c, &platform, &cfg).unwrap();
-        let recomputed =
-            gpipe_plan(&c, &platform, &GPipeConfig { recompute: true, ..cfg }).unwrap();
-        assert!(recomputed.period > plain.period, "recompute adds forward time");
+        let recomputed = gpipe_plan(
+            &c,
+            &platform,
+            &GPipeConfig {
+                recompute: true,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(
+            recomputed.period > plain.period,
+            "recompute adds forward time"
+        );
         assert!(
             recomputed.gpu_peak_bytes.iter().max() < plain.gpu_peak_bytes.iter().max(),
             "recompute must reduce peak memory"
@@ -245,9 +274,20 @@ mod tests {
     fn synchronous_weights_cost_two_copies() {
         let c = chain(2, 4, 1000);
         let platform = Platform::new(1, 1 << 30, 1e9).unwrap();
-        let plan = gpipe_plan(&c, &platform, &GPipeConfig { micro_batches: Some(1), recompute: false }).unwrap();
+        let plan = gpipe_plan(
+            &c,
+            &platform,
+            &GPipeConfig {
+                micro_batches: Some(1),
+                recompute: false,
+            },
+        )
+        .unwrap();
         // single GPU: 2·(2·1000) weights + activations + no buffers
-        assert_eq!(plan.gpu_peak_bytes[0], 4000 + c.stored_activation_bytes(0..2));
+        assert_eq!(
+            plan.gpu_peak_bytes[0],
+            4000 + c.stored_activation_bytes(0..2)
+        );
     }
 
     #[test]

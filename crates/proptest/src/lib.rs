@@ -1,0 +1,212 @@
+//! Workspace-internal property-testing shim.
+//!
+//! The build environment has no registry access, so the real `proptest`
+//! crate cannot be vendored; this crate re-implements the (small) API
+//! surface our test suites use with deterministic seeded sampling:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, multiple
+//!   `#[test]` functions and `pattern in strategy` arguments;
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, ranges,
+//!   tuples, [`strategy::Just`], `prop::collection::vec`,
+//!   `prop::bool::ANY`, `prop::sample::Index` and [`arbitrary::any`];
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Differences from upstream: no shrinking (the failing seed is printed
+//! instead, and re-runs are deterministic), and rejection sampling is
+//! capped rather than configurable.
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::...` namespace mirroring the upstream layout.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+    /// Boolean strategies (`prop::bool::ANY`).
+    pub mod bool {
+        pub use crate::strategy::bool_any::ANY;
+    }
+    /// Sampling helpers (`prop::sample::Index`).
+    pub mod sample {
+        pub use crate::strategy::Index;
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define deterministic property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in 0usize..10, (a, b) in strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::Runner::new(&config, stringify!($name));
+                runner.run(|__proptest_rng| {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::sample(&($strat), __proptest_rng);
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test; failures report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} ({:?} vs {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Skip the current case unless `cond` holds (counted as a rejection, not
+/// a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0.5f64..2.5, n in 2usize..=6) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+            prop_assert!((2..=6).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_vec((a, b) in (0u32..5, 1u32..=3), v in prop::collection::vec(0u64..10, 2..=5)) {
+            prop_assert!(a < 5 && (1..=3).contains(&b));
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn map_flat_map_and_index(
+            v in prop::collection::vec(prop::bool::ANY, 4)
+                .prop_map(|mask| mask.into_iter().filter(|&b| b).count())
+                .prop_flat_map(|n| (Just(n), 0usize..5)),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            let (count, extra) = v;
+            prop_assert!(count <= 4 && extra < 5);
+            prop_assert!(pick.index(7) < 7);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig::with_cases(8);
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = crate::test_runner::Runner::new(&cfg, "determinism");
+            runner.run(|rng| {
+                out.push(Strategy::sample(&(0u64..1000), rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_seed() {
+        let cfg = ProptestConfig::with_cases(4);
+        let mut runner = crate::test_runner::Runner::new(&cfg, "failing");
+        runner.run(|_rng| Err(TestCaseError::fail("boom".to_string())));
+    }
+}

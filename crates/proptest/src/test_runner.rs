@@ -1,0 +1,128 @@
+//! Deterministic case runner and RNG.
+
+/// How many cases a [`crate::proptest!`] block runs per test.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of *passing* cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another sample.
+    Reject,
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// SplitMix64: tiny, fast, good enough for test-input generation, and —
+/// crucially here — fully deterministic across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded sampling; the modulo bias of a 64-bit
+        // state over test-sized ranges is far below anything observable.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Runs the sampled cases of one `proptest!` test function.
+pub struct Runner {
+    cases: u32,
+    base_seed: u64,
+}
+
+impl Runner {
+    /// `name` keys the deterministic seed sequence so distinct tests see
+    /// distinct inputs.
+    pub fn new(config: &ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf29ce484222325u64; // FNV offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        Self {
+            cases: config.cases,
+            base_seed: seed,
+        }
+    }
+
+    /// Run until `cases` samples pass; panic on the first failure with
+    /// the seed that reproduces it. Rejections (`prop_assume!`) do not
+    /// count as passes and are capped to avoid livelock on vacuous
+    /// assumptions.
+    pub fn run(&mut self, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let max_attempts = (self.cases as u64).saturating_mul(64).max(4096);
+        let mut passed = 0u32;
+        let mut attempts = 0u64;
+        while passed < self.cases {
+            if attempts >= max_attempts {
+                assert!(
+                    passed > 0,
+                    "proptest: every one of {attempts} sampled cases was rejected by prop_assume!"
+                );
+                // Assumptions are just too tight to reach the requested
+                // case count; accept what we have rather than spin.
+                return;
+            }
+            let seed = self
+                .base_seed
+                .wrapping_add(attempts.wrapping_mul(0x2545f4914f6cdd1d));
+            let mut rng = TestRng::from_seed(seed);
+            attempts += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case failed (seed {seed:#018x}, attempt {attempts}): {msg}")
+                }
+            }
+        }
+    }
+}

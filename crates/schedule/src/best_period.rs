@@ -37,7 +37,10 @@ pub fn best_contiguous_period(
     platform: &Platform,
     alloc: &Allocation,
 ) -> Result<BestPeriod, ScheduleError> {
-    debug_assert!(alloc.is_contiguous(), "1F1B* requires a contiguous allocation");
+    debug_assert!(
+        alloc.is_contiguous(),
+        "1F1B* requires a contiguous allocation"
+    );
     let seq = UnitSequence::from_allocation(chain, platform, alloc);
 
     let t_lo = seq.max_unit_load();
@@ -175,14 +178,7 @@ mod tests {
         let candidates = window_sums(&seq, seq.max_unit_load());
         let mut seen_feasible = false;
         for &t in &candidates {
-            let ok = check_pattern(
-                &chain,
-                &platform,
-                &alloc,
-                &seq,
-                &one_f1b_star(&seq, t),
-            )
-            .is_ok();
+            let ok = check_pattern(&chain, &platform, &alloc, &seq, &one_f1b_star(&seq, t)).is_ok();
             if seen_feasible {
                 assert!(ok, "feasibility must be monotone in T");
             }

@@ -28,7 +28,8 @@ pub fn aggregate_memory_required(chain: &Chain) -> u64 {
 /// [`aggregate_memory_required`], no allocation of any shape can train
 /// the chain — every planner must fail.
 pub fn trivially_infeasible(chain: &Chain, platform: &Platform) -> bool {
-    (platform.n_gpus as u64).saturating_mul(platform.memory_bytes) < aggregate_memory_required(chain)
+    (platform.n_gpus as u64).saturating_mul(platform.memory_bytes)
+        < aggregate_memory_required(chain)
 }
 
 /// Upper bound on the useful period: the fully sequential execution

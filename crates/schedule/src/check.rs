@@ -154,7 +154,10 @@ pub fn check_pattern(
         if op.resource != unit.resource {
             return Err(ScheduleError::OpMismatch {
                 unit: op.unit,
-                detail: format!("resource {:?} != unit resource {:?}", op.resource, unit.resource),
+                detail: format!(
+                    "resource {:?} != unit resource {:?}",
+                    op.resource, unit.resource
+                ),
             });
         }
         if op.start < -madpipe_model::util::EPS
@@ -352,7 +355,11 @@ pub fn static_memory(chain: &Chain, alloc: &Allocation, seq: &UnitSequence) -> V
         bytes[s.gpu] += 3 * chain.weight_bytes(s.layers.clone());
     }
     for unit in seq.units() {
-        if let UnitKind::Comm { cut_layer, stage_before } = unit.kind {
+        if let UnitKind::Comm {
+            cut_layer,
+            stage_before,
+        } = unit.kind
+        {
             let buf = 2 * chain.activation_in(cut_layer);
             let before = alloc.stages()[stage_before].gpu;
             let after = alloc.stages()[stage_before + 1].gpu;
@@ -465,7 +472,7 @@ mod tests {
         let (chain, platform, alloc, seq) = tiny();
         let mut p = valid_pattern();
         p.ops[5].start = 0.5; // B of stage0 overlaps F of stage0 on gpu0
-        // fix dependency by bumping shift high enough
+                              // fix dependency by bumping shift high enough
         p.ops[5].shift = 2;
         let err = check_pattern(&chain, &platform, &alloc, &seq, &p).unwrap_err();
         assert!(matches!(err, ScheduleError::ResourceOverlap { .. }));

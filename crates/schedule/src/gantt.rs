@@ -41,7 +41,11 @@ pub fn render(seq: &UnitSequence, pattern: &Pattern, width: usize) -> String {
     let mut ops: Vec<_> = pattern.ops.iter().collect();
     ops.sort_by_key(|a| (a.unit, a.dir == Dir::Backward));
     for op in ops {
-        let kind = if seq.units()[op.unit].is_comm() { "comm" } else { "stage" };
+        let kind = if seq.units()[op.unit].is_comm() {
+            "comm"
+        } else {
+            "stage"
+        };
         let dir = match op.dir {
             Dir::Forward => "F",
             Dir::Backward => "B",

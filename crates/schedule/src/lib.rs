@@ -19,7 +19,9 @@ pub mod one_f1b;
 pub mod pattern;
 
 pub use best_period::{best_contiguous_period, BestPeriod};
-pub use bounds::{aggregate_memory_required, period_lower_bound, period_upper_bound, trivially_infeasible};
+pub use bounds::{
+    aggregate_memory_required, period_lower_bound, period_upper_bound, trivially_infeasible,
+};
 pub use check::{check_pattern, MemoryProfile, PatternReport, ScheduleError};
 pub use one_f1b::{group_assignment, one_f1b_star};
 pub use pattern::{Dir, Op, Pattern};

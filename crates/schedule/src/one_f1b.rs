@@ -20,7 +20,7 @@
 //! minimum possible number of live mini-batches per stage among all valid
 //! patterns of period `T`; a stage of group `g` stores exactly `g`.
 
-use madpipe_model::util::fle;
+use madpipe_model::util::{ceil_div, group_step};
 use madpipe_model::UnitSequence;
 
 use crate::pattern::{Dir, Op, Pattern};
@@ -28,22 +28,34 @@ use crate::pattern::{Dir, Op, Pattern};
 /// Group index (1-based, group 1 holds the last unit) for every unit,
 /// following the greedy backward packing of §4.1.
 ///
+/// The packing is driven by the same `⊕` delay-propagation step the DP
+/// uses ([`madpipe_model::util::group_step`]): fold each unit's load into
+/// the accumulated delay and read the group off `⌈delay/T⌉`. This makes
+/// the schedule's group count agree *by construction* with the DP's
+/// `g = ⌈(V + U)/T̂⌉` memory estimate — in particular when a group's
+/// load lands exactly on the period, where the two previously applied
+/// their boundary tolerances independently.
+///
 /// `period` should be at least the largest unit load; an oversized unit
-/// still gets its own group so callers can inspect the assignment, but no
-/// valid pattern exists for such a period.
+/// still gets its own group so callers can inspect the assignment (the
+/// clamp below keeps group indices consecutive), but no valid pattern
+/// exists for such a period.
 pub fn group_assignment(seq: &UnitSequence, period: f64) -> Vec<usize> {
     let n = seq.len();
     let mut groups = vec![0usize; n];
-    let mut g = 1usize;
-    let mut acc = 0.0f64;
+    let mut delay = 0.0f64;
+    let mut prev = 0usize;
     for u in (0..n).rev() {
         let load = seq.units()[u].total_time();
-        if acc > 0.0 && !fle(acc + load, period) {
-            g += 1;
-            acc = 0.0;
+        if load <= 0.0 {
+            // Zero-cost units never open a group.
+            groups[u] = prev.max(1);
+            continue;
         }
-        acc += load;
+        delay = group_step(delay, load, period);
+        let g = (ceil_div(delay, period).max(1) as usize).clamp(prev.max(1), prev + 1);
         groups[u] = g;
+        prev = g;
     }
     groups
 }
@@ -60,8 +72,8 @@ pub fn one_f1b_star(seq: &UnitSequence, period: f64) -> Pattern {
     // across the whole chain (group connections preserve the shift).
     let mut z_f = vec![0.0f64; n];
     let mut z = 0.0;
-    for u in 0..n {
-        z_f[u] = z;
+    for (u, zf) in z_f.iter_mut().enumerate() {
+        *zf = z;
         z += seq.units()[u].forward_time;
     }
 
@@ -89,7 +101,15 @@ pub fn one_f1b_star(seq: &UnitSequence, period: f64) -> Pattern {
     let mut ops = Vec::with_capacity(2 * n);
     for v in 0..n {
         let unit = &seq.units()[v];
-        ops.push(wrap_op(v, Dir::Forward, z_f[v], unit.forward_time, 0, unit, period));
+        ops.push(wrap_op(
+            v,
+            Dir::Forward,
+            z_f[v],
+            unit.forward_time,
+            0,
+            unit,
+            period,
+        ));
         ops.push(wrap_op(
             v,
             Dir::Backward,
@@ -248,5 +268,56 @@ mod tests {
         let pattern = one_f1b_star(&seq, 10.0);
         let report = check_pattern(&chain, &platform, &alloc, &seq, &pattern).unwrap();
         assert_eq!(report.unit_live_batches, vec![1]);
+    }
+
+    #[test]
+    fn grouping_matches_the_shared_delay_algebra() {
+        // Regression for the DP/1F1B* boundary split: the group index of
+        // the *first* unit must equal ⌈delay/T⌉ where delay is the shared
+        // ⊕ fold of all unit loads — including periods the loads divide
+        // exactly, where independently applied tolerances used to be able
+        // to disagree on the group count (and hence the memory estimate).
+        let (_, _, _, seq) = setup(
+            &[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0), (1.0, 1.0)],
+            &[1, 2, 3],
+            4,
+            1e12,
+            1,
+        );
+        for period in [2.0, 4.0, 6.0, 8.0, 3.0, 5.0] {
+            let groups = group_assignment(&seq, period);
+            let mut delay = 0.0;
+            for u in (0..seq.len()).rev() {
+                delay = group_step(delay, seq.units()[u].total_time(), period);
+            }
+            assert_eq!(
+                groups[0] as u64,
+                ceil_div(delay, period).max(1),
+                "period {period}: groups {groups:?}, delay {delay}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_period_multiples_group_like_their_ideal() {
+        // Stage loads exactly equal to the period: each stage is its own
+        // group, with no off-by-one from float noise on either side.
+        let (_, _, _, seq) = setup(&[(2.0, 2.0); 3], &[1, 2], 3, 1e12, 1);
+        let exact = group_assignment(&seq, 4.0);
+        assert_eq!(exact, vec![3, 2, 2, 1, 1]);
+        // The same chain with EPS-scale drift on the loads groups
+        // identically (the snap in ceil_div/group_step absorbs it).
+        let (_, _, _, noisy) = setup(
+            &[
+                (2.0 + 1e-13, 2.0 - 1e-13),
+                (2.0 - 1e-13, 2.0 + 1e-13),
+                (2.0, 2.0),
+            ],
+            &[1, 2],
+            3,
+            1e12,
+            1,
+        );
+        assert_eq!(group_assignment(&noisy, 4.0), exact);
     }
 }

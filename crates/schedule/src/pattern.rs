@@ -1,18 +1,16 @@
 //! The periodic pattern representation.
 
-use serde::{Deserialize, Serialize};
-
 use madpipe_model::{Resource, UnitSequence};
 
 /// Direction of an operation: the forward or the backward half of a unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dir {
     Forward,
     Backward,
 }
 
 /// One scheduled operation of the periodic pattern.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Op {
     /// Index of the unit (into the [`UnitSequence`]) this op belongs to.
     pub unit: usize,
@@ -54,7 +52,7 @@ impl Op {
 }
 
 /// A periodic pattern: period `T` plus one op per (unit, direction).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pattern {
     /// The period `T`.
     pub period: f64,
@@ -94,7 +92,8 @@ impl Pattern {
         if self.ops.len() != 2 * seq.len() {
             return false;
         }
-        (0..seq.len()).all(|u| self.op(u, Dir::Forward).is_some() && self.op(u, Dir::Backward).is_some())
+        (0..seq.len())
+            .all(|u| self.op(u, Dir::Forward).is_some() && self.op(u, Dir::Backward).is_some())
     }
 }
 
@@ -135,8 +134,22 @@ mod tests {
         let p = Pattern {
             period: 10.0,
             ops: vec![
-                Op { unit: 0, dir: Dir::Forward, start: 0.0, duration: 2.0, shift: 0, resource: Resource::Gpu(0) },
-                Op { unit: 0, dir: Dir::Backward, start: 5.0, duration: 3.0, shift: 1, resource: Resource::Gpu(0) },
+                Op {
+                    unit: 0,
+                    dir: Dir::Forward,
+                    start: 0.0,
+                    duration: 2.0,
+                    shift: 0,
+                    resource: Resource::Gpu(0),
+                },
+                Op {
+                    unit: 0,
+                    dir: Dir::Backward,
+                    start: 5.0,
+                    duration: 3.0,
+                    shift: 1,
+                    resource: Resource::Gpu(0),
+                },
             ],
         };
         assert_eq!(p.resource_load(Resource::Gpu(0)), 5.0);

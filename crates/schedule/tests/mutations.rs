@@ -38,10 +38,7 @@ fn arb_instance() -> impl Strategy<Value = (Chain, Vec<usize>)> {
         })
 }
 
-fn setup(
-    chain: &Chain,
-    cuts: &[usize],
-) -> (Platform, Allocation, UnitSequence) {
+fn setup(chain: &Chain, cuts: &[usize]) -> (Platform, Allocation, UnitSequence) {
     let part = Partition::from_cuts(cuts, chain.len()).unwrap();
     let n_gpus = part.len();
     let platform = Platform::new(n_gpus, u64::MAX / 4, 1_000.0).unwrap();

@@ -10,9 +10,9 @@ use madpipe_schedule::{best_contiguous_period, check_pattern, group_assignment, 
 fn arb_chain() -> impl Strategy<Value = Chain> {
     prop::collection::vec(
         (
-            0.1f64..10.0, // forward
-            0.1f64..10.0, // backward
-            0u64..10_000, // weights
+            0.1f64..10.0,  // forward
+            0.1f64..10.0,  // backward
+            0u64..10_000,  // weights
             1u64..100_000, // activation
         ),
         2..=10,

@@ -287,6 +287,10 @@ mod tests {
             },
         );
         // Round trip: 3 F (1s each) + comms (~0) + 3 B = 6s per batch.
-        assert!((report.period - 6.0).abs() < 0.1, "period {}", report.period);
+        assert!(
+            (report.period - 6.0).abs() < 0.1,
+            "period {}",
+            report.period
+        );
     }
 }

@@ -86,7 +86,13 @@ pub fn replay_pattern(
 
     let gpu_utilization = busy_time
         .iter()
-        .map(|&bt| if makespan > 0.0 { (bt / makespan).min(1.0) } else { 0.0 })
+        .map(|&bt| {
+            if makespan > 0.0 {
+                (bt / makespan).min(1.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     let memory_violation = peak.iter().any(|&p| p > platform.memory_bytes);

@@ -1,9 +1,7 @@
 //! Simulation results.
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Steady-state period (seconds per mini-batch), estimated from the
     /// completion times of the last operation of each batch over the

@@ -25,7 +25,11 @@ pub fn chrome_trace(seq: &UnitSequence, pattern: &Pattern, periods: usize) -> St
     resources.sort();
     resources.dedup();
     let tid = |r: Resource| -> usize {
-        resources.iter().position(|&x| x == r).expect("known resource") + 1
+        resources
+            .iter()
+            .position(|&x| x == r)
+            .expect("known resource")
+            + 1
     };
 
     let mut out = String::from("{\"traceEvents\":[\n");
@@ -35,9 +39,9 @@ pub fn chrome_trace(seq: &UnitSequence, pattern: &Pattern, periods: usize) -> St
             Resource::Gpu(g) => format!("GPU {g}"),
             Resource::Link(a, b) => format!("link {a}-{b}"),
         };
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}},\n",
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}},",
             tid(r),
             name
         );
@@ -109,8 +113,12 @@ mod tests {
     fn emits_valid_json_with_all_threads() {
         let (seq, pattern) = setup();
         let json = chrome_trace(&seq, &pattern, 3);
-        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-        let events = parsed["traceEvents"].as_array().expect("array");
+        let parsed = madpipe_json::Value::parse(&json).expect("valid JSON");
+        let events = parsed
+            .field("traceEvents")
+            .unwrap()
+            .as_array()
+            .expect("array");
         // 3 metadata (2 GPUs + 1 link) + 6 ops × 3 periods (no shifts here)
         assert_eq!(events.len(), 3 + 18);
         assert!(json.contains("GPU 0"));
@@ -137,13 +145,15 @@ mod tests {
     fn timestamps_are_microseconds() {
         let (seq, pattern) = setup();
         let json = chrome_trace(&seq, &pattern, 1);
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let durs: Vec<f64> = parsed["traceEvents"]
+        let parsed = madpipe_json::Value::parse(&json).unwrap();
+        let durs: Vec<f64> = parsed
+            .field("traceEvents")
+            .unwrap()
             .as_array()
             .unwrap()
             .iter()
-            .filter(|e| e["ph"] == "X")
-            .map(|e| e["dur"].as_f64().unwrap())
+            .filter(|e| e.get("ph").and_then(|p| p.as_str().ok()) == Some("X"))
+            .map(|e| e.field("dur").unwrap().as_f64().unwrap())
             .collect();
         // 1-second ops → 1e6 µs.
         assert!(durs.iter().any(|&d| (d - 1e6).abs() < 1.0));

@@ -94,7 +94,13 @@ fn canonical_assignments(stages: usize, gpus: usize) -> Vec<Vec<usize>> {
     let mut current = Vec::with_capacity(stages);
     // `used` = number of distinct GPUs referenced so far; the next stage
     // may reuse any of them or open GPU `used` (if one remains).
-    fn rec(stages: usize, gpus: usize, used: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        stages: usize,
+        gpus: usize,
+        used: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == stages {
             out.push(current.clone());
             return;

@@ -297,10 +297,22 @@ mod tests {
         let platform = Platform::new(3, 1 << 40, 1000.0).unwrap();
         let alloc = Allocation::new(
             vec![
-                Stage { layers: 0..1, gpu: 0 },
-                Stage { layers: 1..2, gpu: 1 },
-                Stage { layers: 2..3, gpu: 0 },
-                Stage { layers: 3..4, gpu: 2 },
+                Stage {
+                    layers: 0..1,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 1..2,
+                    gpu: 1,
+                },
+                Stage {
+                    layers: 2..3,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 3..4,
+                    gpu: 2,
+                },
             ],
             4,
             3,
@@ -318,18 +330,28 @@ mod tests {
         let platform = Platform::new(2, 1 << 40, 1000.0).unwrap();
         let alloc = Allocation::new(
             vec![
-                Stage { layers: 0..1, gpu: 0 },
-                Stage { layers: 1..2, gpu: 0 },
+                Stage {
+                    layers: 0..1,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 1..2,
+                    gpu: 0,
+                },
             ],
             2,
             2,
         )
         .unwrap();
         let seq = UnitSequence::from_allocation(&c, &platform, &alloc);
-        assert!(schedule_at_period(&c, &platform, &alloc, &seq, 10.0, &PlaceConfig::default())
-            .is_none());
-        assert!(schedule_at_period(&c, &platform, &alloc, &seq, 20.0, &PlaceConfig::default())
-            .is_some());
+        assert!(
+            schedule_at_period(&c, &platform, &alloc, &seq, 10.0, &PlaceConfig::default())
+                .is_none()
+        );
+        assert!(
+            schedule_at_period(&c, &platform, &alloc, &seq, 20.0, &PlaceConfig::default())
+                .is_some()
+        );
     }
 
     #[test]

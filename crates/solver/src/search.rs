@@ -33,9 +33,7 @@ pub fn best_period(
     cfg: &PlaceConfig,
 ) -> Result<SolvedSchedule, ScheduleError> {
     let seq = UnitSequence::from_allocation(chain, platform, alloc);
-    let t_lo = alloc
-        .load_bound(chain, platform)
-        .max(seq.max_unit_load());
+    let t_lo = alloc.load_bound(chain, platform).max(seq.max_unit_load());
     let t_hi = seq.total_load().max(t_lo);
 
     let mut candidates = vec![t_lo];
@@ -180,9 +178,18 @@ mod tests {
         let platform = Platform::new(2, 1 << 40, 1e9).unwrap();
         let noncontig = Allocation::new(
             vec![
-                Stage { layers: 0..1, gpu: 0 },
-                Stage { layers: 1..2, gpu: 1 },
-                Stage { layers: 2..3, gpu: 0 },
+                Stage {
+                    layers: 0..1,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 1..2,
+                    gpu: 1,
+                },
+                Stage {
+                    layers: 2..3,
+                    gpu: 0,
+                },
             ],
             3,
             2,
@@ -221,8 +228,14 @@ mod tests {
         let platform = Platform::new(2, 1 << 40, 100.0).unwrap();
         let alloc = Allocation::new(
             vec![
-                Stage { layers: 0..1, gpu: 0 },
-                Stage { layers: 1..3, gpu: 1 },
+                Stage {
+                    layers: 0..1,
+                    gpu: 0,
+                },
+                Stage {
+                    layers: 1..3,
+                    gpu: 1,
+                },
             ],
             3,
             2,

@@ -182,9 +182,7 @@ impl Timeline {
                 .all(|&(bs, be)| e <= bs + EPS || be <= s + EPS),
             "segment [{s}, {e}) overlaps existing busy time"
         );
-        let idx = self
-            .busy
-            .partition_point(|&(bs, _)| bs < s);
+        let idx = self.busy.partition_point(|&(bs, _)| bs < s);
         self.busy.insert(idx, (s, e));
     }
 }
@@ -236,7 +234,7 @@ mod tests {
     fn wrap_gap_accepts_wrapping_ops() {
         let mut tl = Timeline::new(10.0);
         tl.insert(2.0, 4.0); // busy [2,6)
-        // gap is [6, 12): an op of 5 at phase 6 wraps to 1
+                             // gap is [6, 12): an op of 5 at phase 6 wraps to 1
         let z = tl.earliest_fit(6.0, 5.0).unwrap();
         assert_eq!(z, 6.0);
         tl.insert(z, 5.0);

@@ -5,22 +5,20 @@
 use proptest::prelude::*;
 
 use madpipe_model::{Allocation, Chain, Layer, Partition, Platform, Stage, UnitSequence};
-use madpipe_schedule::{best_contiguous_period, one_f1b_star, check_pattern};
+use madpipe_schedule::{best_contiguous_period, check_pattern, one_f1b_star};
 use madpipe_solver::{best_period, PlaceConfig};
 
 fn arb_chain() -> impl Strategy<Value = Chain> {
-    prop::collection::vec(
-        (0.1f64..5.0, 0.1f64..5.0, 0u64..1_000, 1u64..20_000),
-        2..=7,
+    prop::collection::vec((0.1f64..5.0, 0.1f64..5.0, 0u64..1_000, 1u64..20_000), 2..=7).prop_map(
+        |specs| {
+            let layers = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(f, b, w, a))| Layer::new(format!("l{i}"), f, b, w, a))
+                .collect();
+            Chain::new("random", 2_000, layers).expect("well-formed")
+        },
     )
-    .prop_map(|specs| {
-        let layers = specs
-            .iter()
-            .enumerate()
-            .map(|(i, &(f, b, w, a))| Layer::new(format!("l{i}"), f, b, w, a))
-            .collect();
-        Chain::new("random", 2_000, layers).expect("well-formed")
-    })
 }
 
 fn arb_cuts(n: usize) -> impl Strategy<Value = Vec<usize>> {
@@ -90,7 +88,7 @@ proptest! {
     ) {
         let part = Partition::from_cuts(&cuts, chain.len()).unwrap();
         let n_stages = part.len();
-        let n_gpus = n_stages.min(3).max(1);
+        let n_gpus = n_stages.clamp(1, 3);
         // Deterministic pseudo-random stage→GPU map covering each GPU.
         let stages: Vec<Stage> = part
             .stages()

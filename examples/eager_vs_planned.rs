@@ -41,7 +41,13 @@ fn main() {
         "policy", "period (ms)", "peak (GB)", "fits?"
     );
 
-    let replay = replay_pattern(&chain, &platform, &plan.allocation, &plan.schedule.pattern, 100);
+    let replay = replay_pattern(
+        &chain,
+        &platform,
+        &plan.allocation,
+        &plan.schedule.pattern,
+        100,
+    );
     println!(
         "{:<26} {:>12.1} {:>12.2} {:>10}",
         "planned periodic pattern",

@@ -32,7 +32,11 @@ fn main() {
     for gpu in 0..platform.n_gpus {
         let profile = memory_profile(&chain, &plan.allocation, &seq, &plan.schedule.pattern, gpu);
         let peak = profile.peak();
-        print!("  gpu{gpu}: peak {:.2} / {:.0} GB |", peak as f64 / GIB, platform.memory_bytes as f64 / GIB);
+        print!(
+            "  gpu{gpu}: peak {:.2} / {:.0} GB |",
+            peak as f64 / GIB,
+            platform.memory_bytes as f64 / GIB
+        );
         for (phase, bytes) in profile.steps.iter().take(8) {
             print!(" t={:.0}ms:{:.2}", phase * 1e3, *bytes as f64 / GIB);
         }

@@ -22,17 +22,26 @@ fn main() {
         chain.name(),
         chain.total_compute_time() * 1e3
     );
-    println!("{:>5} | {:>12} {:>12} | {:>12} {:>12} | {:>6}", "M(GB)", "mp-est(ms)", "mp(ms)", "pd-est(ms)", "pd(ms)", "ratio");
+    println!(
+        "{:>5} | {:>12} {:>12} | {:>12} {:>12} | {:>6}",
+        "M(GB)", "mp-est(ms)", "mp(ms)", "pd-est(ms)", "pd(ms)", "ratio"
+    );
 
     for m in [3u64, 4, 5, 6, 7, 8, 10, 12, 14, 16] {
         let platform = Platform::gb(p, m, beta).unwrap();
         let cmp = compare(&chain, &platform, &PlannerConfig::default());
         let (mp_est, mp) = match &cmp.madpipe {
-            Ok(plan) => (format!("{:.1}", plan.phase1.period * 1e3), format!("{:.1}", plan.period() * 1e3)),
+            Ok(plan) => (
+                format!("{:.1}", plan.phase1.period * 1e3),
+                format!("{:.1}", plan.period() * 1e3),
+            ),
             Err(_) => ("-".into(), "inf".into()),
         };
         let (pd_est, pd) = match &cmp.pipedream {
-            Ok(plan) => (format!("{:.1}", plan.outcome.predicted_period * 1e3), format!("{:.1}", plan.period() * 1e3)),
+            Ok(plan) => (
+                format!("{:.1}", plan.outcome.predicted_period * 1e3),
+                format!("{:.1}", plan.period() * 1e3),
+            ),
             Err(_) => ("-".into(), "inf".into()),
         };
         let ratio = cmp.ratio().map(|r| format!("{r:.3}")).unwrap_or("-".into());

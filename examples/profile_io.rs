@@ -26,7 +26,11 @@ fn main() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("inception_v3.json");
     profile.save(&path).unwrap();
-    println!("wrote {} ({} bytes)", path.display(), std::fs::metadata(&path).unwrap().len());
+    println!(
+        "wrote {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).unwrap().len()
+    );
 
     // …time passes; someone re-measures the network on real hardware and
     // hands us the file back…

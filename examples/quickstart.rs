@@ -37,7 +37,10 @@ fn main() {
                 plan.phase1.allocation.len(),
             );
             for s in plan.phase1.allocation.stages() {
-                println!("    layers {:>2}..{:<2} -> GPU {}", s.layers.start, s.layers.end, s.gpu);
+                println!(
+                    "    layers {:>2}..{:<2} -> GPU {}",
+                    s.layers.start, s.layers.end, s.gpu
+                );
             }
         }
         Err(e) => println!("MadPipe   : FAILED ({e})"),

@@ -23,9 +23,7 @@ fn main() {
         chain.name(),
         sequential * 1e3
     );
-    println!(
-        "speedup = U(1,L)/period  (MadPipe / PipeDream; '-' = infeasible)"
-    );
+    println!("speedup = U(1,L)/period  (MadPipe / PipeDream; '-' = infeasible)");
     print!("{:>6} |", "M(GB)");
     let ps = [2usize, 3, 4, 6, 8];
     for p in ps {

@@ -5,9 +5,7 @@ use proptest::prelude::*;
 use madpipe::core::{madpipe_plan, PlannerConfig};
 use madpipe::model::{Chain, Layer, Platform};
 use madpipe::pipedream::{gpipe_plan, pipedream_plan, GPipeConfig};
-use madpipe::schedule::{
-    period_lower_bound, period_upper_bound, trivially_infeasible,
-};
+use madpipe::schedule::{period_lower_bound, period_upper_bound, trivially_infeasible};
 
 fn arb_chain() -> impl Strategy<Value = Chain> {
     prop::collection::vec((0.2f64..3.0, 0.2f64..3.0, 0u64..5_000, 1u64..50_000), 2..=7).prop_map(

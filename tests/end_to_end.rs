@@ -51,8 +51,14 @@ fn every_network_plans_and_revalidates() {
         // The schedule must pass the exact checker when revalidated from
         // scratch against the model.
         let seq = UnitSequence::from_allocation(chain, &platform, &plan.allocation);
-        let report = check_pattern(chain, &platform, &plan.allocation, &seq, &plan.schedule.pattern)
-            .unwrap_or_else(|e| panic!("{} plan fails revalidation: {e}", chain.name()));
+        let report = check_pattern(
+            chain,
+            &platform,
+            &plan.allocation,
+            &seq,
+            &plan.schedule.pattern,
+        )
+        .unwrap_or_else(|e| panic!("{} plan fails revalidation: {e}", chain.name()));
         for (gpu, &peak) in report.gpu_peak_bytes.iter().enumerate() {
             assert!(
                 peak <= platform.memory_bytes,
@@ -75,7 +81,13 @@ fn replay_simulation_confirms_every_plan() {
     for chain in &chains() {
         let platform = Platform::gb(4, 2, 12.0).unwrap();
         let plan = madpipe_plan(chain, &platform, &planner()).unwrap();
-        let sim = replay_pattern(chain, &platform, &plan.allocation, &plan.schedule.pattern, 60);
+        let sim = replay_pattern(
+            chain,
+            &platform,
+            &plan.allocation,
+            &plan.schedule.pattern,
+            60,
+        );
         assert!(
             (sim.period - plan.period()).abs() < 1e-6,
             "{}: simulated {} vs analytic {}",
@@ -87,10 +99,20 @@ fn replay_simulation_confirms_every_plan() {
 
         // The replayed memory peaks must match the analytic checker.
         let seq = UnitSequence::from_allocation(chain, &platform, &plan.allocation);
-        let report =
-            check_pattern(chain, &platform, &plan.allocation, &seq, &plan.schedule.pattern)
-                .unwrap();
-        assert_eq!(sim.gpu_peak_bytes, report.gpu_peak_bytes, "{}", chain.name());
+        let report = check_pattern(
+            chain,
+            &platform,
+            &plan.allocation,
+            &seq,
+            &plan.schedule.pattern,
+        )
+        .unwrap();
+        assert_eq!(
+            sim.gpu_peak_bytes,
+            report.gpu_peak_bytes,
+            "{}",
+            chain.name()
+        );
     }
 }
 

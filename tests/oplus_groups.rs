@@ -11,9 +11,9 @@
 use proptest::prelude::*;
 
 use madpipe::core::oplus;
+use madpipe::model::util::ceil_div;
 use madpipe::model::{Allocation, Chain, Layer, Partition, Platform, UnitKind, UnitSequence};
 use madpipe::schedule::group_assignment;
-use madpipe::model::util::ceil_div;
 
 fn arb_chain() -> impl Strategy<Value = Chain> {
     prop::collection::vec((0.1f64..5.0, 0.1f64..5.0, 1u64..50_000), 2..=9).prop_map(|specs| {
