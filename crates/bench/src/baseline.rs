@@ -1,0 +1,353 @@
+//! Bench baselines: a small fixed grid subset serialized to JSON and
+//! compared against a committed reference, the data path behind CI's
+//! `bench-baseline` gate.
+//!
+//! The smoke grid is deliberately tiny (two networks × two GPU counts ×
+//! two memory limits at β = 12 GB/s) so the job stays a couple of
+//! minutes; it still crosses the memory-tight/roomy boundary where the
+//! planners differ most. Periods are bit-deterministic, so they gate at
+//! a strict relative tolerance; planning *times* are hostage to the CI
+//! runner, so they gate only at a loose multiple of the baseline (drift
+//! is still reported).
+
+use std::io;
+use std::path::Path;
+
+use madpipe_json::{JsonError, Value};
+
+use crate::grid::{CellResult, GridConfig};
+
+/// Format version of `BENCH_*.json` files.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// One grid cell's baseline metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRecord {
+    pub network: String,
+    pub p: usize,
+    pub m_gb: u64,
+    pub beta_gb: f64,
+    /// MadPipe achieved period (seconds; `None` = infeasible).
+    pub madpipe: Option<f64>,
+    /// PipeDream achieved period.
+    pub pipedream: Option<f64>,
+    /// Wall-clock planning seconds (both planners).
+    pub planning_seconds: f64,
+    /// Differential certification verdict of the MadPipe plan.
+    pub certified: Option<bool>,
+    /// Jitter robustness margin of the certified plan.
+    pub jitter_margin: Option<f64>,
+}
+
+impl BaselineRecord {
+    /// Identity of the cell this record measures.
+    pub fn key(&self) -> (String, usize, u64, u64) {
+        (
+            self.network.clone(),
+            self.p,
+            self.m_gb,
+            self.beta_gb.to_bits(),
+        )
+    }
+
+    fn opt_f64(v: Option<f64>) -> Value {
+        match v {
+            Some(x) => Value::Float(x),
+            None => Value::Null,
+        }
+    }
+
+    fn read_opt_f64(v: &Value, key: &str) -> Result<Option<f64>, JsonError> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(x) => x.as_f64().map(Some),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("network".into(), Value::Str(self.network.clone())),
+            ("p".into(), Value::UInt(self.p as u64)),
+            ("m_gb".into(), Value::UInt(self.m_gb)),
+            ("beta_gb".into(), Value::Float(self.beta_gb)),
+            ("madpipe".into(), Self::opt_f64(self.madpipe)),
+            ("pipedream".into(), Self::opt_f64(self.pipedream)),
+            (
+                "planning_seconds".into(),
+                Value::Float(self.planning_seconds),
+            ),
+            (
+                "certified".into(),
+                match self.certified {
+                    Some(c) => Value::Bool(c),
+                    None => Value::Null,
+                },
+            ),
+            ("jitter_margin".into(), Self::opt_f64(self.jitter_margin)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            network: v.field("network")?.as_str()?.to_string(),
+            p: v.field("p")?.as_u64()? as usize,
+            m_gb: v.field("m_gb")?.as_u64()?,
+            beta_gb: v.field("beta_gb")?.as_f64()?,
+            madpipe: Self::read_opt_f64(v, "madpipe")?,
+            pipedream: Self::read_opt_f64(v, "pipedream")?,
+            planning_seconds: v.field("planning_seconds")?.as_f64()?,
+            certified: match v.get("certified") {
+                None | Some(Value::Null) => None,
+                Some(Value::Bool(b)) => Some(*b),
+                Some(other) => {
+                    return Err(JsonError::new(format!(
+                        "field `certified` must be a bool or null, got {other:?}"
+                    )))
+                }
+            },
+            jitter_margin: Self::read_opt_f64(v, "jitter_margin")?,
+        })
+    }
+}
+
+impl From<&CellResult> for BaselineRecord {
+    fn from(r: &CellResult) -> Self {
+        Self {
+            network: r.cell.network.clone(),
+            p: r.cell.p,
+            m_gb: r.cell.m_gb,
+            beta_gb: r.cell.beta_gb,
+            madpipe: r.madpipe,
+            pipedream: r.pipedream,
+            planning_seconds: r.planning_seconds,
+            certified: r.certified,
+            jitter_margin: r.jitter_margin,
+        }
+    }
+}
+
+/// The fixed smoke subset CI measures: ResNet-50 and Inception-v3 on
+/// `P ∈ {2, 4}`, `M ∈ {6, 10}` GB, `β = 12` GB/s — 8 cells.
+pub fn smoke_grid() -> GridConfig {
+    GridConfig {
+        networks: vec!["resnet50".into(), "inception_v3".into()],
+        p_values: vec![2, 4],
+        m_values: vec![6, 10],
+        beta_values: vec![12.0],
+        batch: 8,
+        image_size: 1000,
+    }
+}
+
+/// Serialize `records` as a `BENCH_*.json` document.
+pub fn render(records: &[BaselineRecord]) -> String {
+    let doc = Value::Object(vec![
+        ("version".into(), Value::UInt(BASELINE_VERSION)),
+        (
+            "records".into(),
+            Value::Array(records.iter().map(|r| r.to_json()).collect()),
+        ),
+    ]);
+    doc.to_string_pretty()
+}
+
+/// Write `records` to `path`.
+pub fn save(records: &[BaselineRecord], path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, render(records))
+}
+
+/// Load a `BENCH_*.json` document.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<BaselineRecord>, String> {
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+    parse(&text).map_err(|e| format!("parsing {}: {e}", path.as_ref().display()))
+}
+
+/// Parse a `BENCH_*.json` document from text.
+pub fn parse(text: &str) -> Result<Vec<BaselineRecord>, JsonError> {
+    let doc = Value::parse(text)?;
+    let version = doc.field("version")?.as_u64()?;
+    if version != BASELINE_VERSION {
+        return Err(JsonError::new(format!(
+            "baseline version {version} (this build reads {BASELINE_VERSION})"
+        )));
+    }
+    doc.field("records")?
+        .as_array()?
+        .iter()
+        .map(BaselineRecord::from_json)
+        .collect()
+}
+
+/// Compare `current` against `baseline`.
+///
+/// Violations (returned as human-readable lines, empty = pass):
+/// * a cell present in one set but not the other;
+/// * feasibility flips (a planner that planned in the baseline fails
+///   now, or vice versa);
+/// * a period drifting more than `period_tol` (relative) from baseline;
+/// * a certification regression (baseline certified, current not);
+/// * planning time exceeding `time_factor ×` the baseline (timing noise
+///   below that threshold is tolerated — CI runners vary).
+pub fn compare_baselines(
+    current: &[BaselineRecord],
+    baseline: &[BaselineRecord],
+    period_tol: f64,
+    time_factor: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let describe = |r: &BaselineRecord| {
+        format!(
+            "{} P={} M={}GB beta={}GB/s",
+            r.network, r.p, r.m_gb, r.beta_gb
+        )
+    };
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.key() == base.key()) else {
+            violations.push(format!("{}: missing from the current run", describe(base)));
+            continue;
+        };
+        for (label, b, c) in [
+            ("madpipe", base.madpipe, cur.madpipe),
+            ("pipedream", base.pipedream, cur.pipedream),
+        ] {
+            match (b, c) {
+                (Some(bp), Some(cp)) => {
+                    let drift = (cp - bp).abs() / bp;
+                    if drift > period_tol {
+                        violations.push(format!(
+                            "{}: {label} period {:.3} ms drifted {:.1}% from baseline {:.3} ms \
+                             (tolerance {:.0}%)",
+                            describe(base),
+                            cp * 1e3,
+                            drift * 100.0,
+                            bp * 1e3,
+                            period_tol * 100.0
+                        ));
+                    }
+                }
+                (Some(_), None) => violations.push(format!(
+                    "{}: {label} planned in the baseline but is now infeasible",
+                    describe(base)
+                )),
+                (None, Some(_)) => violations.push(format!(
+                    "{}: {label} was infeasible in the baseline but now plans \
+                     (refresh the baseline)",
+                    describe(base)
+                )),
+                (None, None) => {}
+            }
+        }
+        if base.certified == Some(true) && cur.certified != Some(true) {
+            violations.push(format!(
+                "{}: certification regressed ({:?} from certified baseline)",
+                describe(base),
+                cur.certified
+            ));
+        }
+        if base.planning_seconds > 0.0 && cur.planning_seconds > base.planning_seconds * time_factor
+        {
+            violations.push(format!(
+                "{}: planning took {:.2} s vs baseline {:.2} s (> {time_factor}x)",
+                describe(base),
+                cur.planning_seconds,
+                base.planning_seconds
+            ));
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.key() == cur.key()) {
+            violations.push(format!(
+                "{}: not in the baseline (refresh it)",
+                describe(cur)
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(network: &str, m: u64, madpipe: Option<f64>) -> BaselineRecord {
+        BaselineRecord {
+            network: network.into(),
+            p: 4,
+            m_gb: m,
+            beta_gb: 12.0,
+            madpipe,
+            pipedream: madpipe.map(|x| x * 1.2),
+            planning_seconds: 0.5,
+            certified: madpipe.map(|_| true),
+            jitter_margin: madpipe.map(|_| 0.11),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let records = vec![
+            record("resnet50", 6, Some(0.1037)),
+            record("resnet50", 3, None),
+        ];
+        let parsed = parse(&render(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let text = "{\"version\": 99, \"records\": []}";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let records = vec![record("resnet50", 6, Some(0.1))];
+        assert!(compare_baselines(&records, &records, 0.10, 5.0).is_empty());
+    }
+
+    #[test]
+    fn period_drift_beyond_tolerance_is_flagged() {
+        let base = vec![record("resnet50", 6, Some(0.100))];
+        let mut cur = base.clone();
+        cur[0].madpipe = Some(0.108); // +8% < 10%: fine
+        assert!(compare_baselines(&cur, &base, 0.10, 5.0).is_empty());
+        cur[0].madpipe = Some(0.115); // +15% > 10%: violation
+        let v = compare_baselines(&cur, &base, 0.10, 5.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("madpipe period"));
+    }
+
+    #[test]
+    fn feasibility_flips_and_missing_cells_are_flagged() {
+        let base = vec![
+            record("resnet50", 6, Some(0.1)),
+            record("resnet50", 3, None),
+        ];
+        let mut cur = vec![record("resnet50", 6, None)];
+        cur[0].certified = None;
+        let v = compare_baselines(&cur, &base, 0.10, 5.0);
+        assert!(v.iter().any(|x| x.contains("now infeasible")));
+        assert!(v.iter().any(|x| x.contains("missing from the current run")));
+        assert!(v.iter().any(|x| x.contains("certification regressed")));
+    }
+
+    #[test]
+    fn slow_planning_is_flagged_only_beyond_the_factor() {
+        let base = vec![record("resnet50", 6, Some(0.1))];
+        let mut cur = base.clone();
+        cur[0].planning_seconds = 2.0; // 4x baseline < 5x: fine
+        assert!(compare_baselines(&cur, &base, 0.10, 5.0).is_empty());
+        cur[0].planning_seconds = 3.0; // 6x: violation
+        let v = compare_baselines(&cur, &base, 0.10, 5.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("planning took"));
+    }
+
+    #[test]
+    fn smoke_grid_is_small_and_fixed() {
+        let g = smoke_grid();
+        assert_eq!(g.cells().len(), 8);
+        assert!(g.networks.contains(&"resnet50".to_string()));
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::csv::{ms, Table};
+use crate::csv::{ms, ratio, Table};
 use crate::grid::CellResult;
 
 /// Build the Figure 6 table and text rendering from grid results
@@ -24,6 +24,8 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         "planning_s",
         "dp_solves",
         "dp_probes_saved",
+        "certified",
+        "jitter_margin",
     ]);
     let mut cells: Vec<&CellResult> = results
         .iter()
@@ -78,6 +80,8 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
             format!("{:.3}", r.planning_seconds),
             r.dp_solves.to_string(),
             r.dp_probes_saved.to_string(),
+            r.certified.map(|c| c.to_string()).unwrap_or_default(),
+            ratio(r.jitter_margin),
         ]);
     }
     (text, table)
@@ -105,6 +109,8 @@ mod tests {
             dp_solves: 3,
             dp_probes_saved: 1,
             dp_states: 10,
+            certified: Some(true),
+            jitter_margin: Some(0.12),
         }
     }
 

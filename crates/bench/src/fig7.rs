@@ -93,6 +93,8 @@ mod tests {
             dp_solves: 3,
             dp_probes_saved: 0,
             dp_states: 10,
+            certified: mp.map(|_| true),
+            jitter_margin: mp.map(|_| 0.1),
         }
     }
 

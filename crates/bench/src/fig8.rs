@@ -105,6 +105,8 @@ mod tests {
             dp_solves: 3,
             dp_probes_saved: 0,
             dp_states: 10,
+            certified: Some(true),
+            jitter_margin: Some(0.1),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use madpipe_core::{compare, PlannerConfig};
+use madpipe_core::{certify_plan, compare, CertifyConfig, PlannerConfig};
 use madpipe_dnn::{networks, GpuModel};
 use madpipe_model::{Chain, Platform};
 
@@ -103,6 +103,11 @@ pub struct CellResult {
     pub dp_probes_saved: usize,
     /// Memoized DP states created across this cell's solves.
     pub dp_states: u64,
+    /// Differential certification verdict of the MadPipe plan (`None`
+    /// when MadPipe failed to plan).
+    pub certified: Option<bool>,
+    /// Jitter robustness margin of the certified plan.
+    pub jitter_margin: Option<f64>,
 }
 
 impl CellResult {
@@ -139,13 +144,21 @@ pub fn paper_chains(cfg: &GridConfig) -> Vec<Chain> {
         .collect()
 }
 
-/// Evaluate one cell (the chain must match `cell.network`).
+/// Evaluate one cell (the chain must match `cell.network`). The MadPipe
+/// plan, when there is one, is differentially certified with a cheap
+/// [`CertifyConfig::quick`] profile; the verdict and the jitter margin
+/// land in the result's certification columns.
 pub fn run_cell(chain: &Chain, cell: &Cell, planner: &PlannerConfig) -> CellResult {
     debug_assert_eq!(chain.name(), cell.network);
     let platform = Platform::gb(cell.p, cell.m_gb, cell.beta_gb).expect("valid grid platform");
     let start = Instant::now();
     let cmp = compare(chain, &platform, planner);
     let planning_seconds = start.elapsed().as_secs_f64();
+    let cert = cmp
+        .madpipe
+        .as_ref()
+        .ok()
+        .map(|m| certify_plan(chain, &platform, m, &CertifyConfig::quick()));
     CellResult {
         cell: cell.clone(),
         sequential: chain.total_compute_time(),
@@ -161,6 +174,8 @@ pub fn run_cell(chain: &Chain, cell: &Cell, planner: &PlannerConfig) -> CellResu
         dp_solves: cmp.stats.dp.solves,
         dp_probes_saved: cmp.stats.dp.probes_saved(),
         dp_states: cmp.stats.dp.states_created,
+        certified: cert.as_ref().map(|c| c.passed()),
+        jitter_margin: cert.as_ref().map(|c| c.jitter_margin),
     }
 }
 
@@ -241,5 +256,7 @@ mod tests {
         assert!(r.dp_solves > 0);
         assert!(r.dp_states > 0);
         assert!(r.madpipe.unwrap() + 1e-12 >= r.sequential / 2.0 * 0.99);
+        assert_eq!(r.certified, Some(true), "grid plans must certify");
+        assert!(r.jitter_margin.unwrap() > 0.0);
     }
 }

@@ -8,6 +8,7 @@
 //! aggregate cells into exactly the series the paper plots and render
 //! them as text tables + CSV files.
 
+pub mod baseline;
 pub mod csv;
 pub mod fig6;
 pub mod fig7;
@@ -16,5 +17,6 @@ pub mod grid;
 pub mod parallel;
 pub mod summary;
 
+pub use baseline::{compare_baselines, smoke_grid, BaselineRecord};
 pub use grid::{paper_chains, run_cell, Cell, CellResult, GridConfig};
 pub use parallel::run_cells;

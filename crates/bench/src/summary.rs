@@ -40,6 +40,12 @@ pub struct Summary {
     pub dp_probes_saved: usize,
     /// Memoized DP states created across all cells.
     pub dp_states: u64,
+    /// MadPipe plans that passed differential certification.
+    pub certified_pass: usize,
+    /// MadPipe plans that failed it (checker/replay disagreement).
+    pub certified_fail: usize,
+    /// Smallest jitter robustness margin over all certified plans.
+    pub min_jitter_margin: Option<f64>,
 }
 
 /// Compute the summary.
@@ -59,6 +65,18 @@ pub fn summarize(results: &[CellResult]) -> Summary {
         dp_solves: results.iter().map(|r| r.dp_solves).sum(),
         dp_probes_saved: results.iter().map(|r| r.dp_probes_saved).sum(),
         dp_states: results.iter().map(|r| r.dp_states).sum(),
+        certified_pass: results.iter().filter(|r| r.certified == Some(true)).count(),
+        certified_fail: results
+            .iter()
+            .filter(|r| r.certified == Some(false))
+            .count(),
+        min_jitter_margin: results
+            .iter()
+            .filter(|r| r.certified == Some(true))
+            .filter_map(|r| r.jitter_margin)
+            .fold(None, |acc: Option<f64>, m| {
+                Some(acc.map_or(m, |a| a.min(m)))
+            }),
     };
     let mut ratios = Vec::new();
     let mut tight = Vec::new();
@@ -134,6 +152,13 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         "  planner cost: {} DP solves ({} probes saved by reuse), {} states",
         s.dp_solves, s.dp_probes_saved, s.dp_states
     );
+    let _ = writeln!(
+        text,
+        "  certification: {} passed, {} failed, min jitter margin {}",
+        s.certified_pass,
+        s.certified_fail,
+        fmt(s.min_jitter_margin)
+    );
 
     let mut table = Table::new(&[
         "cells",
@@ -151,6 +176,9 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         "dp_solves",
         "dp_probes_saved",
         "dp_states",
+        "certified_pass",
+        "certified_fail",
+        "min_jitter_margin",
     ]);
     table.push(vec![
         results.len().to_string(),
@@ -168,6 +196,9 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         s.dp_solves.to_string(),
         s.dp_probes_saved.to_string(),
         s.dp_states.to_string(),
+        s.certified_pass.to_string(),
+        s.certified_fail.to_string(),
+        fmt(s.min_jitter_margin),
     ]);
     (text, table)
 }
@@ -194,6 +225,8 @@ mod tests {
             dp_solves: 5,
             dp_probes_saved: 2,
             dp_states: 100,
+            certified: mp.map(|_| true),
+            jitter_margin: mp.map(|_| 0.1),
         }
     }
 
@@ -218,8 +251,12 @@ mod tests {
         assert_eq!(s.dp_solves, 20);
         assert_eq!(s.dp_probes_saved, 8);
         assert_eq!(s.dp_states, 400);
+        assert_eq!(s.certified_pass, 3);
+        assert_eq!(s.certified_fail, 0);
+        assert!((s.min_jitter_margin.unwrap() - 0.1).abs() < 1e-12);
         let (text, table) = generate(&results);
         assert!(text.contains("MadPipe wins 1"));
+        assert!(text.contains("certification: 3 passed"));
         assert_eq!(table.len(), 1);
     }
 }

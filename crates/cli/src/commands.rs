@@ -2,10 +2,12 @@
 
 use std::path::PathBuf;
 
-use madpipe_bench::{fig6, fig7, fig8, paper_chains, run_cells, summary, GridConfig};
-use madpipe_core::{compare, madpipe_plan, PlannerConfig};
+use madpipe_bench::{baseline, fig6, fig7, fig8, paper_chains, run_cells, summary, GridConfig};
+use madpipe_core::{
+    certify_plan, compare, madpipe_plan, madpipe_plan_with_stats, CertifyConfig, PlannerConfig,
+};
 use madpipe_dnn::profile::Profile;
-use madpipe_dnn::{networks, GpuModel};
+use madpipe_dnn::{networks, GpuModel, RandomChainConfig};
 use madpipe_model::{Chain, Platform, UnitSequence};
 use madpipe_schedule::gantt;
 use madpipe_sim::{replay_pattern, simulate_eager, EagerConfig};
@@ -36,10 +38,26 @@ USAGE:
   madpipe trace <network> [same flags as plan] [--periods N] --out FILE
       Export the MadPipe schedule as Chrome-trace JSON (chrome://tracing
       or https://ui.perfetto.dev).
+  madpipe certify <network> [same flags as plan] [--periods K] [--jitter J]
+               [--trials N] [--headroom H] [--chrome-trace FILE] [--stats]
+      Differentially certify the MadPipe plan: analytic checker vs.
+      event-simulator replay over K periods, exact cross-check on tiny
+      instances, and timing-fault injection reporting jitter/bandwidth
+      robustness margins. Exits nonzero on any disagreement.
+  madpipe bench-baseline [--out FILE] [--baseline FILE] [--tolerance T]
+               [--time-factor F] [--threads N]
+      Run the fixed smoke benchmark grid, write the results as JSON to
+      FILE (default BENCH_smoke.json), and — when --baseline is given —
+      gate against the committed reference: periods within T (default
+      0.10 relative), planning time within F× (default 5), no
+      certification regressions.
   madpipe experiments <fig6|fig7|fig8|summary|all> [--full] [--threads N]
                [--out DIR]
       Regenerate the paper's figures (text + CSV under DIR, default
       ./results). --full runs the paper's complete grid.
+
+All <network> slots also accept `synthetic` (--layers N, --seed S): a
+reproducible random CNN-profile chain.
 
 Defaults: --gpus 4, --memory-gb 8, --bandwidth-gb 12, --batch 8,
 --image 1000.";
@@ -55,6 +73,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("experiments") => cmd_experiments(&args),
         Some("hybrid") => cmd_hybrid(&args),
         Some("trace") => cmd_trace(&args),
+        Some("certify") => cmd_certify(&args),
+        Some("bench-baseline") => cmd_bench_baseline(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -71,9 +91,21 @@ fn load_chain(args: &Args) -> Result<Chain, String> {
     let name = args.positional.get(1).ok_or("missing <network> argument")?;
     let batch = args.get_or("batch", 8u64)?;
     let image = args.get_or("image", 1000u64)?;
+    if name == "synthetic" {
+        let cfg = RandomChainConfig {
+            layers: args.get_or("layers", 12usize)?,
+            ..RandomChainConfig::default()
+        };
+        let seed = args.get_or("seed", 42u64)?;
+        let chain = madpipe_dnn::random_chain(&cfg, seed);
+        return Ok(match args.get::<usize>("max-layers")? {
+            Some(cap) => madpipe_dnn::coarsen(&chain, cap),
+            None => chain,
+        });
+    }
     let spec = networks::by_name(name).ok_or_else(|| {
         format!(
-            "unknown network `{name}` (try: resnet50, resnet101, resnet152, inception, densenet121, vgg16)"
+            "unknown network `{name}` (try: resnet50, resnet101, resnet152, inception, densenet121, vgg16, or `synthetic` with --layers/--seed)"
         )
     })?;
     let gpu = match args.raw("gpu-model") {
@@ -299,6 +331,134 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         plan.period() * 1e3
     );
     Ok(())
+}
+
+fn cmd_certify(args: &Args) -> Result<(), String> {
+    let chain = load_chain(args)?;
+    let platform = load_platform(args)?;
+    let planner = PlannerConfig {
+        threads: args.get_or("threads", 1usize)?.max(1),
+        ..PlannerConfig::default()
+    };
+    let (plan, mut stats) = madpipe_plan_with_stats(&chain, &platform, &planner);
+    let plan = plan.map_err(|e| format!("planning failed: {e}"))?;
+
+    let cfg = CertifyConfig {
+        periods: args.get_or("periods", CertifyConfig::default().periods)?,
+        jitter_cap: args.get_or("jitter", CertifyConfig::default().jitter_cap)?,
+        trials: args.get_or("trials", CertifyConfig::default().trials)?,
+        headroom: args.get_or("headroom", CertifyConfig::default().headroom)?,
+        ..CertifyConfig::default()
+    };
+    println!(
+        "certifying {} on P = {}, M = {:.0} GB, beta = {:.0} GB/s ({} replay periods)",
+        chain.name(),
+        platform.n_gpus,
+        platform.memory_bytes as f64 / (1u64 << 30) as f64,
+        platform.bandwidth / (1u64 << 30) as f64,
+        cfg.periods,
+    );
+    let cert = certify_plan(&chain, &platform, &plan, &cfg);
+    cert.record(&mut stats);
+
+    let gb = |bytes: u64| bytes as f64 / (1u64 << 30) as f64;
+    if let Some(a) = &cert.analytic {
+        println!(
+            "analytic : period {:.3} ms, peak {:.2} GB, pipeline depth {}",
+            a.period * 1e3,
+            gb(a.gpu_peak_bytes.iter().copied().max().unwrap_or(0)),
+            a.max_shift
+        );
+    }
+    if let Some(r) = &cert.replay {
+        println!(
+            "replay   : period {:.3} ms, peak {:.2} GB over {} batches",
+            r.period * 1e3,
+            gb(r.gpu_peak_bytes.iter().copied().max().unwrap_or(0)),
+            r.batches
+        );
+    }
+    match &cert.exact {
+        Some(x) => println!(
+            "exact    : optimum {:.3} ms, plan/optimum ratio {:.4}",
+            x.exact_period * 1e3,
+            x.ratio
+        ),
+        None => println!("exact    : skipped (instance above the exact-solver gate)"),
+    }
+    println!(
+        "margins  : jitter {:.3} (cap {:.2}), bandwidth degradation {:.3} (cap {:.2})",
+        cert.jitter_margin, cfg.jitter_cap, cert.beta_margin, cfg.beta_cap
+    );
+
+    if let Some(out) = args.raw("chrome-trace") {
+        let seq = UnitSequence::from_allocation(&chain, &platform, &plan.allocation);
+        let json = madpipe_sim::chrome_trace(&seq, &plan.schedule.pattern, cfg.periods.min(12));
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    if args.has("stats") {
+        println!("planner  : {}", stats.summary());
+    }
+
+    if cert.passed() {
+        println!("PASS: checker, replay, and fault injection agree");
+        Ok(())
+    } else {
+        for f in &cert.failures {
+            eprintln!("FAIL: {f}");
+        }
+        Err(format!(
+            "certification failed with {} disagreement(s)",
+            cert.failures.len()
+        ))
+    }
+}
+
+fn cmd_bench_baseline(args: &Args) -> Result<(), String> {
+    let grid = baseline::smoke_grid();
+    let cells = grid.cells();
+    let threads = args.get_or("threads", 0usize)?;
+    let out: PathBuf = args.raw("out").unwrap_or("BENCH_smoke.json").into();
+    eprintln!("running the {}-cell smoke grid...", cells.len());
+    let chains = paper_chains(&grid);
+    let results = run_cells(&chains, &cells, &PlannerConfig::default(), threads, true);
+    let records: Vec<baseline::BaselineRecord> = results.iter().map(Into::into).collect();
+    baseline::save(&records, &out).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} cells)", out.display(), records.len());
+
+    if let Some(uncertified) = records
+        .iter()
+        .find(|r| r.madpipe.is_some() && r.certified != Some(true))
+    {
+        return Err(format!(
+            "{} P={} M={}GB: plan exists but did not certify",
+            uncertified.network, uncertified.p, uncertified.m_gb
+        ));
+    }
+
+    let Some(base_path) = args.raw("baseline") else {
+        return Ok(());
+    };
+    let reference = baseline::load(base_path)?;
+    let tolerance = args.get_or("tolerance", 0.10f64)?;
+    let time_factor = args.get_or("time-factor", 5.0f64)?;
+    let violations = baseline::compare_baselines(&records, &reference, tolerance, time_factor);
+    if violations.is_empty() {
+        println!(
+            "baseline check PASS vs {base_path} (period tolerance {:.0}%, time factor {time_factor}x)",
+            tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("FAIL: {v}");
+        }
+        Err(format!(
+            "baseline check failed with {} violation(s) vs {base_path}",
+            violations.len()
+        ))
+    }
 }
 
 fn cmd_profile(args: &Args) -> Result<(), String> {

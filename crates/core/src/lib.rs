@@ -14,9 +14,15 @@
 //!   comparison against the PipeDream baseline;
 //! * [`stats`] — planner observability: DP memo/prune counters, the
 //!   probe timeline and per-phase wall times surfaced by
-//!   [`planner::madpipe_plan_with_stats`].
+//!   [`planner::madpipe_plan_with_stats`];
+//! * [`certify`] — differential certification of a finished plan: the
+//!   analytic checker, the event replay, the fault-injection executor
+//!   and (on tiny instances) the exhaustive optimum are cross-checked
+//!   against each other, and jitter/bandwidth robustness margins are
+//!   measured per plan (`madpipe certify` in the CLI).
 
 pub mod algorithm1;
+pub mod certify;
 pub mod discrete;
 pub mod dp;
 pub mod fxhash;
@@ -28,6 +34,7 @@ pub mod stats;
 pub use algorithm1::{
     madpipe_allocation, madpipe_allocation_session, Algorithm1Config, Algorithm1Outcome,
 };
+pub use certify::{certify, certify_plan, Certificate, CertifyConfig, ExactCrossCheck};
 pub use discrete::Discretization;
 pub use dp::{madpipe_dp, madpipe_dp_with, DpOutcome, ProbeSession};
 pub use hybrid::{best_hybrid, HybridPlan};

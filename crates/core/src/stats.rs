@@ -121,12 +121,17 @@ pub struct PlannerStats {
     pub total_seconds: f64,
     /// Worker threads used for independent probes and scheduling.
     pub threads: usize,
+    /// Plans that passed differential certification
+    /// ([`crate::certify::Certificate::record`]).
+    pub certifications_passed: usize,
+    /// Plans that failed it.
+    pub certifications_failed: usize,
 }
 
 impl PlannerStats {
     /// One-line summary suitable for CLI output.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "probes {} ({} solved, {} cached, {} pruned), states {} (+{} reused), \
              schedules {}/{}, {:.3}s total ({} thread{})",
             self.probes.len(),
@@ -140,7 +145,12 @@ impl PlannerStats {
             self.total_seconds,
             self.threads,
             if self.threads == 1 { "" } else { "s" },
-        )
+        );
+        let certs = self.certifications_passed + self.certifications_failed;
+        if certs > 0 {
+            s.push_str(&format!(", certify {}/{certs}", self.certifications_passed));
+        }
+        s
     }
 }
 

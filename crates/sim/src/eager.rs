@@ -24,8 +24,10 @@ pub struct EagerConfig {
     /// half, so use at least a few dozen).
     pub batches: usize,
     /// Pipeline depth: max mini-batches admitted before the oldest one
-    /// retires. PipeDream uses the number of stages; `None` picks
-    /// the number of units (stages + communications).
+    /// retires. `None` picks the number of *stages* of the allocation —
+    /// PipeDream's rule. (An earlier version counted stages *and*
+    /// communication units, silently over-admitting on any allocation
+    /// with remote cuts.)
     pub depth: Option<usize>,
 }
 
@@ -51,7 +53,8 @@ pub fn simulate_eager(
     let seq = UnitSequence::from_allocation(chain, platform, alloc);
     let n_units = seq.len();
     let n_batches = cfg.batches.max(2);
-    let depth = cfg.depth.unwrap_or(n_units).max(1);
+    let n_stages = seq.units().iter().filter(|u| !u.is_comm()).count();
+    let depth = cfg.depth.unwrap_or(n_stages).max(1);
 
     let dur = |unit: usize, dir: Dir| -> f64 {
         match dir {
@@ -272,6 +275,132 @@ mod tests {
         let report = simulate_eager(&chain, &tiny, &alloc, &EagerConfig::default());
         assert!(report.memory_violation);
         assert!(report.batches > 0);
+    }
+
+    #[test]
+    fn default_depth_is_the_stage_count_not_the_unit_count() {
+        // 3 stages on 3 GPUs → 5 units (3 stages + 2 comms). The old
+        // default admitted 5 batches; PipeDream's rule admits 3. With
+        // non-negligible comm the pipe can hold more batches than
+        // stages, so the defaults differ observably in stored memory.
+        let acts = 1_000_000u64;
+        let chain = Chain::new(
+            "t",
+            acts,
+            vec![
+                Layer::new("a", 1.0, 1.0, 0, acts),
+                Layer::new("b", 1.0, 1.0, 0, acts),
+                Layer::new("c", 1.0, 1.0, 0, acts),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::new(3, 1 << 40, 1e6).unwrap();
+        let part = Partition::from_cuts(&[1, 2], 3).unwrap();
+        let alloc = Allocation::contiguous(&part, 3).unwrap();
+        let run = |depth: Option<usize>| {
+            simulate_eager(
+                &chain,
+                &platform,
+                &alloc,
+                &EagerConfig { batches: 60, depth },
+            )
+        };
+        let default = run(None);
+        let stages = run(Some(3));
+        let units = run(Some(5));
+        assert_eq!(default.gpu_peak_bytes, stages.gpu_peak_bytes);
+        assert_eq!(default.period.to_bits(), stages.period.to_bits());
+        assert!(
+            units.gpu_peak_bytes[0] > stages.gpu_peak_bytes[0],
+            "unit-count depth must admit more: {} vs {}",
+            units.gpu_peak_bytes[0],
+            stages.gpu_peak_bytes[0]
+        );
+    }
+
+    #[test]
+    fn depth_one_serializes_to_the_full_round_trip() {
+        // Heavy comm: 1000 B at 1000 B/s → 1 s per transfer. At depth 1
+        // exactly one batch is in flight, so the period is the full
+        // round trip F(2)+c(1)+F(2)+c(1)+F(2)+B(2)+c(1)+B(2)+c(1)+B(2)
+        // = 16 s, and each stage stores exactly one batch.
+        let acts = 1_000u64;
+        let chain = Chain::new(
+            "t",
+            acts,
+            vec![
+                Layer::new("a", 2.0, 2.0, 0, acts),
+                Layer::new("b", 2.0, 2.0, 0, acts),
+                Layer::new("c", 2.0, 2.0, 0, acts),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::new(3, 1 << 30, 1000.0).unwrap();
+        let part = Partition::from_cuts(&[1, 2], 3).unwrap();
+        let alloc = Allocation::contiguous(&part, 3).unwrap();
+        let report = simulate_eager(
+            &chain,
+            &platform,
+            &alloc,
+            &EagerConfig {
+                batches: 40,
+                depth: Some(1),
+            },
+        );
+        assert!(
+            (report.period - 16.0).abs() < 1e-9,
+            "period {}",
+            report.period
+        );
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        let statics = madpipe_schedule::check::static_memory(&chain, &alloc, &seq);
+        for (g, s) in statics.iter().enumerate() {
+            assert_eq!(report.gpu_peak_bytes[g], s + acts);
+        }
+    }
+
+    #[test]
+    fn single_stage_allocation_accounting() {
+        // The whole chain on one GPU: one unit, no comm. The default
+        // depth is 1, the period is u_F + u_B, and the peak is static
+        // plus one batch of stored activations, at any requested depth
+        // (1F1B backward preference retires each batch before the next
+        // forward runs).
+        let acts = 500u64;
+        let chain = Chain::new(
+            "t",
+            acts,
+            vec![
+                Layer::new("a", 1.0, 2.0, 0, acts),
+                Layer::new("b", 2.0, 1.0, 0, acts),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::new(1, 1 << 30, 1e9).unwrap();
+        let part = Partition::from_cuts(&[], 2).unwrap();
+        let alloc = Allocation::contiguous(&part, 1).unwrap();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        let statics = madpipe_schedule::check::static_memory(&chain, &alloc, &seq);
+        let stored = chain.stored_activation_bytes(0..2);
+        for depth in [None, Some(1), Some(4)] {
+            let report = simulate_eager(
+                &chain,
+                &platform,
+                &alloc,
+                &EagerConfig { batches: 30, depth },
+            );
+            assert!(
+                (report.period - 6.0).abs() < 1e-9,
+                "depth {depth:?}: period {}",
+                report.period
+            );
+            assert_eq!(
+                report.gpu_peak_bytes[0],
+                statics[0] + stored,
+                "depth {depth:?}"
+            );
+            assert!(!report.memory_violation);
+        }
     }
 
     #[test]

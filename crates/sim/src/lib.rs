@@ -10,15 +10,21 @@
 //!   every operation as soon as its inputs are ready and its resource is
 //!   free, backwards preferred, bounded pipeline depth), which §4.1
 //!   criticizes for its unpredictable memory behaviour — the simulator
-//!   lets us observe exactly that.
+//!   lets us observe exactly that;
+//! * [`perturb`] — fault-injected replay: the same pattern executed
+//!   under multiplicative compute/communication jitter and bandwidth
+//!   degradation, the measurement behind `madpipe certify`'s robustness
+//!   margins.
 
 pub mod eager;
 pub mod event;
+pub mod perturb;
 pub mod replay;
 pub mod report;
 pub mod trace;
 
 pub use eager::{simulate_eager, EagerConfig};
+pub use perturb::{replay_perturbed, FaultSpec};
 pub use replay::replay_pattern;
 pub use report::SimReport;
 pub use trace::chrome_trace;
