@@ -37,6 +37,10 @@ pub struct BaselineRecord {
     pub certified: Option<bool>,
     /// Jitter robustness margin of the certified plan.
     pub jitter_margin: Option<f64>,
+    /// Full planner stats payload (`PlannerStats::to_json`). Optional so
+    /// version-1 baselines written before this field existed still parse;
+    /// informational only — [`compare_baselines`] never gates on it.
+    pub stats: Option<Value>,
 }
 
 impl BaselineRecord {
@@ -65,7 +69,7 @@ impl BaselineRecord {
     }
 
     fn to_json(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("network".into(), Value::Str(self.network.clone())),
             ("p".into(), Value::UInt(self.p as u64)),
             ("m_gb".into(), Value::UInt(self.m_gb)),
@@ -84,7 +88,11 @@ impl BaselineRecord {
                 },
             ),
             ("jitter_margin".into(), Self::opt_f64(self.jitter_margin)),
-        ])
+        ];
+        if let Some(stats) = &self.stats {
+            fields.push(("stats".into(), stats.clone()));
+        }
+        Value::Object(fields)
     }
 
     fn from_json(v: &Value) -> Result<Self, JsonError> {
@@ -106,6 +114,10 @@ impl BaselineRecord {
                 }
             },
             jitter_margin: Self::read_opt_f64(v, "jitter_margin")?,
+            stats: match v.get("stats") {
+                None | Some(Value::Null) => None,
+                Some(s) => Some(s.clone()),
+            },
         })
     }
 }
@@ -122,6 +134,7 @@ impl From<&CellResult> for BaselineRecord {
             planning_seconds: r.planning_seconds,
             certified: r.certified,
             jitter_margin: r.jitter_margin,
+            stats: Some(r.stats.to_json()),
         }
     }
 }
@@ -281,6 +294,7 @@ mod tests {
             planning_seconds: 0.5,
             certified: madpipe.map(|_| true),
             jitter_margin: madpipe.map(|_| 0.11),
+            stats: None,
         }
     }
 
@@ -292,6 +306,26 @@ mod tests {
         ];
         let parsed = parse(&render(&records)).unwrap();
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn stats_payload_round_trips_and_stays_optional() {
+        let mut with = record("resnet50", 6, Some(0.1));
+        with.stats = Some(madpipe_core::PlannerStats::default().to_json());
+        let records = vec![with, record("resnet50", 3, None)];
+        let parsed = parse(&render(&records)).unwrap();
+        assert_eq!(parsed, records);
+        // The stats payload never gates.
+        assert!(compare_baselines(&parsed, &records, 0.10, 5.0).is_empty());
+        let stripped: Vec<BaselineRecord> = records
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.stats = None;
+                r
+            })
+            .collect();
+        assert!(compare_baselines(&stripped, &records, 0.10, 5.0).is_empty());
     }
 
     #[test]

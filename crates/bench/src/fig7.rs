@@ -90,9 +90,7 @@ mod tests {
             pipedream_estimate: pd,
             pipedream: pd,
             planning_seconds: 0.1,
-            dp_solves: 3,
-            dp_probes_saved: 0,
-            dp_states: 10,
+            stats: crate::grid::test_stats(3, 0, 10),
             certified: mp.map(|_| true),
             jitter_margin: mp.map(|_| 0.1),
         }

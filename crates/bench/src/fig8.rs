@@ -102,9 +102,7 @@ mod tests {
             pipedream_estimate: None,
             pipedream: None,
             planning_seconds: 0.1,
-            dp_solves: 3,
-            dp_probes_saved: 0,
-            dp_states: 10,
+            stats: crate::grid::test_stats(3, 0, 10),
             certified: Some(true),
             jitter_margin: Some(0.1),
         }

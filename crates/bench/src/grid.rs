@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use madpipe_core::{certify_plan, compare, CertifyConfig, PlannerConfig};
+use madpipe_core::{certify_plan, compare, CertifyConfig, PlannerConfig, PlannerStats};
 use madpipe_dnn::{networks, GpuModel};
 use madpipe_model::{Chain, Platform};
 
@@ -97,12 +97,10 @@ pub struct CellResult {
     pub pipedream: Option<f64>,
     /// Wall-clock seconds spent planning (both planners).
     pub planning_seconds: f64,
-    /// DP solves that actually ran inside MadPipe's probe session.
-    pub dp_solves: usize,
-    /// Probes answered without a solve (outcome cache + monotone bound).
-    pub dp_probes_saved: usize,
-    /// Memoized DP states created across this cell's solves.
-    pub dp_states: u64,
+    /// Full MadPipe planner instrumentation for this cell — DP counters,
+    /// probe timeline, phase clocks and the frozen metrics registry
+    /// (certification already folded in via `Certificate::record`).
+    pub stats: PlannerStats,
     /// Differential certification verdict of the MadPipe plan (`None`
     /// when MadPipe failed to plan).
     pub certified: Option<bool>,
@@ -117,6 +115,21 @@ impl CellResult {
             (Some(m), Some(p)) => Some(p / m),
             _ => None,
         }
+    }
+
+    /// DP solves that actually ran inside MadPipe's probe session.
+    pub fn dp_solves(&self) -> usize {
+        self.stats.dp.solves
+    }
+
+    /// Probes answered without a solve (outcome cache + monotone bound).
+    pub fn dp_probes_saved(&self) -> usize {
+        self.stats.dp.probes_saved()
+    }
+
+    /// Memoized DP states created across this cell's solves.
+    pub fn dp_states(&self) -> u64 {
+        self.stats.dp.states_created
     }
 
     /// Speedup of MadPipe over sequential execution.
@@ -152,13 +165,16 @@ pub fn run_cell(chain: &Chain, cell: &Cell, planner: &PlannerConfig) -> CellResu
     debug_assert_eq!(chain.name(), cell.network);
     let platform = Platform::gb(cell.p, cell.m_gb, cell.beta_gb).expect("valid grid platform");
     let start = Instant::now();
-    let cmp = compare(chain, &platform, planner);
+    let mut cmp = compare(chain, &platform, planner);
     let planning_seconds = start.elapsed().as_secs_f64();
     let cert = cmp
         .madpipe
         .as_ref()
         .ok()
         .map(|m| certify_plan(chain, &platform, m, &CertifyConfig::quick()));
+    if let Some(c) = &cert {
+        c.record(&mut cmp.stats);
+    }
     CellResult {
         cell: cell.clone(),
         sequential: chain.total_compute_time(),
@@ -171,11 +187,23 @@ pub fn run_cell(chain: &Chain, cell: &Cell, planner: &PlannerConfig) -> CellResu
             .map(|p| p.outcome.predicted_period),
         pipedream: cmp.pipedream.as_ref().ok().map(|p| p.period()),
         planning_seconds,
-        dp_solves: cmp.stats.dp.solves,
-        dp_probes_saved: cmp.stats.dp.probes_saved(),
-        dp_states: cmp.stats.dp.states_created,
+        stats: cmp.stats,
         certified: cert.as_ref().map(|c| c.passed()),
         jitter_margin: cert.as_ref().map(|c| c.jitter_margin),
+    }
+}
+
+/// Planner stats with just the DP counters set, for figure-module tests.
+#[cfg(test)]
+pub(crate) fn test_stats(solves: usize, probes_saved: usize, states: u64) -> PlannerStats {
+    PlannerStats {
+        dp: madpipe_core::DpStats {
+            solves,
+            outcome_hits: probes_saved,
+            states_created: states,
+            ..Default::default()
+        },
+        ..Default::default()
     }
 }
 
@@ -253,8 +281,10 @@ mod tests {
         assert!(r.madpipe.is_some());
         assert!(r.pipedream.is_some());
         assert!(r.ratio().unwrap() > 0.5);
-        assert!(r.dp_solves > 0);
-        assert!(r.dp_states > 0);
+        assert!(r.dp_solves() > 0);
+        assert!(r.dp_states() > 0);
+        assert_eq!(r.stats.certifications_passed, 1);
+        assert!(r.stats.certify_seconds > 0.0);
         assert!(r.madpipe.unwrap() + 1e-12 >= r.sequential / 2.0 * 0.99);
         assert_eq!(r.certified, Some(true), "grid plans must certify");
         assert!(r.jitter_margin.unwrap() > 0.0);

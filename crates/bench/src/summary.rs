@@ -62,9 +62,9 @@ pub fn summarize(results: &[CellResult]) -> Summary {
         pipedream_optimism: None,
         madpipe_optimism: None,
         planning_seconds: results.iter().map(|r| r.planning_seconds).sum(),
-        dp_solves: results.iter().map(|r| r.dp_solves).sum(),
-        dp_probes_saved: results.iter().map(|r| r.dp_probes_saved).sum(),
-        dp_states: results.iter().map(|r| r.dp_states).sum(),
+        dp_solves: results.iter().map(|r| r.dp_solves()).sum(),
+        dp_probes_saved: results.iter().map(|r| r.dp_probes_saved()).sum(),
+        dp_states: results.iter().map(|r| r.dp_states()).sum(),
         certified_pass: results.iter().filter(|r| r.certified == Some(true)).count(),
         certified_fail: results
             .iter()
@@ -222,9 +222,7 @@ mod tests {
             pipedream_estimate: pd.map(|x| x * 0.5),
             pipedream: pd,
             planning_seconds: 1.0,
-            dp_solves: 5,
-            dp_probes_saved: 2,
-            dp_states: 100,
+            stats: crate::grid::test_stats(5, 2, 100),
             certified: mp.map(|_| true),
             jitter_margin: mp.map(|_| 0.1),
         }

@@ -8,7 +8,9 @@ use madpipe_core::{
 };
 use madpipe_dnn::profile::Profile;
 use madpipe_dnn::{networks, GpuModel, RandomChainConfig};
+use madpipe_json::Value;
 use madpipe_model::{Chain, Platform, UnitSequence};
+use madpipe_obs::{Trace, PLANNER_PID};
 use madpipe_schedule::gantt;
 use madpipe_sim::{replay_pattern, simulate_eager, EagerConfig};
 
@@ -23,10 +25,15 @@ USAGE:
   madpipe plan <network> [--gpus P] [--memory-gb M] [--bandwidth-gb B]
                [--batch N] [--image S] [--profile FILE]
                [--gpu-model v100|a100|rtx3090] [--max-layers N]
-               [--threads N] [--stats]
+               [--threads N] [--stats] [--trace-out FILE] [--periods N]
+               [--metrics-out FILE] [--stats-json FILE]
       Plan with MadPipe and the PipeDream baseline, print both.
       --threads evaluates independent probes in parallel (default 1);
-      --stats prints planner counters and the probe timeline.
+      --stats prints planner counters and the probe timeline;
+      --trace-out writes a Chrome/Perfetto trace of the planner spans
+      plus the scheduled pattern (memory and link counter tracks, N
+      periods); --metrics-out writes a Prometheus-style metrics dump;
+      --stats-json writes the full PlannerStats payload as JSON.
   madpipe gantt <network> [same flags as plan]
       Print the ASCII Gantt chart of the MadPipe schedule.
   madpipe simulate <network> [same flags as plan] [--batches N]
@@ -40,17 +47,27 @@ USAGE:
       or https://ui.perfetto.dev).
   madpipe certify <network> [same flags as plan] [--periods K] [--jitter J]
                [--trials N] [--headroom H] [--chrome-trace FILE] [--stats]
+               [--trace-out FILE] [--metrics-out FILE]
       Differentially certify the MadPipe plan: analytic checker vs.
       event-simulator replay over K periods, exact cross-check on tiny
       instances, and timing-fault injection reporting jitter/bandwidth
       robustness margins. Exits nonzero on any disagreement.
+      --chrome-trace writes just the schedule timeline; --trace-out also
+      includes the planner/certifier spans; --metrics-out as in plan.
+  madpipe validate-trace <trace.json> [--expect-spans a,b,c]
+               [--metrics FILE]
+      Re-parse an emitted Chrome trace with the vendored JSON parser and
+      check its structural invariants (the CI artifact gate). Fails if
+      any span named in --expect-spans is absent; --metrics additionally
+      validates a Prometheus-style dump.
   madpipe bench-baseline [--out FILE] [--baseline FILE] [--tolerance T]
-               [--time-factor F] [--threads N]
+               [--time-factor F] [--threads N] [--stats-json FILE]
       Run the fixed smoke benchmark grid, write the results as JSON to
       FILE (default BENCH_smoke.json), and — when --baseline is given —
       gate against the committed reference: periods within T (default
       0.10 relative), planning time within F× (default 5), no
-      certification regressions.
+      certification regressions. --stats-json writes per-cell
+      PlannerStats payloads.
   madpipe experiments <fig6|fig7|fig8|summary|all> [--full] [--threads N]
                [--out DIR]
       Regenerate the paper's figures (text + CSV under DIR, default
@@ -74,6 +91,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("hybrid") => cmd_hybrid(&args),
         Some("trace") => cmd_trace(&args),
         Some("certify") => cmd_certify(&args),
+        Some("validate-trace") => cmd_validate_trace(&args),
         Some("bench-baseline") => cmd_bench_baseline(&args),
         Some("help") | None => {
             println!("{USAGE}");
@@ -121,6 +139,74 @@ fn load_chain(args: &Args) -> Result<Chain, String> {
     })
 }
 
+/// Enable the span tracer when any command-line flag wants a trace file,
+/// so the subsequent planning/certification calls record their spans.
+fn arm_tracer(args: &Args) -> bool {
+    let wanted = args.raw("trace-out").is_some();
+    if wanted {
+        madpipe_obs::set_enabled(true);
+    }
+    wanted
+}
+
+/// Write the collected planner spans — plus, when a plan exists, the
+/// schedule timeline with its memory/link counter tracks — as one
+/// Chrome/Perfetto trace. Disables the tracer.
+fn write_trace(
+    out: &str,
+    chain: &Chain,
+    platform: &Platform,
+    plan: Option<&madpipe_core::MadPipePlan>,
+    periods: usize,
+) -> Result<(), String> {
+    // Build the schedule timeline first, while the tracer is still on,
+    // so the replay behind it contributes its `sim.replay` span.
+    let schedule = plan.map(|plan| {
+        madpipe_sim::schedule_trace(
+            chain,
+            platform,
+            &plan.allocation,
+            &plan.schedule.pattern,
+            periods,
+        )
+    });
+    madpipe_obs::set_enabled(false);
+    let spans = madpipe_obs::drain_spans();
+    let mut trace = Trace::new();
+    trace.process_name(PLANNER_PID, "planner");
+    trace.add_spans(PLANNER_PID, &spans);
+    if let Some(schedule) = schedule {
+        trace.extend(schedule);
+    }
+    std::fs::write(out, trace.render_chrome()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out} ({} planner spans{})",
+        spans.len(),
+        if plan.is_some() {
+            format!(" + {periods}-period schedule timeline")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+/// Write a Prometheus-style metrics dump for `--metrics-out`.
+fn write_metrics(out: &str, stats: &madpipe_core::PlannerStats) -> Result<(), String> {
+    std::fs::write(out, stats.metrics.to_prometheus())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Write the full `PlannerStats` JSON payload for `--stats-json`.
+fn write_stats_json(out: &str, stats: &madpipe_core::PlannerStats) -> Result<(), String> {
+    std::fs::write(out, stats.to_json().to_string_pretty())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn load_platform(args: &Args) -> Result<Platform, String> {
     let p = args.get_or("gpus", 4usize)?;
     let m = args.get_or("memory-gb", 8u64)?;
@@ -166,6 +252,7 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         threads: args.get_or("threads", 1usize)?.max(1),
         ..PlannerConfig::default()
     };
+    arm_tracer(args);
     let cmp = compare(&chain, &platform, &planner);
     match &cmp.madpipe {
         Ok(plan) => {
@@ -237,6 +324,16 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
                 answer
             );
         }
+    }
+    if let Some(out) = args.raw("trace-out") {
+        let periods = args.get_or("periods", 6usize)?;
+        write_trace(out, &chain, &platform, cmp.madpipe.as_ref().ok(), periods)?;
+    }
+    if let Some(out) = args.raw("metrics-out") {
+        write_metrics(out, &cmp.stats)?;
+    }
+    if let Some(out) = args.raw("stats-json") {
+        write_stats_json(out, &cmp.stats)?;
     }
     Ok(())
 }
@@ -321,8 +418,13 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let out: PathBuf = args.raw("out").ok_or("trace requires --out FILE")?.into();
     let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
         .map_err(|e| format!("planning failed: {e}"))?;
-    let seq = UnitSequence::from_allocation(&chain, &platform, &plan.allocation);
-    let json = madpipe_sim::chrome_trace(&seq, &plan.schedule.pattern, periods);
+    let json = madpipe_sim::chrome_trace(
+        &chain,
+        &platform,
+        &plan.allocation,
+        &plan.schedule.pattern,
+        periods,
+    );
     std::fs::write(&out, json).map_err(|e| e.to_string())?;
     println!(
         "wrote {} ({} periods of a {:.1} ms pattern)",
@@ -340,6 +442,7 @@ fn cmd_certify(args: &Args) -> Result<(), String> {
         threads: args.get_or("threads", 1usize)?.max(1),
         ..PlannerConfig::default()
     };
+    arm_tracer(args);
     let (plan, mut stats) = madpipe_plan_with_stats(&chain, &platform, &planner);
     let plan = plan.map_err(|e| format!("planning failed: {e}"))?;
 
@@ -392,10 +495,21 @@ fn cmd_certify(args: &Args) -> Result<(), String> {
     );
 
     if let Some(out) = args.raw("chrome-trace") {
-        let seq = UnitSequence::from_allocation(&chain, &platform, &plan.allocation);
-        let json = madpipe_sim::chrome_trace(&seq, &plan.schedule.pattern, cfg.periods.min(12));
+        let json = madpipe_sim::chrome_trace(
+            &chain,
+            &platform,
+            &plan.allocation,
+            &plan.schedule.pattern,
+            cfg.periods.min(12),
+        );
         std::fs::write(out, json).map_err(|e| e.to_string())?;
         println!("wrote {out}");
+    }
+    if let Some(out) = args.raw("trace-out") {
+        write_trace(out, &chain, &platform, Some(&plan), cfg.periods.min(12))?;
+    }
+    if let Some(out) = args.raw("metrics-out") {
+        write_metrics(out, &stats)?;
     }
     if args.has("stats") {
         println!("planner  : {}", stats.summary());
@@ -415,6 +529,48 @@ fn cmd_certify(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_validate_trace(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing <trace.json> argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let s = madpipe_obs::validate::validate_chrome(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} events ({} spans, {} span names, {} counter tracks), horizon {:.3} ms",
+        s.events,
+        s.spans,
+        s.span_names.len(),
+        s.counter_tracks.len(),
+        s.max_ts_us / 1e3,
+    );
+    for (track, peak) in &s.counter_peaks {
+        println!("  peak {track}: {peak}");
+    }
+    if let Some(expected) = args.raw("expect-spans") {
+        let missing: Vec<&str> = expected
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty() && !s.span_names.contains(*n))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "{path}: missing expected span(s) {} (present: {:?})",
+                missing.join(", "),
+                s.span_names
+            ));
+        }
+        println!("  all expected spans present: {expected}");
+    }
+    if let Some(mpath) = args.raw("metrics") {
+        let text = std::fs::read_to_string(mpath).map_err(|e| format!("reading {mpath}: {e}"))?;
+        let n = madpipe_obs::validate::validate_prometheus(&text)
+            .map_err(|e| format!("{mpath}: {e}"))?;
+        println!("{mpath}: {n} valid metric samples");
+    }
+    Ok(())
+}
+
 fn cmd_bench_baseline(args: &Args) -> Result<(), String> {
     let grid = baseline::smoke_grid();
     let cells = grid.cells();
@@ -426,6 +582,25 @@ fn cmd_bench_baseline(args: &Args) -> Result<(), String> {
     let records: Vec<baseline::BaselineRecord> = results.iter().map(Into::into).collect();
     baseline::save(&records, &out).map_err(|e| e.to_string())?;
     println!("wrote {} ({} cells)", out.display(), records.len());
+
+    if let Some(path) = args.raw("stats-json") {
+        let doc = Value::Array(
+            results
+                .iter()
+                .map(|r| {
+                    Value::Object(vec![
+                        ("network".into(), Value::Str(r.cell.network.clone())),
+                        ("p".into(), Value::UInt(r.cell.p as u64)),
+                        ("m_gb".into(), Value::UInt(r.cell.m_gb)),
+                        ("beta_gb".into(), Value::Float(r.cell.beta_gb)),
+                        ("stats".into(), r.stats.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        std::fs::write(path, doc.to_string_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
 
     if let Some(uncertified) = records
         .iter()
@@ -517,8 +692,8 @@ fn cmd_experiments(args: &Args) -> Result<(), String> {
     let results = run_cells(&chains, &cells, &planner, threads, !quiet);
 
     let total_planning: f64 = results.iter().map(|r| r.planning_seconds).sum();
-    let total_solves: usize = results.iter().map(|r| r.dp_solves).sum();
-    let total_saved: usize = results.iter().map(|r| r.dp_probes_saved).sum();
+    let total_solves: usize = results.iter().map(|r| r.dp_solves()).sum();
+    let total_saved: usize = results.iter().map(|r| r.dp_probes_saved()).sum();
     eprintln!(
         "planning time over all cells: {total_planning:.1} s \
          ({total_solves} DP solves, {total_saved} probes saved by reuse)"

@@ -32,7 +32,7 @@ use madpipe_sim::{replay_pattern, replay_perturbed, FaultSpec, SimReport};
 use madpipe_solver::exact_optimum;
 
 use crate::planner::MadPipePlan;
-use crate::stats::PlannerStats;
+use crate::stats::{counters, PlannerStats};
 
 /// Tuning for one certification run.
 #[derive(Debug, Clone, Copy)]
@@ -123,6 +123,9 @@ pub struct Certificate {
     pub beta_margin: f64,
     /// Every disagreement found; empty iff the plan is certified.
     pub failures: Vec<String>,
+    /// Wall-clock seconds the certification took (all four oracles plus
+    /// the margin bisections).
+    pub seconds: f64,
 }
 
 impl Certificate {
@@ -131,13 +134,27 @@ impl Certificate {
         self.failures.is_empty()
     }
 
-    /// Fold this certificate into the planner's pass/fail counters.
+    /// Fold this certificate into the planner's stats: the pass/fail
+    /// counters (plain and registry view) and the certification wall
+    /// clock. Certification runs *after* `madpipe_plan` returns, so its
+    /// time is added to `total_seconds` too — keeping the invariant that
+    /// the per-phase clocks sum to at most the total.
     pub fn record(&self, stats: &mut PlannerStats) {
         if self.passed() {
             stats.certifications_passed += 1;
+            stats.metrics.bump_counter(counters::CERTIFY_PASSED, 1);
         } else {
             stats.certifications_failed += 1;
+            stats.metrics.bump_counter(counters::CERTIFY_FAILED, 1);
         }
+        stats.certify_seconds += self.seconds;
+        stats.total_seconds += self.seconds;
+        stats
+            .metrics
+            .set_gauge("plan.certify.seconds", stats.certify_seconds);
+        stats
+            .metrics
+            .set_gauge("plan.total.seconds", stats.total_seconds);
     }
 }
 
@@ -168,6 +185,7 @@ pub fn certify(
     pattern: &Pattern,
     cfg: &CertifyConfig,
 ) -> Certificate {
+    let clock = madpipe_obs::timed("certify.differential");
     let mut cert = Certificate {
         analytic: None,
         replay: None,
@@ -175,6 +193,7 @@ pub fn certify(
         jitter_margin: 0.0,
         beta_margin: 0.0,
         failures: Vec::new(),
+        seconds: 0.0,
     };
     let seq = UnitSequence::from_allocation(chain, platform, alloc);
     let tol = cfg.period_rel_tol * period.max(1e-12);
@@ -185,6 +204,7 @@ pub fn certify(
         Err(e) => {
             cert.failures
                 .push(format!("checker rejected the pattern: {e}"));
+            cert.seconds = clock.finish();
             return cert;
         }
     };
@@ -277,6 +297,7 @@ pub fn certify(
 
     cert.analytic = Some(analytic);
     cert.replay = Some(replay);
+    cert.seconds = clock.finish();
     cert
 }
 
@@ -393,10 +414,44 @@ mod tests {
             jitter_margin: 0.0,
             beta_margin: 0.0,
             failures: vec!["boom".into()],
+            seconds: 0.0,
         };
         failed.record(&mut stats);
         assert_eq!(stats.certifications_failed, 1);
         assert!(stats.summary().contains("certify 1/2"));
+        assert_eq!(stats.metrics.counter(counters::CERTIFY_PASSED), 1);
+        assert_eq!(stats.metrics.counter(counters::CERTIFY_FAILED), 1);
+    }
+
+    #[test]
+    fn total_time_includes_certification_and_bounds_the_phase_sum() {
+        let c = chain(
+            &[(1.0, 2.0), (2.0, 1.0), (3.0, 2.0), (1.0, 1.0)],
+            1 << 10,
+            1 << 8,
+        );
+        let platform = Platform::new(2, 1 << 20, 1e6).unwrap();
+        let (plan, mut stats) =
+            crate::planner::madpipe_plan_with_stats(&c, &platform, &PlannerConfig::default());
+        let plan = plan.unwrap();
+        let pre_total = stats.total_seconds;
+
+        let cert = certify_plan(&c, &platform, &plan, &CertifyConfig::quick());
+        assert!(cert.seconds > 0.0, "certification must be timed");
+        cert.record(&mut stats);
+
+        assert_eq!(stats.certify_seconds, cert.seconds);
+        assert_eq!(stats.total_seconds, pre_total + cert.seconds);
+        // The invariant of satellite 3: every phase clock runs inside
+        // either the plan total or the certification clock, so the sum
+        // never exceeds the (certification-inclusive) total.
+        assert!(
+            stats.phase_seconds_sum() <= stats.total_seconds + 1e-9,
+            "phase sum {} > total {}",
+            stats.phase_seconds_sum(),
+            stats.total_seconds
+        );
+        assert_eq!(stats.metrics.counter(counters::CERTIFY_PASSED), 1);
     }
 
     #[test]

@@ -55,11 +55,12 @@ use std::time::Instant;
 
 use madpipe_model::util::ceil_div;
 use madpipe_model::{Allocation, Chain, Platform, Stage};
+use madpipe_obs::Registry;
 
 use crate::discrete::{Axis, Discretization};
 use crate::fxhash::FxHashMap;
 use crate::oplus::oplus;
-use crate::stats::{DpStats, ProbeRecord, ProbeSource};
+use crate::stats::{counters, DpStats, ProbeRecord, ProbeSource};
 
 /// Result of one MadPipe-DP run at a fixed target period `T̂`.
 #[derive(Debug, Clone)]
@@ -160,7 +161,10 @@ pub struct ProbeSession<'a> {
     index: FxHashMap<(u64, bool), usize>,
     /// Largest target proven infeasible, per `use_special` flag.
     max_infeasible: [Option<f64>; 2],
-    stats: DpStats,
+    /// The session's metrics: every counter behind [`DpStats`] plus the
+    /// per-solve timing/state histograms. Bumped only on the absorbing
+    /// (main) thread, so values are bit-identical across thread counts.
+    registry: Registry,
     records: Vec<ProbeRecord>,
 }
 
@@ -184,14 +188,20 @@ impl<'a> ProbeSession<'a> {
             shards: Vec::new(),
             index: FxHashMap::default(),
             max_infeasible: [None, None],
-            stats: DpStats::default(),
+            registry: Registry::new(),
             records: Vec::new(),
         }
     }
 
-    /// Aggregate counters so far.
-    pub fn stats(&self) -> &DpStats {
-        &self.stats
+    /// Aggregate counters so far (the [`DpStats`] view over the
+    /// session's metrics registry).
+    pub fn stats(&self) -> DpStats {
+        DpStats::from_registry(&self.registry)
+    }
+
+    /// The live metrics registry of this session.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The probe timeline so far.
@@ -263,8 +273,9 @@ impl<'a> ProbeSession<'a> {
             let (outcome, states, cached, pruned, secs) = match *resolution {
                 Resolution::Cached(i) => {
                     let shard = &self.shards[i];
-                    self.stats.outcome_hits += 1;
-                    self.stats.states_reused += shard.memo.len() as u64;
+                    self.registry.inc(counters::DP_OUTCOME_HITS);
+                    self.registry
+                        .add(counters::DP_STATES_REUSED, shard.memo.len() as u64);
                     (
                         shard.outcome.clone(),
                         shard.outcome.states,
@@ -274,11 +285,15 @@ impl<'a> ProbeSession<'a> {
                     )
                 }
                 Resolution::Pruned => {
-                    self.stats.bound_prunes += 1;
+                    self.registry.inc(counters::DP_BOUND_PRUNES);
                     (DpOutcome::infeasible(), 0, false, true, 0.0)
                 }
                 Resolution::Solved(j) => {
                     let shard = &self.shards[first_new_shard + j];
+                    self.registry
+                        .observe(counters::DP_SOLVE_SECONDS, seconds[j]);
+                    self.registry
+                        .observe(counters::DP_SOLVE_STATES, shard.outcome.states as f64);
                     (
                         shard.outcome.clone(),
                         shard.outcome.states,
@@ -289,8 +304,9 @@ impl<'a> ProbeSession<'a> {
                 }
                 Resolution::Duplicate(j) => {
                     let shard = &self.shards[first_new_shard + j];
-                    self.stats.outcome_hits += 1;
-                    self.stats.states_reused += shard.memo.len() as u64;
+                    self.registry.inc(counters::DP_OUTCOME_HITS);
+                    self.registry
+                        .add(counters::DP_STATES_REUSED, shard.memo.len() as u64);
                     (
                         shard.outcome.clone(),
                         shard.outcome.states,
@@ -365,6 +381,10 @@ impl<'a> ProbeSession<'a> {
     /// One full DP solve at `t_hat`. Pure: reads only the shared session
     /// state, so independent solves can run concurrently.
     fn run_solve(&self, t_hat: f64, use_special: bool) -> Shard {
+        let mut sp = madpipe_obs::span("dp.solve");
+        if let Some(sp) = sp.as_mut() {
+            sp.arg("t_hat", t_hat);
+        }
         let mut dp = Dp {
             chain: self.chain,
             platform: self.platform,
@@ -409,11 +429,14 @@ impl<'a> ProbeSession<'a> {
     /// Merge a solved shard into the session (counters, infeasibility
     /// bound, outcome cache).
     fn absorb(&mut self, shard: Shard) {
-        self.stats.solves += 1;
-        self.stats.states_created += shard.memo.len() as u64;
-        self.stats.memo_hits += shard.memo_hits;
-        self.stats.load_prunes += shard.load_prunes;
-        self.stats.memory_prunes += shard.memory_prunes;
+        self.registry.inc(counters::DP_SOLVES);
+        self.registry
+            .add(counters::DP_STATES_CREATED, shard.memo.len() as u64);
+        self.registry.add(counters::DP_MEMO_HITS, shard.memo_hits);
+        self.registry
+            .add(counters::DP_LOAD_PRUNES, shard.load_prunes);
+        self.registry
+            .add(counters::DP_MEMORY_PRUNES, shard.memory_prunes);
         if shard.outcome.period.is_infinite() {
             let bound = &mut self.max_infeasible[shard.use_special as usize];
             *bound = Some(bound.map_or(shard.t_hat, |b| b.max(shard.t_hat)));

@@ -12,7 +12,6 @@
 //! strict `<`, so the plan is bit-identical whatever the thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 use madpipe_model::{Allocation, Chain, Platform};
 use madpipe_schedule::ScheduleError;
@@ -20,7 +19,7 @@ use madpipe_solver::{best_period, PlaceConfig, SolvedSchedule};
 
 use crate::algorithm1::{madpipe_allocation_session, Algorithm1Config, Algorithm1Outcome};
 use crate::dp::ProbeSession;
-use crate::stats::{PlannerStats, ProbeSource};
+use crate::stats::{counters, PlannerStats, ProbeSource};
 
 /// Tuning for the whole MadPipe pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -221,13 +220,55 @@ pub fn madpipe_plan_with_stats(
     platform: &Platform,
     cfg: &PlannerConfig,
 ) -> (Result<MadPipePlan, PlanError>, PlannerStats) {
-    let total_start = Instant::now();
+    let total = madpipe_obs::timed("plan.total");
     let mut stats = PlannerStats {
         threads: cfg.threads.max(1),
         ..PlannerStats::default()
     };
     let result = plan_inner(chain, platform, cfg, &mut stats);
-    stats.total_seconds = total_start.elapsed().as_secs_f64();
+    stats.total_seconds = total.finish();
+
+    // Mirror the planner-level counters and phase clocks into the frozen
+    // registry, so machine consumers (`--metrics-out`, `--stats-json`)
+    // see one namespace alongside the DP counters.
+    if stats.schedules_attempted > 0 {
+        stats.metrics.bump_counter(
+            counters::SCHEDULES_ATTEMPTED,
+            stats.schedules_attempted as u64,
+        );
+    }
+    if stats.schedules_solved > 0 {
+        stats
+            .metrics
+            .bump_counter(counters::SCHEDULES_SOLVED, stats.schedules_solved as u64);
+    }
+    for source in [
+        ProbeSource::Bisection,
+        ProbeSource::ContiguousFallback,
+        ProbeSource::Refinement,
+    ] {
+        let n = stats.probes.iter().filter(|p| p.source == source).count();
+        if n > 0 {
+            stats
+                .metrics
+                .bump_counter(&format!("planner.probes.{source}"), n as u64);
+        }
+    }
+    stats
+        .metrics
+        .set_gauge("plan.phase1.seconds", stats.phase1_seconds);
+    stats
+        .metrics
+        .set_gauge("plan.fallback.seconds", stats.fallback_seconds);
+    stats
+        .metrics
+        .set_gauge("plan.refine.seconds", stats.refine_seconds);
+    stats
+        .metrics
+        .set_gauge("plan.schedule.seconds", stats.schedule_seconds);
+    stats
+        .metrics
+        .set_gauge("plan.total.seconds", stats.total_seconds);
     (result, stats)
 }
 
@@ -242,7 +283,7 @@ fn plan_inner(
     let mut session = ProbeSession::new(chain, platform, &cfg.algorithm1.discretization);
 
     // Phase 1: Algorithm 1's bisection.
-    let clock = Instant::now();
+    let clock = madpipe_obs::timed("plan.phase1.bisect");
     let phase1 = madpipe_allocation_session(
         chain,
         platform,
@@ -250,23 +291,24 @@ fn plan_inner(
         &mut session,
         cfg.algorithm1.use_special,
     );
-    stats.phase1_seconds = clock.elapsed().as_secs_f64();
+    stats.phase1_seconds = clock.finish();
 
     // Memory-aware contiguous fallback: the same DP without the special
     // processor, through the same session. Its allocations schedule
     // exactly at their 1F1B* optimum, so it rescues instances where every
     // special-processor probe is over-optimistic; it is also the ablation
     // baseline.
-    let clock = Instant::now();
+    let clock = madpipe_obs::timed("plan.fallback.contiguous");
     let fallback = if cfg.algorithm1.use_special {
         madpipe_allocation_session(chain, platform, &cfg.algorithm1, &mut session, false)
     } else {
         None
     };
-    stats.fallback_seconds = clock.elapsed().as_secs_f64();
+    stats.fallback_seconds = clock.finish();
 
     let finalize = |stats: &mut PlannerStats, session: &mut ProbeSession<'_>| {
-        stats.dp = *session.stats();
+        stats.dp = session.stats();
+        stats.metrics = session.registry().snapshot();
         stats.probes = session.take_records();
     };
 
@@ -296,7 +338,7 @@ fn plan_inner(
     // strict `<` so ties keep the earlier (better-estimate) candidate.
     let mut best: Option<(Allocation, SolvedSchedule)> = None;
     let mut last_err: Option<ScheduleError> = None;
-    let clock = Instant::now();
+    let clock = madpipe_obs::timed("plan.phase2.schedule");
     let solved = schedule_batch(chain, platform, &candidates, &cfg.place, threads);
     stats.schedules_attempted += candidates.len();
     for (alloc, res) in candidates.iter().zip(solved) {
@@ -310,7 +352,7 @@ fn plan_inner(
             Err(e) => last_err = Some(e),
         }
     }
-    stats.schedule_seconds += clock.elapsed().as_secs_f64();
+    stats.schedule_seconds += clock.finish();
 
     // Refinement: probe extra targets between the load lower bound and
     // the best achieved period, selecting by achieved period. The grid
@@ -319,7 +361,7 @@ fn plan_inner(
         let lb = chain.total_compute_time() / platform.n_gpus as f64;
         let hi = s.period * 1.02;
         if cfg.refine_probes > 0 && hi > lb {
-            let clock = Instant::now();
+            let clock = madpipe_obs::timed("plan.refine.grid");
             let ratio = (hi / lb).powf(1.0 / cfg.refine_probes as f64);
             let seen: Vec<f64> = phase1.probes.iter().map(|p| p.t_hat).collect();
             let mut targets: Vec<f64> = Vec::new();
@@ -336,7 +378,7 @@ fn plan_inner(
                 ProbeSource::Refinement,
                 threads,
             );
-            stats.refine_seconds = clock.elapsed().as_secs_f64();
+            stats.refine_seconds = clock.finish();
 
             let mut fresh: Vec<Allocation> = Vec::new();
             for out in outcomes {
@@ -346,7 +388,7 @@ fn plan_inner(
                     }
                 }
             }
-            let clock = Instant::now();
+            let clock = madpipe_obs::timed("plan.phase2.schedule");
             let solved = schedule_batch(chain, platform, &fresh, &cfg.place, threads);
             stats.schedules_attempted += fresh.len();
             for (alloc, res) in fresh.iter().zip(solved) {
@@ -360,7 +402,7 @@ fn plan_inner(
                     Err(e) => last_err = Some(e),
                 }
             }
-            stats.schedule_seconds += clock.elapsed().as_secs_f64();
+            stats.schedule_seconds += clock.finish();
         }
     }
 

@@ -1,16 +1,44 @@
 //! Planner observability: counters and timings collected while MadPipe
-//! plans, exposed to the CLI (`--stats`) and the bench CSV writers.
+//! plans, exposed to the CLI (`--stats`, `--stats-json`) and the bench
+//! CSV writers.
 //!
-//! Two layers of instrumentation:
+//! The source of truth is the [`madpipe_obs::Registry`] owned by the DP
+//! session — every counter below is a *view* over it:
 //!
-//! * [`DpStats`] — aggregate counters of the cross-probe DP session
-//!   ([`crate::dp::ProbeSession`]): how many DP solves actually ran, how
+//! * [`DpStats`] — the named counters of the cross-probe DP session
+//!   ([`crate::dp::ProbeSession`]), derived from the registry with
+//!   [`DpStats::from_registry`]: how many DP solves actually ran, how
 //!   many probes were answered from the outcome cache or the monotone
 //!   infeasibility bound, and the memoization/prune behaviour inside the
 //!   solves that did run;
 //! * [`PlannerStats`] — the end-to-end picture: the probe timeline (every
 //!   target period evaluated, tagged with the planner stage that asked
-//!   for it), phase wall-clock times, and phase-2 scheduling counts.
+//!   for it), phase wall-clock times, phase-2 scheduling counts, and the
+//!   full frozen registry ([`PlannerStats::metrics`]) for machine
+//!   consumers ([`PlannerStats::to_json`], the Prometheus dump).
+
+use madpipe_json::Value;
+use madpipe_obs::{MetricsSnapshot, Registry};
+
+/// Registry counter names of the DP session (the [`DpStats`] fields).
+pub mod counters {
+    pub const DP_SOLVES: &str = "dp.solves";
+    pub const DP_OUTCOME_HITS: &str = "dp.outcome_hits";
+    pub const DP_BOUND_PRUNES: &str = "dp.bound_prunes";
+    pub const DP_STATES_CREATED: &str = "dp.states_created";
+    pub const DP_STATES_REUSED: &str = "dp.states_reused";
+    pub const DP_MEMO_HITS: &str = "dp.memo_hits";
+    pub const DP_LOAD_PRUNES: &str = "dp.load_prunes";
+    pub const DP_MEMORY_PRUNES: &str = "dp.memory_prunes";
+    /// Log₂ histogram of per-solve wall time (seconds).
+    pub const DP_SOLVE_SECONDS: &str = "dp.solve.seconds";
+    /// Log₂ histogram of per-solve memoized state counts.
+    pub const DP_SOLVE_STATES: &str = "dp.solve.states";
+    pub const SCHEDULES_ATTEMPTED: &str = "planner.schedules_attempted";
+    pub const SCHEDULES_SOLVED: &str = "planner.schedules_solved";
+    pub const CERTIFY_PASSED: &str = "planner.certifications_passed";
+    pub const CERTIFY_FAILED: &str = "planner.certifications_failed";
+}
 
 /// Aggregate counters of one [`crate::dp::ProbeSession`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -35,6 +63,21 @@ pub struct DpStats {
 }
 
 impl DpStats {
+    /// The counter view over a DP session's registry.
+    pub fn from_registry(registry: &Registry) -> Self {
+        use counters::*;
+        Self {
+            solves: registry.counter(DP_SOLVES) as usize,
+            outcome_hits: registry.counter(DP_OUTCOME_HITS) as usize,
+            bound_prunes: registry.counter(DP_BOUND_PRUNES) as usize,
+            states_created: registry.counter(DP_STATES_CREATED),
+            states_reused: registry.counter(DP_STATES_REUSED),
+            memo_hits: registry.counter(DP_MEMO_HITS),
+            load_prunes: registry.counter(DP_LOAD_PRUNES),
+            memory_prunes: registry.counter(DP_MEMORY_PRUNES),
+        }
+    }
+
     /// Fold another set of counters into this one.
     pub fn merge(&mut self, other: &DpStats) {
         self.solves += other.solves;
@@ -117,7 +160,12 @@ pub struct PlannerStats {
     pub refine_seconds: f64,
     /// Wall time of phase-2 scheduling (all candidate allocations).
     pub schedule_seconds: f64,
-    /// Total wall time of the plan call.
+    /// Wall time of differential certification, folded in by
+    /// [`crate::certify::Certificate::record`] (0 when no plan was
+    /// certified).
+    pub certify_seconds: f64,
+    /// Total wall time: the plan call plus any certification recorded
+    /// afterwards, so the phase times always sum to at most this.
     pub total_seconds: f64,
     /// Worker threads used for independent probes and scheduling.
     pub threads: usize,
@@ -126,6 +174,10 @@ pub struct PlannerStats {
     pub certifications_passed: usize,
     /// Plans that failed it.
     pub certifications_failed: usize,
+    /// The frozen metrics registry: every counter above plus the
+    /// log₂ timing/state histograms, exportable as Prometheus text or
+    /// JSON.
+    pub metrics: MetricsSnapshot,
 }
 
 impl PlannerStats {
@@ -151,6 +203,96 @@ impl PlannerStats {
             s.push_str(&format!(", certify {}/{certs}", self.certifications_passed));
         }
         s
+    }
+
+    /// Sum of the per-phase wall clocks (each phase is timed inside the
+    /// total clock, so this never exceeds [`total_seconds`]).
+    ///
+    /// [`total_seconds`]: PlannerStats::total_seconds
+    pub fn phase_seconds_sum(&self) -> f64 {
+        self.phase1_seconds
+            + self.fallback_seconds
+            + self.refine_seconds
+            + self.schedule_seconds
+            + self.certify_seconds
+    }
+
+    /// Machine-readable export: every field, the probe timeline and the
+    /// full metrics snapshot (the `--stats-json` payload).
+    pub fn to_json(&self) -> Value {
+        let probe = |p: &ProbeRecord| {
+            Value::Object(vec![
+                ("source".into(), Value::Str(p.source.to_string())),
+                ("t_hat".into(), Value::Float(p.t_hat)),
+                ("use_special".into(), Value::Bool(p.use_special)),
+                (
+                    "period".into(),
+                    if p.period.is_finite() {
+                        Value::Float(p.period)
+                    } else {
+                        Value::Null
+                    },
+                ),
+                ("states".into(), Value::UInt(p.states as u64)),
+                ("cached".into(), Value::Bool(p.cached)),
+                ("pruned".into(), Value::Bool(p.pruned)),
+                ("seconds".into(), Value::Float(p.seconds)),
+            ])
+        };
+        Value::Object(vec![
+            (
+                "dp".into(),
+                Value::Object(vec![
+                    ("solves".into(), Value::UInt(self.dp.solves as u64)),
+                    (
+                        "outcome_hits".into(),
+                        Value::UInt(self.dp.outcome_hits as u64),
+                    ),
+                    (
+                        "bound_prunes".into(),
+                        Value::UInt(self.dp.bound_prunes as u64),
+                    ),
+                    ("states_created".into(), Value::UInt(self.dp.states_created)),
+                    ("states_reused".into(), Value::UInt(self.dp.states_reused)),
+                    ("memo_hits".into(), Value::UInt(self.dp.memo_hits)),
+                    ("load_prunes".into(), Value::UInt(self.dp.load_prunes)),
+                    ("memory_prunes".into(), Value::UInt(self.dp.memory_prunes)),
+                ]),
+            ),
+            (
+                "probes".into(),
+                Value::Array(self.probes.iter().map(probe).collect()),
+            ),
+            (
+                "schedules_attempted".into(),
+                Value::UInt(self.schedules_attempted as u64),
+            ),
+            (
+                "schedules_solved".into(),
+                Value::UInt(self.schedules_solved as u64),
+            ),
+            (
+                "phase_seconds".into(),
+                Value::Object(vec![
+                    ("phase1".into(), Value::Float(self.phase1_seconds)),
+                    ("fallback".into(), Value::Float(self.fallback_seconds)),
+                    ("refine".into(), Value::Float(self.refine_seconds)),
+                    ("schedule".into(), Value::Float(self.schedule_seconds)),
+                    ("certify".into(), Value::Float(self.certify_seconds)),
+                    ("total".into(), Value::Float(self.total_seconds)),
+                ]),
+            ),
+            ("threads".into(), Value::UInt(self.threads as u64)),
+            (
+                "certifications_passed".into(),
+                Value::UInt(self.certifications_passed as u64),
+            ),
+            (
+                "certifications_failed".into(),
+                Value::UInt(self.certifications_failed as u64),
+            ),
+            ("metrics".into(), self.metrics.to_json()),
+        ])
     }
 }
 
@@ -199,5 +341,68 @@ mod tests {
         let s = stats.summary();
         assert!(s.contains("4/5"));
         assert!(s.contains("4 threads"));
+    }
+
+    #[test]
+    fn dp_stats_derive_from_the_registry() {
+        let r = Registry::new();
+        r.add(counters::DP_SOLVES, 3);
+        r.add(counters::DP_STATES_CREATED, 1000);
+        r.add(counters::DP_OUTCOME_HITS, 2);
+        r.add(counters::DP_BOUND_PRUNES, 1);
+        let dp = DpStats::from_registry(&r);
+        assert_eq!(dp.solves, 3);
+        assert_eq!(dp.states_created, 1000);
+        assert_eq!(dp.probes_saved(), 3);
+        assert_eq!(dp.memo_hits, 0);
+    }
+
+    #[test]
+    fn json_export_round_trips_and_encodes_infinity_as_null() {
+        let stats = PlannerStats {
+            probes: vec![
+                ProbeRecord {
+                    source: ProbeSource::Bisection,
+                    t_hat: 0.5,
+                    use_special: true,
+                    period: 0.75,
+                    states: 12,
+                    cached: false,
+                    pruned: false,
+                    seconds: 0.01,
+                },
+                ProbeRecord {
+                    source: ProbeSource::Refinement,
+                    t_hat: 0.1,
+                    use_special: true,
+                    period: f64::INFINITY,
+                    states: 0,
+                    cached: false,
+                    pruned: true,
+                    seconds: 0.0,
+                },
+            ],
+            schedules_attempted: 2,
+            schedules_solved: 1,
+            total_seconds: 1.5,
+            threads: 2,
+            ..PlannerStats::default()
+        };
+        let v = stats.to_json();
+        let text = v.to_string_pretty();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back, v);
+        let probes = back.field("probes").unwrap().as_array().unwrap();
+        assert_eq!(probes[0].field("period").unwrap().as_f64().unwrap(), 0.75);
+        assert_eq!(probes[1].field("period").unwrap(), &Value::Null);
+        assert_eq!(
+            back.field("phase_seconds")
+                .unwrap()
+                .field("total")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            1.5
+        );
     }
 }

@@ -1,0 +1,32 @@
+//! Observability layer for the MadPipe workspace: span tracing, a
+//! metrics registry, and exporters sharing one trace-event model.
+//!
+//! Three pieces, deliberately small and dependency-free:
+//!
+//! * [`span`]/[`span!`] — RAII span guards feeding a global, thread-safe
+//!   collector. Tracing is off by default; a disabled span is a single
+//!   relaxed atomic load (no clock read, no allocation), so permanently
+//!   instrumented hot paths cost nothing in production runs.
+//!   [`timed`] always measures wall time (the planner's phase clocks are
+//!   built on it) but still only *records* when tracing is enabled.
+//! * [`Registry`]/[`MetricsSnapshot`] — monotone counters, gauges and
+//!   log₂-bucketed histograms with deterministic (sorted) iteration,
+//!   rendered as a Prometheus-style text dump or a JSON tree.
+//! * [`Trace`]/[`TraceEvent`] — the shared event model behind every
+//!   exporter: Chrome/Perfetto JSON (`ph:"X"` spans, `ph:"C"` counter
+//!   tracks, `ph:"M"` metadata), a JSON-lines event log, and — for the
+//!   registry — the Prometheus dump. `sim::schedule_trace` and the CLI's
+//!   `--trace-out` both emit through this one model.
+//!
+//! [`validate`] closes the loop: it re-parses an emitted Chrome trace
+//! with the vendored JSON crate and checks the structural invariants the
+//! round-trip tests and `madpipe validate-trace` rely on.
+
+mod event;
+mod metrics;
+mod span;
+pub mod validate;
+
+pub use event::{Phase, Trace, TraceEvent, PLANNER_PID, SCHEDULE_PID};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::{drain_spans, set_enabled, span, timed, tracing_enabled, SpanGuard, SpanRecord};

@@ -1,0 +1,195 @@
+//! Structural validation of emitted artifacts, closing the round trip:
+//! everything the exporters write must re-parse with the vendored JSON
+//! crate and satisfy the invariants checked here. Shared by the unit
+//! round-trip tests and the `madpipe validate-trace` CLI command that CI
+//! runs against uploaded artifacts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use madpipe_json::Value;
+
+/// What a validated Chrome trace contained.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total events of any phase.
+    pub events: usize,
+    /// `ph:"X"` span count.
+    pub spans: usize,
+    /// Distinct names of complete spans.
+    pub span_names: BTreeSet<String>,
+    /// Largest `ts + dur` seen across span and counter events (µs).
+    pub max_ts_us: f64,
+    /// Peak value per *integer* counter track (e.g. memory-in-bytes),
+    /// keyed by event name, exact `u64`.
+    pub counter_peaks: BTreeMap<String, u64>,
+    /// Distinct counter track names (integer- and float-valued).
+    pub counter_tracks: BTreeSet<String>,
+}
+
+/// Parse and validate a Chrome trace document.
+///
+/// Checks: the document parses, has a `traceEvents` array, every event
+/// carries `name`/`ph`/`pid`, and every timed event has `ts ≥ 0` (plus
+/// `dur ≥ 0` for spans). Returns a [`TraceSummary`] for further,
+/// caller-specific assertions (horizon bounds, expected peaks).
+pub fn validate_chrome(text: &str) -> Result<TraceSummary, String> {
+    let doc = Value::parse(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .field("traceEvents")
+        .and_then(|v| v.as_array())
+        .map_err(|e| format!("missing traceEvents array: {e}"))?;
+    let mut summary = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    for (i, e) in events.iter().enumerate() {
+        let at = |msg: &str| format!("event {i}: {msg}");
+        let name = e
+            .field("name")
+            .and_then(|v| v.as_str())
+            .map_err(|err| at(&format!("bad name: {err}")))?;
+        let ph = e
+            .field("ph")
+            .and_then(|v| v.as_str())
+            .map_err(|err| at(&format!("bad ph: {err}")))?;
+        e.field("pid")
+            .and_then(|v| v.as_u64())
+            .map_err(|err| at(&format!("bad pid: {err}")))?;
+        match ph {
+            "M" => continue,
+            "X" | "C" | "i" => {}
+            other => return Err(at(&format!("unknown phase {other:?}"))),
+        }
+        let ts = e
+            .field("ts")
+            .and_then(|v| v.as_f64())
+            .map_err(|err| at(&format!("bad ts: {err}")))?;
+        if ts < 0.0 {
+            return Err(at(&format!("negative ts {ts}")));
+        }
+        let mut end = ts;
+        if ph == "X" {
+            let dur = e
+                .field("dur")
+                .and_then(|v| v.as_f64())
+                .map_err(|err| at(&format!("bad dur: {err}")))?;
+            if dur < 0.0 {
+                return Err(at(&format!("negative dur {dur}")));
+            }
+            end += dur;
+            summary.spans += 1;
+            summary.span_names.insert(name.to_string());
+        }
+        if ph == "C" {
+            summary.counter_tracks.insert(name.to_string());
+            let args = e
+                .field("args")
+                .map_err(|err| at(&format!("counter without args: {err}")))?;
+            if let Value::Object(fields) = args {
+                for (_, v) in fields {
+                    if let Value::UInt(u) = v {
+                        let peak = summary.counter_peaks.entry(name.to_string()).or_insert(0);
+                        *peak = (*peak).max(*u);
+                    }
+                }
+            }
+        }
+        summary.max_ts_us = summary.max_ts_us.max(end);
+    }
+    Ok(summary)
+}
+
+/// Validate a Prometheus-style metrics dump; returns the number of
+/// samples. Every non-comment, non-blank line must be `name value` (an
+/// optional `{labels}` suffix on the name) with a parseable value.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+        if name.is_empty() {
+            return Err(format!("line {}: empty metric name", lineno + 1));
+        }
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Trace, PLANNER_PID, SCHEDULE_PID};
+
+    #[test]
+    fn accepts_exporter_output_and_summarizes_it() {
+        let mut t = Trace::new();
+        t.process_name(PLANNER_PID, "planner");
+        t.complete(
+            PLANNER_PID,
+            0,
+            "plan.phase1.bisect",
+            "span",
+            1.0,
+            9.0,
+            vec![],
+        );
+        t.counter(
+            SCHEDULE_PID,
+            "memory GPU 0",
+            "memory",
+            20.0,
+            "bytes",
+            Value::UInt(77),
+        );
+        t.counter(
+            SCHEDULE_PID,
+            "memory GPU 0",
+            "memory",
+            30.0,
+            "bytes",
+            Value::UInt(42),
+        );
+        let s = validate_chrome(&t.render_chrome()).unwrap();
+        assert_eq!(s.events, 4);
+        assert_eq!(s.spans, 1);
+        assert!(s.span_names.contains("plan.phase1.bisect"));
+        assert_eq!(s.counter_peaks.get("memory GPU 0"), Some(&77));
+        assert_eq!(s.max_ts_us, 30.0);
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        assert!(validate_chrome("not json").is_err());
+        assert!(validate_chrome("{\"other\": 1}").is_err());
+        let neg_dur = r#"{"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 1.0, "dur": -2.0}
+        ]}"#;
+        assert!(validate_chrome(neg_dur)
+            .unwrap_err()
+            .contains("negative dur"));
+        let neg_ts = r#"{"traceEvents": [
+            {"name": "x", "ph": "C", "pid": 1, "tid": 0, "ts": -1.0, "args": {"v": 1}}
+        ]}"#;
+        assert!(validate_chrome(neg_ts).unwrap_err().contains("negative ts"));
+    }
+
+    #[test]
+    fn prometheus_validation_counts_samples() {
+        let r = crate::Registry::new();
+        r.add("dp.solves", 2);
+        r.observe("dp.solve.seconds", 0.5);
+        let text = r.snapshot().to_prometheus();
+        let n = validate_prometheus(&text).unwrap();
+        assert!(n >= 4, "counter + bucket + sum + count, got {n}");
+        assert!(validate_prometheus("name_only\n").is_err());
+        assert!(validate_prometheus("metric NaNish\n").is_err());
+    }
+}

@@ -25,6 +25,6 @@ pub mod trace;
 
 pub use eager::{simulate_eager, EagerConfig};
 pub use perturb::{replay_perturbed, FaultSpec};
-pub use replay::replay_pattern;
+pub use replay::{replay_pattern, replay_with};
 pub use report::SimReport;
-pub use trace::chrome_trace;
+pub use trace::{chrome_trace, schedule_trace};

@@ -127,6 +127,7 @@ pub fn replay_perturbed(
     periods: usize,
     fault: &FaultSpec,
 ) -> SimReport {
+    let mut sp = madpipe_obs::span("sim.perturb");
     let seq = UnitSequence::from_allocation(chain, platform, alloc);
     let t_period = pattern.period;
     let warmup = pattern.max_shift() as usize + 1;
@@ -272,6 +273,12 @@ pub fn replay_perturbed(
         if !changed {
             break;
         }
+    }
+    if let Some(sp) = sp.as_mut() {
+        // Fault cascade size: instances pushed past their planned slot.
+        let overruns = instances.iter().filter(|i| i.start > i.planned).count();
+        sp.arg("instances", instances.len() as f64);
+        sp.arg("overruns", overruns as f64);
     }
 
     // Memory + throughput sweep over completions, in (time, creation)

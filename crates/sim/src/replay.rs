@@ -26,6 +26,25 @@ pub fn replay_pattern(
     pattern: &Pattern,
     periods: usize,
 ) -> SimReport {
+    replay_with(chain, platform, alloc, pattern, periods, |_, _, _| {})
+}
+
+/// [`replay_pattern`] with a memory observer: `on_mem(time, gpu, bytes)`
+/// is called once per GPU with the static footprint at `t = 0`, then at
+/// every stage-op completion that changes that GPU's residency, with the
+/// *same* values the peak measurement folds — so a consumer taking
+/// `max` over the samples reproduces `gpu_peak_bytes` bit for bit (the
+/// memory counter tracks of [`crate::trace::schedule_trace`] rely on
+/// this).
+pub fn replay_with(
+    chain: &Chain,
+    platform: &Platform,
+    alloc: &Allocation,
+    pattern: &Pattern,
+    periods: usize,
+    mut on_mem: impl FnMut(f64, usize, u64),
+) -> SimReport {
+    madpipe_obs::span!("sim.replay");
     let seq = UnitSequence::from_allocation(chain, platform, alloc);
     let t_period = pattern.period;
     let warmup = pattern.max_shift() as usize + 1;
@@ -35,6 +54,9 @@ pub fn replay_pattern(
     let mut dyn_bytes = vec![0i64; alloc.n_gpus()];
     let mut peak = static_bytes.clone();
     let mut busy_time = vec![0.0f64; alloc.n_gpus()];
+    for (g, &b) in static_bytes.iter().enumerate() {
+        on_mem(0.0, g, b);
+    }
 
     // Events: (completion_time, op_index, batch).
     let mut events: EventQueue<(usize, i64)> = EventQueue::new();
@@ -69,6 +91,7 @@ pub fn replay_pattern(
             }
             let total = (static_bytes[g] as i64 + dyn_bytes[g]).max(0) as u64;
             peak[g] = peak[g].max(total);
+            on_mem(t, g, total);
         }
         if op.unit == 0 && op.dir == Dir::Backward {
             completions.push(t);

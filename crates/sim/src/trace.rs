@@ -1,58 +1,68 @@
-//! Chrome-trace export: dump a periodic pattern's execution as a
-//! `chrome://tracing` / Perfetto JSON file for visual inspection.
+//! Schedule trace export: dump a periodic pattern's execution through
+//! the shared [`madpipe_obs`] event model for `chrome://tracing` /
+//! Perfetto inspection.
 //!
-//! Each GPU and link becomes a trace "thread"; each executed operation
-//! becomes a complete event (`ph: "X"`) labelled with its unit, direction
-//! and mini-batch index. Times are exported in microseconds as Perfetto
-//! expects.
+//! Three track families, all on the same timeline as [`crate::replay`]
+//! (`max_shift + 1` warm-up periods, fill-phase batches skipped):
+//!
+//! * one trace "thread" per GPU and link, each executed operation a
+//!   complete event (`ph:"X"`) labelled with unit, direction and
+//!   mini-batch index;
+//! * one **memory counter track** per GPU (`ph:"C"`, exact bytes),
+//!   sampled by [`crate::replay::replay_with`] at every residency
+//!   change — its running maximum is `gpu_peak_bytes` bit for bit;
+//! * one **utilization counter track** per link: the busy fraction of
+//!   each period, so communication-bound cuts are visible at a glance.
 
-use std::fmt::Write as _;
-
-use madpipe_model::{Resource, UnitKind, UnitSequence};
+use madpipe_json::Value;
+use madpipe_model::{Allocation, Chain, Platform, Resource, UnitKind, UnitSequence};
+use madpipe_obs::{Trace, SCHEDULE_PID};
 use madpipe_schedule::{Dir, Pattern};
 
-/// Render `periods` periods of `pattern` as Chrome-trace JSON.
-///
-/// Batches still in the fill phase (negative indices) are skipped, like
-/// in [`crate::replay`].
-pub fn chrome_trace(seq: &UnitSequence, pattern: &Pattern, periods: usize) -> String {
+use crate::replay::replay_with;
+
+/// Build the schedule trace of `periods` steady-state periods of
+/// `pattern` (plus warm-up, like [`crate::replay_pattern`]).
+pub fn schedule_trace(
+    chain: &Chain,
+    platform: &Platform,
+    alloc: &Allocation,
+    pattern: &Pattern,
+    periods: usize,
+) -> Trace {
+    let seq = UnitSequence::from_allocation(chain, platform, alloc);
     let t_period = pattern.period;
-    let warmup = pattern.max_shift() as usize;
-    let total = warmup + periods.max(1);
+    let warmup = pattern.max_shift() as usize + 1;
+    let total = warmup + periods.max(2);
 
     // Stable thread ids: GPUs first, then links, ordered.
     let mut resources: Vec<Resource> = pattern.ops.iter().map(|o| o.resource).collect();
     resources.sort();
     resources.dedup();
-    let tid = |r: Resource| -> usize {
+    let tid = |r: Resource| -> u64 {
         resources
             .iter()
             .position(|&x| x == r)
-            .expect("known resource")
+            .expect("known resource") as u64
             + 1
     };
 
-    let mut out = String::from("{\"traceEvents\":[\n");
-    // Thread name metadata.
+    let mut trace = Trace::new();
+    trace.process_name(SCHEDULE_PID, "schedule");
     for &r in &resources {
         let name = match r {
             Resource::Gpu(g) => format!("GPU {g}"),
             Resource::Link(a, b) => format!("link {a}-{b}"),
         };
-        let _ = writeln!(
-            out,
-            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}},",
-            tid(r),
-            name
-        );
+        trace.thread_name(SCHEDULE_PID, tid(r), &name);
     }
 
-    let mut first = true;
+    // Operation events.
     for k in 0..total {
         for op in &pattern.ops {
             let batch = k as i64 - op.shift as i64;
             if batch < 0 {
-                continue;
+                continue; // fill phase: the op idles in a real execution
             }
             let unit = &seq.units()[op.unit];
             let kind = match (&unit.kind, op.dir) {
@@ -61,91 +71,159 @@ pub fn chrome_trace(seq: &UnitSequence, pattern: &Pattern, periods: usize) -> St
                 (UnitKind::Comm { .. }, Dir::Forward) => format!("send u{}", op.unit),
                 (UnitKind::Comm { .. }, Dir::Backward) => format!("recv u{}", op.unit),
             };
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            let start_us = (k as f64 * t_period + op.start) * 1e6;
-            let dur_us = op.duration * 1e6;
-            let _ = write!(
-                out,
-                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{} b{}\",\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"batch\":{},\"shift\":{}}}}}",
+            trace.complete(
+                SCHEDULE_PID,
                 tid(op.resource),
-                kind,
-                batch,
-                start_us,
-                dur_us,
-                batch,
-                op.shift
+                format!("{kind} b{batch}"),
+                "op",
+                (k as f64 * t_period + op.start) * 1e6,
+                op.duration * 1e6,
+                vec![
+                    ("batch".into(), Value::UInt(batch as u64)),
+                    ("shift".into(), Value::UInt(op.shift)),
+                ],
             );
         }
     }
-    out.push_str("\n]}\n");
-    out
+
+    // Memory counter tracks, sampled by the replay itself so the values
+    // (and their maximum) are exactly the measured ones.
+    replay_with(chain, platform, alloc, pattern, periods, |t, g, bytes| {
+        trace.counter(
+            SCHEDULE_PID,
+            format!("memory GPU {g}"),
+            "memory",
+            t * 1e6,
+            "bytes",
+            Value::UInt(bytes),
+        );
+    });
+
+    // Link utilization: busy fraction of every period, per link.
+    for &r in &resources {
+        let Resource::Link(a, b) = r else { continue };
+        for k in 0..total {
+            let busy: f64 = pattern
+                .ops
+                .iter()
+                .filter(|op| op.resource == r && k as i64 - op.shift as i64 >= 0)
+                .map(|op| op.duration)
+                .sum();
+            trace.counter(
+                SCHEDULE_PID,
+                format!("util link {a}-{b}"),
+                "link",
+                k as f64 * t_period * 1e6,
+                "busy_frac",
+                Value::Float(busy / t_period),
+            );
+        }
+    }
+
+    trace
+}
+
+/// [`schedule_trace`] rendered as Chrome-trace JSON text.
+pub fn chrome_trace(
+    chain: &Chain,
+    platform: &Platform,
+    alloc: &Allocation,
+    pattern: &Pattern,
+    periods: usize,
+) -> String {
+    schedule_trace(chain, platform, alloc, pattern, periods).render_chrome()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use madpipe_model::{Allocation, Chain, Layer, Partition, Platform};
-    use madpipe_schedule::one_f1b_star;
+    use crate::replay::replay_pattern;
+    use madpipe_model::{Layer, Partition};
+    use madpipe_obs::validate::validate_chrome;
+    use madpipe_schedule::{best_contiguous_period, one_f1b_star};
 
-    fn setup() -> (UnitSequence, Pattern) {
+    fn setup() -> (Chain, Platform, Allocation) {
         let chain = Chain::new(
             "t",
-            10,
+            1000,
             vec![
-                Layer::new("a", 1.0, 1.0, 0, 10),
-                Layer::new("b", 1.0, 1.0, 0, 10),
+                Layer::new("a", 1.0, 2.0, 64, 1000),
+                Layer::new("b", 2.0, 1.0, 64, 500),
+                Layer::new("c", 1.5, 1.5, 64, 250),
             ],
         )
         .unwrap();
-        let platform = Platform::new(2, 1 << 30, 10.0).unwrap();
-        let part = Partition::from_cuts(&[1], 2).unwrap();
-        let alloc = Allocation::contiguous(&part, 2).unwrap();
-        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
-        let t = seq.total_load();
-        let pattern = one_f1b_star(&seq, t);
-        (seq, pattern)
+        let platform = Platform::new(3, 1 << 20, 1000.0).unwrap();
+        let part = Partition::from_cuts(&[1, 2], 3).unwrap();
+        let alloc = Allocation::contiguous(&part, 3).unwrap();
+        (chain, platform, alloc)
     }
 
     #[test]
-    fn emits_valid_json_with_all_threads() {
-        let (seq, pattern) = setup();
-        let json = chrome_trace(&seq, &pattern, 3);
-        let parsed = madpipe_json::Value::parse(&json).expect("valid JSON");
-        let events = parsed
-            .field("traceEvents")
-            .unwrap()
-            .as_array()
-            .expect("array");
-        // 3 metadata (2 GPUs + 1 link) + 6 ops × 3 periods (no shifts here)
-        assert_eq!(events.len(), 3 + 18);
+    fn emits_valid_json_with_gpu_link_and_counter_tracks() {
+        let (chain, platform, alloc) = setup();
+        let best = best_contiguous_period(&chain, &platform, &alloc).unwrap();
+        let json = chrome_trace(&chain, &platform, &alloc, &best.pattern, 3);
+        let summary = validate_chrome(&json).unwrap();
+        assert!(summary.spans > 0);
         assert!(json.contains("GPU 0"));
         assert!(json.contains("link 0-1"));
-        assert!(json.contains("F s0 b0"));
+        assert!(json.contains("\"F s0 b0\""));
+        // One memory track per GPU, one utilization track per link.
+        for g in 0..3 {
+            assert!(summary.counter_tracks.contains(&format!("memory GPU {g}")));
+        }
+        assert!(summary.counter_tracks.contains("util link 0-1"));
+        assert!(summary.counter_tracks.contains("util link 1-2"));
+    }
+
+    #[test]
+    fn round_trip_memory_peaks_match_replay_bit_for_bit() {
+        let (chain, platform, alloc) = setup();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        let t = seq.max_unit_load() * 1.1;
+        let pattern = one_f1b_star(&seq, t);
+        let periods = 50;
+        let json = chrome_trace(&chain, &platform, &alloc, &pattern, periods);
+        let summary = validate_chrome(&json).unwrap();
+        let report = replay_pattern(&chain, &platform, &alloc, &pattern, periods);
+        for (g, &peak) in report.gpu_peak_bytes.iter().enumerate() {
+            assert_eq!(
+                summary.counter_peaks.get(&format!("memory GPU {g}")),
+                Some(&peak),
+                "GPU {g} counter-track peak must equal the replayed peak exactly"
+            );
+        }
+        // Every event fits in the replayed horizon.
+        let total = pattern.max_shift() as usize + 1 + periods;
+        let horizon_us = (total as f64 + 2.0) * pattern.period * 1e6;
+        assert!(summary.max_ts_us <= horizon_us);
     }
 
     #[test]
     fn fill_phase_batches_are_skipped() {
-        let (seq, mut pattern) = setup();
-        // Make the backward of unit 0 carry shift 2: its first two firings
-        // process negative batches and must not appear.
+        let (chain, platform, alloc) = setup();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        let mut pattern = one_f1b_star(&seq, seq.total_load());
+        // Make the backward of unit 0 carry shift 2: its first two
+        // firings process negative batches and must not appear.
         for op in &mut pattern.ops {
             if op.unit == 0 && op.dir == Dir::Backward {
                 op.shift = 2;
             }
         }
-        let json = chrome_trace(&seq, &pattern, 1);
+        let json = chrome_trace(&chain, &platform, &alloc, &pattern, 2);
         assert!(!json.contains("b-1"));
         assert!(!json.contains("b-2"));
     }
 
     #[test]
     fn timestamps_are_microseconds() {
-        let (seq, pattern) = setup();
-        let json = chrome_trace(&seq, &pattern, 1);
-        let parsed = madpipe_json::Value::parse(&json).unwrap();
+        let (chain, platform, alloc) = setup();
+        let seq = UnitSequence::from_allocation(&chain, &platform, &alloc);
+        let pattern = one_f1b_star(&seq, seq.total_load());
+        let json = chrome_trace(&chain, &platform, &alloc, &pattern, 2);
+        let parsed = Value::parse(&json).unwrap();
         let durs: Vec<f64> = parsed
             .field("traceEvents")
             .unwrap()
@@ -155,7 +233,7 @@ mod tests {
             .filter(|e| e.get("ph").and_then(|p| p.as_str().ok()) == Some("X"))
             .map(|e| e.field("dur").unwrap().as_f64().unwrap())
             .collect();
-        // 1-second ops → 1e6 µs.
+        // Layer "a" forward takes 1 second → 1e6 µs.
         assert!(durs.iter().any(|&d| (d - 1e6).abs() < 1.0));
     }
 }
