@@ -45,7 +45,7 @@ impl Table {
                 if i > 0 {
                     out.push(',');
                 }
-                if field.contains([',', '"', '\n']) {
+                if field.contains([',', '"', '\n', '\r']) {
                     let _ = write!(out, "\"{}\"", field.replace('"', "\"\""));
                 } else {
                     out.push_str(field);
@@ -96,6 +96,17 @@ mod tests {
         let mut t = Table::new(&["x"]);
         t.push(vec!["hello, world".into()]);
         assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    fn quotes_fields_with_carriage_returns() {
+        // A raw CR inside an unquoted field splits the row on CRLF-aware
+        // readers; it must be quoted like LF.
+        let mut t = Table::new(&["x", "y"]);
+        t.push(vec!["a\rb".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a\rb\""), "CR field must be quoted: {csv:?}");
+        assert!(csv.ends_with("\"a\rb\",plain\n"));
     }
 
     #[test]

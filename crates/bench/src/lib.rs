@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod grid;
+pub mod loadgen;
 pub mod parallel;
 pub mod summary;
 

@@ -1,0 +1,285 @@
+//! Closed-loop load generator for `madpipe serve`.
+//!
+//! N connections each fire M requests back-to-back (send, wait for the
+//! response, send the next) over a deterministic pool of mixed
+//! instances, and the report aggregates p50/p99 latency, error counts
+//! and the cache hit rate observed in the responses. A closed loop
+//! measures the service time distribution without coordinated omission
+//! — every request's latency is recorded, including the ones that queue.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use madpipe_json::{ToJson, Value};
+use madpipe_model::Platform;
+
+const GIB: u64 = 1 << 30;
+
+/// Load profile.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4835`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests_per_conn: usize,
+    /// Distinct instances in the request mix.
+    pub instances: usize,
+    /// Seed of the instance pool.
+    pub seed: u64,
+    /// Per-response read timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4835".into(),
+            connections: 4,
+            requests_per_conn: 16,
+            instances: 4,
+            seed: 42,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Aggregated outcome of one run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    pub total: usize,
+    pub ok: usize,
+    pub errors: usize,
+    pub cached: usize,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub elapsed_seconds: f64,
+}
+
+impl LoadgenReport {
+    /// Fraction of successful responses served from the plan cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.cached as f64 / self.ok as f64
+        }
+    }
+
+    /// Completed requests per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.total as f64 / self.elapsed_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for LoadgenReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests  : {} total, {} ok, {} errors",
+            self.total, self.ok, self.errors
+        )?;
+        writeln!(
+            f,
+            "latency   : p50 {:.2} ms, p99 {:.2} ms",
+            self.p50_ms, self.p99_ms
+        )?;
+        writeln!(
+            f,
+            "cache     : {} cached responses ({:.0}% hit rate)",
+            self.cached,
+            100.0 * self.hit_rate()
+        )?;
+        write!(
+            f,
+            "throughput: {:.1} req/s over {:.2} s",
+            self.throughput(),
+            self.elapsed_seconds
+        )
+    }
+}
+
+/// Deterministic pool of `n` request lines: small random chains (same
+/// generator as the experiment harness) on a fixed 4-GPU platform,
+/// sized so one plan takes milliseconds, not seconds.
+pub fn request_lines(n: usize, seed: u64) -> Vec<String> {
+    let platform = Platform::new(4, 2 * GIB, 12.0 * GIB as f64).expect("static platform");
+    (0..n.max(1) as u64)
+        .map(|i| {
+            let cfg = madpipe_dnn::RandomChainConfig {
+                layers: 8,
+                forward_range: (0.5e-3, 5e-3),
+                weight_range: (1 << 16, 1 << 20),
+                activation_range: (1 << 20, 8 << 20),
+                cnn_profile: false,
+            };
+            let chain = madpipe_dnn::random_chain(&cfg, seed.wrapping_add(i));
+            Value::Object(vec![
+                ("cmd".into(), Value::Str("plan".into())),
+                ("chain".into(), chain.to_json()),
+                (
+                    "platform".into(),
+                    Value::Object(vec![
+                        ("n_gpus".into(), Value::UInt(platform.n_gpus as u64)),
+                        ("memory_bytes".into(), Value::UInt(platform.memory_bytes)),
+                        ("bandwidth_bytes".into(), Value::Float(platform.bandwidth)),
+                    ]),
+                ),
+            ])
+            .to_string_compact()
+        })
+        .collect()
+}
+
+/// One request/response exchange on an open connection.
+fn exchange(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<Value, String> {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("recv: {e}"))?;
+    if response.is_empty() {
+        return Err("server closed the connection".into());
+    }
+    Value::parse(response.trim()).map_err(|e| format!("bad response JSON: {e}"))
+}
+
+/// Per-connection outcome: (latencies in ms, ok count, cached count).
+type ConnStats = Result<(Vec<f64>, usize, usize), String>;
+
+/// Run the closed loop and aggregate the report.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let lines = request_lines(cfg.instances, cfg.seed);
+    let started = Instant::now();
+    let per_conn: Vec<ConnStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|conn| {
+                let lines = &lines;
+                scope.spawn(move || -> ConnStats {
+                    let mut stream =
+                        TcpStream::connect(&cfg.addr).map_err(|e| format!("connect: {e}"))?;
+                    // A closed loop of one-line exchanges would spend
+                    // its time in Nagle/delayed-ACK stalls otherwise.
+                    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+                    stream
+                        .set_read_timeout(Some(cfg.timeout))
+                        .map_err(|e| e.to_string())?;
+                    let mut reader =
+                        BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+                    let mut latencies = Vec::with_capacity(cfg.requests_per_conn);
+                    let (mut ok, mut cached) = (0usize, 0usize);
+                    for i in 0..cfg.requests_per_conn {
+                        let line = &lines[(conn + i) % lines.len()];
+                        let t0 = Instant::now();
+                        let v = exchange(&mut stream, &mut reader, line)?;
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        if v.get("ok") == Some(&Value::Bool(true)) {
+                            ok += 1;
+                            if v.get("cached") == Some(&Value::Bool(true)) {
+                                cached += 1;
+                            }
+                        }
+                    }
+                    Ok((latencies, ok, cached))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let (mut ok, mut cached, mut total) = (0usize, 0usize, 0usize);
+    for outcome in per_conn {
+        let (lat, o, c) = outcome?;
+        total += lat.len();
+        latencies.extend(lat);
+        ok += o;
+        cached += c;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx]
+    };
+    Ok(LoadgenReport {
+        total,
+        ok,
+        errors: total - ok,
+        cached,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        elapsed_seconds,
+    })
+}
+
+/// Fetch the server's Prometheus dump via the `metrics` command.
+pub fn fetch_metrics(addr: &str, timeout: Duration) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let v = exchange(&mut stream, &mut reader, r#"{"cmd":"metrics"}"#)?;
+    v.field("metrics")
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .map_err(|e| format!("metrics response: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_pool_is_deterministic_and_parseable() {
+        let a = request_lines(3, 7);
+        let b = request_lines(3, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_ne!(a[0], a[1], "instances differ");
+        for line in &a {
+            let v = Value::parse(line).unwrap();
+            assert_eq!(v.field("cmd").unwrap().as_str(), Ok("plan"));
+            assert!(v.get("chain").is_some() && v.get("platform").is_some());
+        }
+    }
+
+    #[test]
+    fn report_rates() {
+        let r = LoadgenReport {
+            total: 10,
+            ok: 8,
+            errors: 2,
+            cached: 4,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            elapsed_seconds: 2.0,
+        };
+        assert_eq!(r.hit_rate(), 0.5);
+        assert_eq!(r.throughput(), 5.0);
+        let text = r.to_string();
+        assert!(text.contains("p50 1.00 ms"), "{text}");
+        assert!(text.contains("50% hit rate"), "{text}");
+    }
+}

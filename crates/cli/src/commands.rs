@@ -72,6 +72,22 @@ USAGE:
                [--out DIR]
       Regenerate the paper's figures (text + CSV under DIR, default
       ./results). --full runs the paper's complete grid.
+  madpipe serve [--addr HOST:PORT] [--threads N] [--cache-entries N]
+               [--timeout-ms T]
+      Run the planning daemon: newline-delimited JSON requests
+      ({\"cmd\":\"plan\"|\"metrics\"|\"ping\"|\"shutdown\"}), a sharded LRU
+      cache keyed by the canonical instance, N planner workers (default
+      2), per-request deadline T ms (default 30000). Prints
+      `listening on ADDR` once live; drains gracefully on SIGTERM,
+      SIGINT or a shutdown request. Default address 127.0.0.1:4835;
+      --cache-entries 0 disables the cache.
+  madpipe loadgen [--addr HOST:PORT] [--connections N] [--requests M]
+               [--instances K] [--seed S] [--timeout-ms T] [--expect-hits]
+      Closed-loop client for the daemon: N connections × M requests over
+      K mixed instances; prints p50/p99 latency, hit rate and the
+      server's serve.* counters. --expect-hits exits nonzero unless
+      every request succeeded and the server reports both cache hits
+      and misses (the CI smoke gate).
 
 All <network> slots also accept `synthetic` (--layers N, --seed S): a
 reproducible random CNN-profile chain.
@@ -80,7 +96,7 @@ Defaults: --gpus 4, --memory-gb 8, --bandwidth-gb 12, --batch 8,
 --image 1000.";
 
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
-    let args = parse(argv, &["full", "quiet", "stats"])?;
+    let args = parse(argv, &["full", "quiet", "stats", "expect-hits"])?;
     match args.positional.first().map(String::as_str) {
         Some("networks") => cmd_networks(),
         Some("plan") => cmd_plan(&args),
@@ -93,6 +109,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("certify") => cmd_certify(&args),
         Some("validate-trace") => cmd_validate_trace(&args),
         Some("bench-baseline") => cmd_bench_baseline(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("loadgen") => cmd_loadgen(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -725,6 +743,80 @@ fn cmd_experiments(args: &Args) -> Result<(), String> {
     }
     if !["fig6", "fig7", "fig8", "summary", "all"].contains(&which) {
         return Err(format!("unknown experiment `{which}`"));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+    let cfg = madpipe_serve::ServeConfig {
+        addr: args.raw("addr").unwrap_or("127.0.0.1:4835").to_string(),
+        threads: args.get_or("threads", 2usize)?.max(1),
+        cache_entries: args.get_or("cache-entries", 256usize)?,
+        timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 30_000u64)?.max(1)),
+        queue_depth: args.get_or("queue-depth", 0usize)?,
+    };
+    madpipe_serve::install_signal_handlers();
+    let server = madpipe_serve::Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
+    // The smoke harness waits for this exact line before firing load.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    while !server.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining...");
+    server.shutdown();
+    server.join();
+    eprintln!("drained, exiting");
+    Ok(())
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let cfg = madpipe_bench::loadgen::LoadgenConfig {
+        addr: args.raw("addr").unwrap_or("127.0.0.1:4835").to_string(),
+        connections: args.get_or("connections", 4usize)?.max(1),
+        requests_per_conn: args.get_or("requests", 16usize)?.max(1),
+        instances: args.get_or("instances", 4usize)?.max(1),
+        seed: args.get_or("seed", 42u64)?,
+        timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 60_000u64)?.max(1)),
+    };
+    let report = madpipe_bench::loadgen::run(&cfg)?;
+    println!("{report}");
+    let metrics = madpipe_bench::loadgen::fetch_metrics(&cfg.addr, cfg.timeout)?;
+    let serve_lines: Vec<&str> = metrics
+        .lines()
+        .filter(|l| l.starts_with("madpipe_serve_") && !l.starts_with('#'))
+        .collect();
+    println!("server serve.* counters:");
+    for line in &serve_lines {
+        println!("  {line}");
+    }
+    if args.has("expect-hits") {
+        let counter = |name: &str| -> u64 {
+            serve_lines
+                .iter()
+                .find(|l| {
+                    l.strip_prefix(name)
+                        .is_some_and(|rest| rest.starts_with(' '))
+                })
+                .and_then(|l| l.split(' ').nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        let hits = counter("madpipe_serve_cache_hits");
+        let misses = counter("madpipe_serve_cache_misses");
+        if report.errors > 0 {
+            return Err(format!(
+                "{} of {} requests failed",
+                report.errors, report.total
+            ));
+        }
+        if hits == 0 || misses == 0 {
+            return Err(format!(
+                "expected both cache hits and misses, server reports hits={hits} misses={misses}"
+            ));
+        }
+        println!("expect-hits: ok (hits={hits}, misses={misses})");
     }
     Ok(())
 }

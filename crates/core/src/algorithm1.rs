@@ -79,11 +79,7 @@ impl Algorithm1Outcome {
             .iter()
             .filter(|p| p.allocation.is_some())
             .collect();
-        order.sort_by(|a, b| {
-            a.estimate
-                .partial_cmp(&b.estimate)
-                .expect("finite estimates")
-        });
+        order.sort_by(|a, b| a.estimate.total_cmp(&b.estimate));
         let mut seen: Vec<&Allocation> = Vec::new();
         for p in order {
             let alloc = p.allocation.as_ref().expect("filtered");

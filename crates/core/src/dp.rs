@@ -193,6 +193,18 @@ impl<'a> ProbeSession<'a> {
         }
     }
 
+    /// The chain this session was built for. Returns the `'a`-lived
+    /// reference, so callers can keep using it alongside `&mut self`
+    /// (the planning service plans through a long-lived session).
+    pub fn chain(&self) -> &'a Chain {
+        self.chain
+    }
+
+    /// The platform this session was built for (see [`ProbeSession::chain`]).
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
     /// Aggregate counters so far (the [`DpStats`] view over the
     /// session's metrics registry).
     pub fn stats(&self) -> DpStats {

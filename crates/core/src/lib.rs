@@ -40,7 +40,7 @@ pub use dp::{madpipe_dp, madpipe_dp_with, DpOutcome, ProbeSession};
 pub use hybrid::{best_hybrid, HybridPlan};
 pub use oplus::oplus;
 pub use planner::{
-    compare, madpipe_plan, madpipe_plan_with_stats, Comparison, MadPipePlan, PlanError,
-    PlannerConfig,
+    compare, madpipe_plan, madpipe_plan_with_session, madpipe_plan_with_stats, Comparison,
+    MadPipePlan, PlanError, PlannerConfig,
 };
 pub use stats::{DpStats, PlannerStats, ProbeRecord, ProbeSource};

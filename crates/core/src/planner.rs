@@ -116,6 +116,32 @@ impl MadPipePlan {
 /// Reject instances the DP cannot even represent, with a message naming
 /// the failed precondition instead of a panic deep inside the recursion.
 fn validate(chain: &Chain, platform: &Platform) -> Result<(), PlanError> {
+    // `Chain::new` guarantees every layer time is finite and
+    // non-negative, but sums of huge finite values can still overflow to
+    // `∞`; catch that here so no non-finite target ever reaches the DP,
+    // the schedule search or the event heap.
+    if !chain.total_compute_time().is_finite() {
+        return Err(PlanError::Infeasible(
+            "chain total compute time overflows to infinity".into(),
+        ));
+    }
+    if !platform.total_cut_time(chain).is_finite() {
+        return Err(PlanError::Infeasible(
+            "total communication time overflows to infinity \
+             (activations too large for the bandwidth)"
+                .into(),
+        ));
+    }
+    // Even individually finite totals can break the search arithmetic:
+    // the bisection's `(lo + hi) / 2` and Algorithm 1's upper bound
+    // `U(1,L) + ΣC(k)` must themselves stay finite. 10^300 seconds is
+    // far beyond any physical profile, so reject rather than risk an
+    // intermediate infinity reaching a DP probe.
+    if chain.total_compute_time() + platform.total_cut_time(chain) > 1e300 {
+        return Err(PlanError::Infeasible(
+            "instance timing magnitudes are large enough to overflow period arithmetic".into(),
+        ));
+    }
     if chain.total_compute_time() <= 0.0 {
         return Err(PlanError::Infeasible(
             "chain has zero total compute time (all layers are zero-cost)".into(),
@@ -225,12 +251,49 @@ pub fn madpipe_plan_with_stats(
         threads: cfg.threads.max(1),
         ..PlannerStats::default()
     };
-    let result = plan_inner(chain, platform, cfg, &mut stats);
+    let result = match validate(chain, platform) {
+        Err(e) => Err(e),
+        Ok(()) => {
+            let mut session = ProbeSession::new(chain, platform, &cfg.algorithm1.discretization);
+            plan_inner(&mut session, cfg, &mut stats)
+        }
+    };
     stats.total_seconds = total.finish();
+    mirror_into_metrics(&mut stats);
+    (result, stats)
+}
 
-    // Mirror the planner-level counters and phase clocks into the frozen
-    // registry, so machine consumers (`--metrics-out`, `--stats-json`)
-    // see one namespace alongside the DP counters.
+/// Plan through a caller-owned [`ProbeSession`] — the entry point for
+/// long-lived callers (the `madpipe serve` worker pool) that plan the
+/// same `(chain, platform)` instance repeatedly. Revisited DP targets
+/// are answered from the session's outcome cache, so a warm session
+/// skips every solve while producing a plan **bit-identical** to a
+/// fresh one (the probes are pure functions of the session inputs).
+///
+/// The returned [`PlannerStats`] snapshot the session's *cumulative*
+/// counters: on a reused session, DP counters include earlier plans.
+pub fn madpipe_plan_with_session(
+    session: &mut ProbeSession<'_>,
+    cfg: &PlannerConfig,
+) -> (Result<MadPipePlan, PlanError>, PlannerStats) {
+    let total = madpipe_obs::timed("plan.total");
+    let mut stats = PlannerStats {
+        threads: cfg.threads.max(1),
+        ..PlannerStats::default()
+    };
+    let result = match validate(session.chain(), session.platform()) {
+        Err(e) => Err(e),
+        Ok(()) => plan_inner(session, cfg, &mut stats),
+    };
+    stats.total_seconds = total.finish();
+    mirror_into_metrics(&mut stats);
+    (result, stats)
+}
+
+/// Mirror the planner-level counters and phase clocks into the frozen
+/// registry, so machine consumers (`--metrics-out`, `--stats-json`)
+/// see one namespace alongside the DP counters.
+fn mirror_into_metrics(stats: &mut PlannerStats) {
     if stats.schedules_attempted > 0 {
         stats.metrics.bump_counter(
             counters::SCHEDULES_ATTEMPTED,
@@ -269,18 +332,16 @@ pub fn madpipe_plan_with_stats(
     stats
         .metrics
         .set_gauge("plan.total.seconds", stats.total_seconds);
-    (result, stats)
 }
 
 fn plan_inner(
-    chain: &Chain,
-    platform: &Platform,
+    session: &mut ProbeSession<'_>,
     cfg: &PlannerConfig,
     stats: &mut PlannerStats,
 ) -> Result<MadPipePlan, PlanError> {
-    validate(chain, platform)?;
+    let chain = session.chain();
+    let platform = session.platform();
     let threads = cfg.threads.max(1);
-    let mut session = ProbeSession::new(chain, platform, &cfg.algorithm1.discretization);
 
     // Phase 1: Algorithm 1's bisection.
     let clock = madpipe_obs::timed("plan.phase1.bisect");
@@ -288,7 +349,7 @@ fn plan_inner(
         chain,
         platform,
         &cfg.algorithm1,
-        &mut session,
+        session,
         cfg.algorithm1.use_special,
     );
     stats.phase1_seconds = clock.finish();
@@ -300,7 +361,7 @@ fn plan_inner(
     // baseline.
     let clock = madpipe_obs::timed("plan.fallback.contiguous");
     let fallback = if cfg.algorithm1.use_special {
-        madpipe_allocation_session(chain, platform, &cfg.algorithm1, &mut session, false)
+        madpipe_allocation_session(chain, platform, &cfg.algorithm1, session, false)
     } else {
         None
     };
@@ -313,7 +374,7 @@ fn plan_inner(
     };
 
     let Some(phase1) = phase1 else {
-        finalize(stats, &mut session);
+        finalize(stats, session);
         return Err(PlanError::Phase1Infeasible);
     };
 
@@ -406,7 +467,7 @@ fn plan_inner(
         }
     }
 
-    finalize(stats, &mut session);
+    finalize(stats, session);
     match best {
         Some((allocation, schedule)) => Ok(MadPipePlan {
             phase1,

@@ -26,7 +26,7 @@ pub fn coarsen(chain: &Chain, max_layers: usize) -> Chain {
             .windows(2)
             .enumerate()
             .map(|(i, w)| (i, w[0].compute_time() + w[1].compute_time()))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("at least two layers");
         let b = layers.remove(i + 1);
         let a = &mut layers[i];

@@ -41,8 +41,8 @@ impl Chain {
             return Err(ModelError::EmptyChain);
         }
         for (index, l) in layers.iter().enumerate() {
-            if !l.is_well_formed() {
-                return Err(ModelError::MalformedLayer { index });
+            if let Err(detail) = l.validate() {
+                return Err(ModelError::MalformedLayer { index, detail });
             }
         }
         let mut chain = Self {
@@ -239,10 +239,17 @@ mod tests {
     fn rejects_empty_and_malformed() {
         assert_eq!(Chain::new("e", 0, vec![]), Err(ModelError::EmptyChain));
         let bad = vec![Layer::new("x", f64::NAN, 0.0, 0, 0)];
-        assert_eq!(
-            Chain::new("b", 0, bad),
-            Err(ModelError::MalformedLayer { index: 0 })
-        );
+        let err = Chain::new("b", 0, bad).unwrap_err();
+        assert!(matches!(err, ModelError::MalformedLayer { index: 0, .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("forward_time"), "not descriptive: {msg}");
+        assert!(msg.contains("NaN"), "should name the value: {msg}");
+        // Negative and infinite values name the field and value too.
+        let neg = Chain::new("n", 0, vec![Layer::new("x", 1.0, -2.0, 0, 0)]).unwrap_err();
+        assert!(neg.to_string().contains("backward_time"), "{neg}");
+        assert!(neg.to_string().contains("-2"), "{neg}");
+        let inf = Chain::new("i", 0, vec![Layer::new("x", f64::INFINITY, 0.0, 0, 0)]).unwrap_err();
+        assert!(inf.to_string().contains("finite"), "{inf}");
     }
 
     #[test]

@@ -7,8 +7,9 @@ use std::fmt;
 pub enum ModelError {
     /// A chain must contain at least one layer.
     EmptyChain,
-    /// A layer carried a NaN/infinite/negative cost.
-    MalformedLayer { index: usize },
+    /// A layer carried a NaN/infinite/negative cost; `detail` names the
+    /// offending field and its value.
+    MalformedLayer { index: usize, detail: String },
     /// A partition/allocation does not cover `0..L` with contiguous,
     /// in-order, non-empty stages.
     BadCover { detail: String },
@@ -22,8 +23,8 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::EmptyChain => write!(f, "chain must contain at least one layer"),
-            ModelError::MalformedLayer { index } => {
-                write!(f, "layer {index} has NaN/infinite/negative cost")
+            ModelError::MalformedLayer { index, detail } => {
+                write!(f, "layer {index}: {detail}")
             }
             ModelError::BadCover { detail } => write!(f, "stages do not cover the chain: {detail}"),
             ModelError::GpuOutOfRange { gpu, n_gpus } => {

@@ -73,10 +73,27 @@ impl Layer {
     /// True when all costs are finite and non-negative — the validity
     /// requirement enforced by [`crate::Chain::new`].
     pub fn is_well_formed(&self) -> bool {
-        self.forward_time.is_finite()
-            && self.backward_time.is_finite()
-            && self.forward_time >= 0.0
-            && self.backward_time >= 0.0
+        self.validate().is_ok()
+    }
+
+    /// Check every cost field, naming the first offending one — the
+    /// descriptive form of [`Layer::is_well_formed`] used by
+    /// [`crate::Chain::new`] so a bad profile (or a bad planning-service
+    /// request) is rejected with a message instead of letting a NaN or
+    /// infinity flow into the DP and the event heap.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |field: &str, v: f64| -> Result<(), String> {
+            if !v.is_finite() {
+                return Err(format!("{field} must be finite, got {v}"));
+            }
+            if v < 0.0 {
+                return Err(format!("{field} must be non-negative, got {v}"));
+            }
+            Ok(())
+        };
+        check("forward_time (u_F)", self.forward_time)?;
+        check("backward_time (u_B)", self.backward_time)?;
+        Ok(())
     }
 }
 

@@ -97,7 +97,7 @@ fn window_sums(seq: &UnitSequence, t_lo: f64) -> Vec<f64> {
             }
         }
     }
-    out.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+    out.sort_by(f64::total_cmp);
     out.dedup_by(|a, b| madpipe_model::util::feq(*a, *b));
     out
 }

@@ -335,7 +335,7 @@ pub fn memory_profile(
         events.push((fo.completion_phase(t_period), stored));
         events.push((bo.completion_phase(t_period), -stored));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite phases"));
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut steps = Vec::with_capacity(events.len() + 1);
     let mut level = base_total;
     // Deltas with phase ~0 apply from the period start.

@@ -1,0 +1,179 @@
+//! Sharded LRU cache of finished plans, keyed by the canonical instance
+//! string.
+//!
+//! The 64-bit FNV-1a hash of the key only selects a shard; inside the
+//! shard the *full* canonical string is the map key, so a hash collision
+//! costs a shared lock at worst, never a wrong plan. Recency is a
+//! monotone stamp from one shared counter; eviction scans the (small,
+//! bounded) shard for the minimum stamp — O(capacity/shards), no
+//! intrusive list to get wrong under contention.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use madpipe_json::Value;
+
+const SHARDS: usize = 8;
+
+struct Entry {
+    stamp: u64,
+    plan: Arc<Value>,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+}
+
+/// The plan cache. `capacity == 0` disables caching entirely (every
+/// lookup misses, every insert is dropped).
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    clock: AtomicU64,
+    per_shard: usize,
+}
+
+/// FNV-1a, 64-bit — enough to spread keys over 8 shards.
+fn shard_of(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (rounded up to a
+    /// multiple of the shard count; 0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            clock: AtomicU64::new(0),
+            per_shard: capacity.div_ceil(SHARDS),
+        }
+    }
+
+    /// Look up a plan, refreshing its recency stamp on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<Value>> {
+        if self.per_shard == 0 {
+            return None;
+        }
+        let mut shard = self.shards[shard_of(key)].lock().unwrap();
+        let entry = shard.map.get_mut(key)?;
+        entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Insert (or refresh) a plan; returns how many entries were evicted
+    /// to make room (0 or 1).
+    pub fn insert(&self, key: String, plan: Arc<Value>) -> u64 {
+        if self.per_shard == 0 {
+            return 0;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[shard_of(&key)].lock().unwrap();
+        let fresh = !shard.map.contains_key(&key);
+        let mut evicted = 0;
+        if fresh && shard.map.len() >= self.per_shard {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        shard.map.insert(key, Entry { stamp, plan });
+        evicted
+    }
+
+    /// Number of cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True iff no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(n: u64) -> Arc<Value> {
+        Arc::new(Value::UInt(n))
+    }
+
+    #[test]
+    fn hit_miss_and_refresh() {
+        let c = PlanCache::new(16);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), plan(1));
+        assert_eq!(c.get("a").as_deref(), Some(&Value::UInt(1)));
+        // Re-insert replaces without eviction.
+        assert_eq!(c.insert("a".into(), plan(2)), 0);
+        assert_eq!(c.get("a").as_deref(), Some(&Value::UInt(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_a_shard() {
+        // Capacity 8 → one slot per shard: any two same-shard keys fight
+        // for it, and the older one must lose.
+        let c = PlanCache::new(8);
+        let mut keys: Vec<String> = Vec::new();
+        let mut i = 0;
+        while keys.len() < 2 {
+            let k = format!("k{i}");
+            if shard_of(&k) == shard_of("k0") {
+                keys.push(k);
+            }
+            i += 1;
+        }
+        c.insert(keys[0].clone(), plan(0));
+        assert_eq!(c.insert(keys[1].clone(), plan(1)), 1, "one eviction");
+        assert!(c.get(&keys[0]).is_none(), "oldest evicted");
+        assert!(c.get(&keys[1]).is_some());
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let c = PlanCache::new(8);
+        let mut same: Vec<String> = Vec::new();
+        let mut i = 0;
+        while same.len() < 3 {
+            let k = format!("r{i}");
+            if shard_of(&k) == shard_of("r0") {
+                same.push(k);
+            }
+            i += 1;
+        }
+        c.insert(same[0].clone(), plan(0));
+        // Shard holds 1 entry; touching [0] then inserting [1] evicts [0]
+        // anyway (capacity 1), so use capacity 16 → 2 per shard.
+        let c = PlanCache::new(16);
+        c.insert(same[0].clone(), plan(0));
+        c.insert(same[1].clone(), plan(1));
+        assert!(c.get(&same[0]).is_some()); // refresh [0]
+        c.insert(same[2].clone(), plan(2)); // shard full → evicts [1]
+        assert!(c.get(&same[0]).is_some(), "refreshed entry survives");
+        assert!(c.get(&same[1]).is_none(), "stale entry evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = PlanCache::new(0);
+        assert_eq!(c.insert("a".into(), plan(1)), 0);
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! `madpipe-serve`: a concurrent planning service over newline-delimited
+//! JSON.
+//!
+//! The daemon turns the library planner into a long-lived service: a
+//! nonblocking acceptor, a thread per connection, a bounded worker pool
+//! whose workers each keep a warm [`madpipe_core::ProbeSession`], and a
+//! sharded LRU cache keyed by the *canonical* instance — key-sorted,
+//! unit-normalized JSON — so the same problem asked twice (in any field
+//! order, in bytes or GiB) is answered from memory, bit-identical to a
+//! cold `madpipe plan`.
+//!
+//! See [`protocol`] for the wire format, [`cache`] for the keying and
+//! eviction rules, and [`server`] for the threading and drain story.
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::PlanCache;
+pub use protocol::{
+    canonical_instance, parse_request, plan_to_json, PlanRequest, Request, ServeError,
+};
+pub use server::{install_signal_handlers, term_requested, ServeConfig, Server};

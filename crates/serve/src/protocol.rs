@@ -1,0 +1,440 @@
+//! The NDJSON wire protocol of `madpipe serve` and the canonical form of
+//! a planning instance.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. A request names its command in `cmd`:
+//!
+//! * `{"cmd":"plan","chain":{…},"platform":{…},"config":{…}}` — plan the
+//!   instance; `config` is optional. The platform accepts either byte
+//!   units (`memory_bytes`, `bandwidth_bytes`) or GiB units (`memory_gb`,
+//!   `bandwidth_gb`); both normalize to bytes before planning *and*
+//!   before cache keying, so the same instance expressed in different
+//!   units is one cache entry.
+//! * `{"cmd":"metrics"}` — returns the Prometheus text dump of the
+//!   server's registry in `metrics`.
+//! * `{"cmd":"ping"}` — liveness probe.
+//! * `{"cmd":"shutdown"}` — ask the server to drain and exit.
+//!
+//! Responses are `{"ok":true,…}` or
+//! `{"ok":false,"error":{"kind":…,"message":…}}`. A bad request never
+//! kills the connection, let alone the server.
+
+use madpipe_core::{MadPipePlan, PlannerConfig};
+use madpipe_json::{FromJson, ToJson, Value};
+use madpipe_model::{Chain, Platform};
+
+/// A structured protocol-level error: `kind` is a small closed set a
+/// client can switch on, `message` says what actually went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    pub kind: &'static str,
+    pub message: String,
+}
+
+impl ServeError {
+    /// The request was not a JSON object with a known `cmd`.
+    pub fn malformed(message: impl Into<String>) -> Self {
+        Self {
+            kind: "malformed",
+            message: message.into(),
+        }
+    }
+
+    /// The request parsed but its values are unusable (NaN timings,
+    /// zero-GPU platform, …).
+    pub fn invalid(message: impl Into<String>) -> Self {
+        Self {
+            kind: "invalid",
+            message: message.into(),
+        }
+    }
+
+    /// The worker queue is full.
+    pub fn overloaded() -> Self {
+        Self {
+            kind: "overloaded",
+            message: "worker queue full, retry later".into(),
+        }
+    }
+
+    /// The deadline elapsed while the request waited for (or sat in)
+    /// the worker pool.
+    pub fn timeout() -> Self {
+        Self {
+            kind: "timeout",
+            message: "request deadline exceeded".into(),
+        }
+    }
+
+    /// The server is draining and accepts no new planning work.
+    pub fn unavailable() -> Self {
+        Self {
+            kind: "unavailable",
+            message: "server is draining".into(),
+        }
+    }
+
+    /// The instance is valid but the planner found no plan.
+    pub fn plan(message: impl Into<String>) -> Self {
+        Self {
+            kind: "plan",
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub enum Request {
+    Plan(Box<PlanRequest>),
+    Metrics,
+    Ping,
+    Shutdown,
+}
+
+/// A fully validated planning instance plus its canonical cache key.
+#[derive(Debug)]
+pub struct PlanRequest {
+    pub chain: Chain,
+    pub platform: Platform,
+    pub cfg: PlannerConfig,
+    /// Compact render of the key-sorted, unit-normalized instance. The
+    /// full string is the cache map key (hashes only pick the shard), so
+    /// a hash collision can never serve the wrong plan.
+    pub canonical: String,
+}
+
+/// Parse one request line. Returns a structured error instead of
+/// panicking on anything a client could possibly send.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let v = Value::parse(line).map_err(|e| ServeError::malformed(format!("bad JSON: {e}")))?;
+    let cmd = v
+        .get("cmd")
+        .ok_or_else(|| ServeError::malformed("missing field `cmd`"))?
+        .as_str()
+        .map_err(|_| ServeError::malformed("`cmd` must be a string"))?;
+    match cmd {
+        "plan" => Ok(Request::Plan(Box::new(parse_plan_request(&v)?))),
+        "metrics" => Ok(Request::Metrics),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServeError::malformed(format!("unknown cmd `{other}`"))),
+    }
+}
+
+fn parse_plan_request(v: &Value) -> Result<PlanRequest, ServeError> {
+    let chain_v = v
+        .get("chain")
+        .ok_or_else(|| ServeError::malformed("plan request needs `chain`"))?;
+    // `Chain::from_json` runs `Chain::new`, which rejects NaN, infinite
+    // and negative layer timings with a message naming the layer.
+    let chain =
+        Chain::from_json(chain_v).map_err(|e| ServeError::invalid(format!("chain: {e}")))?;
+    let platform_v = v
+        .get("platform")
+        .ok_or_else(|| ServeError::malformed("plan request needs `platform`"))?;
+    let platform = platform_from_json(platform_v)?;
+    let cfg = config_from_json(v.get("config"))?;
+    let canonical = canonical_instance(&chain, &platform, &cfg);
+    Ok(PlanRequest {
+        chain,
+        platform,
+        cfg,
+        canonical,
+    })
+}
+
+/// Bytes in one GiB, for the `*_gb` convenience units.
+const GIB: f64 = (1u64 << 30) as f64;
+
+/// Platform from JSON, accepting byte or GiB units and normalizing to
+/// bytes. `Platform::new` then enforces positivity and finiteness.
+fn platform_from_json(v: &Value) -> Result<Platform, ServeError> {
+    let n_gpus = v
+        .field("n_gpus")
+        .and_then(Value::as_u64)
+        .map_err(|e| ServeError::invalid(format!("platform: {e}")))? as usize;
+    let memory_bytes = match (v.get("memory_bytes"), v.get("memory_gb")) {
+        (Some(b), _) => b
+            .as_u64()
+            .map_err(|e| ServeError::invalid(format!("platform memory_bytes: {e}")))?,
+        (None, Some(g)) => {
+            let gb = g
+                .as_f64()
+                .map_err(|e| ServeError::invalid(format!("platform memory_gb: {e}")))?;
+            if !(gb.is_finite() && gb > 0.0) {
+                return Err(ServeError::invalid(format!(
+                    "platform memory_gb must be positive and finite, got {gb}"
+                )));
+            }
+            (gb * GIB) as u64
+        }
+        (None, None) => {
+            return Err(ServeError::invalid(
+                "platform needs `memory_bytes` or `memory_gb`",
+            ))
+        }
+    };
+    let bandwidth = match (v.get("bandwidth_bytes"), v.get("bandwidth_gb")) {
+        (Some(b), _) => b
+            .as_f64()
+            .map_err(|e| ServeError::invalid(format!("platform bandwidth_bytes: {e}")))?,
+        (None, Some(g)) => {
+            g.as_f64()
+                .map_err(|e| ServeError::invalid(format!("platform bandwidth_gb: {e}")))?
+                * GIB
+        }
+        (None, None) => {
+            return Err(ServeError::invalid(
+                "platform needs `bandwidth_bytes` or `bandwidth_gb`",
+            ))
+        }
+    };
+    Platform::new(n_gpus, memory_bytes, bandwidth)
+        .map_err(|e| ServeError::invalid(format!("platform: {e}")))
+}
+
+/// Planner config from the optional `config` object. Only the stable
+/// knobs are exposed; everything else keeps the `madpipe plan` defaults
+/// so cached plans are bit-identical to the CLI's.
+fn config_from_json(v: Option<&Value>) -> Result<PlannerConfig, ServeError> {
+    let mut cfg = PlannerConfig::default();
+    let Some(v) = v else { return Ok(cfg) };
+    if matches!(v, Value::Null) {
+        return Ok(cfg);
+    }
+    if let Some(r) = v.get("refine_probes") {
+        cfg.refine_probes = r
+            .as_u64()
+            .map_err(|e| ServeError::invalid(format!("config refine_probes: {e}")))?
+            as usize;
+    }
+    if let Some(t) = v.get("threads") {
+        cfg.threads = t
+            .as_u64()
+            .map_err(|e| ServeError::invalid(format!("config threads: {e}")))?
+            .clamp(1, 64) as usize;
+    }
+    if let Some(i) = v.get("iterations") {
+        cfg.algorithm1.iterations = i
+            .as_u64()
+            .map_err(|e| ServeError::invalid(format!("config iterations: {e}")))?
+            .clamp(1, 64) as usize;
+    }
+    Ok(cfg)
+}
+
+/// Recursively sort every object's keys. Arrays keep their order (layer
+/// order is meaningful).
+pub fn sort_keys(v: Value) -> Value {
+    match v {
+        Value::Object(mut fields) => {
+            fields.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, val)| (k, sort_keys(val)))
+                    .collect(),
+            )
+        }
+        Value::Array(items) => Value::Array(items.into_iter().map(sort_keys).collect()),
+        other => other,
+    }
+}
+
+/// The canonical form of a planning instance: rebuilt from the *typed*
+/// chain/platform/config (so units are already normalized to bytes and
+/// derived state is dropped), keys recursively sorted, rendered compact.
+/// Two requests meaning the same instance — whatever key order or units
+/// they used on the wire — produce byte-identical canonical strings.
+pub fn canonical_instance(chain: &Chain, platform: &Platform, cfg: &PlannerConfig) -> String {
+    let inst = Value::Object(vec![
+        ("chain".into(), chain.to_json()),
+        (
+            "config".into(),
+            Value::Object(vec![
+                (
+                    "iterations".into(),
+                    Value::UInt(cfg.algorithm1.iterations as u64),
+                ),
+                (
+                    "refine_probes".into(),
+                    Value::UInt(cfg.refine_probes as u64),
+                ),
+                ("threads".into(), Value::UInt(cfg.threads as u64)),
+            ]),
+        ),
+        (
+            "platform".into(),
+            Value::Object(vec![
+                ("bandwidth_bytes".into(), Value::Float(platform.bandwidth)),
+                ("memory_bytes".into(), Value::UInt(platform.memory_bytes)),
+                ("n_gpus".into(), Value::UInt(platform.n_gpus as u64)),
+            ]),
+        ),
+    ]);
+    sort_keys(inst).to_string_compact()
+}
+
+/// Render a plan as its response JSON. `period`, `phase1_period` and
+/// `throughput` round-trip f64 bit-exactly through the vendored writer,
+/// so clients can compare plans for bit-identity.
+pub fn plan_to_json(plan: &MadPipePlan) -> Value {
+    Value::Object(vec![
+        ("period".into(), Value::Float(plan.period())),
+        ("phase1_period".into(), Value::Float(plan.phase1.period)),
+        ("throughput".into(), Value::Float(plan.throughput())),
+        (
+            "stages".into(),
+            Value::Array(
+                plan.allocation
+                    .stages()
+                    .iter()
+                    .map(|s| {
+                        Value::Object(vec![
+                            ("start".into(), Value::UInt(s.layers.start as u64)),
+                            ("end".into(), Value::UInt(s.layers.end as u64)),
+                            ("gpu".into(), Value::UInt(s.gpu as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `{"ok":true,"cached":…,"plan":…}` as one line (no trailing newline).
+pub fn plan_response(plan: &Value, cached: bool) -> String {
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("cached".into(), Value::Bool(cached)),
+        ("plan".into(), plan.clone()),
+    ])
+    .to_string_compact()
+}
+
+/// `{"ok":false,"error":{…}}` as one line.
+pub fn error_response(err: &ServeError) -> String {
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(false)),
+        (
+            "error".into(),
+            Value::Object(vec![
+                ("kind".into(), Value::Str(err.kind.into())),
+                ("message".into(), Value::Str(err.message.clone())),
+            ]),
+        ),
+    ])
+    .to_string_compact()
+}
+
+/// `{"ok":true,<key>:<text>}` for metrics/ping/shutdown acknowledgments.
+pub fn ok_response(key: &str, value: Value) -> String {
+    Value::Object(vec![("ok".into(), Value::Bool(true)), (key.into(), value)]).to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_line(platform: &str) -> String {
+        format!(
+            concat!(
+                r#"{{"cmd":"plan","chain":{{"name":"t","input_bytes":1024,"layers":["#,
+                r#"{{"name":"l0","forward_time":0.001,"backward_time":0.002,"weight_bytes":1000,"activation_bytes":2000}},"#,
+                r#"{{"name":"l1","forward_time":0.003,"backward_time":0.004,"weight_bytes":1000,"activation_bytes":2000}}"#,
+                r#"]}},"platform":{}}}"#
+            ),
+            platform
+        )
+    }
+
+    #[test]
+    fn parses_every_command() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"metrics"}"#),
+            Ok(Request::Metrics)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        let line = plan_line(r#"{"n_gpus":2,"memory_bytes":1073741824,"bandwidth_gb":12.0}"#);
+        assert!(matches!(parse_request(&line), Ok(Request::Plan(_))));
+    }
+
+    #[test]
+    fn rejects_garbage_with_kinds() {
+        assert_eq!(parse_request("not json").unwrap_err().kind, "malformed");
+        assert_eq!(parse_request(r#"{"x":1}"#).unwrap_err().kind, "malformed");
+        assert_eq!(
+            parse_request(r#"{"cmd":"frobnicate"}"#).unwrap_err().kind,
+            "malformed"
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"plan"}"#).unwrap_err().kind,
+            "malformed"
+        );
+        // ∞ can enter through JSON (`1e999` overflows to inf); it must be
+        // rejected as `invalid`, naming the offending field.
+        let line = plan_line(r#"{"n_gpus":2,"memory_bytes":1,"bandwidth_bytes":1e999}"#);
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.kind, "invalid");
+        assert!(err.message.contains("bandwidth"), "{}", err.message);
+    }
+
+    #[test]
+    fn unit_and_key_order_normalize_into_one_canonical_key() {
+        let gib = super::GIB;
+        let a = plan_line(r#"{"n_gpus":2,"memory_bytes":1073741824,"bandwidth_gb":12.0}"#);
+        let b = plan_line(&format!(
+            r#"{{"bandwidth_bytes":{},"memory_gb":1.0,"n_gpus":2}}"#,
+            12.0 * gib
+        ));
+        let (Ok(Request::Plan(pa)), Ok(Request::Plan(pb))) = (parse_request(&a), parse_request(&b))
+        else {
+            panic!("both must parse");
+        };
+        assert_eq!(pa.canonical, pb.canonical);
+        // The canonical form is itself valid, key-sorted JSON.
+        let v = Value::parse(&pa.canonical).unwrap();
+        let Value::Object(fields) = &v else {
+            panic!("canonical must be an object")
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["chain", "config", "platform"]);
+    }
+
+    #[test]
+    fn config_changes_the_canonical_key() {
+        let base = plan_line(r#"{"n_gpus":2,"memory_bytes":1073741824,"bandwidth_gb":12.0}"#);
+        let with_cfg = base.replacen(
+            r#","platform""#,
+            r#","config":{"refine_probes":2},"platform""#,
+            1,
+        );
+        let (Ok(Request::Plan(pa)), Ok(Request::Plan(pb))) =
+            (parse_request(&base), parse_request(&with_cfg))
+        else {
+            panic!("both must parse");
+        };
+        assert_ne!(pa.canonical, pb.canonical);
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        let err = ServeError::invalid("chain: layer 0: forward_time must be finite, got NaN");
+        let line = error_response(&err);
+        assert!(!line.contains('\n'));
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.field("ok").unwrap(), &Value::Bool(false));
+        assert_eq!(
+            v.field("error").unwrap().field("kind").unwrap().as_str(),
+            Ok("invalid")
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! The planning daemon: a nonblocking acceptor, one thread per
+//! connection, and a bounded worker pool that owns the DP sessions.
+//!
+//! Life of a `plan` request:
+//!
+//! 1. The connection thread parses and validates the line; anything
+//!    unusable is answered with a structured error and the connection
+//!    stays open.
+//! 2. The canonical key probes the [`PlanCache`]; a hit is answered
+//!    immediately (`cached:true`).
+//! 3. A miss becomes a [`Job`] on the bounded queue. A full queue is an
+//!    immediate `overloaded` reject — the server sheds load instead of
+//!    building an unbounded backlog.
+//! 4. A worker picks the job up, builds (or reuses) a [`ProbeSession`]
+//!    for the instance and plans. Consecutive same-instance jobs are
+//!    served through the same warm session, which is both faster and —
+//!    because probes are pure functions of (chain, platform, T̂) —
+//!    bit-identical to a cold `madpipe plan`.
+//! 5. The connection thread waits with the request deadline; if the
+//!    worker misses it, the client gets a `timeout` error and the worker
+//!    result (if any) still lands in the cache.
+//!
+//! Draining: `shutdown()` (or a `{"cmd":"shutdown"}` request, or
+//! SIGTERM/SIGINT via [`install_signal_handlers`]) flips one flag. The
+//! acceptor stops accepting and joins the connection threads, which
+//! finish their in-flight request and hang up; dropping the last job
+//! sender lets the workers drain the queue and exit. `join()` then
+//! returns — no request is abandoned mid-write.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use madpipe_core::{madpipe_plan_with_session, ProbeSession};
+use madpipe_json::Value;
+use madpipe_obs::Registry;
+
+use crate::cache::PlanCache;
+use crate::protocol::{
+    error_response, ok_response, parse_request, plan_response, plan_to_json, PlanRequest, Request,
+    ServeError,
+};
+
+/// Daemon configuration (the CLI's `--addr/--threads/--cache-entries/
+/// --timeout-ms` flags map 1:1 onto these fields).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:4835` (`:0` picks a free port).
+    pub addr: String,
+    /// Planner worker threads.
+    pub threads: usize,
+    /// Total plan-cache capacity (0 disables the cache).
+    pub cache_entries: usize,
+    /// Per-request deadline, from parse to response.
+    pub timeout: Duration,
+    /// Worker queue depth; 0 means `4 × threads`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4835".into(),
+            threads: 2,
+            cache_entries: 256,
+            timeout: Duration::from_secs(30),
+            queue_depth: 0,
+        }
+    }
+}
+
+/// Keep request lines bounded so a hostile client cannot balloon the
+/// connection buffer.
+const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// How often idle loops re-check the drain flag.
+const POLL: Duration = Duration::from_millis(50);
+
+type PlanOutcome = Result<(Arc<Value>, bool), ServeError>;
+
+struct Job {
+    req: Box<PlanRequest>,
+    deadline: Instant,
+    reply: SyncSender<PlanOutcome>,
+}
+
+struct Ctx {
+    draining: AtomicBool,
+    registry: Registry,
+    cache: PlanCache,
+    timeout: Duration,
+}
+
+impl Ctx {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || term_requested()
+    }
+}
+
+/// A running daemon. Dropping it without `join()` leaves the threads
+/// running; call [`Server::shutdown`] then [`Server::join`] to drain.
+pub struct Server {
+    local_addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start accepting. Returns once the listener is live —
+    /// a client may connect as soon as this returns.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let ctx = Arc::new(Ctx {
+            draining: AtomicBool::new(false),
+            registry: Registry::new(),
+            cache: PlanCache::new(cfg.cache_entries),
+            timeout: cfg.timeout,
+        });
+
+        let threads = cfg.threads.max(1);
+        let depth = if cfg.queue_depth == 0 {
+            threads * 4
+        } else {
+            cfg.queue_depth
+        };
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(depth);
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                let rx = Arc::clone(&jobs_rx);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &ctx, jobs_tx))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            local_addr,
+            ctx,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics registry (counters named `serve.*`).
+    pub fn registry(&self) -> &Registry {
+        &self.ctx.registry
+    }
+
+    /// Ask the server to drain: stop accepting, finish in-flight
+    /// requests, let the workers empty the queue.
+    pub fn shutdown(&self) {
+        self.ctx.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a drain was requested (by [`Server::shutdown`], a
+    /// `shutdown` request, or a signal).
+    pub fn is_draining(&self) -> bool {
+        self.ctx.draining()
+    }
+
+    /// Block until the acceptor, every connection and every worker have
+    /// exited. Call [`Server::shutdown`] first (or send `shutdown`).
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, ctx: &Arc<Ctx>, jobs: SyncSender<Job>) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is nonblocking; the per-connection
+                // sockets use read timeouts instead. One-line responses
+                // must not sit in Nagle's buffer waiting for an ACK.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let ctx = Arc::clone(ctx);
+                let jobs = jobs.clone();
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || connection_loop(&stream, &ctx, &jobs))
+                    .expect("spawn connection");
+                handles.push(handle);
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Drain: no new connections; wait for the open ones, then release
+    // the workers by dropping the last job sender.
+    for h in handles {
+        let _ = h.join();
+    }
+    drop(jobs);
+}
+
+fn connection_loop(stream: &TcpStream, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match (&mut &*stream).read(&mut chunk) {
+            Ok(0) => return, // peer hung up
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > MAX_LINE_BYTES {
+                    let err = ServeError::malformed("request line too large");
+                    let _ = write_line(stream, &error_response(&err));
+                    return;
+                }
+                while let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..pos.min(line.len())]).into_owned();
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    match handle_line(trimmed, ctx, jobs) {
+                        Some(response) => {
+                            if write_line(stream, &response).is_err() {
+                                return;
+                            }
+                        }
+                        None => return,
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle: hang up only between requests, so a drain never
+                // cuts a response in half.
+                if ctx.draining() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(stream: &TcpStream, line: &str) -> std::io::Result<()> {
+    let mut w = stream;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Handle one request line; `None` means "close the connection".
+fn handle_line(line: &str, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> Option<String> {
+    let _span = madpipe_obs::span("serve.request");
+    ctx.registry.inc("serve.requests");
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(err) => {
+            ctx.registry.inc(match err.kind {
+                "invalid" => "serve.errors.invalid",
+                _ => "serve.errors.malformed",
+            });
+            return Some(error_response(&err));
+        }
+    };
+    match req {
+        Request::Ping => Some(ok_response("pong", Value::Bool(true))),
+        Request::Metrics => {
+            let text = ctx.registry.snapshot().to_prometheus();
+            Some(ok_response("metrics", Value::Str(text)))
+        }
+        Request::Shutdown => {
+            ctx.draining.store(true, Ordering::SeqCst);
+            Some(ok_response("draining", Value::Bool(true)))
+        }
+        Request::Plan(plan) => Some(handle_plan(*plan, ctx, jobs)),
+    }
+}
+
+fn handle_plan(req: PlanRequest, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> String {
+    ctx.registry.inc("serve.requests.plan");
+    if let Some(plan) = ctx.cache.get(&req.canonical) {
+        ctx.registry.inc("serve.cache.hits");
+        return plan_response(&plan, true);
+    }
+    ctx.registry.inc("serve.cache.misses");
+    if ctx.draining() {
+        return error_response(&ServeError::unavailable());
+    }
+    let deadline = Instant::now() + ctx.timeout;
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<PlanOutcome>(1);
+    let job = Job {
+        req: Box::new(req),
+        deadline,
+        reply: reply_tx,
+    };
+    match jobs.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            ctx.registry.inc("serve.rejects");
+            return error_response(&ServeError::overloaded());
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return error_response(&ServeError::unavailable());
+        }
+    }
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    match reply_rx.recv_timeout(remaining) {
+        Ok(Ok((plan, cached))) => plan_response(&plan, cached),
+        Ok(Err(err)) => error_response(&err),
+        Err(_) => {
+            ctx.registry.inc("serve.timeouts");
+            error_response(&ServeError::timeout())
+        }
+    }
+}
+
+fn worker_loop(ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    let mut pending: Option<Job> = None;
+    loop {
+        let job = match pending.take() {
+            Some(j) => j,
+            None => {
+                let recv = rx.lock().unwrap().recv();
+                match recv {
+                    Ok(j) => j,
+                    // All senders gone: the queue is drained, exit.
+                    Err(_) => return,
+                }
+            }
+        };
+        serve_instance(ctx, rx, job, &mut pending);
+    }
+}
+
+/// Plan `job`'s instance, then keep serving consecutive jobs for the
+/// *same* canonical instance through the same warm [`ProbeSession`]:
+/// repeated probes cost a memo lookup, and the result is bit-identical
+/// to a cold run because every probe is a pure function of
+/// (chain, platform, T̂). A job for a different instance is handed back
+/// via `pending`.
+fn serve_instance(
+    ctx: &Arc<Ctx>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    job: Job,
+    pending: &mut Option<Job>,
+) {
+    if Instant::now() >= job.deadline {
+        // Sat in the queue past its deadline; the client already gave up.
+        ctx.registry.inc("serve.expired");
+        let _ = job.reply.try_send(Err(ServeError::timeout()));
+        return;
+    }
+    let PlanRequest {
+        chain,
+        platform,
+        cfg,
+        canonical,
+    } = *job.req;
+    let mut reply = job.reply;
+    let mut session = ProbeSession::new(&chain, &platform, &cfg.algorithm1.discretization);
+    loop {
+        // Re-probe the cache: another worker may have finished the same
+        // instance while this job sat in the queue.
+        let outcome: PlanOutcome = match ctx.cache.get(&canonical) {
+            Some(plan) => Ok((plan, true)),
+            None => {
+                let t0 = Instant::now();
+                let (result, _stats) = madpipe_plan_with_session(&mut session, &cfg);
+                ctx.registry
+                    .observe("serve.plan.seconds", t0.elapsed().as_secs_f64());
+                ctx.registry.inc("serve.plans");
+                match result {
+                    Ok(plan) => {
+                        let rendered = Arc::new(plan_to_json(&plan));
+                        let evicted = ctx.cache.insert(canonical.clone(), Arc::clone(&rendered));
+                        ctx.registry.add("serve.cache.evictions", evicted);
+                        Ok((rendered, false))
+                    }
+                    Err(e) => Err(ServeError::plan(e.to_string())),
+                }
+            }
+        };
+        // The connection thread may have timed out and dropped the
+        // receiver; the plan still went into the cache, so the retry
+        // will hit.
+        let _ = reply.try_send(outcome);
+
+        // Lookahead: pull the next queued job without blocking; keep it
+        // only if it is the same instance, otherwise hand it back.
+        loop {
+            let next = rx.lock().unwrap().try_recv();
+            match next {
+                Ok(j) if j.req.canonical == canonical => {
+                    if Instant::now() >= j.deadline {
+                        ctx.registry.inc("serve.expired");
+                        let _ = j.reply.try_send(Err(ServeError::timeout()));
+                        continue;
+                    }
+                    reply = j.reply;
+                    break; // serve it through the warm session
+                }
+                Ok(j) => {
+                    *pending = Some(j);
+                    return;
+                }
+                Err(_) => return, // queue empty (or closed)
+            }
+        }
+    }
+}
+
+// --- signal handling (no libc dependency) --------------------------------
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // `signal(2)` via a raw declaration — the only libc symbol the
+        // daemon needs, not worth a dependency. The handler just flips
+        // an atomic, which is async-signal-safe.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_term);
+            signal(SIGTERM, on_term);
+        }
+    }
+}
+
+/// Install SIGTERM/SIGINT handlers that request a graceful drain of
+/// every running [`Server`] in this process. No-op on non-Unix hosts.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    sig::install();
+}
+
+/// True once SIGTERM/SIGINT was received (always false when
+/// [`install_signal_handlers`] was never called).
+pub fn term_requested() -> bool {
+    #[cfg(unix)]
+    {
+        sig::TERM.load(Ordering::SeqCst)
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}

@@ -14,7 +14,9 @@ struct Entry<T> {
 
 impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        // `total_cmp` equality, not `==`: `Eq` must stay consistent with
+        // `Ord` even for NaN times, or the heap invariants break.
+        self.time.total_cmp(&other.time).is_eq() && self.seq == other.seq
     }
 }
 
@@ -28,11 +30,12 @@ impl<T> PartialOrd for Entry<T> {
 
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, seq).
+        // Reverse for a min-heap on (time, seq). `total_cmp` keeps the
+        // order total even if a NaN timestamp slips in (NaN sorts last,
+        // it can never wedge or panic the queue).
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("finite event times")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }

@@ -222,8 +222,7 @@ pub fn replay_perturbed(
         ids.sort_by(|&a, &b| {
             instances[a]
                 .planned
-                .partial_cmp(&instances[b].planned)
-                .expect("finite planned starts")
+                .total_cmp(&instances[b].planned)
                 .then(a.cmp(&b))
         });
         for w in ids.windows(2) {
@@ -240,8 +239,7 @@ pub fn replay_perturbed(
     order.sort_by(|&a, &b| {
         instances[a]
             .planned
-            .partial_cmp(&instances[b].planned)
-            .expect("finite planned starts")
+            .total_cmp(&instances[b].planned)
             .then(a.cmp(&b))
     });
     for id in &order {
@@ -291,9 +289,7 @@ pub fn replay_perturbed(
     done.sort_by(|&a, &b| {
         let fa = instances[a].start + instances[a].duration;
         let fb = instances[b].start + instances[b].duration;
-        fa.partial_cmp(&fb)
-            .expect("finite finishes")
-            .then(a.cmp(&b))
+        fa.total_cmp(&fb).then(a.cmp(&b))
     });
 
     let mut completions: Vec<f64> = Vec::new();

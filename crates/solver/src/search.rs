@@ -56,7 +56,7 @@ pub fn best_period(
         g *= 1.05;
     }
     candidates.push(t_hi);
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup_by(|a, b| madpipe_model::util::feq(*a, *b));
 
     let try_t = |t: f64| schedule_at_period(chain, platform, alloc, &seq, t, cfg);

@@ -1,0 +1,86 @@
+//! NaN/∞ hardening of the planning path: hostile layer timings must be
+//! rejected at `Chain::new` with a descriptive error, and any chain that
+//! *does* validate must plan to `Ok` or `Err` — never a panic — no
+//! matter how extreme its finite values are.
+
+use proptest::prelude::*;
+
+use madpipe::core::{madpipe_plan, PlannerConfig};
+use madpipe::model::ModelError;
+use madpipe::{Chain, Layer, Platform};
+
+/// A pool of adversarial timing values: ordinary ones, zero, huge finite
+/// values whose sums overflow to ∞, and the non-finite/negative values
+/// `Chain::new` must refuse.
+const TIMINGS: [f64; 9] = [
+    1e-3,
+    0.5,
+    0.0,
+    1e300,
+    f64::MAX,
+    -1.0,
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+];
+
+fn is_bad(v: f64) -> bool {
+    !v.is_finite() || v < 0.0
+}
+
+/// Layer specs as indices into the pool (the shim has no `select`).
+fn arb_specs() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0usize..TIMINGS.len(), 0usize..TIMINGS.len()), 1..=5)
+}
+
+fn build_layers(specs: &[(usize, usize)]) -> Vec<Layer> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(fi, bi))| {
+            Layer::new(format!("l{i}"), TIMINGS[fi], TIMINGS[bi], 1 << 16, 1 << 20)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Chain::new` accepts exactly the chains whose every timing is
+    /// finite and non-negative, and names the first offending layer.
+    #[test]
+    fn chain_new_rejects_exactly_the_malformed_layers(specs in arb_specs()) {
+        let any_bad = specs
+            .iter()
+            .any(|&(fi, bi)| is_bad(TIMINGS[fi]) || is_bad(TIMINGS[bi]));
+        let first_bad = specs
+            .iter()
+            .position(|&(fi, bi)| is_bad(TIMINGS[fi]) || is_bad(TIMINGS[bi]));
+        match Chain::new("t", 1 << 20, build_layers(&specs)) {
+            Ok(_) => prop_assert!(!any_bad, "bad layer accepted: {specs:?}"),
+            Err(ModelError::MalformedLayer { index, detail }) => {
+                prop_assert_eq!(Some(index), first_bad, "wrong layer blamed");
+                prop_assert!(
+                    detail.contains("finite") || detail.contains("non-negative"),
+                    "undescriptive error: {}",
+                    detail
+                );
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+
+    /// Whatever validates, plans without panicking — huge finite sums
+    /// that overflow to ∞ come back as a descriptive `Err`, and no NaN
+    /// ever reaches the DP, the scheduler or the event heap.
+    #[test]
+    fn accepted_chains_plan_to_ok_or_err_never_panic(specs in arb_specs()) {
+        let Ok(chain) = Chain::new("t", 1 << 20, build_layers(&specs)) else {
+            return Ok(()); // rejection covered by the test above
+        };
+        let platform = Platform::gb(2, 8, 12.0).unwrap();
+        let cfg = PlannerConfig::default();
+        // Must return, not panic; both outcomes are legitimate.
+        let _ = madpipe_plan(&chain, &platform, &cfg);
+    }
+}
