@@ -6,6 +6,13 @@
 //! and the cache hit rate observed in the responses. A closed loop
 //! measures the service time distribution without coordinated omission
 //! — every request's latency is recorded, including the ones that queue.
+//!
+//! Transient transport failures — a refused/reset connect, a connection
+//! the server closed mid-exchange — are retried on a fresh connection
+//! with capped, deterministically jittered backoff ([`LoadgenConfig::
+//! max_retries`]); the report counts the retries it took. Structured
+//! protocol errors (`ok:false`) are *not* retried: the server answered,
+//! and a closed loop that resends rejected work measures nothing.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -32,6 +39,9 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Per-response read timeout.
     pub timeout: Duration,
+    /// Reconnect attempts per request on transient transport failures
+    /// (connect refused, server closed the connection). 0 fails fast.
+    pub max_retries: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -43,6 +53,7 @@ impl Default for LoadgenConfig {
             instances: 4,
             seed: 42,
             timeout: Duration::from_secs(60),
+            max_retries: 3,
         }
     }
 }
@@ -54,6 +65,8 @@ pub struct LoadgenReport {
     pub ok: usize,
     pub errors: usize,
     pub cached: usize,
+    /// Reconnect-and-resend attempts taken across all connections.
+    pub retries: usize,
     pub p50_ms: f64,
     pub p99_ms: f64,
     pub elapsed_seconds: f64,
@@ -83,8 +96,8 @@ impl fmt::Display for LoadgenReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests  : {} total, {} ok, {} errors",
-            self.total, self.ok, self.errors
+            "requests  : {} total, {} ok, {} errors, {} retries",
+            self.total, self.ok, self.errors, self.retries
         )?;
         writeln!(
             f,
@@ -158,8 +171,82 @@ fn exchange(
     Value::parse(response.trim()).map_err(|e| format!("bad response JSON: {e}"))
 }
 
-/// Per-connection outcome: (latencies in ms, ok count, cached count).
-type ConnStats = Result<(Vec<f64>, usize, usize), String>;
+/// SplitMix64 finalizer — the jitter source. Deterministic in its seed,
+/// so two runs with the same config back off identically.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Backoff before retry `attempt` (1-based): exponential from 10 ms,
+/// capped at 200 ms, jittered to 50–150% so retrying connections
+/// don't reconnect in lockstep after a mass disconnect.
+fn backoff(attempt: usize, jitter_seed: u64) -> Duration {
+    let base_ms = (10u64 << (attempt - 1).min(8)).min(200);
+    let jitter = 50 + mix(jitter_seed.wrapping_add(attempt as u64)) % 101; // percent
+    Duration::from_millis(base_ms * jitter / 100)
+}
+
+/// A connected stream plus its buffered read half.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn connect(cfg: &LoadgenConfig) -> Result<Conn, String> {
+    let stream = TcpStream::connect(&cfg.addr).map_err(|e| format!("connect: {e}"))?;
+    // A closed loop of one-line exchanges would spend its time in
+    // Nagle/delayed-ACK stalls otherwise.
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(cfg.timeout))
+        .map_err(|e| e.to_string())?;
+    let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    Ok(Conn { stream, reader })
+}
+
+/// One exchange with transient-failure retries. Both the connect and
+/// the exchange may fail transiently (the server killed the connection,
+/// a worker died mid-drain); each failure burns one retry, backs off
+/// and reconnects. Returns the response and how many retries it took.
+fn exchange_with_retry(
+    cfg: &LoadgenConfig,
+    conn: &mut Option<Conn>,
+    line: &str,
+    jitter_seed: u64,
+) -> Result<(Value, usize), String> {
+    let mut retries = 0usize;
+    loop {
+        let attempt: Result<Value, String> = match conn {
+            Some(c) => exchange(&mut c.stream, &mut c.reader, line),
+            None => match connect(cfg) {
+                Ok(c) => {
+                    let c = conn.insert(c);
+                    exchange(&mut c.stream, &mut c.reader, line)
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match attempt {
+            Ok(v) => return Ok((v, retries)),
+            Err(e) => {
+                // The connection is in an unknown state; never reuse it.
+                *conn = None;
+                if retries >= cfg.max_retries {
+                    return Err(format!("{e} (after {retries} retries)"));
+                }
+                retries += 1;
+                std::thread::sleep(backoff(retries, jitter_seed));
+            }
+        }
+    }
+}
+
+/// Per-connection outcome: (latencies in ms, ok count, cached count,
+/// retries taken).
+type ConnStats = Result<(Vec<f64>, usize, usize, usize), String>;
 
 /// Run the closed loop and aggregate the report.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
@@ -170,23 +257,16 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
             .map(|conn| {
                 let lines = &lines;
                 scope.spawn(move || -> ConnStats {
-                    let mut stream =
-                        TcpStream::connect(&cfg.addr).map_err(|e| format!("connect: {e}"))?;
-                    // A closed loop of one-line exchanges would spend
-                    // its time in Nagle/delayed-ACK stalls otherwise.
-                    stream.set_nodelay(true).map_err(|e| e.to_string())?;
-                    stream
-                        .set_read_timeout(Some(cfg.timeout))
-                        .map_err(|e| e.to_string())?;
-                    let mut reader =
-                        BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+                    let mut open: Option<Conn> = Some(connect(cfg)?);
                     let mut latencies = Vec::with_capacity(cfg.requests_per_conn);
-                    let (mut ok, mut cached) = (0usize, 0usize);
+                    let (mut ok, mut cached, mut retries) = (0usize, 0usize, 0usize);
                     for i in 0..cfg.requests_per_conn {
                         let line = &lines[(conn + i) % lines.len()];
+                        let jitter_seed = mix(cfg.seed ^ ((conn as u64) << 32) ^ i as u64);
                         let t0 = Instant::now();
-                        let v = exchange(&mut stream, &mut reader, line)?;
+                        let (v, r) = exchange_with_retry(cfg, &mut open, line, jitter_seed)?;
                         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        retries += r;
                         if v.get("ok") == Some(&Value::Bool(true)) {
                             ok += 1;
                             if v.get("cached") == Some(&Value::Bool(true)) {
@@ -194,7 +274,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                             }
                         }
                     }
-                    Ok((latencies, ok, cached))
+                    Ok((latencies, ok, cached, retries))
                 })
             })
             .collect();
@@ -206,13 +286,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let elapsed_seconds = started.elapsed().as_secs_f64();
 
     let mut latencies = Vec::new();
-    let (mut ok, mut cached, mut total) = (0usize, 0usize, 0usize);
+    let (mut ok, mut cached, mut total, mut retries) = (0usize, 0usize, 0usize, 0usize);
     for outcome in per_conn {
-        let (lat, o, c) = outcome?;
+        let (lat, o, c, r) = outcome?;
         total += lat.len();
         latencies.extend(lat);
         ok += o;
         cached += c;
+        retries += r;
     }
     latencies.sort_by(f64::total_cmp);
     let pct = |p: f64| -> f64 {
@@ -227,6 +308,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         ok,
         errors: total - ok,
         cached,
+        retries,
         p50_ms: pct(0.50),
         p99_ms: pct(0.99),
         elapsed_seconds,
@@ -272,6 +354,7 @@ mod tests {
             ok: 8,
             errors: 2,
             cached: 4,
+            retries: 3,
             p50_ms: 1.0,
             p99_ms: 2.0,
             elapsed_seconds: 2.0,
@@ -281,5 +364,75 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("p50 1.00 ms"), "{text}");
         assert!(text.contains("50% hit rate"), "{text}");
+        assert!(text.contains("3 retries"), "{text}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        for attempt in 1..=12usize {
+            let a = backoff(attempt, 7);
+            assert_eq!(a, backoff(attempt, 7), "same seed, same delay");
+            // 50–150% of a 10 ms..200 ms exponential window.
+            assert!(a >= Duration::from_millis(5), "attempt {attempt}: {a:?}");
+            assert!(a <= Duration::from_millis(300), "attempt {attempt}: {a:?}");
+        }
+        assert_ne!(
+            backoff(1, 1),
+            backoff(1, 2),
+            "different seeds should (here) jitter apart"
+        );
+    }
+
+    #[test]
+    fn transient_eof_is_retried_and_counted() {
+        use std::io::BufRead;
+        use std::net::TcpListener;
+
+        // A server that kills the first connection mid-request and
+        // answers on the second: the loadgen must retry and succeed.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (first, _) = listener.accept().unwrap();
+            drop(first); // EOF before any response
+            let (mut second, _) = listener.accept().unwrap();
+            let mut line = String::new();
+            BufReader::new(second.try_clone().unwrap())
+                .read_line(&mut line)
+                .unwrap();
+            second
+                .write_all(b"{\"ok\":true,\"cached\":false}\n")
+                .unwrap();
+        });
+
+        let cfg = LoadgenConfig {
+            addr: addr.to_string(),
+            max_retries: 2,
+            timeout: Duration::from_secs(5),
+            ..LoadgenConfig::default()
+        };
+        let mut conn = Some(connect(&cfg).unwrap());
+        let (v, retries) = exchange_with_retry(&cfg, &mut conn, r#"{"cmd":"ping"}"#, 3).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(retries, 1, "one EOF, one retry");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retries_exhaust_into_an_error() {
+        // Nothing listens on this address (bind, learn the port, drop).
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let cfg = LoadgenConfig {
+            addr,
+            max_retries: 1,
+            timeout: Duration::from_secs(1),
+            ..LoadgenConfig::default()
+        };
+        let mut conn = None;
+        let err = exchange_with_retry(&cfg, &mut conn, r#"{"cmd":"ping"}"#, 3).unwrap_err();
+        assert!(err.contains("after 1 retries"), "{err}");
     }
 }

@@ -4,12 +4,13 @@ use std::path::PathBuf;
 
 use madpipe_bench::{baseline, fig6, fig7, fig8, paper_chains, run_cells, summary, GridConfig};
 use madpipe_core::{
-    certify_plan, compare, madpipe_plan, madpipe_plan_with_stats, CertifyConfig, PlannerConfig,
+    certify_plan, compare, madpipe_plan, madpipe_plan_with_stats, replan, CertifyConfig,
+    PlannerConfig,
 };
 use madpipe_dnn::profile::Profile;
 use madpipe_dnn::{networks, GpuModel, RandomChainConfig};
 use madpipe_json::Value;
-use madpipe_model::{Chain, Platform, UnitSequence};
+use madpipe_model::{Chain, Platform, PlatformFault, UnitSequence};
 use madpipe_obs::{Trace, PLANNER_PID};
 use madpipe_schedule::gantt;
 use madpipe_sim::{replay_pattern, simulate_eager, EagerConfig};
@@ -72,22 +73,34 @@ USAGE:
                [--out DIR]
       Regenerate the paper's figures (text + CSV under DIR, default
       ./results). --full runs the paper's complete grid.
+  madpipe replan <network> --fault SPEC [same flags as plan]
+      Degraded-mode replanning: plan the healthy platform, apply the
+      fault, replan on the survivor and report the throughput delta.
+      SPEC is gpu-loss:N (lose N GPUs), memory:F (every GPU loses
+      fraction F of memory) or link:F (links slow by fraction F),
+      with F in (0, 1). The degraded plan is bit-identical to
+      `madpipe plan` on the surviving platform.
   madpipe serve [--addr HOST:PORT] [--threads N] [--cache-entries N]
                [--timeout-ms T]
       Run the planning daemon: newline-delimited JSON requests
-      ({\"cmd\":\"plan\"|\"metrics\"|\"ping\"|\"shutdown\"}), a sharded LRU
-      cache keyed by the canonical instance, N planner workers (default
-      2), per-request deadline T ms (default 30000). Prints
-      `listening on ADDR` once live; drains gracefully on SIGTERM,
-      SIGINT or a shutdown request. Default address 127.0.0.1:4835;
-      --cache-entries 0 disables the cache.
+      ({\"cmd\":\"plan\"|\"replan\"|\"metrics\"|\"health\"|\"ping\"|\"shutdown\"}),
+      a sharded LRU cache keyed by the canonical instance, N planner
+      workers (default 2), per-request deadline T ms (default 30000).
+      Workers are supervised: a panicking request gets a structured
+      `internal` error and the worker is respawned; `health` reports
+      queue depth and worker liveness. Prints `listening on ADDR` once
+      live; drains gracefully on SIGTERM, SIGINT or a shutdown request.
+      Default address 127.0.0.1:4835; --cache-entries 0 disables the
+      cache.
   madpipe loadgen [--addr HOST:PORT] [--connections N] [--requests M]
-               [--instances K] [--seed S] [--timeout-ms T] [--expect-hits]
+               [--instances K] [--seed S] [--timeout-ms T]
+               [--max-retries R] [--expect-hits]
       Closed-loop client for the daemon: N connections × M requests over
-      K mixed instances; prints p50/p99 latency, hit rate and the
-      server's serve.* counters. --expect-hits exits nonzero unless
-      every request succeeded and the server reports both cache hits
-      and misses (the CI smoke gate).
+      K mixed instances; prints p50/p99 latency, hit rate, retries and
+      the server's serve.* counters. Transient transport failures are
+      retried up to R times (default 3) with capped jittered backoff.
+      --expect-hits exits nonzero unless every request succeeded and the
+      server reports both cache hits and misses (the CI smoke gate).
 
 All <network> slots also accept `synthetic` (--layers N, --seed S): a
 reproducible random CNN-profile chain.
@@ -100,6 +113,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     match args.positional.first().map(String::as_str) {
         Some("networks") => cmd_networks(),
         Some("plan") => cmd_plan(&args),
+        Some("replan") => cmd_replan(&args),
         Some("gantt") => cmd_gantt(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("profile") => cmd_profile(&args),
@@ -352,6 +366,74 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     }
     if let Some(out) = args.raw("stats-json") {
         write_stats_json(out, &cmp.stats)?;
+    }
+    Ok(())
+}
+
+fn cmd_replan(args: &Args) -> Result<(), String> {
+    let chain = load_chain(args)?;
+    let platform = load_platform(args)?;
+    let spec = args
+        .raw("fault")
+        .ok_or("replan requires --fault SPEC (gpu-loss:N, memory:F or link:F with F in (0, 1))")?;
+    let fault = PlatformFault::parse_spec(spec).map_err(|e| e.to_string())?;
+    let planner = PlannerConfig {
+        threads: args.get_or("threads", 1usize)?.max(1),
+        ..PlannerConfig::default()
+    };
+    let out = replan(&chain, &platform, fault, &planner).map_err(|e| e.to_string())?;
+
+    let gb = (1u64 << 30) as f64;
+    println!(
+        "{}: {} layers | healthy P = {}, M = {:.0} GB, beta = {:.0} GB/s",
+        chain.name(),
+        chain.len(),
+        platform.n_gpus,
+        platform.memory_bytes as f64 / gb,
+        platform.bandwidth / gb,
+    );
+    println!(
+        "fault    : {} -> surviving P = {}, M = {:.1} GB, beta = {:.1} GB/s",
+        out.fault,
+        out.degraded_platform.n_gpus,
+        out.degraded_platform.memory_bytes as f64 / gb,
+        out.degraded_platform.bandwidth / gb,
+    );
+    match &out.baseline {
+        Ok(plan) => println!(
+            "baseline : {:.1} ms/batch ({:.2} batches/s)",
+            plan.period() * 1e3,
+            plan.throughput()
+        ),
+        Err(e) => println!("baseline : infeasible ({e})"),
+    }
+    match &out.degraded {
+        Ok(plan) => {
+            println!(
+                "degraded : {:.1} ms/batch ({:.2} batches/s)",
+                plan.period() * 1e3,
+                plan.throughput()
+            );
+            for s in plan.allocation.stages() {
+                println!(
+                    "    layers {:>3}..{:<3} -> GPU {}",
+                    s.layers.start, s.layers.end, s.gpu
+                );
+            }
+        }
+        Err(e) => println!("degraded : infeasible ({e})"),
+    }
+    match (out.throughput_delta(), out.period_ratio()) {
+        (Some(delta), Some(ratio)) => println!(
+            "delta    : throughput {:+.1}%, period x{:.3}",
+            delta * 100.0,
+            ratio
+        ),
+        _ => println!("delta    : unavailable (one side is infeasible)"),
+    }
+    if args.has("stats") {
+        println!("baseline planner: {}", out.baseline_stats.summary());
+        println!("degraded planner: {}", out.degraded_stats.summary());
     }
     Ok(())
 }
@@ -755,6 +837,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         cache_entries: args.get_or("cache-entries", 256usize)?,
         timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 30_000u64)?.max(1)),
         queue_depth: args.get_or("queue-depth", 0usize)?,
+        panic_marker: None,
     };
     madpipe_serve::install_signal_handlers();
     let server = madpipe_serve::Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
@@ -779,6 +862,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         instances: args.get_or("instances", 4usize)?.max(1),
         seed: args.get_or("seed", 42u64)?,
         timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 60_000u64)?.max(1)),
+        max_retries: args.get_or("max-retries", 3usize)?,
     };
     let report = madpipe_bench::loadgen::run(&cfg)?;
     println!("{report}");

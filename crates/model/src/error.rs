@@ -17,6 +17,9 @@ pub enum ModelError {
     GpuOutOfRange { gpu: usize, n_gpus: usize },
     /// A platform parameter is non-positive or non-finite.
     BadPlatform { detail: String },
+    /// A platform fault is unusable (out-of-range fraction, losing every
+    /// GPU, malformed spec, …).
+    BadFault { detail: String },
 }
 
 impl fmt::Display for ModelError {
@@ -34,6 +37,7 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::BadPlatform { detail } => write!(f, "invalid platform: {detail}"),
+            ModelError::BadFault { detail } => write!(f, "invalid platform fault: {detail}"),
         }
     }
 }

@@ -1,0 +1,277 @@
+//! Platform faults: the ways an execution platform can degrade under a
+//! running pipeline, and the surviving [`Platform`] after each of them.
+//!
+//! A MadPipe plan is computed for a fixed `(P, M, β)`; production
+//! clusters lose GPUs, shed memory to co-tenants, and see links slow
+//! down. A [`PlatformFault`] names one such event; [`PlatformFault::apply`]
+//! derives the platform that survives it, validated through
+//! [`Platform::new`] so a fault can never produce a degenerate platform
+//! silently — replanning on the survivor is then an ordinary planning
+//! problem.
+
+use madpipe_json::{FromJson, JsonError, ToJson, Value};
+
+use crate::error::ModelError;
+use crate::platform::Platform;
+
+/// One degradation event on a homogeneous platform.
+///
+/// Faults are *monotone*: each strictly shrinks the platform, so a plan
+/// feasible after the fault was feasible before it (the converse is what
+/// replanning is for).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlatformFault {
+    /// `count` GPUs drop out of the pool (the platform is homogeneous,
+    /// so only the count matters, not which ones).
+    GpuLoss { count: usize },
+    /// Every GPU loses `fraction ∈ (0, 1)` of its memory, e.g. to a
+    /// co-tenant or fragmentation: `M → (1 − fraction)·M`.
+    MemoryReduction { fraction: f64 },
+    /// Every link slows down by `fraction ∈ (0, 1)`:
+    /// `β → (1 − fraction)·β`.
+    LinkSlowdown { fraction: f64 },
+}
+
+impl PlatformFault {
+    /// The platform that survives this fault, or an error when nothing
+    /// usable survives (no GPU left, a non-finite fraction, …).
+    pub fn apply(&self, platform: &Platform) -> Result<Platform, ModelError> {
+        match *self {
+            PlatformFault::GpuLoss { count } => {
+                if count == 0 {
+                    return Err(ModelError::BadFault {
+                        detail: "gpu loss of 0 GPUs is not a fault".into(),
+                    });
+                }
+                if count >= platform.n_gpus {
+                    return Err(ModelError::BadFault {
+                        detail: format!(
+                            "losing {count} of {} GPUs leaves no survivor",
+                            platform.n_gpus
+                        ),
+                    });
+                }
+                Platform::new(
+                    platform.n_gpus - count,
+                    platform.memory_bytes,
+                    platform.bandwidth,
+                )
+            }
+            PlatformFault::MemoryReduction { fraction } => {
+                check_fraction("memory reduction", fraction)?;
+                let surviving = (platform.memory_bytes as f64 * (1.0 - fraction)) as u64;
+                if surviving == 0 {
+                    return Err(ModelError::BadFault {
+                        detail: format!(
+                            "memory reduction {fraction} leaves zero bytes of {}",
+                            platform.memory_bytes
+                        ),
+                    });
+                }
+                Platform::new(platform.n_gpus, surviving, platform.bandwidth)
+            }
+            PlatformFault::LinkSlowdown { fraction } => {
+                check_fraction("link slowdown", fraction)?;
+                Platform::new(
+                    platform.n_gpus,
+                    platform.memory_bytes,
+                    platform.bandwidth * (1.0 - fraction),
+                )
+            }
+        }
+    }
+
+    /// Stable machine-readable kind name (matches the JSON `kind` field
+    /// and the `replan.fault.*` counter suffixes).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlatformFault::GpuLoss { .. } => "gpu_loss",
+            PlatformFault::MemoryReduction { .. } => "memory_reduction",
+            PlatformFault::LinkSlowdown { .. } => "link_slowdown",
+        }
+    }
+
+    /// Parse a compact CLI spec: `gpu-loss:N` (alias `gpu:N`),
+    /// `memory:F` (alias `mem:F`) and `link:F`, with `F` a fraction in
+    /// `(0, 1)`. Validation of the fraction range happens in
+    /// [`PlatformFault::apply`], against the actual platform.
+    pub fn parse_spec(spec: &str) -> Result<Self, ModelError> {
+        let bad = |why: &str| ModelError::BadFault {
+            detail: format!("fault spec `{spec}`: {why}"),
+        };
+        let (kind, value) = spec
+            .split_once(':')
+            .ok_or_else(|| bad("expected KIND:VALUE (gpu-loss:N, memory:F, link:F)"))?;
+        match kind {
+            "gpu-loss" | "gpu" => {
+                let count: usize = value
+                    .parse()
+                    .map_err(|_| bad("GPU count must be a number"))?;
+                Ok(PlatformFault::GpuLoss { count })
+            }
+            "memory" | "mem" => {
+                let fraction: f64 = value
+                    .parse()
+                    .map_err(|_| bad("fraction must be a number"))?;
+                Ok(PlatformFault::MemoryReduction { fraction })
+            }
+            "link" => {
+                let fraction: f64 = value
+                    .parse()
+                    .map_err(|_| bad("fraction must be a number"))?;
+                Ok(PlatformFault::LinkSlowdown { fraction })
+            }
+            other => Err(bad(&format!(
+                "unknown fault kind `{other}` (gpu-loss, memory, link)"
+            ))),
+        }
+    }
+}
+
+fn check_fraction(what: &str, fraction: f64) -> Result<(), ModelError> {
+    if !(fraction.is_finite() && fraction > 0.0 && fraction < 1.0) {
+        return Err(ModelError::BadFault {
+            detail: format!("{what} fraction must be in (0, 1), got {fraction}"),
+        });
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for PlatformFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformFault::GpuLoss { count } => write!(f, "loss of {count} GPU(s)"),
+            PlatformFault::MemoryReduction { fraction } => {
+                write!(f, "memory reduction of {:.0}%", fraction * 100.0)
+            }
+            PlatformFault::LinkSlowdown { fraction } => {
+                write!(f, "link slowdown of {:.0}%", fraction * 100.0)
+            }
+        }
+    }
+}
+
+impl ToJson for PlatformFault {
+    fn to_json(&self) -> Value {
+        let kind = ("kind".into(), Value::Str(self.kind().into()));
+        match *self {
+            PlatformFault::GpuLoss { count } => {
+                Value::Object(vec![kind, ("count".into(), Value::UInt(count as u64))])
+            }
+            PlatformFault::MemoryReduction { fraction } => {
+                Value::Object(vec![kind, ("fraction".into(), Value::Float(fraction))])
+            }
+            PlatformFault::LinkSlowdown { fraction } => {
+                Value::Object(vec![kind, ("fraction".into(), Value::Float(fraction))])
+            }
+        }
+    }
+}
+
+impl FromJson for PlatformFault {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let kind = v.field("kind")?.as_str()?;
+        match kind {
+            "gpu_loss" => Ok(PlatformFault::GpuLoss {
+                count: v.field("count")?.as_u64()? as usize,
+            }),
+            "memory_reduction" => Ok(PlatformFault::MemoryReduction {
+                fraction: v.field("fraction")?.as_f64()?,
+            }),
+            "link_slowdown" => Ok(PlatformFault::LinkSlowdown {
+                fraction: v.field("fraction")?.as_f64()?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown fault kind `{other}` (gpu_loss, memory_reduction, link_slowdown)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::new(4, 8 << 30, 12e9).unwrap()
+    }
+
+    #[test]
+    fn gpu_loss_shrinks_the_pool() {
+        let p = platform();
+        let q = PlatformFault::GpuLoss { count: 1 }.apply(&p).unwrap();
+        assert_eq!(q.n_gpus, 3);
+        assert_eq!(q.memory_bytes, p.memory_bytes);
+        assert_eq!(q.bandwidth, p.bandwidth);
+        // Losing everything (or more) is rejected.
+        assert!(PlatformFault::GpuLoss { count: 4 }.apply(&p).is_err());
+        assert!(PlatformFault::GpuLoss { count: 9 }.apply(&p).is_err());
+        assert!(PlatformFault::GpuLoss { count: 0 }.apply(&p).is_err());
+    }
+
+    #[test]
+    fn memory_reduction_scales_every_gpu() {
+        let p = platform();
+        let q = PlatformFault::MemoryReduction { fraction: 0.25 }
+            .apply(&p)
+            .unwrap();
+        assert_eq!(q.memory_bytes, 6 << 30);
+        assert_eq!(q.n_gpus, p.n_gpus);
+        for bad in [0.0, 1.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                PlatformFault::MemoryReduction { fraction: bad }
+                    .apply(&p)
+                    .is_err(),
+                "fraction {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn link_slowdown_scales_bandwidth() {
+        let p = platform();
+        let q = PlatformFault::LinkSlowdown { fraction: 0.5 }
+            .apply(&p)
+            .unwrap();
+        assert_eq!(q.bandwidth, 6e9);
+        assert!(PlatformFault::LinkSlowdown { fraction: 1.0 }
+            .apply(&p)
+            .is_err());
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        assert_eq!(
+            PlatformFault::parse_spec("gpu-loss:2").unwrap(),
+            PlatformFault::GpuLoss { count: 2 }
+        );
+        assert_eq!(
+            PlatformFault::parse_spec("gpu:1").unwrap(),
+            PlatformFault::GpuLoss { count: 1 }
+        );
+        assert_eq!(
+            PlatformFault::parse_spec("memory:0.25").unwrap(),
+            PlatformFault::MemoryReduction { fraction: 0.25 }
+        );
+        assert_eq!(
+            PlatformFault::parse_spec("link:0.5").unwrap(),
+            PlatformFault::LinkSlowdown { fraction: 0.5 }
+        );
+        for bad in ["", "gpu-loss", "warp:0.5", "gpu:x", "mem:y"] {
+            assert!(PlatformFault::parse_spec(bad).is_err(), "`{bad}` must fail");
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        for fault in [
+            PlatformFault::GpuLoss { count: 2 },
+            PlatformFault::MemoryReduction { fraction: 0.25 },
+            PlatformFault::LinkSlowdown { fraction: 0.5 },
+        ] {
+            let v = fault.to_json();
+            assert_eq!(PlatformFault::from_json(&v).unwrap(), fault);
+        }
+        assert!(PlatformFault::from_json(&Value::parse(r#"{"kind":"meteor"}"#).unwrap()).is_err());
+    }
+}

@@ -22,6 +22,7 @@
 pub mod allocation;
 pub mod chain;
 pub mod error;
+pub mod fault;
 pub mod layer;
 pub mod partition;
 pub mod platform;
@@ -31,6 +32,7 @@ pub mod util;
 pub use allocation::{Allocation, Stage};
 pub use chain::Chain;
 pub use error::ModelError;
+pub use fault::PlatformFault;
 pub use layer::Layer;
 pub use partition::Partition;
 pub use platform::Platform;

@@ -21,6 +21,14 @@
 //! [`validate`] closes the loop: it re-parses an emitted Chrome trace
 //! with the vendored JSON crate and checks the structural invariants the
 //! round-trip tests and `madpipe validate-trace` rely on.
+//!
+//! Counter namespaces in use across the workspace: `plan.*` and `dp.*`
+//! (planner), `certify.*` (differential certification), `serve.*` (the
+//! daemon — including `serve.panics` and `serve.workers.respawned`, the
+//! supervision counters incremented when a worker panic is isolated and
+//! the worker replaced), and `replan.*` (degraded-mode replanning:
+//! `replan.fault.<kind>` counters, the `replan.throughput_delta` gauge,
+//! the `replan.total` span).
 
 mod event;
 mod metrics;

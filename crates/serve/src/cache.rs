@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use madpipe_json::Value;
 
@@ -32,6 +32,14 @@ pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     clock: AtomicU64,
     per_shard: usize,
+}
+
+/// Shard locks ignore poisoning: a panicking worker may die while a
+/// guard is live, but every guarded update here is a single-step map
+/// mutation, so the shard is consistent at any unwind point — and the
+/// cache must keep serving the surviving workers.
+fn lock_shard(m: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// FNV-1a, 64-bit — enough to spread keys over 8 shards.
@@ -60,7 +68,7 @@ impl PlanCache {
         if self.per_shard == 0 {
             return None;
         }
-        let mut shard = self.shards[shard_of(key)].lock().unwrap();
+        let mut shard = lock_shard(&self.shards[shard_of(key)]);
         let entry = shard.map.get_mut(key)?;
         entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         Some(Arc::clone(&entry.plan))
@@ -73,7 +81,7 @@ impl PlanCache {
             return 0;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shards[shard_of(&key)].lock().unwrap();
+        let mut shard = lock_shard(&self.shards[shard_of(&key)]);
         let fresh = !shard.map.contains_key(&key);
         let mut evicted = 0;
         if fresh && shard.map.len() >= self.per_shard {
@@ -93,10 +101,7 @@ impl PlanCache {
 
     /// Number of cached plans across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
     }
 
     /// True iff no plan is cached.
@@ -175,5 +180,55 @@ mod tests {
         assert_eq!(c.insert("a".into(), plan(1)), 0);
         assert!(c.get("a").is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_eviction_never_exceeds_capacity_and_hits_stay_coherent() {
+        // 8 threads hammer a 16-slot cache with 64 distinct keys: far
+        // more candidates than capacity, so eviction runs constantly
+        // under real contention. Invariants: the size bound holds at
+        // every observation point, and a hit always returns the value
+        // that was inserted under that key (never another key's plan).
+        let c = Arc::new(PlanCache::new(16));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for round in 0..200u64 {
+                        let n = (t * 7 + round * 13) % 64;
+                        let key = format!("k{n}");
+                        c.insert(key.clone(), plan(n));
+                        if let Some(v) = c.get(&key) {
+                            assert_eq!(*v, Value::UInt(n), "hit for {key} served a foreign plan");
+                        }
+                        assert!(c.len() <= 16, "capacity exceeded: {}", c.len());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(!c.is_empty());
+        assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn survives_a_panic_while_a_guard_is_live() {
+        // A thread that panics between cache calls must not poison the
+        // shards for everyone else (worker panics are real: the serve
+        // daemon catches and resumes them with cache handles in scope).
+        let c = Arc::new(PlanCache::new(16));
+        c.insert("stays".into(), plan(7));
+        let c2 = Arc::clone(&c);
+        let result = std::thread::spawn(move || {
+            c2.insert("doomed".into(), plan(1));
+            panic!("chaos");
+        })
+        .join();
+        assert!(result.is_err());
+        assert_eq!(c.get("stays").as_deref(), Some(&Value::UInt(7)));
+        c.insert("after".into(), plan(2));
+        assert_eq!(c.get("after").as_deref(), Some(&Value::UInt(2)));
     }
 }

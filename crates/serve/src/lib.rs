@@ -9,8 +9,16 @@
 //! order, in bytes or GiB) is answered from memory, bit-identical to a
 //! cold `madpipe plan`.
 //!
+//! The daemon is supervised: worker panics are isolated per request
+//! (structured `internal` error, `serve.panics` counter) and dead
+//! workers are respawned; `{"cmd":"health"}` reports queue depth and
+//! worker liveness, and `{"cmd":"replan"}` answers degraded-mode
+//! replanning (GPU loss, memory reduction, link slowdown) through the
+//! same cache and pool.
+//!
 //! See [`protocol`] for the wire format, [`cache`] for the keying and
-//! eviction rules, and [`server`] for the threading and drain story.
+//! eviction rules, and [`server`] for the threading, supervision and
+//! drain story.
 
 pub mod cache;
 pub mod protocol;
@@ -18,6 +26,7 @@ pub mod server;
 
 pub use cache::PlanCache;
 pub use protocol::{
-    canonical_instance, parse_request, plan_to_json, PlanRequest, Request, ServeError,
+    canonical_instance, parse_request, plan_to_json, PlanRequest, ReplanRequest, Request,
+    ServeError,
 };
 pub use server::{install_signal_handlers, term_requested, ServeConfig, Server};

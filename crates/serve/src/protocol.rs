@@ -10,8 +10,18 @@
 //!   `bandwidth_gb`); both normalize to bytes before planning *and*
 //!   before cache keying, so the same instance expressed in different
 //!   units is one cache entry.
+//! * `{"cmd":"replan","chain":{…},"platform":{…},"fault":{…},"config":{…}}`
+//!   — degraded-mode replanning: `platform` is the *healthy* platform,
+//!   `fault` one of `{"kind":"gpu_loss","count":N}`,
+//!   `{"kind":"memory_reduction","fraction":F}` or
+//!   `{"kind":"link_slowdown","fraction":F}`. The server derives the
+//!   surviving platform, plans both sides (through the same cache and
+//!   worker pool as `plan`, so the degraded plan is bit-identical to a
+//!   `plan` request on the survivor) and reports the throughput delta.
 //! * `{"cmd":"metrics"}` — returns the Prometheus text dump of the
 //!   server's registry in `metrics`.
+//! * `{"cmd":"health"}` — supervision probe: worker liveness, queue
+//!   depth, panic/respawn counters, cache size, drain state.
 //! * `{"cmd":"ping"}` — liveness probe.
 //! * `{"cmd":"shutdown"}` — ask the server to drain and exit.
 //!
@@ -21,7 +31,7 @@
 
 use madpipe_core::{MadPipePlan, PlannerConfig};
 use madpipe_json::{FromJson, ToJson, Value};
-use madpipe_model::{Chain, Platform};
+use madpipe_model::{Chain, Platform, PlatformFault};
 
 /// A structured protocol-level error: `kind` is a small closed set a
 /// client can switch on, `message` says what actually went wrong.
@@ -81,13 +91,24 @@ impl ServeError {
             message: message.into(),
         }
     }
+
+    /// A worker died (panicked) while serving the request. The request
+    /// was isolated; the pool survives and the worker is respawned.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self {
+            kind: "internal",
+            message: message.into(),
+        }
+    }
 }
 
 /// One parsed request.
 #[derive(Debug)]
 pub enum Request {
     Plan(Box<PlanRequest>),
+    Replan(Box<ReplanRequest>),
     Metrics,
+    Health,
     Ping,
     Shutdown,
 }
@@ -104,6 +125,18 @@ pub struct PlanRequest {
     pub canonical: String,
 }
 
+/// A validated replanning request: the healthy (baseline) instance, the
+/// fault, and the derived surviving instance. Both sides carry their own
+/// canonical key, so each is cached exactly as an equivalent `plan`
+/// request would be — a replan-derived degraded plan and a direct plan
+/// of the survivor are one cache entry.
+#[derive(Debug)]
+pub struct ReplanRequest {
+    pub fault: PlatformFault,
+    pub baseline: PlanRequest,
+    pub degraded: PlanRequest,
+}
+
 /// Parse one request line. Returns a structured error instead of
 /// panicking on anything a client could possibly send.
 pub fn parse_request(line: &str) -> Result<Request, ServeError> {
@@ -115,11 +148,39 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         .map_err(|_| ServeError::malformed("`cmd` must be a string"))?;
     match cmd {
         "plan" => Ok(Request::Plan(Box::new(parse_plan_request(&v)?))),
+        "replan" => Ok(Request::Replan(Box::new(parse_replan_request(&v)?))),
         "metrics" => Ok(Request::Metrics),
+        "health" => Ok(Request::Health),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServeError::malformed(format!("unknown cmd `{other}`"))),
     }
+}
+
+fn parse_replan_request(v: &Value) -> Result<ReplanRequest, ServeError> {
+    let baseline = parse_plan_request(v)?;
+    let fault_v = v
+        .get("fault")
+        .ok_or_else(|| ServeError::malformed("replan request needs `fault`"))?;
+    let fault = PlatformFault::from_json(fault_v)
+        .map_err(|e| ServeError::malformed(format!("fault: {e}")))?;
+    // An inapplicable fault (losing every GPU, fraction outside (0,1))
+    // parsed fine but names no surviving platform: `invalid`.
+    let surviving = fault
+        .apply(&baseline.platform)
+        .map_err(|e| ServeError::invalid(e.to_string()))?;
+    let canonical = canonical_instance(&baseline.chain, &surviving, &baseline.cfg);
+    let degraded = PlanRequest {
+        chain: baseline.chain.clone(),
+        platform: surviving,
+        cfg: baseline.cfg,
+        canonical,
+    };
+    Ok(ReplanRequest {
+        fault,
+        baseline,
+        degraded,
+    })
 }
 
 fn parse_plan_request(v: &Value) -> Result<PlanRequest, ServeError> {
@@ -313,6 +374,75 @@ pub fn plan_response(plan: &Value, cached: bool) -> String {
     .to_string_compact()
 }
 
+/// `{"ok":true,"cached":…,"plan":…,"replan":{…}}` as one line: the
+/// degraded plan is the payload (`plan`/`cached` mean exactly what they
+/// mean in a `plan` response, for the *surviving* platform), and the
+/// `replan` object carries the fault, the surviving platform and the
+/// baseline comparison. Deltas are derived from the two rendered plans,
+/// so they agree bit-for-bit with what a client would compute itself.
+pub fn replan_response(
+    fault: &PlatformFault,
+    degraded_platform: &Platform,
+    baseline: &Value,
+    baseline_cached: bool,
+    degraded: &Value,
+    degraded_cached: bool,
+) -> String {
+    let f64_of = |plan: &Value, field: &str| -> f64 {
+        plan.field(field)
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    let base_period = f64_of(baseline, "period");
+    let deg_period = f64_of(degraded, "period");
+    let replan = Value::Object(vec![
+        ("fault".into(), fault.to_json()),
+        (
+            "platform".into(),
+            Value::Object(vec![
+                (
+                    "bandwidth_bytes".into(),
+                    Value::Float(degraded_platform.bandwidth),
+                ),
+                (
+                    "memory_bytes".into(),
+                    Value::UInt(degraded_platform.memory_bytes),
+                ),
+                (
+                    "n_gpus".into(),
+                    Value::UInt(degraded_platform.n_gpus as u64),
+                ),
+            ]),
+        ),
+        (
+            "baseline".into(),
+            Value::Object(vec![
+                ("period".into(), Value::Float(base_period)),
+                (
+                    "throughput".into(),
+                    Value::Float(f64_of(baseline, "throughput")),
+                ),
+                ("cached".into(), Value::Bool(baseline_cached)),
+            ]),
+        ),
+        (
+            "period_ratio".into(),
+            Value::Float(deg_period / base_period),
+        ),
+        (
+            "throughput_delta".into(),
+            Value::Float(base_period / deg_period - 1.0),
+        ),
+    ]);
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("cached".into(), Value::Bool(degraded_cached)),
+        ("plan".into(), degraded.clone()),
+        ("replan".into(), replan),
+    ])
+    .to_string_compact()
+}
+
 /// `{"ok":false,"error":{…}}` as one line.
 pub fn error_response(err: &ServeError) -> String {
     Value::Object(vec![
@@ -365,6 +495,101 @@ mod tests {
         ));
         let line = plan_line(r#"{"n_gpus":2,"memory_bytes":1073741824,"bandwidth_gb":12.0}"#);
         assert!(matches!(parse_request(&line), Ok(Request::Plan(_))));
+    }
+
+    #[test]
+    fn replan_requests_derive_the_surviving_instance() {
+        let base = plan_line(r#"{"n_gpus":4,"memory_bytes":1073741824,"bandwidth_gb":12.0}"#);
+        let line = base.replacen(
+            r#""cmd":"plan""#,
+            r#""cmd":"replan","fault":{"kind":"gpu_loss","count":1}"#,
+            1,
+        );
+        let Ok(Request::Replan(r)) = parse_request(&line) else {
+            panic!("replan must parse: {line}");
+        };
+        assert_eq!(r.fault, PlatformFault::GpuLoss { count: 1 });
+        assert_eq!(r.baseline.platform.n_gpus, 4);
+        assert_eq!(r.degraded.platform.n_gpus, 3);
+        assert_ne!(r.baseline.canonical, r.degraded.canonical);
+        // The degraded canonical equals a direct plan of the survivor.
+        let direct = plan_line(r#"{"n_gpus":3,"memory_bytes":1073741824,"bandwidth_gb":12.0}"#);
+        let Ok(Request::Plan(p)) = parse_request(&direct) else {
+            panic!("direct plan must parse");
+        };
+        assert_eq!(r.degraded.canonical, p.canonical);
+
+        // Missing or malformed fault: `malformed`; inapplicable: `invalid`.
+        assert_eq!(
+            parse_request(&base.replacen(r#""cmd":"plan""#, r#""cmd":"replan""#, 1))
+                .unwrap_err()
+                .kind,
+            "malformed"
+        );
+        let lethal = base.replacen(
+            r#""cmd":"plan""#,
+            r#""cmd":"replan","fault":{"kind":"gpu_loss","count":4}"#,
+            1,
+        );
+        let err = parse_request(&lethal).unwrap_err();
+        assert_eq!(err.kind, "invalid");
+        assert!(err.message.contains("no survivor"), "{}", err.message);
+    }
+
+    #[test]
+    fn health_command_parses() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"health"}"#),
+            Ok(Request::Health)
+        ));
+    }
+
+    #[test]
+    fn replan_response_carries_fault_and_deltas() {
+        let platform = Platform::new(3, 1 << 30, 12e9).unwrap();
+        let baseline = Value::Object(vec![
+            ("period".into(), Value::Float(0.01)),
+            ("throughput".into(), Value::Float(100.0)),
+        ]);
+        let degraded = Value::Object(vec![
+            ("period".into(), Value::Float(0.02)),
+            ("throughput".into(), Value::Float(50.0)),
+        ]);
+        let line = replan_response(
+            &PlatformFault::GpuLoss { count: 1 },
+            &platform,
+            &baseline,
+            true,
+            &degraded,
+            false,
+        );
+        assert!(!line.contains('\n'));
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.field("ok").unwrap(), &Value::Bool(true));
+        assert_eq!(v.field("cached").unwrap(), &Value::Bool(false));
+        let replan = v.field("replan").unwrap();
+        assert_eq!(
+            replan
+                .field("fault")
+                .unwrap()
+                .field("kind")
+                .unwrap()
+                .as_str(),
+            Ok("gpu_loss")
+        );
+        assert_eq!(
+            replan.field("platform").unwrap().field("n_gpus").unwrap(),
+            &Value::UInt(3)
+        );
+        assert_eq!(replan.field("period_ratio").unwrap().as_f64().unwrap(), 2.0);
+        assert_eq!(
+            replan.field("throughput_delta").unwrap().as_f64().unwrap(),
+            -0.5
+        );
+        assert_eq!(
+            replan.field("baseline").unwrap().field("cached").unwrap(),
+            &Value::Bool(true)
+        );
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The planning daemon: a nonblocking acceptor, one thread per
-//! connection, and a bounded worker pool that owns the DP sessions.
+//! connection, a bounded worker pool that owns the DP sessions, and a
+//! supervisor that respawns workers that die.
 //!
 //! Life of a `plan` request:
 //!
 //! 1. The connection thread parses and validates the line; anything
 //!    unusable is answered with a structured error and the connection
-//!    stays open.
+//!    stays open. Lines are bounded at [`MAX_LINE_BYTES`]; an oversized
+//!    line is rejected *while it streams in* (the buffer never grows past
+//!    the bound) and the rest of it is discarded up to the next newline.
 //! 2. The canonical key probes the [`PlanCache`]; a hit is answered
 //!    immediately (`cached:true`).
 //! 3. A miss becomes a [`Job`] on the bounded queue. A full queue is an
@@ -20,18 +23,33 @@
 //!    worker misses it, the client gets a `timeout` error and the worker
 //!    result (if any) still lands in the cache.
 //!
+//! A `replan` request runs the same pipeline twice — once for the
+//! healthy instance, once for the fault's survivor — and reports the
+//! throughput delta; both plans land in (or come from) the same cache.
+//!
+//! Supervision: a planner panic is caught per job. The poisoned request
+//! is answered with a structured `internal` error (counter
+//! `serve.panics`), then the panic is *resumed* so the worker thread
+//! tears down its possibly-corrupt session state; the supervisor thread
+//! observes the death and respawns a fresh worker
+//! (`serve.workers.respawned`). One poisoned request can therefore never
+//! take the pool down, and `{"cmd":"health"}` reports live worker count
+//! and queue depth for external monitors.
+//!
 //! Draining: `shutdown()` (or a `{"cmd":"shutdown"}` request, or
 //! SIGTERM/SIGINT via [`install_signal_handlers`]) flips one flag. The
 //! acceptor stops accepting and joins the connection threads, which
 //! finish their in-flight request and hang up; dropping the last job
-//! sender lets the workers drain the queue and exit. `join()` then
-//! returns — no request is abandoned mid-write.
+//! sender lets the workers drain the queue and exit, and the supervisor
+//! follows them out. `join()` then returns — no request is abandoned
+//! mid-write.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,8 +59,8 @@ use madpipe_obs::Registry;
 
 use crate::cache::PlanCache;
 use crate::protocol::{
-    error_response, ok_response, parse_request, plan_response, plan_to_json, PlanRequest, Request,
-    ServeError,
+    error_response, ok_response, parse_request, plan_response, plan_to_json, replan_response,
+    PlanRequest, ReplanRequest, Request, ServeError,
 };
 
 /// Daemon configuration (the CLI's `--addr/--threads/--cache-entries/
@@ -59,6 +77,11 @@ pub struct ServeConfig {
     pub timeout: Duration,
     /// Worker queue depth; 0 means `4 × threads`.
     pub queue_depth: usize,
+    /// Chaos hook for the test harness: when set, a plan whose chain
+    /// name contains this marker makes the worker panic *inside* the
+    /// planning path, exercising panic isolation and supervised respawn.
+    /// `None` (the default, and the CLI's only setting) disables it.
+    pub panic_marker: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -69,13 +92,16 @@ impl Default for ServeConfig {
             cache_entries: 256,
             timeout: Duration::from_secs(30),
             queue_depth: 0,
+            panic_marker: None,
         }
     }
 }
 
-/// Keep request lines bounded so a hostile client cannot balloon the
-/// connection buffer.
-const MAX_LINE_BYTES: usize = 16 << 20;
+/// Hard bound on one request line. A hostile client streaming an endless
+/// line is rejected as soon as the buffer crosses this, long before an
+/// allocation worth worrying about; 1 MiB comfortably fits any real
+/// instance (a 64k-layer chain is itself rejected by the planner).
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// How often idle loops re-check the drain flag.
 const POLL: Duration = Duration::from_millis(50);
@@ -93,6 +119,15 @@ struct Ctx {
     registry: Registry,
     cache: PlanCache,
     timeout: Duration,
+    /// Configured worker count (the supervisor keeps this many alive).
+    threads: usize,
+    queue_capacity: usize,
+    /// Jobs accepted onto the queue and not yet picked up by a worker.
+    queue_depth: AtomicUsize,
+    /// Workers currently inside their loop (RAII-tracked, so a panicking
+    /// worker decrements on unwind).
+    workers_alive: AtomicUsize,
+    panic_marker: Option<String>,
 }
 
 impl Ctx {
@@ -101,13 +136,21 @@ impl Ctx {
     }
 }
 
+/// Lock that shrugs off poisoning: a worker that panicked while holding
+/// a supervised lock must not cascade the panic into every other thread
+/// touching it. All guarded state here stays consistent across unwinds
+/// (counters, maps with no partial multi-step updates).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A running daemon. Dropping it without `join()` leaves the threads
 /// running; call [`Server::shutdown`] then [`Server::join`] to drain.
 pub struct Server {
     local_addr: SocketAddr,
     ctx: Arc<Ctx>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -117,31 +160,38 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let ctx = Arc::new(Ctx {
-            draining: AtomicBool::new(false),
-            registry: Registry::new(),
-            cache: PlanCache::new(cfg.cache_entries),
-            timeout: cfg.timeout,
-        });
-
         let threads = cfg.threads.max(1);
         let depth = if cfg.queue_depth == 0 {
             threads * 4
         } else {
             cfg.queue_depth
         };
+        let ctx = Arc::new(Ctx {
+            draining: AtomicBool::new(false),
+            registry: Registry::new(),
+            cache: PlanCache::new(cfg.cache_entries),
+            timeout: cfg.timeout,
+            threads,
+            queue_capacity: depth,
+            queue_depth: AtomicUsize::new(0),
+            workers_alive: AtomicUsize::new(0),
+            panic_marker: cfg.panic_marker.clone(),
+        });
+
         let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(depth);
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
-        let workers = (0..threads)
-            .map(|i| {
-                let ctx = Arc::clone(&ctx);
-                let rx = Arc::clone(&jobs_rx);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&ctx, &rx))
-                    .expect("spawn worker")
-            })
+        let workers: Vec<JoinHandle<()>> = (0..threads)
+            .map(|i| spawn_worker(i, &ctx, &jobs_rx))
             .collect();
+
+        let supervisor = {
+            let ctx = Arc::clone(&ctx);
+            let rx = Arc::clone(&jobs_rx);
+            std::thread::Builder::new()
+                .name("serve-supervisor".into())
+                .spawn(move || supervisor_loop(&ctx, &rx, workers))
+                .expect("spawn supervisor")
+        };
 
         let acceptor = {
             let ctx = Arc::clone(&ctx);
@@ -155,7 +205,7 @@ impl Server {
             local_addr,
             ctx,
             acceptor: Some(acceptor),
-            workers,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -167,6 +217,12 @@ impl Server {
     /// The server's metrics registry (counters named `serve.*`).
     pub fn registry(&self) -> &Registry {
         &self.ctx.registry
+    }
+
+    /// Number of workers currently alive (the supervisor restores this
+    /// to the configured count after a worker death).
+    pub fn workers_alive(&self) -> usize {
+        self.ctx.workers_alive.load(Ordering::SeqCst)
     }
 
     /// Ask the server to drain: stop accepting, finish in-flight
@@ -181,15 +237,69 @@ impl Server {
         self.ctx.draining()
     }
 
-    /// Block until the acceptor, every connection and every worker have
-    /// exited. Call [`Server::shutdown`] first (or send `shutdown`).
+    /// Block until the acceptor, every connection, every worker and the
+    /// supervisor have exited. Call [`Server::shutdown`] first (or send
+    /// `shutdown`).
     pub fn join(mut self) {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// Decrements the live-worker gauge however the worker exits — return
+/// or unwind.
+struct AliveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn spawn_worker(id: usize, ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) -> JoinHandle<()> {
+    let ctx = Arc::clone(ctx);
+    let rx = Arc::clone(rx);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{id}"))
+        .spawn(move || {
+            ctx.workers_alive.fetch_add(1, Ordering::SeqCst);
+            let _alive = AliveGuard(&ctx.workers_alive);
+            worker_loop(&ctx, &rx);
+        })
+        .expect("spawn worker")
+}
+
+/// Keep the pool at full strength: join workers as they finish; a panic
+/// death (join `Err`) is replaced with a fresh worker unless the server
+/// is draining. Exits once every worker has left cleanly (the job queue
+/// disconnected).
+fn supervisor_loop(
+    ctx: &Arc<Ctx>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    mut workers: Vec<JoinHandle<()>>,
+) {
+    let mut next_id = workers.len();
+    while !workers.is_empty() {
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                let crashed = workers.remove(i).join().is_err();
+                if crashed {
+                    ctx.registry.inc("serve.workers.respawned");
+                    if !ctx.draining() {
+                        workers.push(spawn_worker(next_id, ctx, rx));
+                        next_id += 1;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        std::thread::sleep(POLL);
     }
 }
 
@@ -229,16 +339,24 @@ fn connection_loop(stream: &TcpStream, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // True while skipping the remainder of an already-rejected oversized
+    // line: bytes are dropped (never buffered) until the next newline.
+    let mut discarding = false;
     loop {
         match (&mut &*stream).read(&mut chunk) {
             Ok(0) => return, // peer hung up
             Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.len() > MAX_LINE_BYTES {
-                    let err = ServeError::malformed("request line too large");
-                    let _ = write_line(stream, &error_response(&err));
-                    return;
+                let mut data = &chunk[..n];
+                if discarding {
+                    match data.iter().position(|b| *b == b'\n') {
+                        Some(pos) => {
+                            discarding = false;
+                            data = &data[pos + 1..];
+                        }
+                        None => continue,
+                    }
                 }
+                buf.extend_from_slice(data);
                 while let Some(pos) = buf.iter().position(|b| *b == b'\n') {
                     let line: Vec<u8> = buf.drain(..=pos).collect();
                     let line = String::from_utf8_lossy(&line[..pos.min(line.len())]).into_owned();
@@ -254,6 +372,20 @@ fn connection_loop(stream: &TcpStream, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) {
                         }
                         None => return,
                     }
+                }
+                // Whatever remains is a partial line; reject it the
+                // moment it exceeds the bound instead of buffering on.
+                if buf.len() > MAX_LINE_BYTES {
+                    ctx.registry.inc("serve.errors.oversized");
+                    let err = ServeError::malformed(format!(
+                        "request line exceeds {MAX_LINE_BYTES} bytes"
+                    ));
+                    if write_line(stream, &error_response(&err)).is_err() {
+                        return;
+                    }
+                    buf.clear();
+                    buf.shrink_to_fit();
+                    discarding = true;
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
@@ -296,25 +428,107 @@ fn handle_line(line: &str, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> Option<Str
             let text = ctx.registry.snapshot().to_prometheus();
             Some(ok_response("metrics", Value::Str(text)))
         }
+        Request::Health => Some(ok_response("health", health_value(ctx))),
         Request::Shutdown => {
             ctx.draining.store(true, Ordering::SeqCst);
             Some(ok_response("draining", Value::Bool(true)))
         }
         Request::Plan(plan) => Some(handle_plan(*plan, ctx, jobs)),
+        Request::Replan(replan) => Some(handle_replan(*replan, ctx, jobs)),
     }
+}
+
+/// The `health` payload: supervision state an external monitor needs to
+/// decide whether the daemon is healthy, degraded or draining.
+fn health_value(ctx: &Arc<Ctx>) -> Value {
+    Value::Object(vec![
+        ("draining".into(), Value::Bool(ctx.draining())),
+        (
+            "workers_alive".into(),
+            Value::UInt(ctx.workers_alive.load(Ordering::SeqCst) as u64),
+        ),
+        ("workers_configured".into(), Value::UInt(ctx.threads as u64)),
+        (
+            "queue_depth".into(),
+            Value::UInt(ctx.queue_depth.load(Ordering::SeqCst) as u64),
+        ),
+        (
+            "queue_capacity".into(),
+            Value::UInt(ctx.queue_capacity as u64),
+        ),
+        ("cached_plans".into(), Value::UInt(ctx.cache.len() as u64)),
+        (
+            "panics".into(),
+            Value::UInt(ctx.registry.counter("serve.panics")),
+        ),
+        (
+            "respawns".into(),
+            Value::UInt(ctx.registry.counter("serve.workers.respawned")),
+        ),
+    ])
 }
 
 fn handle_plan(req: PlanRequest, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> String {
     ctx.registry.inc("serve.requests.plan");
+    let deadline = Instant::now() + ctx.timeout;
+    match plan_via_pool(req, deadline, ctx, jobs) {
+        Ok((plan, cached)) => plan_response(&plan, cached),
+        Err(err) => error_response(&err),
+    }
+}
+
+/// Degraded-mode replanning: plan the healthy instance, then the fault's
+/// survivor, both through the ordinary cache + worker path, under one
+/// shared deadline. The degraded plan is therefore bit-identical to what
+/// a direct `plan` of the survivor would return — and it lands in the
+/// cache under the survivor's canonical key, where a later direct `plan`
+/// will find it.
+fn handle_replan(req: ReplanRequest, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> String {
+    let _span = madpipe_obs::span("serve.replan");
+    ctx.registry.inc("serve.requests.replan");
+    ctx.registry
+        .inc(&format!("replan.fault.{}", req.fault.kind()));
+    let ReplanRequest {
+        fault,
+        baseline,
+        degraded,
+    } = req;
+    let degraded_platform = degraded.platform.clone();
+    let deadline = Instant::now() + ctx.timeout;
+    let (base_plan, base_cached) = match plan_via_pool(baseline, deadline, ctx, jobs) {
+        Ok(x) => x,
+        Err(err) => return error_response(&err),
+    };
+    let (deg_plan, deg_cached) = match plan_via_pool(degraded, deadline, ctx, jobs) {
+        Ok(x) => x,
+        Err(err) => return error_response(&err),
+    };
+    ctx.registry.inc("replan.completed");
+    replan_response(
+        &fault,
+        &degraded_platform,
+        &base_plan,
+        base_cached,
+        &deg_plan,
+        deg_cached,
+    )
+}
+
+/// One instance through the cache, then (on a miss) the worker pool.
+fn plan_via_pool(
+    req: PlanRequest,
+    deadline: Instant,
+    ctx: &Arc<Ctx>,
+    jobs: &SyncSender<Job>,
+) -> PlanOutcome {
     if let Some(plan) = ctx.cache.get(&req.canonical) {
         ctx.registry.inc("serve.cache.hits");
-        return plan_response(&plan, true);
+        return Ok((plan, true));
     }
     ctx.registry.inc("serve.cache.misses");
     if ctx.draining() {
-        return error_response(&ServeError::unavailable());
+        return Err(ServeError::unavailable());
     }
-    let deadline = Instant::now() + ctx.timeout;
     let (reply_tx, reply_rx) = mpsc::sync_channel::<PlanOutcome>(1);
     let job = Job {
         req: Box::new(req),
@@ -322,22 +536,23 @@ fn handle_plan(req: PlanRequest, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> Stri
         reply: reply_tx,
     };
     match jobs.try_send(job) {
-        Ok(()) => {}
+        Ok(()) => {
+            ctx.queue_depth.fetch_add(1, Ordering::SeqCst);
+        }
         Err(TrySendError::Full(_)) => {
             ctx.registry.inc("serve.rejects");
-            return error_response(&ServeError::overloaded());
+            return Err(ServeError::overloaded());
         }
         Err(TrySendError::Disconnected(_)) => {
-            return error_response(&ServeError::unavailable());
+            return Err(ServeError::unavailable());
         }
     }
     let remaining = deadline.saturating_duration_since(Instant::now());
     match reply_rx.recv_timeout(remaining) {
-        Ok(Ok((plan, cached))) => plan_response(&plan, cached),
-        Ok(Err(err)) => error_response(&err),
+        Ok(outcome) => outcome,
         Err(_) => {
             ctx.registry.inc("serve.timeouts");
-            error_response(&ServeError::timeout())
+            Err(ServeError::timeout())
         }
     }
 }
@@ -348,9 +563,12 @@ fn worker_loop(ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) {
         let job = match pending.take() {
             Some(j) => j,
             None => {
-                let recv = rx.lock().unwrap().recv();
+                let recv = lock_unpoisoned(rx).recv();
                 match recv {
-                    Ok(j) => j,
+                    Ok(j) => {
+                        ctx.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        j
+                    }
                     // All senders gone: the queue is drained, exit.
                     Err(_) => return,
                 }
@@ -360,12 +578,28 @@ fn worker_loop(ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) {
     }
 }
 
+/// Render a human-readable panic message from a caught payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
 /// Plan `job`'s instance, then keep serving consecutive jobs for the
 /// *same* canonical instance through the same warm [`ProbeSession`]:
 /// repeated probes cost a memo lookup, and the result is bit-identical
 /// to a cold run because every probe is a pure function of
 /// (chain, platform, T̂). A job for a different instance is handed back
 /// via `pending`.
+///
+/// A panic inside the planner is caught here: the waiting client gets a
+/// structured `internal` error, `serve.panics` is bumped, and the panic
+/// is resumed so this worker (and its possibly-poisoned session) tears
+/// down — the supervisor spawns a replacement.
 fn serve_instance(
     ctx: &Arc<Ctx>,
     rx: &Arc<Mutex<Receiver<Job>>>,
@@ -393,7 +627,28 @@ fn serve_instance(
             Some(plan) => Ok((plan, true)),
             None => {
                 let t0 = Instant::now();
-                let (result, _stats) = madpipe_plan_with_session(&mut session, &cfg);
+                let planned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(marker) = &ctx.panic_marker {
+                        if chain.name().contains(marker.as_str()) {
+                            panic!("chaos marker `{marker}` in chain name");
+                        }
+                    }
+                    madpipe_plan_with_session(&mut session, &cfg)
+                }));
+                let (result, _stats) = match planned {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        ctx.registry.inc("serve.panics");
+                        let _ = reply.try_send(Err(ServeError::internal(format!(
+                            "planner worker panicked: {}",
+                            panic_message(payload.as_ref())
+                        ))));
+                        // The session may be mid-update; never reuse it.
+                        // Resuming lets the thread die and the supervisor
+                        // replace it with a clean one.
+                        std::panic::resume_unwind(payload);
+                    }
+                };
                 ctx.registry
                     .observe("serve.plan.seconds", t0.elapsed().as_secs_f64());
                 ctx.registry.inc("serve.plans");
@@ -416,18 +671,19 @@ fn serve_instance(
         // Lookahead: pull the next queued job without blocking; keep it
         // only if it is the same instance, otherwise hand it back.
         loop {
-            let next = rx.lock().unwrap().try_recv();
+            let next = lock_unpoisoned(rx).try_recv();
             match next {
-                Ok(j) if j.req.canonical == canonical => {
-                    if Instant::now() >= j.deadline {
-                        ctx.registry.inc("serve.expired");
-                        let _ = j.reply.try_send(Err(ServeError::timeout()));
-                        continue;
-                    }
-                    reply = j.reply;
-                    break; // serve it through the warm session
-                }
                 Ok(j) => {
+                    ctx.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    if j.req.canonical == canonical {
+                        if Instant::now() >= j.deadline {
+                            ctx.registry.inc("serve.expired");
+                            let _ = j.reply.try_send(Err(ServeError::timeout()));
+                            continue;
+                        }
+                        reply = j.reply;
+                        break; // serve it through the warm session
+                    }
                     *pending = Some(j);
                     return;
                 }

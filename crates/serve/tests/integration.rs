@@ -68,6 +68,7 @@ fn start_server() -> Server {
         cache_entries: 64,
         timeout: Duration::from_secs(60),
         queue_depth: 64,
+        panic_marker: None,
     })
     .expect("bind")
 }
@@ -291,6 +292,182 @@ fn shutdown_request_drains_gracefully() {
         TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
         "listener must be closed after drain"
     );
+}
+
+#[test]
+fn oversized_lines_are_rejected_and_the_connection_survives() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let (chain, platform) = instance(4);
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    // Stream > 1 MiB without a newline: the server must reject it while
+    // it is still arriving, not buffer it all.
+    let junk = vec![b'x'; 600 << 10];
+    stream.write_all(&junk).unwrap();
+    stream.write_all(&junk).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut l = String::new();
+    reader.read_line(&mut l).expect("rejection arrives early");
+    let v = Value::parse(l.trim()).unwrap();
+    assert_eq!(v.field("ok").unwrap(), &Value::Bool(false));
+    let err = v.field("error").unwrap();
+    assert_eq!(err.field("kind").unwrap().as_str(), Ok("malformed"));
+    assert!(err
+        .field("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("exceeds"));
+
+    // Finish the oversized line, then a good request on the *same*
+    // connection: the tail of the junk is discarded, the request served.
+    let stream = reader.get_mut();
+    stream.write_all(b"tail-of-junk\n").unwrap();
+    let good = plan_line(&chain, &platform);
+    stream.write_all(format!("{good}\n").as_bytes()).unwrap();
+    let mut l = String::new();
+    reader.read_line(&mut l).unwrap();
+    let v = Value::parse(l.trim()).unwrap();
+    assert_eq!(
+        v.field("ok").unwrap(),
+        &Value::Bool(true),
+        "request after oversized line must be served: {}",
+        v.to_string_compact()
+    );
+    assert_eq!(server.registry().counter("serve.errors.oversized"), 1);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn health_reports_workers_and_queue() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let v = roundtrip(addr, r#"{"cmd":"health"}"#);
+    assert_eq!(v.field("ok").unwrap(), &Value::Bool(true));
+    let h = v.field("health").unwrap();
+    assert_eq!(h.field("draining").unwrap(), &Value::Bool(false));
+    assert_eq!(h.field("workers_alive").unwrap(), &Value::UInt(2));
+    assert_eq!(h.field("workers_configured").unwrap(), &Value::UInt(2));
+    assert_eq!(h.field("queue_depth").unwrap(), &Value::UInt(0));
+    assert_eq!(h.field("queue_capacity").unwrap(), &Value::UInt(64));
+    assert_eq!(h.field("cached_plans").unwrap(), &Value::UInt(0));
+    assert_eq!(h.field("panics").unwrap(), &Value::UInt(0));
+    assert_eq!(h.field("respawns").unwrap(), &Value::UInt(0));
+
+    server.shutdown();
+    server.join();
+}
+
+/// Turn a plan line into a replan line carrying `fault`.
+fn replan_line(chain: &Chain, platform: &Platform, fault_json: &str) -> String {
+    plan_line(chain, platform).replacen(
+        r#""cmd":"plan""#,
+        &format!(r#""cmd":"replan","fault":{fault_json}"#),
+        1,
+    )
+}
+
+#[test]
+fn replan_matches_offline_planning_and_unifies_with_the_plan_cache() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let (chain, platform) = instance(5);
+
+    let v = roundtrip(
+        addr,
+        &replan_line(&chain, &platform, r#"{"kind":"gpu_loss","count":1}"#),
+    );
+    assert_eq!(
+        v.field("ok").unwrap(),
+        &Value::Bool(true),
+        "{}",
+        v.to_string_compact()
+    );
+    let served = v
+        .field("plan")
+        .unwrap()
+        .field("period")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+
+    // The degraded plan must be bit-identical to offline planning on the
+    // surviving platform.
+    let survivor = Platform::new(3, platform.memory_bytes, platform.bandwidth).unwrap();
+    let offline = madpipe_plan(&chain, &survivor, &PlannerConfig::default()).unwrap();
+    assert_eq!(served.to_bits(), offline.period().to_bits());
+
+    // The replan object reports the fault and a non-positive delta.
+    let replan = v.field("replan").unwrap();
+    assert_eq!(
+        replan
+            .field("fault")
+            .unwrap()
+            .field("kind")
+            .unwrap()
+            .as_str(),
+        Ok("gpu_loss")
+    );
+    assert_eq!(
+        replan.field("platform").unwrap().field("n_gpus").unwrap(),
+        &Value::UInt(3)
+    );
+    let delta = replan.field("throughput_delta").unwrap().as_f64().unwrap();
+    assert!(delta <= 1e-12, "GPU loss raised throughput by {delta}");
+
+    // Cache unification, both directions: the replan left the baseline
+    // AND the survivor in the cache, so a direct plan of either is a
+    // hit; and a second replan is answered fully from cache.
+    let direct = roundtrip(addr, &plan_line(&chain, &survivor));
+    assert_eq!(
+        direct.field("cached").unwrap(),
+        &Value::Bool(true),
+        "direct plan of the survivor must hit the replan-derived entry"
+    );
+    let direct_base = roundtrip(addr, &plan_line(&chain, &platform));
+    assert_eq!(direct_base.field("cached").unwrap(), &Value::Bool(true));
+    let again = roundtrip(
+        addr,
+        &replan_line(&chain, &platform, r#"{"kind":"gpu_loss","count":1}"#),
+    );
+    assert_eq!(again.field("cached").unwrap(), &Value::Bool(true));
+    assert_eq!(
+        again
+            .field("replan")
+            .unwrap()
+            .field("baseline")
+            .unwrap()
+            .field("cached")
+            .unwrap(),
+        &Value::Bool(true)
+    );
+    assert_eq!(server.registry().counter("serve.requests.replan"), 2);
+    assert_eq!(server.registry().counter("replan.fault.gpu_loss"), 2);
+
+    // An inapplicable fault is a structured `invalid`, not a crash.
+    let lethal = roundtrip(
+        addr,
+        &replan_line(&chain, &platform, r#"{"kind":"gpu_loss","count":4}"#),
+    );
+    assert_eq!(lethal.field("ok").unwrap(), &Value::Bool(false));
+    assert_eq!(
+        lethal
+            .field("error")
+            .unwrap()
+            .field("kind")
+            .unwrap()
+            .as_str(),
+        Ok("invalid")
+    );
+
+    server.shutdown();
+    server.join();
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! Deterministic chaos schedules for the serve daemon's fault drills.
+//!
+//! A chaos test is only worth having if a failure reproduces: the
+//! sequence of injected faults must be a pure function of the seed, so a
+//! red CI run can be replayed locally event for event. This module
+//! generates that sequence — which fault to inject at each step of a
+//! client workload — from a SplitMix64 stream, the same generator family
+//! as [`crate::perturb`]'s timing noise.
+//!
+//! The events model the failure modes a long-lived planning daemon
+//! actually meets: a request that panics the worker that picked it up, a
+//! client connection killed mid-exchange, a request arriving in
+//! dribbling partial writes, and a mid-stream platform degradation that
+//! turns the next request into a replan. The serve integration harness
+//! (`crates/serve/tests/chaos.rs`) drives a live daemon through a
+//! [`ChaosStream`] and asserts the supervision invariants: the daemon
+//! never dies, workers are respawned, and every plan served under chaos
+//! is bit-identical to offline planning.
+
+use madpipe_model::PlatformFault;
+
+/// One injected fault in a chaos schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Send a request crafted to panic the worker that plans it (the
+    /// serve daemon's `panic_marker` hook); the client must get a
+    /// structured `internal` error and the pool must be respawned.
+    WorkerPanic,
+    /// Kill the client connection right after sending a request,
+    /// without reading the response.
+    KillConnection,
+    /// Send a request in several partial writes with flushes between
+    /// them; the server must reassemble the line and answer normally.
+    PartialWrite,
+    /// A platform degradation mid-stream: the next request is a replan
+    /// that loses `lost` GPUs.
+    GpuLossReplan { lost: usize },
+}
+
+impl ChaosEvent {
+    /// Stable name for logs and assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ChaosEvent::WorkerPanic => "worker_panic",
+            ChaosEvent::KillConnection => "kill_connection",
+            ChaosEvent::PartialWrite => "partial_write",
+            ChaosEvent::GpuLossReplan { .. } => "gpu_loss_replan",
+        }
+    }
+
+    /// The platform fault this event injects, when it is one.
+    pub fn platform_fault(&self) -> Option<PlatformFault> {
+        match *self {
+            ChaosEvent::GpuLossReplan { lost } => Some(PlatformFault::GpuLoss { count: lost }),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic stream of chaos events: same seed, same schedule,
+/// on every platform (SplitMix64 only needs wrapping u64 arithmetic).
+#[derive(Debug, Clone)]
+pub struct ChaosStream {
+    state: u64,
+    /// Upper bound (inclusive) on GPUs lost by a [`ChaosEvent::GpuLossReplan`];
+    /// keep it below the platform's GPU count so the survivor exists.
+    max_gpu_loss: usize,
+}
+
+/// SplitMix64 step + finalizer (same constants as `perturb::noise`).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaosStream {
+    /// A stream seeded with `seed`, losing at most `max_gpu_loss` GPUs
+    /// per replan event (clamped to at least 1).
+    pub fn new(seed: u64, max_gpu_loss: usize) -> Self {
+        Self {
+            state: mix(seed),
+            max_gpu_loss: max_gpu_loss.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+
+    /// The next event in the schedule. Every variant has positive
+    /// probability, so a long enough drill exercises all of them.
+    pub fn next_event(&mut self) -> ChaosEvent {
+        let r = self.next_u64();
+        match r % 4 {
+            0 => ChaosEvent::WorkerPanic,
+            1 => ChaosEvent::KillConnection,
+            2 => ChaosEvent::PartialWrite,
+            _ => ChaosEvent::GpuLossReplan {
+                lost: 1 + ((r >> 32) % self.max_gpu_loss as u64) as usize,
+            },
+        }
+    }
+
+    /// The first `n` events of the schedule for `seed` — the form the
+    /// serve chaos harness consumes.
+    pub fn events(seed: u64, n: usize, max_gpu_loss: usize) -> Vec<ChaosEvent> {
+        let mut s = Self::new(seed, max_gpu_loss);
+        (0..n).map(|_| s.next_event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ChaosStream::events(0xC0FFEE, 64, 2);
+        let b = ChaosStream::events(0xC0FFEE, 64, 2);
+        assert_eq!(a, b);
+        let c = ChaosStream::events(0xC0FFEF, 64, 2);
+        assert_ne!(a, c, "adjacent seeds diverge");
+    }
+
+    #[test]
+    fn long_schedules_cover_every_event_kind() {
+        let events = ChaosStream::events(7, 64, 2);
+        for kind in [
+            "worker_panic",
+            "kill_connection",
+            "partial_write",
+            "gpu_loss_replan",
+        ] {
+            assert!(
+                events.iter().any(|e| e.kind() == kind),
+                "64 events must include {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_loss_stays_within_bounds_and_bridges_to_a_fault() {
+        for e in ChaosStream::events(3, 256, 3) {
+            if let ChaosEvent::GpuLossReplan { lost } = e {
+                assert!((1..=3).contains(&lost), "lost {lost} out of bounds");
+                assert_eq!(
+                    e.platform_fault(),
+                    Some(PlatformFault::GpuLoss { count: lost })
+                );
+            } else {
+                assert_eq!(e.platform_fault(), None);
+            }
+        }
+        // A zero bound is clamped, never a modulo-by-zero.
+        let _ = ChaosStream::events(3, 16, 0);
+    }
+}

@@ -14,8 +14,12 @@
 //! * [`perturb`] — fault-injected replay: the same pattern executed
 //!   under multiplicative compute/communication jitter and bandwidth
 //!   degradation, the measurement behind `madpipe certify`'s robustness
-//!   margins.
+//!   margins;
+//! * [`chaos`] — deterministic chaos schedules (worker panics, killed
+//!   connections, partial writes, mid-stream GPU-loss replans) that the
+//!   serve daemon's fault drill replays from a fixed seed.
 
+pub mod chaos;
 pub mod eager;
 pub mod event;
 pub mod perturb;
@@ -23,6 +27,7 @@ pub mod replay;
 pub mod report;
 pub mod trace;
 
+pub use chaos::{ChaosEvent, ChaosStream};
 pub use eager::{simulate_eager, EagerConfig};
 pub use perturb::{replay_perturbed, FaultSpec};
 pub use replay::{replay_pattern, replay_with};
