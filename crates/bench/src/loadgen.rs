@@ -69,7 +69,17 @@ pub struct LoadgenReport {
     pub retries: usize,
     pub p50_ms: f64,
     pub p99_ms: f64,
+    /// Wall clock of the whole run, backoff sleeps included.
     pub elapsed_seconds: f64,
+    /// Time spent *sleeping* in retry backoff, summed over connections.
+    /// Reported separately so transient faults show up as backoff, not
+    /// as deflated throughput.
+    pub backoff_seconds: f64,
+    /// Request-loop wall clock: the busiest connection's loop time minus
+    /// its own backoff sleeps — the denominator of [`throughput`].
+    ///
+    /// [`throughput`]: LoadgenReport::throughput
+    pub request_seconds: f64,
 }
 
 impl LoadgenReport {
@@ -82,10 +92,13 @@ impl LoadgenReport {
         }
     }
 
-    /// Completed requests per second over the whole run.
+    /// Completed requests per second of request-loop time. Backoff
+    /// sleeps are excluded — they measure the fault injector (or the
+    /// network), not the server; the run's total wall clock (sleeps
+    /// included) stays visible in `elapsed_seconds`.
     pub fn throughput(&self) -> f64 {
-        if self.elapsed_seconds > 0.0 {
-            self.total as f64 / self.elapsed_seconds
+        if self.request_seconds > 0.0 {
+            self.total as f64 / self.request_seconds
         } else {
             0.0
         }
@@ -112,9 +125,12 @@ impl fmt::Display for LoadgenReport {
         )?;
         write!(
             f,
-            "throughput: {:.1} req/s over {:.2} s",
+            "throughput: {:.1} req/s over {:.2} s of request time \
+             ({:.2} s wall, {:.2} s retry backoff)",
             self.throughput(),
-            self.elapsed_seconds
+            self.request_seconds,
+            self.elapsed_seconds,
+            self.backoff_seconds
         )
     }
 }
@@ -210,14 +226,18 @@ fn connect(cfg: &LoadgenConfig) -> Result<Conn, String> {
 /// One exchange with transient-failure retries. Both the connect and
 /// the exchange may fail transiently (the server killed the connection,
 /// a worker died mid-drain); each failure burns one retry, backs off
-/// and reconnects. Returns the response and how many retries it took.
+/// and reconnects. Returns the response, how many retries it took, and
+/// the total backoff slept — callers subtract the sleeps from their
+/// request-loop clock so throughput measures the server, not the
+/// backoff schedule.
 fn exchange_with_retry(
     cfg: &LoadgenConfig,
     conn: &mut Option<Conn>,
     line: &str,
     jitter_seed: u64,
-) -> Result<(Value, usize), String> {
+) -> Result<(Value, usize, Duration), String> {
     let mut retries = 0usize;
+    let mut slept = Duration::ZERO;
     loop {
         let attempt: Result<Value, String> = match conn {
             Some(c) => exchange(&mut c.stream, &mut c.reader, line),
@@ -230,7 +250,7 @@ fn exchange_with_retry(
             },
         };
         match attempt {
-            Ok(v) => return Ok((v, retries)),
+            Ok(v) => return Ok((v, retries, slept)),
             Err(e) => {
                 // The connection is in an unknown state; never reuse it.
                 *conn = None;
@@ -238,15 +258,17 @@ fn exchange_with_retry(
                     return Err(format!("{e} (after {retries} retries)"));
                 }
                 retries += 1;
-                std::thread::sleep(backoff(retries, jitter_seed));
+                let pause = backoff(retries, jitter_seed);
+                slept += pause;
+                std::thread::sleep(pause);
             }
         }
     }
 }
 
 /// Per-connection outcome: (latencies in ms, ok count, cached count,
-/// retries taken).
-type ConnStats = Result<(Vec<f64>, usize, usize, usize), String>;
+/// retries taken, backoff slept in seconds, loop wall clock in seconds).
+type ConnStats = Result<(Vec<f64>, usize, usize, usize, f64, f64), String>;
 
 /// Run the closed loop and aggregate the report.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
@@ -257,16 +279,19 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
             .map(|conn| {
                 let lines = &lines;
                 scope.spawn(move || -> ConnStats {
+                    let loop_started = Instant::now();
                     let mut open: Option<Conn> = Some(connect(cfg)?);
                     let mut latencies = Vec::with_capacity(cfg.requests_per_conn);
                     let (mut ok, mut cached, mut retries) = (0usize, 0usize, 0usize);
+                    let mut slept = Duration::ZERO;
                     for i in 0..cfg.requests_per_conn {
                         let line = &lines[(conn + i) % lines.len()];
                         let jitter_seed = mix(cfg.seed ^ ((conn as u64) << 32) ^ i as u64);
                         let t0 = Instant::now();
-                        let (v, r) = exchange_with_retry(cfg, &mut open, line, jitter_seed)?;
+                        let (v, r, s) = exchange_with_retry(cfg, &mut open, line, jitter_seed)?;
                         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                         retries += r;
+                        slept += s;
                         if v.get("ok") == Some(&Value::Bool(true)) {
                             ok += 1;
                             if v.get("cached") == Some(&Value::Bool(true)) {
@@ -274,7 +299,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                             }
                         }
                     }
-                    Ok((latencies, ok, cached, retries))
+                    Ok((
+                        latencies,
+                        ok,
+                        cached,
+                        retries,
+                        slept.as_secs_f64(),
+                        loop_started.elapsed().as_secs_f64(),
+                    ))
                 })
             })
             .collect();
@@ -287,13 +319,17 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
 
     let mut latencies = Vec::new();
     let (mut ok, mut cached, mut total, mut retries) = (0usize, 0usize, 0usize, 0usize);
+    let (mut backoff_seconds, mut request_seconds) = (0.0f64, 0.0f64);
     for outcome in per_conn {
-        let (lat, o, c, r) = outcome?;
+        let (lat, o, c, r, slept, loop_secs) = outcome?;
         total += lat.len();
         latencies.extend(lat);
         ok += o;
         cached += c;
         retries += r;
+        backoff_seconds += slept;
+        // The run is as long as its busiest connection's sleep-free loop.
+        request_seconds = request_seconds.max(loop_secs - slept);
     }
     latencies.sort_by(f64::total_cmp);
     let pct = |p: f64| -> f64 {
@@ -312,6 +348,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         p50_ms: pct(0.50),
         p99_ms: pct(0.99),
         elapsed_seconds,
+        backoff_seconds,
+        request_seconds,
     })
 }
 
@@ -349,6 +387,8 @@ mod tests {
 
     #[test]
     fn report_rates() {
+        // 10 requests over 2.5 s wall, of which 0.5 s was backoff sleep:
+        // throughput uses the 2 s request-loop denominator, not the wall.
         let r = LoadgenReport {
             total: 10,
             ok: 8,
@@ -357,7 +397,9 @@ mod tests {
             retries: 3,
             p50_ms: 1.0,
             p99_ms: 2.0,
-            elapsed_seconds: 2.0,
+            elapsed_seconds: 2.5,
+            backoff_seconds: 0.5,
+            request_seconds: 2.0,
         };
         assert_eq!(r.hit_rate(), 0.5);
         assert_eq!(r.throughput(), 5.0);
@@ -365,6 +407,29 @@ mod tests {
         assert!(text.contains("p50 1.00 ms"), "{text}");
         assert!(text.contains("50% hit rate"), "{text}");
         assert!(text.contains("3 retries"), "{text}");
+        assert!(text.contains("0.50 s retry backoff"), "{text}");
+        assert!(text.contains("2.50 s wall"), "{text}");
+    }
+
+    #[test]
+    fn throughput_excludes_backoff_sleeps() {
+        // Same work, one run with a second of backoff: identical
+        // throughput, different wall clock.
+        let clean = LoadgenReport {
+            total: 100,
+            request_seconds: 10.0,
+            elapsed_seconds: 10.0,
+            ..LoadgenReport::default()
+        };
+        let faulted = LoadgenReport {
+            total: 100,
+            retries: 5,
+            request_seconds: 10.0,
+            elapsed_seconds: 11.0,
+            backoff_seconds: 1.0,
+            ..LoadgenReport::default()
+        };
+        assert_eq!(clean.throughput(), faulted.throughput());
     }
 
     #[test]
@@ -412,9 +477,11 @@ mod tests {
             ..LoadgenConfig::default()
         };
         let mut conn = Some(connect(&cfg).unwrap());
-        let (v, retries) = exchange_with_retry(&cfg, &mut conn, r#"{"cmd":"ping"}"#, 3).unwrap();
+        let (v, retries, slept) =
+            exchange_with_retry(&cfg, &mut conn, r#"{"cmd":"ping"}"#, 3).unwrap();
         assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
         assert_eq!(retries, 1, "one EOF, one retry");
+        assert_eq!(slept, backoff(1, 3), "the one retry's backoff is reported");
         server.join().unwrap();
     }
 

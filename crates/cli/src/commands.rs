@@ -2,7 +2,9 @@
 
 use std::path::PathBuf;
 
-use madpipe_bench::{baseline, fig6, fig7, fig8, paper_chains, run_cells, summary, GridConfig};
+use madpipe_bench::{
+    baseline, fig6, fig7, fig8, paper_chains, plan_speed, run_cells, summary, GridConfig,
+};
 use madpipe_core::{
     certify_plan, compare, madpipe_plan, madpipe_plan_with_stats, replan, CertifyConfig,
     PlannerConfig,
@@ -69,6 +71,14 @@ USAGE:
       0.10 relative), planning time within F× (default 5), no
       certification regressions. --stats-json writes per-cell
       PlannerStats payloads.
+  madpipe bench-plan-speed [--out FILE] [--baseline FILE] [--repeat N]
+               [--time-factor F]
+      Measure MadPipe planning time over the 42-cell ResNet-50 fig6
+      slice (N repeats per cell, default 3; medians recorded), write the
+      results as JSON to FILE (default BENCH_plan_speed.json), and —
+      when --baseline is given — gate against the committed reference:
+      achieved periods bit-identical, DP time (phase1+fallback+refine)
+      within F× (default 1.25).
   madpipe experiments <fig6|fig7|fig8|summary|all> [--full] [--threads N]
                [--out DIR]
       Regenerate the paper's figures (text + CSV under DIR, default
@@ -123,6 +133,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("certify") => cmd_certify(&args),
         Some("validate-trace") => cmd_validate_trace(&args),
         Some("bench-baseline") => cmd_bench_baseline(&args),
+        Some("bench-plan-speed") => cmd_bench_plan_speed(&args),
         Some("serve") => cmd_serve(&args),
         Some("loadgen") => cmd_loadgen(&args),
         Some("help") | None => {
@@ -731,6 +742,46 @@ fn cmd_bench_baseline(args: &Args) -> Result<(), String> {
         }
         Err(format!(
             "baseline check failed with {} violation(s) vs {base_path}",
+            violations.len()
+        ))
+    }
+}
+
+fn cmd_bench_plan_speed(args: &Args) -> Result<(), String> {
+    let grid = plan_speed::plan_speed_grid();
+    let repeats = args.get_or("repeat", 3usize)?;
+    let out: PathBuf = args.raw("out").unwrap_or("BENCH_plan_speed.json").into();
+    eprintln!(
+        "timing the {}-cell plan-speed grid ({repeats} repeats per cell)...",
+        grid.cells().len()
+    );
+    let records = plan_speed::run_plan_speed(&grid, &PlannerConfig::default(), repeats);
+    plan_speed::save(&records, &out).map_err(|e| e.to_string())?;
+    let dp_total: f64 = records.iter().map(|r| r.dp_seconds).sum();
+    println!(
+        "wrote {} ({} cells, {:.2} s median DP time total)",
+        out.display(),
+        records.len(),
+        dp_total
+    );
+
+    let Some(base_path) = args.raw("baseline") else {
+        return Ok(());
+    };
+    let reference = plan_speed::load(base_path)?;
+    let time_factor = args.get_or("time-factor", 1.25f64)?;
+    let violations = plan_speed::compare_plan_speed(&records, &reference, time_factor);
+    if violations.is_empty() {
+        println!(
+            "plan-speed check PASS vs {base_path} (periods bit-identical, DP time factor {time_factor}x)"
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("FAIL: {v}");
+        }
+        Err(format!(
+            "plan-speed check failed with {} violation(s) vs {base_path}",
             violations.len()
         ))
     }

@@ -53,14 +53,28 @@ impl Discretization {
 pub struct Axis {
     max: f64,
     n: usize,
+    /// `max / (n - 1)`, cached at construction — `index_up`/`value` sit
+    /// on the DP's innermost loop and must not pay the division for the
+    /// step on every call. The cached value is the exact same expression
+    /// the accessors used to recompute, so results are bit-identical.
+    step: f64,
 }
 
 impl Axis {
     /// Build an axis; `max = 0` collapses to the single point `0`.
+    ///
+    /// The invariants are enforced in release builds too: a degenerate
+    /// axis (`n < 2`) would divide by zero in the step computation, and a
+    /// non-finite `max` poisons every rounded value downstream — neither
+    /// may ever be constructible, whatever the build profile.
     pub fn new(max: f64, n: usize) -> Self {
-        debug_assert!(n >= 2, "an axis needs at least two points");
-        debug_assert!(max >= 0.0 && max.is_finite());
-        Self { max, n }
+        assert!(n >= 2, "an axis needs at least two points, got {n}");
+        assert!(
+            max >= 0.0 && max.is_finite(),
+            "axis maximum must be finite and non-negative, got {max}"
+        );
+        let step = max / (n - 1) as f64;
+        Self { max, n, step }
     }
 
     /// Number of points.
@@ -75,12 +89,19 @@ impl Axis {
 
     /// Smallest grid index whose value is ≥ `x` (round up, clamped to the
     /// last point).
+    ///
+    /// A value within relative `1e-9` of a grid point counts as *on* it —
+    /// the guard absorbs float noise from the prefix-sum arithmetic
+    /// feeding the DP. The tolerance is relative to the ratio `x / step`
+    /// (multiplied in, so it scales with the coordinate): an absolute
+    /// guard is swamped on axes with large `max` and can round
+    /// genuinely-above-grid values *down* on tiny ones, breaking the
+    /// documented round-up conservatism.
     pub fn index_up(&self, x: f64) -> u16 {
         if self.max <= 0.0 || x <= 0.0 {
             return 0;
         }
-        let step = self.max / (self.n - 1) as f64;
-        let idx = (x / step - 1e-9).ceil() as isize;
+        let idx = ((x / self.step) * (1.0 - 1e-9)).ceil() as isize;
         idx.clamp(0, (self.n - 1) as isize) as u16
     }
 
@@ -89,8 +110,7 @@ impl Axis {
         if self.max <= 0.0 {
             return 0.0;
         }
-        let step = self.max / (self.n - 1) as f64;
-        step * idx as f64
+        self.step * idx as f64
     }
 
     /// Whether `x` exceeds the axis maximum (infeasible coordinate).
@@ -144,5 +164,74 @@ mod tests {
         let ax = Axis::new(10.0, 11);
         // 3.0 + noise below the 1e-9 guard stays at index 3
         assert_eq!(ax.index_up(3.0 + 1e-11), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn degenerate_point_count_is_rejected_in_release_builds_too() {
+        let _ = Axis::new(10.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_maximum_is_rejected() {
+        let _ = Axis::new(f64::INFINITY, 11);
+    }
+
+    #[test]
+    fn round_up_conservatism_holds_on_extreme_scales() {
+        // The old absolute guard (`x / step - 1e-9`) was swamped by large
+        // coordinates and oversized on tiny ones; the relative guard must
+        // keep `value(index_up(x)) ≥ x` (up to the documented relative
+        // tolerance) on axes spanning nanoseconds to exayears.
+        for &max in &[1e-12, 1e-3, 1.0, 1e3, 1e12, 1e18] {
+            let ax = Axis::new(max, 51);
+            let step = max / 50.0;
+            for i in 0..50u16 {
+                // Just above a grid point by half a step: must round up.
+                let x = step * i as f64 + step * 0.5;
+                let idx = ax.index_up(x);
+                assert!(
+                    ax.value(idx) >= x * (1.0 - 4e-9),
+                    "max {max}: value({idx}) = {} < {x}",
+                    ax.value(idx)
+                );
+                assert_eq!(idx, i + 1, "max {max}: {x} must round up past point {i}");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn index_up_rounds_up_across_extreme_scales(
+            exp_plus_12 in 0u32..31,
+            n in 2usize..2000,
+            frac in 0.0f64..1.0,
+        ) {
+            let max = 10f64.powi(exp_plus_12 as i32 - 12);
+            let ax = Axis::new(max, n);
+            let x = max * frac;
+            let idx = ax.index_up(x);
+            // Round-up conservatism, up to the documented relative guard.
+            proptest::prop_assert!(
+                ax.value(idx) >= x * (1.0 - 4e-9),
+                "value({}) = {} < {} on max {}", idx, ax.value(idx), x, max
+            );
+            // And never more than one step above (no over-rounding).
+            if idx > 0 {
+                proptest::prop_assert!(ax.value(idx - 1) < x);
+            }
+        }
+
+        #[test]
+        fn index_up_is_monotone(
+            n in 2usize..200,
+            a in 0.0f64..1.0,
+            b in 0.0f64..1.0,
+        ) {
+            let ax = Axis::new(1e9, n);
+            let (lo, hi) = (a.min(b) * 1e9, a.max(b) * 1e9);
+            proptest::prop_assert!(ax.index_up(lo) <= ax.index_up(hi));
+        }
     }
 }

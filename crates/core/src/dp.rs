@@ -21,23 +21,53 @@
 //! grids of [`crate::discrete`]; the recursion is memoized on grid
 //! indices and the chosen split points are kept for reconstruction.
 //!
+//! # Dense memo
+//!
+//! The state space is a small rectangular grid, so the memo is a **dense
+//! array indexed arithmetically** from `(l, p, t_idx, m_idx, v_idx)` —
+//! no hashing on the hot path. The layout is cache-blocked along the
+//! innermost recurrence axis: one contiguous `v`-row per reachable
+//! `(l, p, t_idx, m_idx)` coordinate, allocated lazily on first touch
+//! (the reachable set is sparse — a fully dense box would be hundreds of
+//! megabytes per solve, while the rows actually touched are a few).
+//! A *normal*-processor transition keeps `(t_idx, m_idx)` fixed, so the
+//! whole `k` scan of a state reads rows of the same `(t, m)` column —
+//! the blocking order that makes the scan cache-friendly. After a solve
+//! the memo is compacted into a [`Slab`] (packed key + value + choice
+//! per reachable state, ~20 B/state like the old hash shards) which the
+//! session retains for replan seeding.
+//!
+//! # Branch-and-bound pruning
+//!
+//! Before recursing on a candidate stage, the solver computes an
+//! optimistic period for the whole subtree from the 1F1B* load lower
+//! bound — `max(remaining compute / remaining processors, largest
+//! remaining layer, accumulated special load)`, see [`Dp::subtree_bound`]
+//! — and skips the recursion when even that optimum cannot beat the best
+//! candidate already found at this state. The bound is a true lower
+//! bound on the subproblem value and the incumbent update uses a strict
+//! `<`, so pruning never changes the chosen value or allocation: results
+//! stay f64-bit-identical to the unpruned solver (only `memo`/state
+//! counts of *untouched* subtrees differ — and those states are simply
+//! never created).
+//!
 //! # Cross-probe reuse
 //!
 //! Algorithm 1 and the planner probe the DP at many target periods `T̂`
 //! over the *same* chain and platform. [`ProbeSession`] owns everything
 //! those probes can share:
 //!
-//! * the `t_P`/`m_P` axes and the per-cut communication times, which do
+//! * the `t_P`/`m_P` axes, the per-cut communication times and the
+//!   per-`(k, l)` stage cost/memory tables ([`StageTables`]), which do
 //!   not depend on `T̂` at all;
 //! * an **outcome cache** keyed by `(T̂, use_special)` — the bisection,
 //!   the refinement grid and the contiguous fallback regularly revisit
 //!   the same target, and a revisit costs one hash lookup instead of a
 //!   full solve;
-//! * per-probe **memo shards** — the packed [`Key`] is full (all 64 bits
-//!   carry state coordinates), so entries of different targets cannot
-//!   live in one map; instead each solve's memo is retained whole, which
-//!   keeps every per-`T̂` entry addressable and makes reconstruction of a
-//!   revisited probe free;
+//! * per-probe **dense slabs** — each solve's compacted memo is retained
+//!   whole, which keeps every per-`T̂` state addressable for replan
+//!   seeding and makes the outcome (incl. the reconstructed allocation)
+//!   of a revisited probe free;
 //! * the **monotone infeasibility bound**: `MadPipe-DP(T̂)` is
 //!   non-increasing in `T̂` (the same fact Algorithm 1's bisection relies
 //!   on — see `crate::algorithm1`), so a target proven infeasible makes
@@ -45,16 +75,30 @@
 //!   per `use_special` flag because the two DP variants explore
 //!   different feasible sets.
 //!
+//! # Incremental replans
+//!
+//! [`ProbeSession::derive`] builds a session for the *same chain* on a
+//! platform that survives a fault. When the fault only shrinks the
+//! platform (fewer GPUs, same memory and bandwidth), every DP state of
+//! the healthy platform with `p` below the survivor's processor count is
+//! *also* a state of the degraded DP with the identical value — the
+//! recursion never reads the root processor count, only the per-state
+//! `p` — so the parent's slabs seed the derived session's solves: a
+//! degraded probe at a revisited `T̂` starts with the surviving prefix of
+//! the `p` axis already filled in. Faults that change memory or
+//! bandwidth reshape the axes/cut times and get a fresh session.
+//!
 //! [`ProbeSession::probe_many`] evaluates independent targets on a
 //! scoped thread pool; results are merged in submission order, so the
 //! session state (and therefore every downstream decision) is identical
 //! whatever the thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use madpipe_model::util::ceil_div;
-use madpipe_model::{Allocation, Chain, Platform, Stage};
+use madpipe_model::{Allocation, Chain, Layer, Platform, Stage};
 use madpipe_obs::Registry;
 
 use crate::discrete::{Axis, Discretization};
@@ -71,7 +115,8 @@ pub struct DpOutcome {
     /// The reconstructed allocation: the special processor is GPU 0,
     /// normal stages occupy GPUs `1..P`. `None` iff `period` is infinite.
     pub allocation: Option<Allocation>,
-    /// Number of distinct memoized states.
+    /// Number of distinct memoized states (including states seeded from
+    /// a parent session's slab on derived sessions).
     pub states: usize,
 }
 
@@ -97,7 +142,35 @@ enum Choice {
     Special(u16),
 }
 
+/// [`Choice`] packed into 32 bits: tag in bits 16.., split point `k` in
+/// the low 16 (the memo stores value and choice side by side per state).
+#[inline]
+fn encode_choice(c: Choice) -> u32 {
+    match c {
+        Choice::Infeasible => 0,
+        Choice::Done => 1 << 16,
+        Choice::Normal(k) => (2 << 16) | k as u32,
+        Choice::Special(k) => (3 << 16) | k as u32,
+    }
+}
+
+#[inline]
+fn decode_choice(bits: u32) -> Choice {
+    let k = (bits & 0xffff) as u16;
+    match bits >> 16 {
+        0 => Choice::Infeasible,
+        1 => Choice::Done,
+        2 => Choice::Normal(k),
+        _ => Choice::Special(k),
+    }
+}
+
 /// Packed state key: `l` (16b) | `p` (8b) | `it` (16b) | `im` (8b) | `iv` (16b).
+///
+/// The planner's `validate` keeps every coordinate inside these widths,
+/// which is also the proof that the coordinates fit dense indexing.
+/// Keys only appear in compacted [`Slab`]s now — the live memo indexes
+/// arithmetically — but they keep slab entries self-describing.
 type Key = u64;
 
 #[inline]
@@ -108,7 +181,6 @@ fn pack(l: usize, p: usize, it: u16, im: u16, iv: u16) -> Key {
     (l as u64) << 48 | (p as u64) << 40 | (it as u64) << 24 | (im as u64) << 16 | iv as u64
 }
 
-#[cfg_attr(not(test), allow(dead_code))]
 #[inline]
 fn unpack(key: Key) -> (usize, usize, u16, u16, u16) {
     (
@@ -120,15 +192,310 @@ fn unpack(key: Key) -> (usize, usize, u16, u16, u16) {
     )
 }
 
-/// One retained probe: the full memo of a solve plus its outcome, kept
-/// addressable so revisits and reconstructions are free.
+/// One memo slot: the state's value plus its encoded [`Choice`]. `value`
+/// is `NaN` while unset — real DP values are finite or `+∞`, never `NaN`
+/// (the planner rejects NaN inputs up front), so the sentinel is
+/// unambiguous and presence needs no separate bitmap.
+#[derive(Clone, Copy)]
+struct MemoEntry {
+    value: f64,
+    choice: u32,
+}
+
+const UNSET: MemoEntry = MemoEntry {
+    value: f64::NAN,
+    choice: 0,
+};
+
+/// The per-solve dense memo — see the module docs for the layout.
+struct DenseMemo {
+    l_len: usize,
+    p_len: usize,
+    t_len: usize,
+    m_len: usize,
+    v_len: usize,
+    /// `rows[((l·p_len + p)·t_len + it)·m_len + im]` is the arena row id
+    /// (+1; `0` = not yet touched) of that coordinate's `v`-row.
+    rows: Vec<u32>,
+    /// Bump arena backing every `v`-row: row id `r` occupies
+    /// `arena[r·v_len .. (r+1)·v_len]`. One contiguous allocation in
+    /// touch order instead of a boxed slice per row — the row table is
+    /// half the size (u32 vs pointer) and successive rows share cache
+    /// lines, which is where the solve loop spends its time.
+    arena: Vec<MemoEntry>,
+    /// Indices of rows that have been allocated, in touch order —
+    /// `compact` sorts and walks these instead of scanning the whole
+    /// (mostly empty, on memory-tight instances) row table.
+    touched: Vec<u32>,
+    /// Number of set entries across all rows.
+    filled: usize,
+}
+
+impl DenseMemo {
+    fn new(l_len: usize, p_len: usize, t_len: usize, m_len: usize, v_len: usize) -> Self {
+        Self {
+            l_len,
+            p_len,
+            t_len,
+            m_len,
+            v_len,
+            rows: vec![0; l_len * p_len * t_len * m_len],
+            arena: Vec::new(),
+            touched: Vec::new(),
+            filled: 0,
+        }
+    }
+
+    /// The `v`-row at flat index `idx`, allocated from the arena (and
+    /// recorded in the touched list) on first access.
+    #[inline]
+    fn row_mut(&mut self, idx: usize) -> &mut [MemoEntry] {
+        let mut r = self.rows[idx];
+        if r == 0 {
+            self.arena.resize(self.arena.len() + self.v_len, UNSET);
+            self.touched.push(idx as u32);
+            r = (self.arena.len() / self.v_len) as u32;
+            self.rows[idx] = r;
+        }
+        let start = (r as usize - 1) * self.v_len;
+        &mut self.arena[start..start + self.v_len]
+    }
+
+    #[inline]
+    fn row_index(&self, l: usize, p: usize, it: u16, im: u16) -> usize {
+        debug_assert!(
+            l < self.l_len
+                && p < self.p_len
+                && (it as usize) < self.t_len
+                && (im as usize) < self.m_len
+        );
+        ((l * self.p_len + p) * self.t_len + it as usize) * self.m_len + im as usize
+    }
+
+    #[inline]
+    fn get(&self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> Option<(f64, Choice)> {
+        let r = self.rows[self.row_index(l, p, it, im)];
+        if r == 0 {
+            return None;
+        }
+        let e = self.arena[(r as usize - 1) * self.v_len + iv as usize];
+        if e.value.is_nan() {
+            None
+        } else {
+            Some((e.value, decode_choice(e.choice)))
+        }
+    }
+
+    /// Value-only probe for the solve loop's child lookups, which never
+    /// need the choice (and so skip decoding it).
+    #[inline]
+    fn get_value(&self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> Option<f64> {
+        let r = self.rows[self.row_index(l, p, it, im)];
+        if r == 0 {
+            return None;
+        }
+        let v = self.arena[(r as usize - 1) * self.v_len + iv as usize].value;
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // the five grid coordinates plus the entry
+    fn insert(
+        &mut self,
+        l: usize,
+        p: usize,
+        it: u16,
+        im: u16,
+        iv: u16,
+        value: f64,
+        choice: Choice,
+    ) {
+        debug_assert!(!value.is_nan(), "NaN is the unset sentinel");
+        let idx = self.row_index(l, p, it, im);
+        let was_unset = {
+            let slot = &mut self.row_mut(idx)[iv as usize];
+            let was_unset = slot.value.is_nan();
+            *slot = MemoEntry {
+                value,
+                choice: encode_choice(choice),
+            };
+            was_unset
+        };
+        if was_unset {
+            self.filled += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Pre-fill from a parent session's slab (replan seeding): every
+    /// entry whose `p` coordinate survives on the shrunken platform is
+    /// valid verbatim — the DP value of a state does not depend on the
+    /// root processor count. Returns how many states were seeded.
+    fn seed_from(&mut self, slab: &Slab) -> usize {
+        debug_assert_eq!(
+            (self.t_len, self.m_len, self.v_len),
+            (slab.t_len, slab.m_len, slab.v_len),
+            "seeding requires identical discretization axes"
+        );
+        let mut seeded = 0;
+        for e in &slab.entries {
+            let (l, p, it, im, iv) = unpack(e.key);
+            if p >= self.p_len {
+                continue;
+            }
+            let idx = self.row_index(l, p, it, im);
+            {
+                let slot = &mut self.row_mut(idx)[iv as usize];
+                debug_assert!(slot.value.is_nan(), "slab entries are distinct states");
+                *slot = MemoEntry {
+                    value: e.value,
+                    choice: e.choice,
+                };
+            }
+            self.filled += 1;
+            seeded += 1;
+        }
+        seeded
+    }
+
+    /// Compact to the retained slab form (row-major order — deterministic).
+    fn compact(&self) -> Slab {
+        let mut entries = Vec::with_capacity(self.filled);
+        let mut touched = self.touched.clone();
+        touched.sort_unstable();
+        for ri in touched {
+            let ri = ri as usize;
+            let r = self.rows[ri] as usize;
+            debug_assert!(r > 0, "touched rows are allocated");
+            let row = &self.arena[(r - 1) * self.v_len..r * self.v_len];
+            let im = (ri % self.m_len) as u16;
+            let it = ((ri / self.m_len) % self.t_len) as u16;
+            let lp = ri / (self.m_len * self.t_len);
+            let (l, p) = (lp / self.p_len, lp % self.p_len);
+            for (iv, e) in row.iter().enumerate() {
+                if !e.value.is_nan() {
+                    entries.push(SlabEntry {
+                        key: pack(l, p, it, im, iv as u16),
+                        value: e.value,
+                        choice: e.choice,
+                    });
+                }
+            }
+        }
+        Slab {
+            t_len: self.t_len,
+            m_len: self.m_len,
+            v_len: self.v_len,
+            entries,
+        }
+    }
+}
+
+/// One compacted state of a retained [`Slab`].
+struct SlabEntry {
+    key: Key,
+    value: f64,
+    choice: u32,
+}
+
+/// The compacted memo of one solve, retained by the session: compact
+/// enough to keep for every probe (~20 B per reachable state, like the
+/// old hash shards) while still seeding a derived session's dense memo.
+struct Slab {
+    t_len: usize,
+    m_len: usize,
+    v_len: usize,
+    entries: Vec<SlabEntry>,
+}
+
+impl Slab {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-`(k, l)` stage costs hoisted out of the DP inner loop, shared by
+/// every probe of a session (they do not depend on `T̂`). With these, one
+/// candidate evaluation is pure flat-array arithmetic over the `k` axis —
+/// no prefix-sum recomputation, no per-candidate calls back into the
+/// chain — which is what lets the stage scan vectorize. All values are
+/// produced by the exact same expressions the chain accessors use, so
+/// results are bit-identical to querying the chain directly.
+struct StageTables {
+    /// Row stride: tables are indexed `l * stride + k` for `k < l`.
+    stride: usize,
+    /// `U(k, l)` — total compute time of the stage.
+    u: Vec<f64>,
+    /// `3·Σ W_i` over `[k, l)` (the tripled weight term of `M`).
+    weights3: Vec<u64>,
+    /// `Σ a_{i-1}` over `[k, l)` (per-copy stored activations).
+    stored: Vec<u64>,
+    /// Boundary communication buffers of stage `[k, l)` (counted only at
+    /// real cuts, as in [`Chain::stage_memory`]).
+    buffers: Vec<u64>,
+    /// `max_{i < k} u_F(i) + u_B(i)` — largest single layer among the
+    /// *remaining* (not yet placed) layers; 0 at `k = 0`.
+    max_layer_prefix: Vec<f64>,
+    /// `U(0, k)` — total compute of the remaining layers.
+    u_prefix: Vec<f64>,
+}
+
+impl StageTables {
+    fn new(chain: &Chain) -> Self {
+        let n = chain.len();
+        let stride = n + 1;
+        let mut t = Self {
+            stride,
+            u: vec![0.0; stride * stride],
+            weights3: vec![0; stride * stride],
+            stored: vec![0; stride * stride],
+            buffers: vec![0; stride * stride],
+            max_layer_prefix: vec![0.0; stride],
+            u_prefix: vec![0.0; stride],
+        };
+        for l in 1..=n {
+            for k in 0..l {
+                let i = l * stride + k;
+                t.u[i] = chain.compute_time(k..l);
+                t.weights3[i] = 3 * chain.weight_bytes(k..l);
+                t.stored[i] = chain.stored_activation_bytes(k..l);
+                let mut buf = 0;
+                if k > 0 {
+                    buf += 2 * chain.activation_in(k);
+                }
+                if l < n {
+                    buf += 2 * chain.activation_out(l - 1);
+                }
+                t.buffers[i] = buf;
+            }
+        }
+        for k in 0..n {
+            t.max_layer_prefix[k + 1] =
+                t.max_layer_prefix[k].max(Layer::compute_time(chain.layer(k)));
+            t.u_prefix[k + 1] = chain.compute_time(0..k + 1);
+        }
+        t
+    }
+}
+
+/// One retained probe: the compacted memo of a solve plus its outcome,
+/// kept addressable so revisits and replan seeding are free.
 struct Shard {
     t_hat: f64,
     use_special: bool,
-    memo: FxHashMap<Key, (f64, Choice)>,
+    slab: Arc<Slab>,
     memo_hits: u64,
     load_prunes: u64,
     memory_prunes: u64,
+    branch_prunes: u64,
+    states_seeded: u64,
     outcome: DpOutcome,
 }
 
@@ -156,9 +523,14 @@ pub struct ProbeSession<'a> {
     /// `cut_times[k]` = round-trip communication time of the cut before
     /// layer `k` (`0` at the chain ends), shared by every probe.
     cut_times: Vec<f64>,
+    /// Hoisted per-`(k, l)` stage costs, shared by every probe.
+    tables: StageTables,
     shards: Vec<Shard>,
     /// `(T̂ bits, use_special)` → shard index.
     index: FxHashMap<(u64, bool), usize>,
+    /// Slabs inherited from a parent session ([`ProbeSession::derive`]),
+    /// keyed like the shard index; consulted once per solve.
+    seeds: FxHashMap<(u64, bool), Arc<Slab>>,
     /// Largest target proven infeasible, per `use_special` flag.
     max_infeasible: [Option<f64>; 2],
     /// The session's metrics: every counter behind [`DpStats`] plus the
@@ -166,6 +538,12 @@ pub struct ProbeSession<'a> {
     /// (main) thread, so values are bit-identical across thread counts.
     registry: Registry,
     records: Vec<ProbeRecord>,
+    /// Largest memo-arena length seen so far (entries), used to
+    /// pre-reserve the next solve's arena instead of growing it through
+    /// doubling reallocations. Purely an allocation hint — never affects
+    /// any computed value. Atomic because solves may run on worker
+    /// threads behind `&self`.
+    arena_hint: std::sync::atomic::AtomicUsize,
 }
 
 impl<'a> ProbeSession<'a> {
@@ -185,12 +563,48 @@ impl<'a> ProbeSession<'a> {
             m_axis: Axis::new(platform.memory_bytes as f64, disc.m_points),
             v_max,
             cut_times,
+            tables: StageTables::new(chain),
             shards: Vec::new(),
             index: FxHashMap::default(),
+            seeds: FxHashMap::default(),
             max_infeasible: [None, None],
             registry: Registry::new(),
             records: Vec::new(),
+            arena_hint: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Derive a session for the same chain on `platform` — the entry
+    /// point for degraded-mode replans ([`crate::degrade`]).
+    ///
+    /// When `platform` only *shrinks* this session's platform (at most
+    /// as many GPUs, identical memory and bandwidth, hence identical
+    /// axes and cut times), the derived session inherits every retained
+    /// slab as a seed plus the monotone infeasibility bound: a state's
+    /// DP value never depends on the root processor count, and dropping
+    /// processors can only shrink the feasible set, so both carry over
+    /// verbatim and every probe stays bit-identical to a cold session's.
+    /// Any other change reshapes the DP state space and yields a plain
+    /// fresh session.
+    pub fn derive<'b>(&'b self, platform: &'b Platform) -> ProbeSession<'b>
+    where
+        'a: 'b,
+    {
+        let mut child = ProbeSession::new(self.chain, platform, &self.disc);
+        let shrink_only = platform.n_gpus <= self.platform.n_gpus
+            && platform.memory_bytes == self.platform.memory_bytes
+            && platform.bandwidth.to_bits() == self.platform.bandwidth.to_bits()
+            && child.cut_times == self.cut_times;
+        if shrink_only {
+            child.max_infeasible = self.max_infeasible;
+            for shard in &self.shards {
+                child.seeds.insert(
+                    (shard.t_hat.to_bits(), shard.use_special),
+                    Arc::clone(&shard.slab),
+                );
+            }
+        }
+        child
     }
 
     /// The chain this session was built for. Returns the `'a`-lived
@@ -287,7 +701,7 @@ impl<'a> ProbeSession<'a> {
                     let shard = &self.shards[i];
                     self.registry.inc(counters::DP_OUTCOME_HITS);
                     self.registry
-                        .add(counters::DP_STATES_REUSED, shard.memo.len() as u64);
+                        .add(counters::DP_STATES_REUSED, shard.slab.len() as u64);
                     (
                         shard.outcome.clone(),
                         shard.outcome.states,
@@ -318,7 +732,7 @@ impl<'a> ProbeSession<'a> {
                     let shard = &self.shards[first_new_shard + j];
                     self.registry.inc(counters::DP_OUTCOME_HITS);
                     self.registry
-                        .add(counters::DP_STATES_REUSED, shard.memo.len() as u64);
+                        .add(counters::DP_STATES_REUSED, shard.slab.len() as u64);
                     (
                         shard.outcome.clone(),
                         shard.outcome.states,
@@ -344,7 +758,8 @@ impl<'a> ProbeSession<'a> {
     }
 
     /// Solve `pending` targets, each with a fresh memo over the shared
-    /// axes/cut table. Returns `(shard, seconds)` in `pending` order.
+    /// axes/cut/stage tables. Returns `(shard, seconds)` in `pending`
+    /// order.
     fn solve_batch(&self, pending: &[f64], use_special: bool, threads: usize) -> Vec<(Shard, f64)> {
         let threads = threads.max(1).min(pending.len().max(1));
         if threads == 1 || pending.len() == 1 {
@@ -397,8 +812,34 @@ impl<'a> ProbeSession<'a> {
         if let Some(sp) = sp.as_mut() {
             sp.arg("t_hat", t_hat);
         }
+        let p_normal = if use_special {
+            self.platform.n_gpus - 1
+        } else {
+            self.platform.n_gpus
+        };
+        // Without the special processor `t_P`/`m_P` are pinned at 0, so
+        // those axes collapse to a single dense index.
+        let (t_len, m_len) = if use_special {
+            (self.t_axis.len(), self.m_axis.len())
+        } else {
+            (1, 1)
+        };
+        let mut memo = DenseMemo::new(
+            self.chain.len() + 1,
+            p_normal + 1,
+            t_len,
+            m_len,
+            self.disc.v_points,
+        );
+        // Grow the arena to the largest size any solve has needed yet in
+        // one reservation, instead of through doubling re-copies.
+        memo.arena
+            .reserve(self.arena_hint.load(std::sync::atomic::Ordering::Relaxed));
+        let states_seeded = match self.seeds.get(&(t_hat.to_bits(), use_special)) {
+            Some(slab) => memo.seed_from(slab) as u64,
+            None => 0,
+        };
         let mut dp = Dp {
-            chain: self.chain,
             platform: self.platform,
             t_hat,
             use_special,
@@ -406,15 +847,17 @@ impl<'a> ProbeSession<'a> {
             m_axis: &self.m_axis,
             v_axis: Axis::new(self.v_max.max(t_hat), self.disc.v_points),
             cut_times: &self.cut_times,
-            memo: FxHashMap::default(),
+            tables: &self.tables,
+            memo,
+            trans: vec![
+                TransEntry { g: 0, iv_next: 0 };
+                (self.chain.len() + 1) * self.tables.stride * self.disc.v_points
+            ],
+            trans_t: vec![u16::MAX; (self.chain.len() + 1) * self.tables.stride * t_len],
             memo_hits: 0,
             load_prunes: 0,
             memory_prunes: 0,
-        };
-        let p_normal = if use_special {
-            self.platform.n_gpus - 1
-        } else {
-            self.platform.n_gpus
+            branch_prunes: 0,
         };
         let period = dp.solve(self.chain.len(), p_normal, 0, 0, 0);
         let allocation = if period.is_finite() {
@@ -423,13 +866,17 @@ impl<'a> ProbeSession<'a> {
             None
         };
         let states = dp.memo.len();
+        self.arena_hint
+            .fetch_max(dp.memo.arena.len(), std::sync::atomic::Ordering::Relaxed);
         Shard {
             t_hat,
             use_special,
-            memo: dp.memo,
+            slab: Arc::new(dp.memo.compact()),
             memo_hits: dp.memo_hits,
             load_prunes: dp.load_prunes,
             memory_prunes: dp.memory_prunes,
+            branch_prunes: dp.branch_prunes,
+            states_seeded,
             outcome: DpOutcome {
                 period,
                 allocation,
@@ -442,13 +889,19 @@ impl<'a> ProbeSession<'a> {
     /// bound, outcome cache).
     fn absorb(&mut self, shard: Shard) {
         self.registry.inc(counters::DP_SOLVES);
+        self.registry.add(
+            counters::DP_STATES_CREATED,
+            shard.slab.len() as u64 - shard.states_seeded,
+        );
         self.registry
-            .add(counters::DP_STATES_CREATED, shard.memo.len() as u64);
+            .add(counters::DP_STATES_SEEDED, shard.states_seeded);
         self.registry.add(counters::DP_MEMO_HITS, shard.memo_hits);
         self.registry
             .add(counters::DP_LOAD_PRUNES, shard.load_prunes);
         self.registry
             .add(counters::DP_MEMORY_PRUNES, shard.memory_prunes);
+        self.registry
+            .add(counters::DP_BRANCH_PRUNES, shard.branch_prunes);
         if shard.outcome.period.is_infinite() {
             let bound = &mut self.max_infeasible[shard.use_special as usize];
             *bound = Some(bound.map_or(shard.t_hat, |b| b.max(shard.t_hat)));
@@ -461,8 +914,16 @@ impl<'a> ProbeSession<'a> {
     }
 }
 
+/// Cached `(l, k, iv)`-dependent transition terms: the group count `g`
+/// and the rounded-up next delay index. `g = 0` marks an unset entry
+/// (the real value is always ≥ 1 after the `.max(1)` clamp).
+#[derive(Clone, Copy)]
+struct TransEntry {
+    g: u64,
+    iv_next: u16,
+}
+
 struct Dp<'a> {
-    chain: &'a Chain,
     platform: &'a Platform,
     t_hat: f64,
     use_special: bool,
@@ -470,22 +931,104 @@ struct Dp<'a> {
     m_axis: &'a Axis,
     v_axis: Axis,
     cut_times: &'a [f64],
-    memo: FxHashMap<Key, (f64, Choice)>,
+    tables: &'a StageTables,
+    memo: DenseMemo,
+    /// Per-`(l, k)` rows (same `l * stride + k` indexing as the stage
+    /// tables) of per-`iv` transition terms, filled lazily. The group
+    /// count and the ⊕-chain depend only on the layer range and the
+    /// delay coordinate, so every `(p, t_P, m_P)` state sharing them can
+    /// reuse one computation instead of redoing four `ceil_div`s and a
+    /// grid round-up per candidate. Flat (`(l·stride + k)·v_len + iv`)
+    /// and zero-initialized: the table is small enough (stage pairs ×
+    /// `v` points) that direct indexing beats any lazy-row scheme.
+    trans: Vec<TransEntry>,
+    /// Same flat layout for the special branch's `t_P` round-up keyed by
+    /// `(l, k, it)`. `u16::MAX` marks unset (axes are capped far below).
+    trans_t: Vec<u16>,
     memo_hits: u64,
     load_prunes: u64,
     memory_prunes: u64,
+    branch_prunes: u64,
 }
 
 impl Dp<'_> {
-    fn solve(&mut self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> f64 {
-        let key = pack(l, p, it, im, iv);
-        if let Some(&(v, _)) = self.memo.get(&key) {
+    /// Optimistic lower bound on `solve(k, p, ·)` when the special
+    /// processor's accumulated (grid-rounded) load is `t_acc` — the
+    /// 1F1B* load argument: the remaining compute `U(0, k)` plus the
+    /// already-accumulated special load must be carried by at most
+    /// `p` normal processors and the special one, no stage can beat its
+    /// largest layer, and the special load itself only ever rounds up.
+    /// Exact (a true lower bound), so branch-and-bound on it never
+    /// changes any DP value.
+    #[inline]
+    fn subtree_bound(&self, k: usize, p: usize, t_acc: f64) -> f64 {
+        if k == 0 {
+            // Base case: `solve(0, p, it, ·, ·)` is exactly `t_acc`.
+            return t_acc;
+        }
+        let bins = p + self.use_special as usize;
+        if bins == 0 {
+            return f64::INFINITY;
+        }
+        let spread = (self.tables.u_prefix[k] + t_acc) / bins as f64;
+        spread.max(self.tables.max_layer_prefix[k]).max(t_acc)
+    }
+
+    /// `(g, iv_next)` for extending the plan with stage `k..l` from delay
+    /// coordinate `iv`, computed once per distinct `(l, k, iv)` and then
+    /// served from the cache. `v_val`, `u` and `cut` are pure functions
+    /// of those coordinates, so caching is bit-transparent.
+    #[inline]
+    fn transition(&mut self, row_k: usize, iv: u16, v_val: f64, u: f64, cut: f64) -> (u64, u16) {
+        let idx = row_k * self.v_axis.len() + iv as usize;
+        let cached = self.trans[idx];
+        if cached.g != 0 {
+            return (cached.g, cached.iv_next);
+        }
+        let g = ceil_div(v_val + u, self.t_hat).max(1);
+        let v_next = oplus(oplus(v_val, u, self.t_hat), cut, self.t_hat);
+        let iv_next = self.v_axis.index_up(v_next);
+        self.trans[idx] = TransEntry { g, iv_next };
+        (g, iv_next)
+    }
+
+    /// Rounded-up special-processor load index after taking stage `k..l`
+    /// from load coordinate `it`, cached per `(l, k, it)`.
+    #[inline]
+    fn transition_t(&mut self, row_k: usize, it: u16, t_val: f64, u: f64) -> u16 {
+        let idx = row_k * self.t_axis.len() + it as usize;
+        let cached = self.trans_t[idx];
+        if cached != u16::MAX {
+            return cached;
+        }
+        let it_next = self.t_axis.index_up(t_val + u);
+        self.trans_t[idx] = it_next;
+        it_next
+    }
+
+    /// Child-state value: memo probe inlined ahead of the recursion so
+    /// the (majority) hit path skips the full `solve_uncached` body and
+    /// misses probe the memo exactly once.
+    #[inline]
+    fn child(&mut self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> f64 {
+        if let Some(v) = self.memo.get_value(l, p, it, im, iv) {
             self.memo_hits += 1;
             return v;
         }
+        self.solve_uncached(l, p, it, im, iv)
+    }
+
+    /// Root entry point — identical to [`Self::child`], kept under the
+    /// conventional name for the callers outside the hot loop.
+    fn solve(&mut self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> f64 {
+        self.child(l, p, it, im, iv)
+    }
+
+    /// Evaluate a state known to be absent from the memo.
+    fn solve_uncached(&mut self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> f64 {
         if l == 0 {
             let v = self.t_axis.value(it);
-            self.memo.insert(key, (v, Choice::Done));
+            self.memo.insert(l, p, it, im, iv, v, Choice::Done);
             return v;
         }
 
@@ -493,12 +1036,30 @@ impl Dp<'_> {
         let m_val = self.m_axis.value(im);
         let v_val = self.v_axis.value(iv);
         let memory = self.platform.memory_bytes;
+        let row = l * self.tables.stride;
+        // Hoisted table slices: every candidate index is `k < l`, which
+        // the slice lengths prove to the bounds checker once. Copying the
+        // `&'a` references out keeps the slices independent of the `&mut
+        // self` reborrows inside the loop.
+        let tables = self.tables;
+        let us = &tables.u[row..row + l];
+        let weights3 = &tables.weights3[row..row + l];
+        let storeds = &tables.stored[row..row + l];
+        let bufferss = &tables.buffers[row..row + l];
+        let u_prefix = &tables.u_prefix[..l];
+        let max_layer_prefix = &tables.max_layer_prefix[..l];
+        let cut_times = self.cut_times;
+        let cuts = &cut_times[..l];
+        // Subtree-bound denominators (processors left for the remaining
+        // prefix, per branch), constant across the candidate scan.
+        let bins_n = (p + self.use_special as usize).saturating_sub(1) as f64;
+        let bins_s = (p + self.use_special as usize) as f64;
 
         let mut best = f64::INFINITY;
         let mut choice = Choice::Infeasible;
 
         for k in (0..l).rev() {
-            let u = self.chain.compute_time(k..l);
+            let u = us[k];
             // Both options cost at least the stage load `u`, and `u` only
             // grows as the stage extends towards the front — once it
             // reaches the best period found at this state, no larger
@@ -507,43 +1068,94 @@ impl Dp<'_> {
                 self.load_prunes += 1;
                 break;
             }
-            let g = ceil_div(v_val + u, self.t_hat).max(1);
-            let cut = self.cut_times[k];
-            let v_next = oplus(oplus(v_val, u, self.t_hat), cut, self.t_hat);
-            let iv_next = self.v_axis.index_up(v_next);
+            let cut = cuts[k];
+            let (g, iv_next) = self.transition(row + k, iv, v_val, u, cut);
 
-            // Memory cores (without boundary buffers), monotone as k
-            // decreases — used for the early break below.
-            let weights = 3 * self.chain.weight_bytes(k..l);
-            let stored = self.chain.stored_activation_bytes(k..l);
+            // Memory terms of `M(k, l, g)`, all hoisted: cores (without
+            // boundary buffers) are monotone as `k` decreases — used for
+            // the early break below.
+            let weights = weights3[k];
+            let stored = storeds[k];
+            let buffers = bufferss[k];
             let normal_core = weights + g * stored;
             let special_core = m_val as u64 + weights + (g - 1) * stored;
 
-            // Normal processor option.
-            if p >= 1 {
-                let mem = self.chain.stage_memory(k..l, g);
-                if mem <= memory {
-                    let sub = self.solve(k, p - 1, it, im, iv_next);
-                    let t_n = u.max(cut).max(sub);
-                    if t_n < best {
-                        best = t_n;
-                        choice = Choice::Normal(k as u16);
+            // Both options also cost at least the boundary cut time, so a
+            // candidate whose cut already meets the incumbent cannot win
+            // whatever its subtree solves to — skip straight to the
+            // memory break test. (Cuts are not monotone in `k`, so this
+            // cannot break out of the scan the way the load prune does.)
+            if cut < best {
+                // Normal processor option. Recurse only when even the
+                // optimistic subtree period can still beat the incumbent
+                // (the bound is `subtree_bound` inlined against the
+                // hoisted prefix slices).
+                if p >= 1 && normal_core + buffers <= memory {
+                    let bound = if k == 0 {
+                        t_val
+                    } else if bins_n == 0.0 {
+                        f64::INFINITY
+                    } else {
+                        ((u_prefix[k] + t_val) / bins_n)
+                            .max(max_layer_prefix[k])
+                            .max(t_val)
+                    };
+                    debug_assert_eq!(
+                        bound.to_bits(),
+                        self.subtree_bound(k, p - 1, t_val).to_bits()
+                    );
+                    let floor = u.max(cut).max(bound);
+                    if floor < best {
+                        // `k == 0` is the terminal state: its value is
+                        // exactly the rounded special load `t_val`, no
+                        // recursion or memo traffic needed.
+                        let sub = if k == 0 {
+                            t_val
+                        } else {
+                            self.child(k, p - 1, it, im, iv_next)
+                        };
+                        let t_n = u.max(cut).max(sub);
+                        if t_n < best {
+                            best = t_n;
+                            choice = Choice::Normal(k as u16);
+                        }
+                    } else {
+                        self.branch_prunes += 1;
                     }
                 }
-            }
 
-            // Special processor option.
-            let stage_mem = self.chain.stage_memory(k..l, g.saturating_sub(1));
-            let m_next = m_val + stage_mem as f64;
-            let t_next = t_val + u;
-            if self.use_special && !self.m_axis.overflows(m_next) && m_next <= memory as f64 {
-                let it_next = self.t_axis.index_up(t_next);
-                let im_next = self.m_axis.index_up(m_next);
-                let sub = self.solve(k, p, it_next, im_next, iv_next);
-                let t_s = self.t_axis.value(it_next).max(cut).max(sub);
-                if t_s < best {
-                    best = t_s;
-                    choice = Choice::Special(k as u16);
+                // Special processor option, same branch-and-bound.
+                let m_next = m_val + (weights + (g - 1) * stored + buffers) as f64;
+                if self.use_special && !self.m_axis.overflows(m_next) && m_next <= memory as f64 {
+                    let it_next = self.transition_t(row + k, it, t_val, u);
+                    let im_next = self.m_axis.index_up(m_next);
+                    let t_next_val = self.t_axis.value(it_next);
+                    let bound = if k == 0 {
+                        t_next_val
+                    } else {
+                        ((u_prefix[k] + t_next_val) / bins_s)
+                            .max(max_layer_prefix[k])
+                            .max(t_next_val)
+                    };
+                    debug_assert_eq!(
+                        bound.to_bits(),
+                        self.subtree_bound(k, p, t_next_val).to_bits()
+                    );
+                    let floor = t_next_val.max(cut).max(bound);
+                    if floor < best {
+                        let sub = if k == 0 {
+                            t_next_val
+                        } else {
+                            self.child(k, p, it_next, im_next, iv_next)
+                        };
+                        let t_s = t_next_val.max(cut).max(sub);
+                        if t_s < best {
+                            best = t_s;
+                            choice = Choice::Special(k as u16);
+                        }
+                    } else {
+                        self.branch_prunes += 1;
+                    }
                 }
             }
 
@@ -555,7 +1167,7 @@ impl Dp<'_> {
             }
         }
 
-        self.memo.insert(key, (best, choice));
+        self.memo.insert(l, p, it, im, iv, best, choice);
         best
     }
 
@@ -566,8 +1178,13 @@ impl Dp<'_> {
         let (mut l, mut p, mut it, mut im, mut iv) = (l0, p0, 0u16, 0u16, 0u16);
         let mut next_normal_gpu = n_gpus - 1; // count down; GPU 0 is special
         loop {
-            let key = pack(l, p, it, im, iv);
-            let &(_, choice) = self.memo.get(&key)?;
+            // Terminal: the solve loop computes `k == 0` children
+            // directly, so the memo holds no `l == 0` states.
+            if l == 0 {
+                break;
+            }
+            let (_, choice) = self.memo.get(l, p, it, im, iv)?;
+            let row = l * self.tables.stride;
             match choice {
                 Choice::Infeasible => return None,
                 Choice::Done => break,
@@ -579,7 +1196,7 @@ impl Dp<'_> {
                     });
                     next_normal_gpu = next_normal_gpu.saturating_sub(1);
                     let v_val = self.v_axis.value(iv);
-                    let u = self.chain.compute_time(k..l);
+                    let u = self.tables.u[row + k];
                     let cut = self.cut_times[k];
                     iv = self
                         .v_axis
@@ -596,10 +1213,12 @@ impl Dp<'_> {
                     let v_val = self.v_axis.value(iv);
                     let t_val = self.t_axis.value(it);
                     let m_val = self.m_axis.value(im);
-                    let u = self.chain.compute_time(k..l);
+                    let u = self.tables.u[row + k];
                     let g = ceil_div(v_val + u, self.t_hat).max(1);
                     let cut = self.cut_times[k];
-                    let stage_mem = self.chain.stage_memory(k..l, g.saturating_sub(1));
+                    let stage_mem = self.tables.weights3[row + k]
+                        + (g - 1) * self.tables.stored[row + k]
+                        + self.tables.buffers[row + k];
                     it = self.t_axis.index_up(t_val + u);
                     im = self.m_axis.index_up(m_val + stage_mem as f64);
                     iv = self
@@ -610,7 +1229,7 @@ impl Dp<'_> {
             }
         }
         stages_rev.reverse();
-        Allocation::new(stages_rev, self.chain.len(), n_gpus).ok()
+        Allocation::new(stages_rev, l0, n_gpus).ok()
     }
 }
 
@@ -645,7 +1264,6 @@ pub fn madpipe_dp_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use madpipe_model::Layer;
     use proptest::prelude::*;
 
     fn chain(costs: &[(f64, f64)], act: u64, w: u64) -> Chain {
@@ -845,6 +1463,124 @@ mod tests {
     }
 
     #[test]
+    fn dense_memo_inserts_gets_and_compacts() {
+        let mut m = DenseMemo::new(4, 3, 5, 2, 7);
+        assert_eq!(m.len(), 0);
+        assert!(m.get(1, 2, 3, 1, 6).is_none());
+        m.insert(1, 2, 3, 1, 6, 2.5, Choice::Normal(9));
+        m.insert(0, 0, 0, 0, 0, f64::INFINITY, Choice::Infeasible);
+        m.insert(3, 1, 4, 0, 2, 7.0, Choice::Special(3));
+        // Overwrite does not double-count.
+        m.insert(3, 1, 4, 0, 2, 8.0, Choice::Done);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(1, 2, 3, 1, 6), Some((2.5, Choice::Normal(9))));
+        assert_eq!(
+            m.get(0, 0, 0, 0, 0),
+            Some((f64::INFINITY, Choice::Infeasible))
+        );
+        assert_eq!(m.get(3, 1, 4, 0, 2), Some((8.0, Choice::Done)));
+        assert!(m.get(1, 2, 3, 1, 5).is_none(), "same row, other v index");
+
+        let slab = m.compact();
+        assert_eq!(slab.len(), 3);
+        // Round-trip: seeding an empty memo of the same shape reproduces
+        // every entry (this is the replan-reuse path).
+        let mut back = DenseMemo::new(4, 3, 5, 2, 7);
+        assert_eq!(back.seed_from(&slab), 3);
+        assert_eq!(back.get(1, 2, 3, 1, 6), Some((2.5, Choice::Normal(9))));
+        assert_eq!(back.get(3, 1, 4, 0, 2), Some((8.0, Choice::Done)));
+        // A shrunken p axis only takes the surviving prefix.
+        let mut shrunk = DenseMemo::new(4, 2, 5, 2, 7);
+        assert_eq!(shrunk.seed_from(&slab), 2, "p = 2 entry dropped");
+        assert!(shrunk.get(0, 0, 0, 0, 0).is_some());
+    }
+
+    #[test]
+    fn derived_session_probes_match_a_cold_session_bit_for_bit() {
+        let c = chain(
+            &[(1.0, 2.0), (3.0, 1.0), (2.0, 2.0), (1.0, 1.0), (2.0, 3.0)],
+            1 << 18,
+            1 << 10,
+        );
+        let healthy = Platform::new(4, 3 << 20, 1e8).unwrap();
+        let degraded = Platform::new(3, 3 << 20, 1e8).unwrap();
+        let targets = [2.0, 3.5, 5.0, 8.0, 13.0];
+
+        let mut parent = ProbeSession::new(&c, &healthy, &disc());
+        for &t in &targets {
+            parent.probe(t, true, ProbeSource::Bisection);
+            parent.probe(t, false, ProbeSource::ContiguousFallback);
+        }
+
+        let mut seeded = parent.derive(&degraded);
+        let mut cold = ProbeSession::new(&c, &degraded, &disc());
+        for &t in &targets {
+            for special in [true, false] {
+                let a = seeded.probe(t, special, ProbeSource::Bisection);
+                let b = cold.probe(t, special, ProbeSource::Bisection);
+                assert_eq!(
+                    a.period.to_bits(),
+                    b.period.to_bits(),
+                    "T̂ = {t}, special = {special}"
+                );
+                assert_eq!(
+                    a.allocation.map(|x| x.stages().to_vec()),
+                    b.allocation.map(|x| x.stages().to_vec())
+                );
+            }
+        }
+        assert!(
+            seeded.stats().states_seeded > 0,
+            "surviving slab states must be reused: {:?}",
+            seeded.stats()
+        );
+    }
+
+    #[test]
+    fn derive_on_a_changed_platform_starts_cold() {
+        let c = chain(&[(1.0, 1.0); 5], 1 << 16, 1 << 8);
+        let healthy = Platform::new(4, 4 << 20, 1e8).unwrap();
+        let mut parent = ProbeSession::new(&c, &healthy, &disc());
+        parent.probe(4.0, true, ProbeSource::Bisection);
+
+        // Halved memory reshapes the m axis: nothing may be inherited.
+        let less_memory = Platform::new(4, 2 << 20, 1e8).unwrap();
+        let mut child = parent.derive(&less_memory);
+        child.probe(4.0, true, ProbeSource::Bisection);
+        assert_eq!(child.stats().states_seeded, 0);
+        assert_eq!(child.stats().solves, 1);
+    }
+
+    #[test]
+    fn branch_pruning_fires_and_keeps_results_exact() {
+        // Imbalanced chain with room to prune: the bound must kill
+        // subtrees without changing the answer (the answer itself is
+        // cross-checked against the reference solver in the
+        // dense_vs_hashed differential suite; here we check the pruning
+        // is actually engaged).
+        let c = chain(
+            &[
+                (1.0, 2.0),
+                (3.0, 1.0),
+                (2.0, 2.0),
+                (1.0, 1.0),
+                (2.0, 3.0),
+                (0.5, 0.5),
+            ],
+            1 << 14,
+            1 << 9,
+        );
+        let platform = Platform::new(4, 8 << 20, 1e8).unwrap();
+        let mut session = ProbeSession::new(&c, &platform, &disc());
+        session.probe(3.0, true, ProbeSource::Bisection);
+        assert!(
+            session.stats().branch_prunes > 0,
+            "expected branch-and-bound to fire: {:?}",
+            session.stats()
+        );
+    }
+
+    #[test]
     fn key_fields_round_trip_at_the_limits() {
         for &(l, p, it, im, iv) in &[
             (0usize, 0usize, 0u16, 0u16, 0u16),
@@ -877,6 +1613,13 @@ mod tests {
             let ka = pack(a.0, a.1, a.2, a.3, a.4);
             let kb = pack(b.0, b.1, b.2, b.3, b.4);
             prop_assert_eq!(ka == kb, a == b);
+        }
+
+        #[test]
+        fn choice_encoding_round_trips(k in 0u16..=u16::MAX) {
+            for c in [Choice::Infeasible, Choice::Done, Choice::Normal(k), Choice::Special(k)] {
+                prop_assert_eq!(decode_choice(encode_choice(c)), c);
+            }
         }
     }
 

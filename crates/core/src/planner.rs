@@ -309,6 +309,7 @@ fn mirror_into_metrics(stats: &mut PlannerStats) {
         ProbeSource::Bisection,
         ProbeSource::ContiguousFallback,
         ProbeSource::Refinement,
+        ProbeSource::Bridge,
     ] {
         let n = stats.probes.iter().filter(|p| p.source == source).count();
         if n > 0 {

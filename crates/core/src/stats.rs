@@ -27,9 +27,11 @@ pub mod counters {
     pub const DP_BOUND_PRUNES: &str = "dp.bound_prunes";
     pub const DP_STATES_CREATED: &str = "dp.states_created";
     pub const DP_STATES_REUSED: &str = "dp.states_reused";
+    pub const DP_STATES_SEEDED: &str = "dp.states_seeded";
     pub const DP_MEMO_HITS: &str = "dp.memo_hits";
     pub const DP_LOAD_PRUNES: &str = "dp.load_prunes";
     pub const DP_MEMORY_PRUNES: &str = "dp.memory_prunes";
+    pub const DP_BRANCH_PRUNES: &str = "dp.branch_prunes";
     /// Log₂ histogram of per-solve wall time (seconds).
     pub const DP_SOLVE_SECONDS: &str = "dp.solve.seconds";
     /// Log₂ histogram of per-solve memoized state counts.
@@ -54,12 +56,18 @@ pub struct DpStats {
     pub states_created: u64,
     /// States served again from retained shards by outcome-cache hits.
     pub states_reused: u64,
+    /// States pre-filled from a parent session's slabs on derived
+    /// sessions (incremental replans) instead of being recomputed.
+    pub states_seeded: u64,
     /// Intra-solve memo lookups that hit an existing state.
     pub memo_hits: u64,
     /// Times the exact load prune (`u ≥ best`) cut a stage scan short.
     pub load_prunes: u64,
     /// Times the monotone memory-overflow break cut a stage scan short.
     pub memory_prunes: u64,
+    /// Candidate recursions skipped because the 1F1B* subtree lower
+    /// bound already met the incumbent (branch-and-bound, exact).
+    pub branch_prunes: u64,
 }
 
 impl DpStats {
@@ -72,9 +80,11 @@ impl DpStats {
             bound_prunes: registry.counter(DP_BOUND_PRUNES) as usize,
             states_created: registry.counter(DP_STATES_CREATED),
             states_reused: registry.counter(DP_STATES_REUSED),
+            states_seeded: registry.counter(DP_STATES_SEEDED),
             memo_hits: registry.counter(DP_MEMO_HITS),
             load_prunes: registry.counter(DP_LOAD_PRUNES),
             memory_prunes: registry.counter(DP_MEMORY_PRUNES),
+            branch_prunes: registry.counter(DP_BRANCH_PRUNES),
         }
     }
 
@@ -85,9 +95,11 @@ impl DpStats {
         self.bound_prunes += other.bound_prunes;
         self.states_created += other.states_created;
         self.states_reused += other.states_reused;
+        self.states_seeded += other.states_seeded;
         self.memo_hits += other.memo_hits;
         self.load_prunes += other.load_prunes;
         self.memory_prunes += other.memory_prunes;
+        self.branch_prunes += other.branch_prunes;
     }
 
     /// Probes answered without running a DP solve.
@@ -105,6 +117,10 @@ pub enum ProbeSource {
     ContiguousFallback,
     /// The post-bisection refinement grid.
     Refinement,
+    /// A degraded-mode bridge probe: the survivor evaluated at the
+    /// baseline plan's chosen target, seeded from the baseline session's
+    /// surviving DP slabs ([`crate::replan_with_session`]).
+    Bridge,
 }
 
 impl std::fmt::Display for ProbeSource {
@@ -113,6 +129,7 @@ impl std::fmt::Display for ProbeSource {
             ProbeSource::Bisection => write!(f, "bisection"),
             ProbeSource::ContiguousFallback => write!(f, "contiguous"),
             ProbeSource::Refinement => write!(f, "refinement"),
+            ProbeSource::Bridge => write!(f, "bridge"),
         }
     }
 }
@@ -254,9 +271,11 @@ impl PlannerStats {
                     ),
                     ("states_created".into(), Value::UInt(self.dp.states_created)),
                     ("states_reused".into(), Value::UInt(self.dp.states_reused)),
+                    ("states_seeded".into(), Value::UInt(self.dp.states_seeded)),
                     ("memo_hits".into(), Value::UInt(self.dp.memo_hits)),
                     ("load_prunes".into(), Value::UInt(self.dp.load_prunes)),
                     ("memory_prunes".into(), Value::UInt(self.dp.memory_prunes)),
+                    ("branch_prunes".into(), Value::UInt(self.dp.branch_prunes)),
                 ]),
             ),
             (
@@ -308,9 +327,11 @@ mod tests {
             bound_prunes: 0,
             states_created: 100,
             states_reused: 40,
+            states_seeded: 5,
             memo_hits: 7,
             load_prunes: 3,
             memory_prunes: 1,
+            branch_prunes: 11,
         };
         let b = DpStats {
             solves: 1,
@@ -318,15 +339,19 @@ mod tests {
             bound_prunes: 3,
             states_created: 10,
             states_reused: 0,
+            states_seeded: 2,
             memo_hits: 1,
             load_prunes: 1,
             memory_prunes: 0,
+            branch_prunes: 4,
         };
         a.merge(&b);
         assert_eq!(a.solves, 3);
         assert_eq!(a.outcome_hits, 3);
         assert_eq!(a.bound_prunes, 3);
         assert_eq!(a.states_created, 110);
+        assert_eq!(a.states_seeded, 7);
+        assert_eq!(a.branch_prunes, 15);
         assert_eq!(a.probes_saved(), 6);
     }
 

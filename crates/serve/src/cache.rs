@@ -80,8 +80,18 @@ impl PlanCache {
         if self.per_shard == 0 {
             return 0;
         }
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = lock_shard(&self.shards[shard_of(&key)]);
+        // The stamp must be drawn *inside* the shard lock (as `get` does).
+        // Drawn outside, an insert could take stamp N, stall, and store N
+        // only after concurrent hits refreshed sibling entries with
+        // N+1… — the *newest* write in the shard would then carry the
+        // shard's minimum stamp and be the next eviction victim. With
+        // every draw under the lock, stamps within a shard are monotone
+        // in write order, which is exactly what the min-stamp scan needs;
+        // `Relaxed` is fine because the mutex already orders the
+        // cross-thread accesses — the counter is only a tie-free source
+        // of unique values.
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let fresh = !shard.map.contains_key(&key);
         let mut evicted = 0;
         if fresh && shard.map.len() >= self.per_shard {
@@ -211,6 +221,77 @@ mod tests {
         }
         assert!(!c.is_empty());
         assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn a_just_refreshed_entry_is_never_the_eviction_victim() {
+        // Regression test for the stale-stamp race: `insert` used to draw
+        // its recency stamp *outside* the shard lock, so an entry
+        // refreshed by concurrent hits could still lose an eviction scan
+        // to an insert holding an older pre-drawn stamp. Lockstep rounds:
+        // several hitter threads refresh `protected` concurrently, then
+        // (ordered by a barrier) the main thread inserts a fresh
+        // same-shard key into a full shard. The eviction must always pick
+        // the cold filler, never the entry that was just refreshed.
+        use std::sync::Barrier;
+
+        // Capacity 16 → 2 slots per shard; collect same-shard keys.
+        let mut same: Vec<String> = Vec::new();
+        let mut i = 0;
+        while same.len() < 18 {
+            let k = format!("v{i}");
+            if shard_of(&k) == shard_of("v0") {
+                same.push(k);
+            }
+            i += 1;
+        }
+        let protected = same.remove(0);
+        let rounds = same.len() - 1;
+
+        let c = Arc::new(PlanCache::new(16));
+        c.insert(protected.clone(), plan(0));
+        c.insert(same[0].clone(), plan(1));
+
+        const HITTERS: usize = 4;
+        let barrier = Arc::new(Barrier::new(HITTERS + 1));
+        let hitters: Vec<_> = (0..HITTERS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let b = Arc::clone(&barrier);
+                let p = protected.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..rounds {
+                        b.wait(); // round open
+                                  // This hit both *checks* the entry survived the
+                                  // previous round's eviction and refreshes it
+                                  // ahead of this round's insert.
+                        assert!(c.get(&p).is_some(), "refreshed entry was evicted");
+                        b.wait(); // hits complete
+                        b.wait(); // insert complete
+                    }
+                })
+            })
+            .collect();
+
+        for filler in same.iter().skip(1) {
+            barrier.wait(); // round open
+            barrier.wait(); // hits complete
+                            // Shard is full (protected + previous filler): this insert
+                            // must evict, and the victim must be the cold filler.
+            assert_eq!(
+                c.insert(filler.clone(), plan(9)),
+                1,
+                "expected one eviction"
+            );
+            barrier.wait(); // insert complete
+        }
+        for t in hitters {
+            t.join().unwrap();
+        }
+        assert!(
+            c.get(&protected).is_some(),
+            "refreshed entry survived every eviction round"
+        );
     }
 
     #[test]
