@@ -1,18 +1,31 @@
-//! Closed-loop load generator for `madpipe serve`.
+//! Closed-loop load generator for `madpipe serve` — single daemon or
+//! cluster.
 //!
-//! N connections each fire M requests back-to-back (send, wait for the
-//! response, send the next) over a deterministic pool of mixed
-//! instances, and the report aggregates p50/p99 latency, error counts
-//! and the cache hit rate observed in the responses. A closed loop
-//! measures the service time distribution without coordinated omission
-//! — every request's latency is recorded, including the ones that queue.
+//! N connections each fire M requests over a deterministic pool of
+//! mixed instances, and the report aggregates p50/p99 latency, error
+//! counts and the cache hit rate observed in the responses. A closed
+//! loop measures the service time distribution without coordinated
+//! omission — every request's latency is recorded, including the ones
+//! that queue.
+//!
+//! Pipelining: with [`LoadgenConfig::pipeline_depth`] > 1 each
+//! connection writes a whole batch of newline-delimited requests before
+//! reading the batch of responses — the wire pattern the reactor's
+//! in-order pipelining exists for. Recorded per-request latency is then
+//! the batch round trip divided by its size (amortized, exactly what a
+//! pipelining client experiences per request).
+//!
+//! Multi-target: [`LoadgenConfig::addrs`] may name several daemons;
+//! connection `i` targets `addrs[i % addrs.len()]`, so one run can
+//! drive a whole cluster in aggregate.
 //!
 //! Transient transport failures — a refused/reset connect, a connection
 //! the server closed mid-exchange — are retried on a fresh connection
 //! with capped, deterministically jittered backoff ([`LoadgenConfig::
-//! max_retries`]); the report counts the retries it took. Structured
-//! protocol errors (`ok:false`) are *not* retried: the server answered,
-//! and a closed loop that resends rejected work measures nothing.
+//! max_retries`]); a failed batch is replayed whole (plans are cached
+//! server-side, so replays are cheap hits). Structured protocol errors
+//! (`ok:false`) are *not* retried: the server answered, and a closed
+//! loop that resends rejected work measures nothing.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -27,19 +40,23 @@ const GIB: u64 = 1 << 30;
 /// Load profile.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Server address, e.g. `127.0.0.1:4835`.
-    pub addr: String,
+    /// Server addresses, e.g. `["127.0.0.1:4835"]`; connection `i`
+    /// targets `addrs[i % addrs.len()]`.
+    pub addrs: Vec<String>,
     /// Concurrent client connections.
     pub connections: usize,
     /// Requests per connection.
     pub requests_per_conn: usize,
+    /// Requests in flight per connection: 1 is the classic
+    /// send-one-await-one loop, larger batches pipeline.
+    pub pipeline_depth: usize,
     /// Distinct instances in the request mix.
     pub instances: usize,
     /// Seed of the instance pool.
     pub seed: u64,
     /// Per-response read timeout.
     pub timeout: Duration,
-    /// Reconnect attempts per request on transient transport failures
+    /// Reconnect attempts per batch on transient transport failures
     /// (connect refused, server closed the connection). 0 fails fast.
     pub max_retries: usize,
 }
@@ -47,9 +64,10 @@ pub struct LoadgenConfig {
 impl Default for LoadgenConfig {
     fn default() -> Self {
         Self {
-            addr: "127.0.0.1:4835".into(),
+            addrs: vec!["127.0.0.1:4835".into()],
             connections: 4,
             requests_per_conn: 16,
+            pipeline_depth: 1,
             instances: 4,
             seed: 42,
             timeout: Duration::from_secs(60),
@@ -173,18 +191,38 @@ fn exchange(
     reader: &mut BufReader<TcpStream>,
     line: &str,
 ) -> Result<Value, String> {
-    stream
-        .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .map_err(|e| format!("send: {e}"))?;
-    let mut response = String::new();
-    reader
-        .read_line(&mut response)
-        .map_err(|e| format!("recv: {e}"))?;
-    if response.is_empty() {
-        return Err("server closed the connection".into());
+    exchange_batch(stream, reader, &[line]).map(|mut vs| vs.pop().expect("one response"))
+}
+
+/// A pipelined exchange: write every line of the batch, then read one
+/// response per line. The serve reactor answers pipelined requests in
+/// order, so response `i` belongs to line `i`.
+fn exchange_batch(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    batch: &[&str],
+) -> Result<Vec<Value>, String> {
+    let mut payload = String::with_capacity(batch.iter().map(|l| l.len() + 1).sum());
+    for line in batch {
+        payload.push_str(line);
+        payload.push('\n');
     }
-    Value::parse(response.trim()).map_err(|e| format!("bad response JSON: {e}"))
+    stream
+        .write_all(payload.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut responses = Vec::with_capacity(batch.len());
+    for _ in batch {
+        let mut response = String::new();
+        reader
+            .read_line(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        if response.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        responses
+            .push(Value::parse(response.trim()).map_err(|e| format!("bad response JSON: {e}"))?);
+    }
+    Ok(responses)
 }
 
 /// SplitMix64 finalizer — the jitter source. Deterministic in its seed,
@@ -211,8 +249,8 @@ struct Conn {
     reader: BufReader<TcpStream>,
 }
 
-fn connect(cfg: &LoadgenConfig) -> Result<Conn, String> {
-    let stream = TcpStream::connect(&cfg.addr).map_err(|e| format!("connect: {e}"))?;
+fn connect(cfg: &LoadgenConfig, addr: &str) -> Result<Conn, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     // A closed loop of one-line exchanges would spend its time in
     // Nagle/delayed-ACK stalls otherwise.
     stream.set_nodelay(true).map_err(|e| e.to_string())?;
@@ -223,34 +261,37 @@ fn connect(cfg: &LoadgenConfig) -> Result<Conn, String> {
     Ok(Conn { stream, reader })
 }
 
-/// One exchange with transient-failure retries. Both the connect and
-/// the exchange may fail transiently (the server killed the connection,
-/// a worker died mid-drain); each failure burns one retry, backs off
-/// and reconnects. Returns the response, how many retries it took, and
-/// the total backoff slept — callers subtract the sleeps from their
-/// request-loop clock so throughput measures the server, not the
-/// backoff schedule.
-fn exchange_with_retry(
+/// One batch exchange with transient-failure retries. Both the connect
+/// and the exchange may fail transiently (the server killed the
+/// connection, a worker died mid-drain); each failure burns one retry,
+/// backs off and reconnects, and the *whole batch* is replayed — with a
+/// mid-batch failure there is no telling which responses were in flight,
+/// and replays land on the server's plan cache anyway. Returns the
+/// responses, how many retries it took, and the total backoff slept —
+/// callers subtract the sleeps from their request-loop clock so
+/// throughput measures the server, not the backoff schedule.
+fn batch_with_retry(
     cfg: &LoadgenConfig,
+    addr: &str,
     conn: &mut Option<Conn>,
-    line: &str,
+    batch: &[&str],
     jitter_seed: u64,
-) -> Result<(Value, usize, Duration), String> {
+) -> Result<(Vec<Value>, usize, Duration), String> {
     let mut retries = 0usize;
     let mut slept = Duration::ZERO;
     loop {
-        let attempt: Result<Value, String> = match conn {
-            Some(c) => exchange(&mut c.stream, &mut c.reader, line),
-            None => match connect(cfg) {
+        let attempt: Result<Vec<Value>, String> = match conn {
+            Some(c) => exchange_batch(&mut c.stream, &mut c.reader, batch),
+            None => match connect(cfg, addr) {
                 Ok(c) => {
                     let c = conn.insert(c);
-                    exchange(&mut c.stream, &mut c.reader, line)
+                    exchange_batch(&mut c.stream, &mut c.reader, batch)
                 }
                 Err(e) => Err(e),
             },
         };
         match attempt {
-            Ok(v) => return Ok((v, retries, slept)),
+            Ok(vs) => return Ok((vs, retries, slept)),
             Err(e) => {
                 // The connection is in an unknown state; never reuse it.
                 *conn = None;
@@ -272,30 +313,43 @@ type ConnStats = Result<(Vec<f64>, usize, usize, usize, f64, f64), String>;
 
 /// Run the closed loop and aggregate the report.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if cfg.addrs.is_empty() {
+        return Err("loadgen needs at least one address".into());
+    }
     let lines = request_lines(cfg.instances, cfg.seed);
+    let depth = cfg.pipeline_depth.max(1);
     let started = Instant::now();
     let per_conn: Vec<ConnStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.connections.max(1))
             .map(|conn| {
                 let lines = &lines;
                 scope.spawn(move || -> ConnStats {
+                    let addr = &cfg.addrs[conn % cfg.addrs.len()];
                     let loop_started = Instant::now();
-                    let mut open: Option<Conn> = Some(connect(cfg)?);
+                    let mut open: Option<Conn> = Some(connect(cfg, addr)?);
                     let mut latencies = Vec::with_capacity(cfg.requests_per_conn);
                     let (mut ok, mut cached, mut retries) = (0usize, 0usize, 0usize);
                     let mut slept = Duration::ZERO;
-                    for i in 0..cfg.requests_per_conn {
-                        let line = &lines[(conn + i) % lines.len()];
-                        let jitter_seed = mix(cfg.seed ^ ((conn as u64) << 32) ^ i as u64);
+                    let sequence: Vec<&str> = (0..cfg.requests_per_conn)
+                        .map(|i| lines[(conn + i) % lines.len()].as_str())
+                        .collect();
+                    for (b, batch) in sequence.chunks(depth).enumerate() {
+                        let jitter_seed = mix(cfg.seed ^ ((conn as u64) << 32) ^ b as u64);
                         let t0 = Instant::now();
-                        let (v, r, s) = exchange_with_retry(cfg, &mut open, line, jitter_seed)?;
-                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        let (vs, r, s) =
+                            batch_with_retry(cfg, addr, &mut open, batch, jitter_seed)?;
+                        // Amortized per-request latency: the batch round
+                        // trip shared evenly across its requests.
+                        let per_request = t0.elapsed().as_secs_f64() * 1e3 / batch.len() as f64;
                         retries += r;
                         slept += s;
-                        if v.get("ok") == Some(&Value::Bool(true)) {
-                            ok += 1;
-                            if v.get("cached") == Some(&Value::Bool(true)) {
-                                cached += 1;
+                        for v in vs {
+                            latencies.push(per_request);
+                            if v.get("ok") == Some(&Value::Bool(true)) {
+                                ok += 1;
+                                if v.get("cached") == Some(&Value::Bool(true)) {
+                                    cached += 1;
+                                }
                             }
                         }
                     }
@@ -351,6 +405,78 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         backoff_seconds,
         request_seconds,
     })
+}
+
+/// Committed serve-throughput baseline — the `BENCH_serve_speed.json`
+/// file CI gates on. The floor a run must clear is
+/// `max(abs_grace_rps, rps * rel_factor)`: relative to the committed
+/// measurement so real regressions trip it, with an absolute grace so a
+/// slow shared CI runner doesn't.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpeedBaseline {
+    /// Committed throughput of the reference run, requests per second.
+    pub rps: f64,
+    /// Fraction of `rps` a run must reach (e.g. 0.05 = 5%).
+    pub rel_factor: f64,
+    /// Absolute floor that always applies, requests per second.
+    pub abs_grace_rps: f64,
+}
+
+impl ServeSpeedBaseline {
+    /// Parse the committed JSON, e.g.
+    /// `{"rps": 9000.0, "rel_factor": 0.05, "abs_grace_rps": 150.0}`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Value::parse(text.trim()).map_err(|e| format!("baseline JSON: {e}"))?;
+        let field = |name: &str| -> Result<f64, String> {
+            let x = v
+                .field(name)
+                .and_then(Value::as_f64)
+                .map_err(|e| format!("baseline field {name}: {e}"))?;
+            if x.is_finite() && x >= 0.0 {
+                Ok(x)
+            } else {
+                Err(format!(
+                    "baseline field {name}: not a finite non-negative number"
+                ))
+            }
+        };
+        Ok(Self {
+            rps: field("rps")?,
+            rel_factor: field("rel_factor")?,
+            abs_grace_rps: field("abs_grace_rps")?,
+        })
+    }
+
+    /// Load and parse the committed baseline file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Self::parse(&text)
+    }
+
+    /// The throughput a run must reach, requests per second.
+    pub fn floor(&self) -> f64 {
+        (self.rps * self.rel_factor).max(self.abs_grace_rps)
+    }
+
+    /// Gate a report against the floor. `Ok` carries a human-readable
+    /// verdict line; `Err` the failure message.
+    pub fn check(&self, report: &LoadgenReport) -> Result<String, String> {
+        let got = report.throughput();
+        let floor = self.floor();
+        if got >= floor {
+            Ok(format!(
+                "throughput floor ok: {got:.1} req/s >= {floor:.1} req/s \
+                 (baseline {:.1} x {:.2}, grace {:.1})",
+                self.rps, self.rel_factor, self.abs_grace_rps
+            ))
+        } else {
+            Err(format!(
+                "throughput {got:.1} req/s below the floor {floor:.1} req/s \
+                 (baseline {:.1} x {:.2}, grace {:.1})",
+                self.rps, self.rel_factor, self.abs_grace_rps
+            ))
+        }
+    }
 }
 
 /// Fetch the server's Prometheus dump via the `metrics` command.
@@ -471,15 +597,16 @@ mod tests {
         });
 
         let cfg = LoadgenConfig {
-            addr: addr.to_string(),
+            addrs: vec![addr.to_string()],
             max_retries: 2,
             timeout: Duration::from_secs(5),
             ..LoadgenConfig::default()
         };
-        let mut conn = Some(connect(&cfg).unwrap());
-        let (v, retries, slept) =
-            exchange_with_retry(&cfg, &mut conn, r#"{"cmd":"ping"}"#, 3).unwrap();
-        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let target = cfg.addrs[0].clone();
+        let mut conn = Some(connect(&cfg, &target).unwrap());
+        let (vs, retries, slept) =
+            batch_with_retry(&cfg, &target, &mut conn, &[r#"{"cmd":"ping"}"#], 3).unwrap();
+        assert_eq!(vs[0].get("ok"), Some(&Value::Bool(true)));
         assert_eq!(retries, 1, "one EOF, one retry");
         assert_eq!(slept, backoff(1, 3), "the one retry's backoff is reported");
         server.join().unwrap();
@@ -493,13 +620,96 @@ mod tests {
             l.local_addr().unwrap().to_string()
         };
         let cfg = LoadgenConfig {
-            addr,
+            addrs: vec![addr.clone()],
             max_retries: 1,
             timeout: Duration::from_secs(1),
             ..LoadgenConfig::default()
         };
         let mut conn = None;
-        let err = exchange_with_retry(&cfg, &mut conn, r#"{"cmd":"ping"}"#, 3).unwrap_err();
+        let err = batch_with_retry(&cfg, &addr, &mut conn, &[r#"{"cmd":"ping"}"#], 3).unwrap_err();
         assert!(err.contains("after 1 retries"), "{err}");
+    }
+
+    #[test]
+    fn pipelined_batch_keeps_responses_in_order() {
+        use std::io::Read;
+        use std::net::TcpListener;
+
+        // A server that reads the whole 3-line batch before answering —
+        // only a client that really pipelines (writes all lines up
+        // front) gets responses at all — then replies tagged by index.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            while buf.iter().filter(|&&b| b == b'\n').count() < 3 {
+                let mut chunk = [0u8; 256];
+                let n = s.read(&mut chunk).unwrap();
+                assert!(n > 0, "client must have pipelined all 3 lines");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            assert_eq!(std::str::from_utf8(&buf).unwrap().lines().count(), 3);
+            for i in 0..3 {
+                s.write_all(format!("{{\"ok\":true,\"seq\":{i}}}\n").as_bytes())
+                    .unwrap();
+            }
+        });
+
+        let cfg = LoadgenConfig {
+            addrs: vec![addr.to_string()],
+            timeout: Duration::from_secs(5),
+            ..LoadgenConfig::default()
+        };
+        let target = cfg.addrs[0].clone();
+        let mut conn = Some(connect(&cfg, &target).unwrap());
+        let batch = [r#"{"cmd":"a"}"#, r#"{"cmd":"b"}"#, r#"{"cmd":"c"}"#];
+        let (vs, retries, _) = batch_with_retry(&cfg, &target, &mut conn, &batch, 3).unwrap();
+        assert_eq!(retries, 0);
+        let seqs: Vec<_> = vs.iter().map(|v| v.field("seq").unwrap().clone()).collect();
+        assert_eq!(
+            seqs,
+            vec![Value::UInt(0), Value::UInt(1), Value::UInt(2)],
+            "responses must come back in request order"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn speed_baseline_parses_and_gates() {
+        let base =
+            ServeSpeedBaseline::parse(r#"{"rps": 1000.0, "rel_factor": 0.1, "abs_grace_rps": 50}"#)
+                .unwrap();
+        assert_eq!(base.floor(), 100.0, "relative term dominates");
+        let grace = ServeSpeedBaseline {
+            rps: 100.0,
+            ..base.clone()
+        };
+        assert_eq!(
+            grace.floor(),
+            50.0,
+            "absolute grace dominates a tiny baseline"
+        );
+
+        let fast = LoadgenReport {
+            total: 1000,
+            request_seconds: 5.0,
+            ..LoadgenReport::default()
+        };
+        assert!(base.check(&fast).unwrap().contains("floor ok"));
+        let slow = LoadgenReport {
+            total: 100,
+            request_seconds: 5.0,
+            ..LoadgenReport::default()
+        };
+        let err = base.check(&slow).unwrap_err();
+        assert!(err.contains("below the floor"), "{err}");
+
+        assert!(ServeSpeedBaseline::parse("{}").is_err(), "missing fields");
+        assert!(
+            ServeSpeedBaseline::parse(r#"{"rps": -1, "rel_factor": 0.1, "abs_grace_rps": 0}"#)
+                .is_err(),
+            "negative rps rejected"
+        );
     }
 }

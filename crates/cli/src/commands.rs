@@ -91,24 +91,43 @@ USAGE:
       with F in (0, 1). The degraded plan is bit-identical to
       `madpipe plan` on the surviving platform.
   madpipe serve [--addr HOST:PORT] [--threads N] [--cache-entries N]
-               [--timeout-ms T]
+               [--timeout-ms T] [--peers A,B,..] [--gossip-ms T]
+               [--gossip-entries K]
       Run the planning daemon: newline-delimited JSON requests
       ({\"cmd\":\"plan\"|\"replan\"|\"metrics\"|\"health\"|\"ping\"|\"shutdown\"}),
-      a sharded LRU cache keyed by the canonical instance, N planner
-      workers (default 2), per-request deadline T ms (default 30000).
-      Workers are supervised: a panicking request gets a structured
-      `internal` error and the worker is respawned; `health` reports
-      queue depth and worker liveness. Prints `listening on ADDR` once
-      live; drains gracefully on SIGTERM, SIGINT or a shutdown request.
-      Default address 127.0.0.1:4835; --cache-entries 0 disables the
-      cache.
-  madpipe loadgen [--addr HOST:PORT] [--connections N] [--requests M]
-               [--instances K] [--seed S] [--timeout-ms T]
-               [--max-retries R] [--expect-hits]
+      served by an event-driven reactor (pipelined requests answered in
+      order), a sharded LRU cache keyed by the canonical instance, N
+      planner workers (default 2), per-request deadline T ms (default
+      30000). Workers are supervised: a panicking request gets a
+      structured `internal` error and the worker is respawned; `health`
+      reports queue depth and worker liveness. --peers names sibling
+      daemons to gossip the K hottest cache entries to (default 8) every
+      T ms (default 500) — peers warm their caches with the shipped
+      plans verbatim, so warmed answers stay bit-identical. Prints
+      `listening on ADDR` once live; drains gracefully on SIGTERM,
+      SIGINT or a shutdown request. Default address 127.0.0.1:4835;
+      --cache-entries 0 disables the cache.
+  madpipe route --backends A,B,.. [--addr HOST:PORT] [--vnodes N]
+               [--timeout-ms T] [--cooldown-ms T]
+      Run the cluster router: a consistent-hash ring (N vnodes per
+      backend, default 64) keyed on the canonical instance string routes
+      each plan/replan to its owning daemon and fails over around dead
+      ones (dead backends cool down T ms, default 500, before retry).
+      `health` and `metrics` answer cluster-wide rollups across all
+      backends. Prints `routing on ADDR -> N backends` once live; drains
+      like serve. Default address 127.0.0.1:4830.
+  madpipe loadgen [--addr HOST:PORT[,HOST:PORT..]] [--connections N]
+               [--requests M] [--pipeline D] [--instances K] [--seed S]
+               [--timeout-ms T] [--max-retries R] [--floor FILE]
+               [--expect-hits]
       Closed-loop client for the daemon: N connections × M requests over
       K mixed instances; prints p50/p99 latency, hit rate, retries and
-      the server's serve.* counters. Transient transport failures are
-      retried up to R times (default 3) with capped jittered backoff.
+      the server's serve.* counters. --addr may list several daemons
+      (connection i targets addr i mod len); --pipeline D keeps D
+      requests in flight per connection (batched writes, in-order
+      reads). Transient transport failures are retried up to R times
+      (default 3) with capped jittered backoff. --floor gates the run
+      against a committed BENCH_serve_speed.json throughput baseline;
       --expect-hits exits nonzero unless every request succeeded and the
       server reports both cache hits and misses (the CI smoke gate).
 
@@ -135,6 +154,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("bench-baseline") => cmd_bench_baseline(&args),
         Some("bench-plan-speed") => cmd_bench_plan_speed(&args),
         Some("serve") => cmd_serve(&args),
+        Some("route") => cmd_route(&args),
         Some("loadgen") => cmd_loadgen(&args),
         Some("help") | None => {
             println!("{USAGE}");
@@ -880,6 +900,15 @@ fn cmd_experiments(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Split a comma-separated `--flag a,b,c` into its entries.
+fn comma_list(raw: &str) -> Vec<String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::io::Write as _;
     let cfg = madpipe_serve::ServeConfig {
@@ -889,6 +918,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 30_000u64)?.max(1)),
         queue_depth: args.get_or("queue-depth", 0usize)?,
         panic_marker: None,
+        peers: args.raw("peers").map(comma_list).unwrap_or_default(),
+        gossip_interval: std::time::Duration::from_millis(args.get_or("gossip-ms", 500u64)?.max(1)),
+        gossip_entries: args.get_or("gossip-entries", 8usize)?,
     };
     madpipe_serve::install_signal_handlers();
     let server = madpipe_serve::Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
@@ -905,11 +937,42 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_route(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+    let backends = args
+        .raw("backends")
+        .map(comma_list)
+        .filter(|b| !b.is_empty())
+        .ok_or("route needs --backends HOST:PORT[,HOST:PORT..]")?;
+    let n = backends.len();
+    let cfg = madpipe_serve::RouterConfig {
+        addr: args.raw("addr").unwrap_or("127.0.0.1:4830").to_string(),
+        backends,
+        vnodes: args.get_or("vnodes", 64usize)?.max(1),
+        timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 60_000u64)?.max(1)),
+        cooldown: std::time::Duration::from_millis(args.get_or("cooldown-ms", 500u64)?),
+    };
+    madpipe_serve::install_signal_handlers();
+    let router = madpipe_serve::Router::start(cfg).map_err(|e| format!("bind: {e}"))?;
+    // The cluster smoke harness waits for this exact line.
+    println!("routing on {} -> {n} backends", router.local_addr());
+    std::io::stdout().flush().ok();
+    while !router.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining...");
+    router.shutdown();
+    router.join();
+    eprintln!("drained, exiting");
+    Ok(())
+}
+
 fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let cfg = madpipe_bench::loadgen::LoadgenConfig {
-        addr: args.raw("addr").unwrap_or("127.0.0.1:4835").to_string(),
+        addrs: comma_list(args.raw("addr").unwrap_or("127.0.0.1:4835")),
         connections: args.get_or("connections", 4usize)?.max(1),
         requests_per_conn: args.get_or("requests", 16usize)?.max(1),
+        pipeline_depth: args.get_or("pipeline", 1usize)?.max(1),
         instances: args.get_or("instances", 4usize)?.max(1),
         seed: args.get_or("seed", 42u64)?,
         timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 60_000u64)?.max(1)),
@@ -917,7 +980,11 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
     };
     let report = madpipe_bench::loadgen::run(&cfg)?;
     println!("{report}");
-    let metrics = madpipe_bench::loadgen::fetch_metrics(&cfg.addr, cfg.timeout)?;
+    if let Some(path) = args.raw("floor") {
+        let baseline = madpipe_bench::loadgen::ServeSpeedBaseline::load(path)?;
+        println!("{}", baseline.check(&report)?);
+    }
+    let metrics = madpipe_bench::loadgen::fetch_metrics(&cfg.addrs[0], cfg.timeout)?;
     let serve_lines: Vec<&str> = metrics
         .lines()
         .filter(|l| l.starts_with("madpipe_serve_") && !l.starts_with('#'))

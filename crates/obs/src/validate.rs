@@ -123,6 +123,35 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     Ok(samples)
 }
 
+/// Extract the plain (label-free) samples of a Prometheus text dump as
+/// `(name, value)` pairs, in document order. Labeled samples and
+/// comments are skipped, unparseable lines are an error. This is what a
+/// cluster-level rollup sums across daemons — histogram `_sum`/`_count`
+/// lines are plain samples too, and summing them is exactly the right
+/// aggregation.
+pub fn prometheus_samples(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+        if name.is_empty() {
+            return Err(format!("line {}: empty metric name", lineno + 1));
+        }
+        let value = value
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        if !name.contains('{') {
+            samples.push((name.to_string(), value));
+        }
+    }
+    Ok(samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +220,27 @@ mod tests {
         assert!(n >= 4, "counter + bucket + sum + count, got {n}");
         assert!(validate_prometheus("name_only\n").is_err());
         assert!(validate_prometheus("metric NaNish\n").is_err());
+    }
+
+    #[test]
+    fn prometheus_samples_extracts_plain_pairs() {
+        let text = "# HELP x helps\nmadpipe_a 3\nmadpipe_b{le=\"0.5\"} 9\nmadpipe_c 1.5\n";
+        let samples = prometheus_samples(text).unwrap();
+        assert_eq!(
+            samples,
+            vec![
+                ("madpipe_a".to_string(), 3.0),
+                ("madpipe_c".to_string(), 1.5)
+            ]
+        );
+        // A registry's own dump round-trips: every counter it emits is
+        // recoverable by name.
+        let r = crate::Registry::new();
+        r.add("serve.cache.hits", 7);
+        let samples = prometheus_samples(&r.snapshot().to_prometheus()).unwrap();
+        assert!(samples
+            .iter()
+            .any(|(n, v)| n == "madpipe_serve_cache_hits" && *v == 7.0));
+        assert!(prometheus_samples("broken-line\n").is_err());
     }
 }

@@ -109,6 +109,54 @@ impl PlanCache {
         evicted
     }
 
+    /// Insert a plan only if the key is absent — the gossip-warming
+    /// path. Returns `(inserted, evicted)`. Unlike [`PlanCache::insert`]
+    /// a repeat does *not* refresh the entry's recency stamp: a peer
+    /// re-shipping a key this cache already holds says nothing about
+    /// local demand, so it must not protect the entry from eviction.
+    pub fn warm(&self, key: String, plan: Arc<Value>) -> (bool, u64) {
+        if self.per_shard == 0 {
+            return (false, 0);
+        }
+        let mut shard = lock_shard(&self.shards[shard_of(&key)]);
+        if shard.map.contains_key(&key) {
+            return (false, 0);
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut evicted = 0;
+        if shard.map.len() >= self.per_shard {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        shard.map.insert(key, Entry { stamp, plan });
+        (true, evicted)
+    }
+
+    /// The `k` most recently touched plans across all shards, hottest
+    /// first — the gossip sender's working set.
+    pub fn hottest(&self, k: usize) -> Vec<(String, Arc<Value>)> {
+        if self.per_shard == 0 || k == 0 {
+            return Vec::new();
+        }
+        let mut all: Vec<(u64, String, Arc<Value>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = lock_shard(shard);
+            for (key, e) in &shard.map {
+                all.push((e.stamp, key.clone(), Arc::clone(&e.plan)));
+            }
+        }
+        all.sort_by_key(|e| std::cmp::Reverse(e.0));
+        all.truncate(k);
+        all.into_iter().map(|(_, key, plan)| (key, plan)).collect()
+    }
+
     /// Number of cached plans across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| lock_shard(s).map.len()).sum()

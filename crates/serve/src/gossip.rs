@@ -1,0 +1,130 @@
+//! Cache-warming gossip between cluster peers.
+//!
+//! Every [`gossip_interval`](crate::ServeConfig::gossip_interval) the
+//! sender thread snapshots this daemon's hottest cache entries
+//! ([`PlanCache::hottest`](crate::PlanCache::hottest)) and ships them to
+//! each peer as one `{"cmd":"gossip","entries":[…]}` line over a
+//! persistent connection (re-dialed on failure). Receivers apply the
+//! entries in the reactor with [`PlanCache::warm`](crate::PlanCache::warm)
+//! — insert-if-absent, so gossip can never displace what a peer already
+//! holds under the same key, and a re-shipped key never inflates its
+//! recency.
+//!
+//! Plans gossip exactly as rendered, so a warmed cache hit is
+//! f64-bit-identical to the origin daemon's response — the cluster-wide
+//! bit-identity invariant (every served plan matches offline
+//! `madpipe plan`) survives warming.
+//!
+//! Counters: `serve.gossip.rounds`, `.sent` (entries shipped),
+//! `.errors` (failed peer exchanges) on the sender; `.received`,
+//! `.applied` on the receiver.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::protocol::gossip_line;
+use crate::server::{lock_unpoisoned, Ctx, POLL};
+
+/// Dial + I/O budget per peer exchange. Gossip is advisory: a slow peer
+/// loses a round, never stalls the sender past this.
+const PEER_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cap on a peer's one-line acknowledgment.
+const MAX_ACK_BYTES: usize = 64 * 1024;
+
+/// The sender loop. Runs for the daemon's lifetime; exits on drain.
+/// With no peers configured it just idles on the drain flag.
+pub(crate) fn gossip_loop(ctx: &Arc<Ctx>) {
+    let mut conns: HashMap<String, TcpStream> = HashMap::new();
+    loop {
+        // Sleep out the interval in small steps so a drain is noticed
+        // within POLL, not a full interval.
+        let t0 = Instant::now();
+        while t0.elapsed() < ctx.gossip_interval {
+            if ctx.draining() {
+                return;
+            }
+            std::thread::sleep(POLL.min(ctx.gossip_interval));
+        }
+        if ctx.draining() {
+            return;
+        }
+        let peers = lock_unpoisoned(&ctx.peers).clone();
+        if peers.is_empty() {
+            continue;
+        }
+        let hot = ctx.cache.hottest(ctx.gossip_entries);
+        if hot.is_empty() {
+            continue;
+        }
+        let line = gossip_line(&hot);
+        let mut sent = 0u64;
+        for peer in &peers {
+            match exchange(&mut conns, peer, &line) {
+                Ok(()) => sent += hot.len() as u64,
+                Err(_) => {
+                    conns.remove(peer);
+                    ctx.registry.inc("serve.gossip.errors");
+                }
+            }
+        }
+        ctx.registry.inc("serve.gossip.rounds");
+        ctx.registry.add("serve.gossip.sent", sent);
+    }
+}
+
+/// One request/ack round trip on the peer's persistent connection,
+/// dialing it first if absent or previously failed.
+fn exchange(
+    conns: &mut HashMap<String, TcpStream>,
+    peer: &str,
+    line: &str,
+) -> Result<(), std::io::Error> {
+    if !conns.contains_key(peer) {
+        conns.insert(peer.to_string(), dial(peer)?);
+    }
+    let stream = conns.get_mut(peer).expect("just inserted");
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    read_ack(stream)
+}
+
+fn dial(peer: &str) -> Result<TcpStream, std::io::Error> {
+    let addr = peer.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("peer `{peer}` resolves to nothing"),
+        )
+    })?;
+    let stream = TcpStream::connect_timeout(&addr, PEER_TIMEOUT)?;
+    stream.set_read_timeout(Some(PEER_TIMEOUT))?;
+    stream.set_write_timeout(Some(PEER_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Read (and discard) the one-line ack; its content doesn't matter, but
+/// leaving it buffered would desynchronize the next round.
+fn read_ack(stream: &mut TcpStream) -> Result<(), std::io::Error> {
+    let mut seen = 0usize;
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return Ok(());
+                }
+                seen += 1;
+                if seen > MAX_ACK_BYTES {
+                    return Err(ErrorKind::InvalidData.into());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

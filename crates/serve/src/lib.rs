@@ -1,13 +1,14 @@
 //! `madpipe-serve`: a concurrent planning service over newline-delimited
 //! JSON.
 //!
-//! The daemon turns the library planner into a long-lived service: a
-//! nonblocking acceptor, a thread per connection, a bounded worker pool
-//! whose workers each keep a warm [`madpipe_core::ProbeSession`], and a
-//! sharded LRU cache keyed by the *canonical* instance — key-sorted,
-//! unit-normalized JSON — so the same problem asked twice (in any field
-//! order, in bytes or GiB) is answered from memory, bit-identical to a
-//! cold `madpipe plan`.
+//! The daemon turns the library planner into a long-lived service: an
+//! event-driven connection [`reactor`] (one thread, nonblocking sockets,
+//! readiness polling, pipelined requests answered in order), a bounded
+//! worker pool whose workers each keep a warm
+//! [`madpipe_core::ProbeSession`], and a sharded LRU cache keyed by the
+//! *canonical* instance — key-sorted, unit-normalized JSON — so the same
+//! problem asked twice (in any field order, in bytes or GiB) is answered
+//! from memory, bit-identical to a cold `madpipe plan`.
 //!
 //! The daemon is supervised: worker panics are isolated per request
 //! (structured `internal` error, `serve.panics` counter) and dead
@@ -16,17 +17,29 @@
 //! replanning (GPU loss, memory reduction, link slowdown) through the
 //! same cache and pool.
 //!
+//! Cluster mode scales the tier horizontally: N daemons gossip their
+//! hottest cache entries to each other ([`gossip`]), and a
+//! consistent-hash [`router`] keyed on the canonical instance string
+//! routes each request to its owning daemon, fails over around dead
+//! ones, and answers cluster-wide `health`/`metrics` rollups. Plans
+//! gossip and route verbatim, so every served plan — warmed, routed or
+//! direct — stays f64-bit-identical to offline planning.
+//!
 //! See [`protocol`] for the wire format, [`cache`] for the keying and
-//! eviction rules, and [`server`] for the threading, supervision and
-//! drain story.
+//! eviction rules, [`server`] for the worker pool, supervision and
+//! drain story, and [`reactor`] for the connection state machines.
 
 pub mod cache;
+pub mod gossip;
 pub mod protocol;
+pub mod reactor;
+pub mod router;
 pub mod server;
 
 pub use cache::PlanCache;
 pub use protocol::{
     canonical_instance, parse_request, plan_to_json, PlanRequest, ReplanRequest, Request,
-    ServeError,
+    ServeError, MAX_GOSSIP_ENTRIES,
 };
+pub use router::{Ring, Router, RouterConfig};
 pub use server::{install_signal_handlers, term_requested, ServeConfig, Server};

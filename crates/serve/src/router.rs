@@ -1,0 +1,602 @@
+//! The cluster router: consistent hashing over daemon backends, keyed
+//! on the canonical instance string.
+//!
+//! The router speaks the same NDJSON protocol as the daemons. `plan` and
+//! `replan` lines are forwarded *verbatim* to the backend that owns the
+//! request's canonical key on the hash ring — the daemon re-parses and
+//! answers, so a routed response is byte-identical to a direct one. The
+//! same instance always lands on the same daemon (maximizing warm
+//! [`ProbeSession`](madpipe_core::ProbeSession) and cache reuse), and
+//! adding or removing a daemon only remaps the keys the ring assigned to
+//! it — the consistent-hashing property, tested on [`Ring`] directly.
+//!
+//! Failover: a backend that fails an exchange is marked dead for a
+//! cooldown and the request retries on the next distinct ring candidate
+//! (counters `router.backend_errors`, `router.failover`). Dead backends
+//! are still probed last-resort, so a recovered daemon rejoins without
+//! operator action. Only when every backend fails does the client see an
+//! `unavailable` error.
+//!
+//! Rollups: `health` fans out to every backend and reports per-daemon
+//! status plus an `alive` count; `metrics` sums each daemon's plain
+//! Prometheus samples (via [`madpipe_obs::validate::prometheus_samples`])
+//! into one cluster-wide dump, appends `madpipe_cluster_*` gauges and
+//! the router's own counters. `ping`/`shutdown` are local to the router;
+//! `gossip` is rejected — peers gossip daemon-to-daemon.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use madpipe_json::Value;
+use madpipe_obs::Registry;
+
+use crate::protocol::{error_response, ok_response, parse_request, Request, ServeError};
+use crate::server::{lock_unpoisoned, MAX_LINE_BYTES};
+
+/// Poll cadence of the router's accept loop and drain checks.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Cap on one backend response line (a rendered plan is well under
+/// [`MAX_LINE_BYTES`]; the backend enforces the same bound inbound).
+const MAX_RESPONSE_BYTES: usize = 4 << 20;
+
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(200);
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`:0` picks a free port).
+    pub addr: String,
+    /// Daemon backends, e.g. `["127.0.0.1:4861", …]`. Order is identity:
+    /// the ring hashes `addr#vnode` strings.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: usize,
+    /// Per-exchange dial + I/O budget against one backend.
+    pub timeout: Duration,
+    /// How long a failed backend sits out before it is tried first
+    /// again (it stays reachable as a last resort throughout).
+    pub cooldown: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4830".into(),
+            backends: Vec::new(),
+            vnodes: 64,
+            timeout: Duration::from_secs(60),
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// 64-bit FNV-1a — the same cheap, dependency-free hash the plan cache
+/// shards with. Ring placement only needs uniformity, not cryptography.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring: each backend contributes `vnodes` points,
+/// a key is owned by the first point clockwise from its hash.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(hash point, backend index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    pub fn new(backends: &[String], vnodes: usize) -> Ring {
+        let vnodes = vnodes.max(1);
+        let mut points: Vec<(u64, usize)> = backends
+            .iter()
+            .enumerate()
+            .flat_map(|(i, b)| (0..vnodes).map(move |v| (fnv1a(format!("{b}#{v}").as_bytes()), i)))
+            .collect();
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// Every backend index, in ring order starting from `key`'s owner.
+    /// The first entry is the primary; the rest are the failover chain.
+    pub fn candidates(&self, key: &str) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let h = fnv1a(key.as_bytes());
+        let start = self.points.partition_point(|(p, _)| *p < h);
+        let mut out = Vec::new();
+        for k in 0..self.points.len() {
+            let idx = self.points[(start + k) % self.points.len()].1;
+            if !out.contains(&idx) {
+                out.push(idx);
+            }
+        }
+        out
+    }
+}
+
+struct RouterCtx {
+    draining: AtomicBool,
+    registry: Registry,
+    backends: Vec<String>,
+    ring: Ring,
+    /// Per-backend cooldown deadline after a failed exchange.
+    dead_until: Vec<Mutex<Option<Instant>>>,
+    timeout: Duration,
+    cooldown: Duration,
+}
+
+impl RouterCtx {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || crate::server::term_requested()
+    }
+
+    fn is_cooling(&self, idx: usize) -> bool {
+        lock_unpoisoned(&self.dead_until[idx]).is_some_and(|t| Instant::now() < t)
+    }
+
+    fn mark_dead(&self, idx: usize) {
+        *lock_unpoisoned(&self.dead_until[idx]) = Some(Instant::now() + self.cooldown);
+    }
+
+    fn mark_alive(&self, idx: usize) {
+        *lock_unpoisoned(&self.dead_until[idx]) = None;
+    }
+}
+
+/// A running router. Same lifecycle shape as [`crate::Server`]:
+/// `shutdown()` then `join()` to drain. Draining the router does *not*
+/// drain the daemons behind it.
+pub struct Router {
+    local_addr: SocketAddr,
+    ctx: Arc<RouterCtx>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    pub fn start(cfg: RouterConfig) -> std::io::Result<Router> {
+        if cfg.backends.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let ctx = Arc::new(RouterCtx {
+            draining: AtomicBool::new(false),
+            registry: Registry::new(),
+            ring: Ring::new(&cfg.backends, cfg.vnodes),
+            dead_until: cfg.backends.iter().map(|_| Mutex::new(None)).collect(),
+            backends: cfg.backends,
+            timeout: cfg.timeout,
+            cooldown: cfg.cooldown,
+        });
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("route-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &ctx))
+                .expect("spawn router acceptor")
+        };
+        Ok(Router {
+            local_addr,
+            ctx,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The router's own metrics registry (counters named `router.*`).
+    pub fn registry(&self) -> &Registry {
+        &self.ctx.registry
+    }
+
+    pub fn shutdown(&self) {
+        self.ctx.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.ctx.draining()
+    }
+
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accept with the same transient-error backoff as the daemon reactor.
+fn acceptor_loop(listener: &TcpListener, ctx: &Arc<RouterCtx>) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    let mut backoff = Duration::ZERO;
+    while !ctx.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff = Duration::ZERO;
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                ctx.registry.inc("router.connections");
+                let ctx = Arc::clone(ctx);
+                let handle = std::thread::Builder::new()
+                    .name("route-conn".into())
+                    .spawn(move || connection_loop(&stream, &ctx))
+                    .expect("spawn router connection");
+                handles.push(handle);
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                backoff = Duration::ZERO;
+                std::thread::sleep(POLL);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                ctx.registry.inc("router.accept.errors");
+                backoff = if backoff.is_zero() {
+                    ACCEPT_BACKOFF_MIN
+                } else {
+                    (backoff * 2).min(ACCEPT_BACKOFF_MAX)
+                };
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn connection_loop(stream: &TcpStream, ctx: &Arc<RouterCtx>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // Persistent backend connections for this client connection: the
+    // common case (one client hammering one hot instance) reuses one
+    // upstream socket end to end.
+    let mut backends: HashMap<usize, TcpStream> = HashMap::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut discarding = false;
+    loop {
+        match (&mut &*stream).read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                let mut data = &chunk[..n];
+                if discarding {
+                    match data.iter().position(|b| *b == b'\n') {
+                        Some(pos) => {
+                            discarding = false;
+                            data = &data[pos + 1..];
+                        }
+                        None => continue,
+                    }
+                }
+                buf.extend_from_slice(data);
+                while let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..pos.min(line.len())]).into_owned();
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let response = handle_line(trimmed, ctx, &mut backends);
+                    if write_line(stream, &response).is_err() {
+                        return;
+                    }
+                }
+                if buf.len() > MAX_LINE_BYTES {
+                    ctx.registry.inc("router.errors.oversized");
+                    let err = ServeError::malformed(format!(
+                        "request line exceeds {MAX_LINE_BYTES} bytes"
+                    ));
+                    if write_line(stream, &error_response(&err)).is_err() {
+                        return;
+                    }
+                    buf.clear();
+                    buf.shrink_to_fit();
+                    discarding = true;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if ctx.draining() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(stream: &TcpStream, line: &str) -> std::io::Result<()> {
+    let mut w = stream;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn handle_line(
+    line: &str,
+    ctx: &Arc<RouterCtx>,
+    backends: &mut HashMap<usize, TcpStream>,
+) -> String {
+    ctx.registry.inc("router.requests");
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(err) => {
+            ctx.registry.inc("router.errors.malformed");
+            return error_response(&err);
+        }
+    };
+    match req {
+        Request::Ping => ok_response("pong", Value::Bool(true)),
+        Request::Shutdown => {
+            ctx.draining.store(true, Ordering::SeqCst);
+            ok_response("draining", Value::Bool(true))
+        }
+        Request::Health => health_rollup(ctx),
+        Request::Metrics => metrics_rollup(ctx),
+        Request::Gossip(_) => error_response(&ServeError::invalid(
+            "gossip is daemon-to-daemon; the router does not hold a plan cache",
+        )),
+        Request::Plan(p) => forward(line, &p.canonical, ctx, backends),
+        Request::Replan(r) => forward(line, &r.baseline.canonical, ctx, backends),
+    }
+}
+
+/// Relay the original line to the key's owner, failing over along the
+/// ring. The line goes verbatim, so the response is byte-identical to
+/// what the daemon would have sent a direct client.
+fn forward(
+    line: &str,
+    key: &str,
+    ctx: &Arc<RouterCtx>,
+    backends: &mut HashMap<usize, TcpStream>,
+) -> String {
+    let candidates = ctx.ring.candidates(key);
+    let primary = candidates.first().copied();
+    // Healthy backends keep ring order; cooling ones drop to the back
+    // as last-resort probes (that's also how a recovered daemon gets
+    // rediscovered after its cooldown-era failures).
+    let (healthy, cooling): (Vec<usize>, Vec<usize>) =
+        candidates.iter().partition(|i| !ctx.is_cooling(**i));
+    for idx in healthy.into_iter().chain(cooling) {
+        match exchange(backends, idx, &ctx.backends[idx], line, ctx.timeout) {
+            Ok(response) => {
+                ctx.mark_alive(idx);
+                ctx.registry.inc("router.forwarded");
+                if Some(idx) != primary {
+                    ctx.registry.inc("router.failover");
+                }
+                return response;
+            }
+            Err(_) => {
+                backends.remove(&idx);
+                ctx.mark_dead(idx);
+                ctx.registry.inc("router.backend_errors");
+            }
+        }
+    }
+    ctx.registry.inc("router.unavailable");
+    error_response(&ServeError {
+        kind: "unavailable",
+        message: "no backend reachable".into(),
+    })
+}
+
+/// One line out, one line back on a persistent backend connection.
+fn exchange(
+    backends: &mut HashMap<usize, TcpStream>,
+    idx: usize,
+    addr: &str,
+    line: &str,
+    timeout: Duration,
+) -> std::io::Result<String> {
+    if let std::collections::hash_map::Entry::Vacant(e) = backends.entry(idx) {
+        e.insert(dial(addr, timeout)?);
+    }
+    let stream = backends.get_mut(&idx).expect("just inserted");
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    read_response_line(stream)
+}
+
+fn dial(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("backend `{addr}` resolves to nothing"),
+        )
+    })?;
+    let stream = TcpStream::connect_timeout(&sockaddr, timeout.min(Duration::from_secs(2)))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+fn read_response_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut out: Vec<u8> = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return Ok(String::from_utf8_lossy(&out).into_owned());
+                }
+                out.push(byte[0]);
+                if out.len() > MAX_RESPONSE_BYTES {
+                    return Err(ErrorKind::InvalidData.into());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Round-trip one command line against a backend on a fresh connection
+/// (rollups are rare; freshness beats plumbing the per-client pools).
+fn probe(addr: &str, line: &str, timeout: Duration) -> std::io::Result<Value> {
+    let mut stream = dial(addr, timeout)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let response = read_response_line(&mut stream)?;
+    Value::parse(&response)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}")))
+}
+
+/// Cluster `health`: per-daemon status plus the alive count. A failed
+/// probe marks the backend cooling, so rollups double as failure
+/// detection.
+fn health_rollup(ctx: &Arc<RouterCtx>) -> String {
+    let mut daemons = Vec::new();
+    let mut alive = 0u64;
+    for (idx, addr) in ctx.backends.iter().enumerate() {
+        let mut fields = vec![("addr".to_string(), Value::Str(addr.clone()))];
+        match probe(addr, r#"{"cmd":"health"}"#, ctx.timeout) {
+            Ok(v)
+                if v.field("ok")
+                    .map(|ok| ok == &Value::Bool(true))
+                    .unwrap_or(false) =>
+            {
+                alive += 1;
+                ctx.mark_alive(idx);
+                fields.push(("ok".into(), Value::Bool(true)));
+                if let Ok(h) = v.field("health") {
+                    fields.push(("health".into(), h.clone()));
+                }
+            }
+            _ => {
+                ctx.mark_dead(idx);
+                fields.push(("ok".into(), Value::Bool(false)));
+            }
+        }
+        daemons.push(Value::Object(fields));
+    }
+    ok_response(
+        "health",
+        Value::Object(vec![
+            ("cluster".into(), Value::Bool(true)),
+            ("alive".into(), Value::UInt(alive)),
+            ("configured".into(), Value::UInt(ctx.backends.len() as u64)),
+            ("draining".into(), Value::Bool(ctx.draining())),
+            ("daemons".into(), Value::Array(daemons)),
+        ]),
+    )
+}
+
+/// Cluster `metrics`: the sum of every daemon's plain Prometheus
+/// samples, plus `madpipe_cluster_*` gauges and the router's own
+/// counters. Summing plain samples is the right aggregation for
+/// counters and histogram `_sum`/`_count` lines alike.
+fn metrics_rollup(ctx: &Arc<RouterCtx>) -> String {
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    let mut reporting = 0u64;
+    for (idx, addr) in ctx.backends.iter().enumerate() {
+        let Ok(v) = probe(addr, r#"{"cmd":"metrics"}"#, ctx.timeout) else {
+            ctx.mark_dead(idx);
+            continue;
+        };
+        let Ok(text) = v.field("metrics").and_then(Value::as_str) else {
+            continue;
+        };
+        let Ok(samples) = madpipe_obs::validate::prometheus_samples(text) else {
+            continue;
+        };
+        reporting += 1;
+        ctx.mark_alive(idx);
+        for (name, value) in samples {
+            *sums.entry(name).or_insert(0.0) += value;
+        }
+    }
+    let mut text = String::new();
+    for (name, value) in &sums {
+        text.push_str(&format!("{name} {value}\n"));
+    }
+    text.push_str(&format!("madpipe_cluster_daemons_reporting {reporting}\n"));
+    text.push_str(&format!(
+        "madpipe_cluster_daemons_configured {}\n",
+        ctx.backends.len()
+    ));
+    text.push_str(&ctx.registry.snapshot().to_prometheus());
+    ok_response("metrics", Value::Str(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:4835")).collect()
+    }
+
+    #[test]
+    fn ring_spreads_keys_and_lists_every_backend() {
+        let ring = Ring::new(&backends(3), 64);
+        let mut owned = [0usize; 3];
+        for k in 0..3000 {
+            let cands = ring.candidates(&format!("canonical-instance-{k}"));
+            assert_eq!(cands.len(), 3);
+            let mut sorted = cands.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2]);
+            owned[cands[0]] += 1;
+        }
+        for (i, n) in owned.iter().enumerate() {
+            assert!(
+                *n > 300,
+                "backend {i} owns {n}/3000 keys — vnode spread is broken: {owned:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_assignment_is_deterministic_and_consistent() {
+        let three = Ring::new(&backends(3), 64);
+        let again = Ring::new(&backends(3), 64);
+        // Removing one backend only remaps the keys it owned.
+        let two = Ring::new(&backends(2), 64);
+        let mut moved = 0usize;
+        let total = 2000;
+        for k in 0..total {
+            let key = format!("canonical-instance-{k}");
+            let owner = three.candidates(&key)[0];
+            assert_eq!(owner, again.candidates(&key)[0], "ring must be stable");
+            if owner < 2 {
+                assert_eq!(
+                    two.candidates(&key)[0],
+                    owner,
+                    "key {key} moved although its owner survived"
+                );
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "backend 2 owned nothing out of {total} keys");
+    }
+
+    #[test]
+    fn empty_and_single_rings_behave() {
+        assert!(Ring::new(&[], 64).candidates("k").is_empty());
+        let one = Ring::new(&backends(1), 8);
+        assert_eq!(one.candidates("anything"), vec![0]);
+    }
+}

@@ -1,14 +1,18 @@
-//! The planning daemon: a nonblocking acceptor, one thread per
-//! connection, a bounded worker pool that owns the DP sessions, and a
-//! supervisor that respawns workers that die.
+//! The planning daemon: an event-driven connection reactor (one thread,
+//! nonblocking sockets, readiness polling — see [`crate::reactor`]), a
+//! bounded worker pool that owns the DP sessions, a supervisor that
+//! respawns workers that die, and an optional gossip thread that warms
+//! peer caches in cluster mode.
 //!
 //! Life of a `plan` request:
 //!
-//! 1. The connection thread parses and validates the line; anything
-//!    unusable is answered with a structured error and the connection
-//!    stays open. Lines are bounded at [`MAX_LINE_BYTES`]; an oversized
-//!    line is rejected *while it streams in* (the buffer never grows past
-//!    the bound) and the rest of it is discarded up to the next newline.
+//! 1. The reactor parses and validates the line; anything unusable is
+//!    answered with a structured error and the connection stays open.
+//!    Lines are bounded at [`MAX_LINE_BYTES`]; an oversized line is
+//!    rejected *while it streams in* (the buffer never grows past the
+//!    bound) and the rest of it is discarded up to the next newline.
+//!    Many requests may be pipelined on one connection; responses come
+//!    back in request order.
 //! 2. The canonical key probes the [`PlanCache`]; a hit is answered
 //!    immediately (`cached:true`).
 //! 3. A miss becomes a [`Job`] on the bounded queue. A full queue is an
@@ -18,14 +22,24 @@
 //!    for the instance and plans. Consecutive same-instance jobs are
 //!    served through the same warm session, which is both faster and —
 //!    because probes are pure functions of (chain, platform, T̂) —
-//!    bit-identical to a cold `madpipe plan`.
-//! 5. The connection thread waits with the request deadline; if the
-//!    worker misses it, the client gets a `timeout` error and the worker
-//!    result (if any) still lands in the cache.
+//!    bit-identical to a cold `madpipe plan`. Finished replies ring the
+//!    reactor's waker so the response leaves immediately.
+//! 5. The slot waits in the connection's pipeline with the request
+//!    deadline; if the worker misses it, the client gets a `timeout`
+//!    error and the worker result (if any) still lands in the cache.
 //!
 //! A `replan` request runs the same pipeline twice — once for the
 //! healthy instance, once for the fault's survivor — and reports the
 //! throughput delta; both plans land in (or come from) the same cache.
+//!
+//! Cluster mode: [`ServeConfig::peers`] (or [`Server::add_peer`]) names
+//! sibling daemons; a gossip thread periodically ships this daemon's
+//! hottest canonical keys + plans to each peer (see [`crate::gossip`]),
+//! so a plan computed anywhere in the cluster soon serves as a cache
+//! hit everywhere. Peers apply entries with `{"cmd":"gossip",…}` —
+//! plans gossip verbatim as rendered, so a warmed hit stays
+//! f64-bit-identical to the origin daemon's (and thus to offline)
+//! planning.
 //!
 //! Supervision: a planner panic is caught per job. The poisoned request
 //! is answered with a structured `internal` error (counter
@@ -38,17 +52,16 @@
 //!
 //! Draining: `shutdown()` (or a `{"cmd":"shutdown"}` request, or
 //! SIGTERM/SIGINT via [`install_signal_handlers`]) flips one flag. The
-//! acceptor stops accepting and joins the connection threads, which
-//! finish their in-flight request and hang up; dropping the last job
-//! sender lets the workers drain the queue and exit, and the supervisor
-//! follows them out. `join()` then returns — no request is abandoned
+//! reactor stops accepting, retires every in-flight slot, flushes and
+//! closes its connections; dropping the job sender lets the workers
+//! drain the queue and exit, and the supervisor and gossip threads
+//! follow them out. `join()` then returns — no request is abandoned
 //! mid-write.
 
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -58,10 +71,8 @@ use madpipe_json::Value;
 use madpipe_obs::Registry;
 
 use crate::cache::PlanCache;
-use crate::protocol::{
-    error_response, ok_response, parse_request, plan_response, plan_to_json, replan_response,
-    PlanRequest, ReplanRequest, Request, ServeError,
-};
+use crate::protocol::{plan_to_json, PlanRequest, ServeError};
+use crate::reactor::{reactor_loop, wake_pair, Waker};
 
 /// Daemon configuration (the CLI's `--addr/--threads/--cache-entries/
 /// --timeout-ms` flags map 1:1 onto these fields).
@@ -75,13 +86,24 @@ pub struct ServeConfig {
     pub cache_entries: usize,
     /// Per-request deadline, from parse to response.
     pub timeout: Duration,
-    /// Worker queue depth; 0 means `4 × threads`.
+    /// Worker queue depth; 0 means `max(4 × threads, 64)` — at least
+    /// two connections' worth of deep pipelining (the reactor allows
+    /// 256 requests in flight per connection), so a single pipelined
+    /// client's cold burst is queued, not rejected as overloaded.
     pub queue_depth: usize,
     /// Chaos hook for the test harness: when set, a plan whose chain
     /// name contains this marker makes the worker panic *inside* the
     /// planning path, exercising panic isolation and supervised respawn.
     /// `None` (the default, and the CLI's only setting) disables it.
     pub panic_marker: Option<String>,
+    /// Sibling daemon addresses to gossip hot cache entries to
+    /// (cluster mode). Empty disables gossip; [`Server::add_peer`]
+    /// extends the set at runtime.
+    pub peers: Vec<String>,
+    /// How often the gossip thread ships its hottest entries.
+    pub gossip_interval: Duration,
+    /// How many of the hottest cache entries each gossip round ships.
+    pub gossip_entries: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +115,9 @@ impl Default for ServeConfig {
             timeout: Duration::from_secs(30),
             queue_depth: 0,
             panic_marker: None,
+            peers: Vec::new(),
+            gossip_interval: Duration::from_millis(500),
+            gossip_entries: 8,
         }
     }
 }
@@ -101,37 +126,43 @@ impl Default for ServeConfig {
 /// line is rejected as soon as the buffer crosses this, long before an
 /// allocation worth worrying about; 1 MiB comfortably fits any real
 /// instance (a 64k-layer chain is itself rejected by the planner).
-const MAX_LINE_BYTES: usize = 1 << 20;
+pub(crate) const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// How often idle loops re-check the drain flag.
-const POLL: Duration = Duration::from_millis(50);
+pub(crate) const POLL: Duration = Duration::from_millis(50);
 
-type PlanOutcome = Result<(Arc<Value>, bool), ServeError>;
+pub(crate) type PlanOutcome = Result<(Arc<Value>, bool), ServeError>;
 
-struct Job {
-    req: Box<PlanRequest>,
-    deadline: Instant,
-    reply: SyncSender<PlanOutcome>,
+pub(crate) struct Job {
+    pub(crate) req: Box<PlanRequest>,
+    pub(crate) deadline: Instant,
+    pub(crate) reply: SyncSender<PlanOutcome>,
 }
 
-struct Ctx {
-    draining: AtomicBool,
-    registry: Registry,
-    cache: PlanCache,
-    timeout: Duration,
+pub(crate) struct Ctx {
+    pub(crate) draining: AtomicBool,
+    pub(crate) registry: Registry,
+    pub(crate) cache: PlanCache,
+    pub(crate) timeout: Duration,
     /// Configured worker count (the supervisor keeps this many alive).
-    threads: usize,
-    queue_capacity: usize,
+    pub(crate) threads: usize,
+    pub(crate) queue_capacity: usize,
     /// Jobs accepted onto the queue and not yet picked up by a worker.
-    queue_depth: AtomicUsize,
+    pub(crate) queue_depth: AtomicUsize,
     /// Workers currently inside their loop (RAII-tracked, so a panicking
     /// worker decrements on unwind).
-    workers_alive: AtomicUsize,
-    panic_marker: Option<String>,
+    pub(crate) workers_alive: AtomicUsize,
+    pub(crate) panic_marker: Option<String>,
+    /// Rings the reactor out of its poll when a worker reply lands.
+    pub(crate) waker: Waker,
+    /// Gossip targets (cluster peers); extendable at runtime.
+    pub(crate) peers: Mutex<Vec<String>>,
+    pub(crate) gossip_interval: Duration,
+    pub(crate) gossip_entries: usize,
 }
 
 impl Ctx {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst) || term_requested()
     }
 }
@@ -140,7 +171,7 @@ impl Ctx {
 /// a supervised lock must not cascade the panic into every other thread
 /// touching it. All guarded state here stays consistent across unwinds
 /// (counters, maps with no partial multi-step updates).
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -149,8 +180,9 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 pub struct Server {
     local_addr: SocketAddr,
     ctx: Arc<Ctx>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
+    gossip: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -160,9 +192,10 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let (waker, wake_rx) = wake_pair()?;
         let threads = cfg.threads.max(1);
         let depth = if cfg.queue_depth == 0 {
-            threads * 4
+            (threads * 4).max(64)
         } else {
             cfg.queue_depth
         };
@@ -176,6 +209,10 @@ impl Server {
             queue_depth: AtomicUsize::new(0),
             workers_alive: AtomicUsize::new(0),
             panic_marker: cfg.panic_marker.clone(),
+            waker,
+            peers: Mutex::new(cfg.peers.clone()),
+            gossip_interval: cfg.gossip_interval,
+            gossip_entries: cfg.gossip_entries,
         });
 
         let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(depth);
@@ -193,19 +230,28 @@ impl Server {
                 .expect("spawn supervisor")
         };
 
-        let acceptor = {
+        let reactor = {
             let ctx = Arc::clone(&ctx);
             std::thread::Builder::new()
-                .name("serve-acceptor".into())
-                .spawn(move || acceptor_loop(&listener, &ctx, jobs_tx))
-                .expect("spawn acceptor")
+                .name("serve-reactor".into())
+                .spawn(move || reactor_loop(listener, ctx, jobs_tx, wake_rx))
+                .expect("spawn reactor")
+        };
+
+        let gossip = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("serve-gossip".into())
+                .spawn(move || crate::gossip::gossip_loop(&ctx))
+                .expect("spawn gossip")
         };
 
         Ok(Server {
             local_addr,
             ctx,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             supervisor: Some(supervisor),
+            gossip: Some(gossip),
         })
     }
 
@@ -225,10 +271,17 @@ impl Server {
         self.ctx.workers_alive.load(Ordering::SeqCst)
     }
 
+    /// Add a gossip peer at runtime (cluster membership is often only
+    /// known after every daemon has bound its port).
+    pub fn add_peer(&self, addr: impl Into<String>) {
+        lock_unpoisoned(&self.ctx.peers).push(addr.into());
+    }
+
     /// Ask the server to drain: stop accepting, finish in-flight
     /// requests, let the workers empty the queue.
     pub fn shutdown(&self) {
         self.ctx.draining.store(true, Ordering::SeqCst);
+        self.ctx.waker.wake();
     }
 
     /// True once a drain was requested (by [`Server::shutdown`], a
@@ -237,14 +290,17 @@ impl Server {
         self.ctx.draining()
     }
 
-    /// Block until the acceptor, every connection, every worker and the
-    /// supervisor have exited. Call [`Server::shutdown`] first (or send
-    /// `shutdown`).
+    /// Block until the reactor (and with it every connection), every
+    /// worker, the supervisor and the gossip thread have exited. Call
+    /// [`Server::shutdown`] first (or send `shutdown`).
     pub fn join(mut self) {
-        if let Some(h) = self.acceptor.take() {
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
         if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.gossip.take() {
             let _ = h.join();
         }
     }
@@ -303,144 +359,9 @@ fn supervisor_loop(
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, ctx: &Arc<Ctx>, jobs: SyncSender<Job>) {
-    let mut handles: Vec<JoinHandle<()>> = Vec::new();
-    while !ctx.draining() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // The listener is nonblocking; the per-connection
-                // sockets use read timeouts instead. One-line responses
-                // must not sit in Nagle's buffer waiting for an ACK.
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_nodelay(true);
-                let ctx = Arc::clone(ctx);
-                let jobs = jobs.clone();
-                let handle = std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move || connection_loop(&stream, &ctx, &jobs))
-                    .expect("spawn connection");
-                handles.push(handle);
-                handles.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(_) => std::thread::sleep(POLL),
-        }
-    }
-    // Drain: no new connections; wait for the open ones, then release
-    // the workers by dropping the last job sender.
-    for h in handles {
-        let _ = h.join();
-    }
-    drop(jobs);
-}
-
-fn connection_loop(stream: &TcpStream, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    // True while skipping the remainder of an already-rejected oversized
-    // line: bytes are dropped (never buffered) until the next newline.
-    let mut discarding = false;
-    loop {
-        match (&mut &*stream).read(&mut chunk) {
-            Ok(0) => return, // peer hung up
-            Ok(n) => {
-                let mut data = &chunk[..n];
-                if discarding {
-                    match data.iter().position(|b| *b == b'\n') {
-                        Some(pos) => {
-                            discarding = false;
-                            data = &data[pos + 1..];
-                        }
-                        None => continue,
-                    }
-                }
-                buf.extend_from_slice(data);
-                while let Some(pos) = buf.iter().position(|b| *b == b'\n') {
-                    let line: Vec<u8> = buf.drain(..=pos).collect();
-                    let line = String::from_utf8_lossy(&line[..pos.min(line.len())]).into_owned();
-                    let trimmed = line.trim();
-                    if trimmed.is_empty() {
-                        continue;
-                    }
-                    match handle_line(trimmed, ctx, jobs) {
-                        Some(response) => {
-                            if write_line(stream, &response).is_err() {
-                                return;
-                            }
-                        }
-                        None => return,
-                    }
-                }
-                // Whatever remains is a partial line; reject it the
-                // moment it exceeds the bound instead of buffering on.
-                if buf.len() > MAX_LINE_BYTES {
-                    ctx.registry.inc("serve.errors.oversized");
-                    let err = ServeError::malformed(format!(
-                        "request line exceeds {MAX_LINE_BYTES} bytes"
-                    ));
-                    if write_line(stream, &error_response(&err)).is_err() {
-                        return;
-                    }
-                    buf.clear();
-                    buf.shrink_to_fit();
-                    discarding = true;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                // Idle: hang up only between requests, so a drain never
-                // cuts a response in half.
-                if ctx.draining() {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-}
-
-fn write_line(stream: &TcpStream, line: &str) -> std::io::Result<()> {
-    let mut w = stream;
-    w.write_all(line.as_bytes())?;
-    w.write_all(b"\n")?;
-    w.flush()
-}
-
-/// Handle one request line; `None` means "close the connection".
-fn handle_line(line: &str, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> Option<String> {
-    let _span = madpipe_obs::span("serve.request");
-    ctx.registry.inc("serve.requests");
-    let req = match parse_request(line) {
-        Ok(req) => req,
-        Err(err) => {
-            ctx.registry.inc(match err.kind {
-                "invalid" => "serve.errors.invalid",
-                _ => "serve.errors.malformed",
-            });
-            return Some(error_response(&err));
-        }
-    };
-    match req {
-        Request::Ping => Some(ok_response("pong", Value::Bool(true))),
-        Request::Metrics => {
-            let text = ctx.registry.snapshot().to_prometheus();
-            Some(ok_response("metrics", Value::Str(text)))
-        }
-        Request::Health => Some(ok_response("health", health_value(ctx))),
-        Request::Shutdown => {
-            ctx.draining.store(true, Ordering::SeqCst);
-            Some(ok_response("draining", Value::Bool(true)))
-        }
-        Request::Plan(plan) => Some(handle_plan(*plan, ctx, jobs)),
-        Request::Replan(replan) => Some(handle_replan(*replan, ctx, jobs)),
-    }
-}
-
 /// The `health` payload: supervision state an external monitor needs to
 /// decide whether the daemon is healthy, degraded or draining.
-fn health_value(ctx: &Arc<Ctx>) -> Value {
+pub(crate) fn health_value(ctx: &Arc<Ctx>) -> Value {
     Value::Object(vec![
         ("draining".into(), Value::Bool(ctx.draining())),
         (
@@ -466,95 +387,6 @@ fn health_value(ctx: &Arc<Ctx>) -> Value {
             Value::UInt(ctx.registry.counter("serve.workers.respawned")),
         ),
     ])
-}
-
-fn handle_plan(req: PlanRequest, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> String {
-    ctx.registry.inc("serve.requests.plan");
-    let deadline = Instant::now() + ctx.timeout;
-    match plan_via_pool(req, deadline, ctx, jobs) {
-        Ok((plan, cached)) => plan_response(&plan, cached),
-        Err(err) => error_response(&err),
-    }
-}
-
-/// Degraded-mode replanning: plan the healthy instance, then the fault's
-/// survivor, both through the ordinary cache + worker path, under one
-/// shared deadline. The degraded plan is therefore bit-identical to what
-/// a direct `plan` of the survivor would return — and it lands in the
-/// cache under the survivor's canonical key, where a later direct `plan`
-/// will find it.
-fn handle_replan(req: ReplanRequest, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> String {
-    let _span = madpipe_obs::span("serve.replan");
-    ctx.registry.inc("serve.requests.replan");
-    ctx.registry
-        .inc(&format!("replan.fault.{}", req.fault.kind()));
-    let ReplanRequest {
-        fault,
-        baseline,
-        degraded,
-    } = req;
-    let degraded_platform = degraded.platform.clone();
-    let deadline = Instant::now() + ctx.timeout;
-    let (base_plan, base_cached) = match plan_via_pool(baseline, deadline, ctx, jobs) {
-        Ok(x) => x,
-        Err(err) => return error_response(&err),
-    };
-    let (deg_plan, deg_cached) = match plan_via_pool(degraded, deadline, ctx, jobs) {
-        Ok(x) => x,
-        Err(err) => return error_response(&err),
-    };
-    ctx.registry.inc("replan.completed");
-    replan_response(
-        &fault,
-        &degraded_platform,
-        &base_plan,
-        base_cached,
-        &deg_plan,
-        deg_cached,
-    )
-}
-
-/// One instance through the cache, then (on a miss) the worker pool.
-fn plan_via_pool(
-    req: PlanRequest,
-    deadline: Instant,
-    ctx: &Arc<Ctx>,
-    jobs: &SyncSender<Job>,
-) -> PlanOutcome {
-    if let Some(plan) = ctx.cache.get(&req.canonical) {
-        ctx.registry.inc("serve.cache.hits");
-        return Ok((plan, true));
-    }
-    ctx.registry.inc("serve.cache.misses");
-    if ctx.draining() {
-        return Err(ServeError::unavailable());
-    }
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<PlanOutcome>(1);
-    let job = Job {
-        req: Box::new(req),
-        deadline,
-        reply: reply_tx,
-    };
-    match jobs.try_send(job) {
-        Ok(()) => {
-            ctx.queue_depth.fetch_add(1, Ordering::SeqCst);
-        }
-        Err(TrySendError::Full(_)) => {
-            ctx.registry.inc("serve.rejects");
-            return Err(ServeError::overloaded());
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            return Err(ServeError::unavailable());
-        }
-    }
-    let remaining = deadline.saturating_duration_since(Instant::now());
-    match reply_rx.recv_timeout(remaining) {
-        Ok(outcome) => outcome,
-        Err(_) => {
-            ctx.registry.inc("serve.timeouts");
-            Err(ServeError::timeout())
-        }
-    }
 }
 
 fn worker_loop(ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) {
@@ -610,6 +442,7 @@ fn serve_instance(
         // Sat in the queue past its deadline; the client already gave up.
         ctx.registry.inc("serve.expired");
         let _ = job.reply.try_send(Err(ServeError::timeout()));
+        ctx.waker.wake();
         return;
     }
     let PlanRequest {
@@ -643,6 +476,7 @@ fn serve_instance(
                             "planner worker panicked: {}",
                             panic_message(payload.as_ref())
                         ))));
+                        ctx.waker.wake();
                         // The session may be mid-update; never reuse it.
                         // Resuming lets the thread die and the supervisor
                         // replace it with a clean one.
@@ -663,10 +497,12 @@ fn serve_instance(
                 }
             }
         };
-        // The connection thread may have timed out and dropped the
+        // The reactor may have timed the slot out and dropped the
         // receiver; the plan still went into the cache, so the retry
-        // will hit.
+        // will hit. The wake gets the response on the wire without
+        // waiting out the reactor's poll timeout.
         let _ = reply.try_send(outcome);
+        ctx.waker.wake();
 
         // Lookahead: pull the next queued job without blocking; keep it
         // only if it is the same instance, otherwise hand it back.
@@ -679,6 +515,7 @@ fn serve_instance(
                         if Instant::now() >= j.deadline {
                             ctx.registry.inc("serve.expired");
                             let _ = j.reply.try_send(Err(ServeError::timeout()));
+                            ctx.waker.wake();
                             continue;
                         }
                         reply = j.reply;

@@ -130,6 +130,7 @@ fn chaos_drill_never_kills_the_daemon_and_every_plan_is_bit_identical() {
         timeout: Duration::from_secs(60),
         queue_depth: 64,
         panic_marker: Some(MARKER.into()),
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr();

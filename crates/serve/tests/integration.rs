@@ -69,6 +69,7 @@ fn start_server() -> Server {
         timeout: Duration::from_secs(60),
         queue_depth: 64,
         panic_marker: None,
+        ..ServeConfig::default()
     })
     .expect("bind")
 }

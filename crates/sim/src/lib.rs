@@ -27,7 +27,7 @@ pub mod replay;
 pub mod report;
 pub mod trace;
 
-pub use chaos::{ChaosEvent, ChaosStream};
+pub use chaos::{ChaosEvent, ChaosStream, ClusterEvent};
 pub use eager::{simulate_eager, EagerConfig};
 pub use perturb::{replay_perturbed, FaultSpec};
 pub use replay::{replay_pattern, replay_with};
