@@ -59,6 +59,12 @@ pub struct LoadgenConfig {
     /// Reconnect attempts per batch on transient transport failures
     /// (connect refused, server closed the connection). 0 fails fast.
     pub max_retries: usize,
+    /// Inject a distributed trace context (`"trace"` field, unique id
+    /// per request) into every request line, and count the responses
+    /// that echo one back. This is how `madpipe loadgen --trace` seeds
+    /// cluster-wide traces: router and daemons hang their spans off the
+    /// injected id.
+    pub trace: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -72,6 +78,7 @@ impl Default for LoadgenConfig {
             seed: 42,
             timeout: Duration::from_secs(60),
             max_retries: 3,
+            trace: false,
         }
     }
 }
@@ -83,6 +90,9 @@ pub struct LoadgenReport {
     pub ok: usize,
     pub errors: usize,
     pub cached: usize,
+    /// Responses that echoed a `trace`/`span` context back (0 unless
+    /// [`LoadgenConfig::trace`] was set and the server speaks tracing).
+    pub traced: usize,
     /// Reconnect-and-resend attempts taken across all connections.
     pub retries: usize,
     pub p50_ms: f64,
@@ -141,6 +151,9 @@ impl fmt::Display for LoadgenReport {
             self.cached,
             100.0 * self.hit_rate()
         )?;
+        if self.traced > 0 {
+            writeln!(f, "tracing   : {} responses echoed a span", self.traced)?;
+        }
         write!(
             f,
             "throughput: {:.1} req/s over {:.2} s of request time \
@@ -307,9 +320,21 @@ fn batch_with_retry(
     }
 }
 
+/// Splice a root trace context into a request line: the request becomes
+/// the root of a distributed trace, and every hop that serves it links
+/// its spans to this id. Kept local (16-hex splice before the closing
+/// brace) so the bench crate needs no serve dependency.
+fn inject_trace(line: &str, id: u64) -> String {
+    match line.strip_suffix('}') {
+        Some(body) => format!("{body},\"trace\":\"{id:016x}\"}}"),
+        None => line.to_string(),
+    }
+}
+
 /// Per-connection outcome: (latencies in ms, ok count, cached count,
-/// retries taken, backoff slept in seconds, loop wall clock in seconds).
-type ConnStats = Result<(Vec<f64>, usize, usize, usize, f64, f64), String>;
+/// traced count, retries taken, backoff slept in seconds, loop wall
+/// clock in seconds).
+type ConnStats = Result<(Vec<f64>, usize, usize, usize, usize, f64, f64), String>;
 
 /// Run the closed loop and aggregate the report.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
@@ -328,11 +353,24 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                     let loop_started = Instant::now();
                     let mut open: Option<Conn> = Some(connect(cfg, addr)?);
                     let mut latencies = Vec::with_capacity(cfg.requests_per_conn);
-                    let (mut ok, mut cached, mut retries) = (0usize, 0usize, 0usize);
+                    let (mut ok, mut cached, mut traced) = (0usize, 0usize, 0usize);
+                    let mut retries = 0usize;
                     let mut slept = Duration::ZERO;
-                    let sequence: Vec<&str> = (0..cfg.requests_per_conn)
-                        .map(|i| lines[(conn + i) % lines.len()].as_str())
+                    // With tracing on, every request instance gets its
+                    // own root trace id — unique across connections —
+                    // so merged traces never alias two requests.
+                    let owned: Vec<String> = (0..cfg.requests_per_conn)
+                        .map(|i| {
+                            let line = &lines[(conn + i) % lines.len()];
+                            if cfg.trace {
+                                let id = mix(cfg.seed ^ ((conn as u64) << 40) ^ i as u64) | 1;
+                                inject_trace(line, id)
+                            } else {
+                                line.clone()
+                            }
+                        })
                         .collect();
+                    let sequence: Vec<&str> = owned.iter().map(String::as_str).collect();
                     for (b, batch) in sequence.chunks(depth).enumerate() {
                         let jitter_seed = mix(cfg.seed ^ ((conn as u64) << 32) ^ b as u64);
                         let t0 = Instant::now();
@@ -351,12 +389,16 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                                     cached += 1;
                                 }
                             }
+                            if v.get("span").and_then(|s| s.as_str().ok()).is_some() {
+                                traced += 1;
+                            }
                         }
                     }
                     Ok((
                         latencies,
                         ok,
                         cached,
+                        traced,
                         retries,
                         slept.as_secs_f64(),
                         loop_started.elapsed().as_secs_f64(),
@@ -372,14 +414,16 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let elapsed_seconds = started.elapsed().as_secs_f64();
 
     let mut latencies = Vec::new();
-    let (mut ok, mut cached, mut total, mut retries) = (0usize, 0usize, 0usize, 0usize);
+    let (mut ok, mut cached, mut traced) = (0usize, 0usize, 0usize);
+    let (mut total, mut retries) = (0usize, 0usize);
     let (mut backoff_seconds, mut request_seconds) = (0.0f64, 0.0f64);
     for outcome in per_conn {
-        let (lat, o, c, r, slept, loop_secs) = outcome?;
+        let (lat, o, c, t, r, slept, loop_secs) = outcome?;
         total += lat.len();
         latencies.extend(lat);
         ok += o;
         cached += c;
+        traced += t;
         retries += r;
         backoff_seconds += slept;
         // The run is as long as its busiest connection's sleep-free loop.
@@ -398,6 +442,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         ok,
         errors: total - ok,
         cached,
+        traced,
         retries,
         p50_ms: pct(0.50),
         p99_ms: pct(0.99),
@@ -520,6 +565,7 @@ mod tests {
             ok: 8,
             errors: 2,
             cached: 4,
+            traced: 10,
             retries: 3,
             p50_ms: 1.0,
             p99_ms: 2.0,
@@ -535,6 +581,25 @@ mod tests {
         assert!(text.contains("3 retries"), "{text}");
         assert!(text.contains("0.50 s retry backoff"), "{text}");
         assert!(text.contains("2.50 s wall"), "{text}");
+        assert!(text.contains("10 responses echoed a span"), "{text}");
+        let untraced = LoadgenReport::default().to_string();
+        assert!(
+            !untraced.contains("tracing"),
+            "no tracing line without traced responses: {untraced}"
+        );
+    }
+
+    #[test]
+    fn trace_injection_splices_a_valid_hex_root() {
+        let line = r#"{"cmd":"ping"}"#;
+        let traced = inject_trace(line, 0xabcd);
+        let v = Value::parse(&traced).unwrap();
+        assert_eq!(v.field("cmd").unwrap().as_str(), Ok("ping"));
+        assert_eq!(v.field("trace").unwrap().as_str(), Ok("000000000000abcd"));
+        // Every request line in the pool is injectable.
+        for line in request_lines(2, 9) {
+            assert!(Value::parse(&inject_trace(&line, 7)).is_ok());
+        }
     }
 
     #[test]

@@ -59,10 +59,29 @@ USAGE:
       includes the planner/certifier spans; --metrics-out as in plan.
   madpipe validate-trace <trace.json> [--expect-spans a,b,c]
                [--metrics FILE]
-      Re-parse an emitted Chrome trace with the vendored JSON parser and
-      check its structural invariants (the CI artifact gate). Fails if
-      any span named in --expect-spans is absent; --metrics additionally
-      validates a Prometheus-style dump.
+      Re-parse an emitted trace — a Chrome document, a flight-recorder
+      JSONL dump, or a trace-merge artifact — with the vendored JSON
+      parser and check its structural invariants, including distributed
+      span links: every `parent` id must be defined by some span, with
+      no cycles (the CI artifact gate). Fails if any span named in
+      --expect-spans is absent; --metrics additionally validates a
+      Prometheus-style dump.
+  madpipe trace-merge <dump.jsonl|trace.json>.. --out FILE
+      Stitch per-process trace artifacts (flight-recorder dumps and/or
+      Chrome documents) into one cluster-wide Chrome trace: each input
+      becomes its own named process (pid = input order, label = file
+      stem), timestamps rebase to the earliest event, and the
+      distributed trace/span/parent ids survive verbatim — so router →
+      daemon → worker → DP parent links span processes. The merged
+      document is validated before it is written.
+  madpipe top [--addr HOST:PORT] [--interval-ms T] [--once]
+      Live cluster dashboard: polls `health` and `metrics` on ADDR
+      (default the router, 127.0.0.1:4830; a single daemon works too)
+      every T ms (default 1000) and renders per-daemon rows — alive,
+      workers, queue depth, req/s since the last frame, cache hit
+      ratio, flight-recorder drops — plus cluster-wide p50/p95/p99
+      request latency reconstructed from the summed histogram buckets.
+      --once prints a single frame and exits (no screen clearing).
   madpipe bench-baseline [--out FILE] [--baseline FILE] [--tolerance T]
                [--time-factor F] [--threads N] [--stats-json FILE]
       Run the fixed smoke benchmark grid, write the results as JSON to
@@ -92,7 +111,7 @@ USAGE:
       `madpipe plan` on the surviving platform.
   madpipe serve [--addr HOST:PORT] [--threads N] [--cache-entries N]
                [--timeout-ms T] [--peers A,B,..] [--gossip-ms T]
-               [--gossip-entries K]
+               [--gossip-entries K] [--flight-dump FILE]
       Run the planning daemon: newline-delimited JSON requests
       ({\"cmd\":\"plan\"|\"replan\"|\"metrics\"|\"health\"|\"ping\"|\"shutdown\"}),
       served by an event-driven reactor (pipelined requests answered in
@@ -106,20 +125,26 @@ USAGE:
       plans verbatim, so warmed answers stay bit-identical. Prints
       `listening on ADDR` once live; drains gracefully on SIGTERM,
       SIGINT or a shutdown request. Default address 127.0.0.1:4835;
-      --cache-entries 0 disables the cache.
+      --cache-entries 0 disables the cache. --flight-dump writes the
+      always-on flight-recorder ring (recent spans/counters) as JSONL
+      on exit — panics inside a worker dump it immediately.
   madpipe route --backends A,B,.. [--addr HOST:PORT] [--vnodes N]
-               [--timeout-ms T] [--cooldown-ms T]
+               [--timeout-ms T] [--cooldown-ms T] [--flight-dump FILE]
       Run the cluster router: a consistent-hash ring (N vnodes per
       backend, default 64) keyed on the canonical instance string routes
       each plan/replan to its owning daemon and fails over around dead
       ones (dead backends cool down T ms, default 500, before retry).
       `health` and `metrics` answer cluster-wide rollups across all
-      backends. Prints `routing on ADDR -> N backends` once live; drains
-      like serve. Default address 127.0.0.1:4830.
+      backends (histogram buckets are summed per bucket, so quantiles
+      reconstruct cluster-wide). A request line carrying a `trace` field
+      is forwarded with its `parent` rewritten to the router's own
+      `router.forward` span, linking the daemon's spans under the router
+      hop. Prints `routing on ADDR -> N backends` once live; drains like
+      serve. Default address 127.0.0.1:4830; --flight-dump as in serve.
   madpipe loadgen [--addr HOST:PORT[,HOST:PORT..]] [--connections N]
                [--requests M] [--pipeline D] [--instances K] [--seed S]
                [--timeout-ms T] [--max-retries R] [--floor FILE]
-               [--expect-hits]
+               [--expect-hits] [--trace]
       Closed-loop client for the daemon: N connections × M requests over
       K mixed instances; prints p50/p99 latency, hit rate, retries and
       the server's serve.* counters. --addr may list several daemons
@@ -130,6 +155,9 @@ USAGE:
       against a committed BENCH_serve_speed.json throughput baseline;
       --expect-hits exits nonzero unless every request succeeded and the
       server reports both cache hits and misses (the CI smoke gate).
+      --trace injects a unique distributed trace id into every request
+      (the root of the cluster-wide trace) and reports how many
+      responses echoed a span back.
 
 All <network> slots also accept `synthetic` (--layers N, --seed S): a
 reproducible random CNN-profile chain.
@@ -138,7 +166,10 @@ Defaults: --gpus 4, --memory-gb 8, --bandwidth-gb 12, --batch 8,
 --image 1000.";
 
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
-    let args = parse(argv, &["full", "quiet", "stats", "expect-hits"])?;
+    let args = parse(
+        argv,
+        &["full", "quiet", "stats", "expect-hits", "trace", "once"],
+    )?;
     match args.positional.first().map(String::as_str) {
         Some("networks") => cmd_networks(),
         Some("plan") => cmd_plan(&args),
@@ -151,6 +182,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("trace") => cmd_trace(&args),
         Some("certify") => cmd_certify(&args),
         Some("validate-trace") => cmd_validate_trace(&args),
+        Some("trace-merge") => cmd_trace_merge(&args),
+        Some("top") => cmd_top(&args),
         Some("bench-baseline") => cmd_bench_baseline(&args),
         Some("bench-plan-speed") => cmd_bench_plan_speed(&args),
         Some("serve") => cmd_serve(&args),
@@ -666,7 +699,8 @@ fn cmd_validate_trace(args: &Args) -> Result<(), String> {
         .get(1)
         .ok_or("missing <trace.json> argument")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let s = madpipe_obs::validate::validate_chrome(&text).map_err(|e| format!("{path}: {e}"))?;
+    let s =
+        madpipe_obs::validate::validate_trace_text(&text).map_err(|e| format!("{path}: {e}"))?;
     println!(
         "{path}: {} events ({} spans, {} span names, {} counter tracks), horizon {:.3} ms",
         s.events,
@@ -700,6 +734,174 @@ fn cmd_validate_trace(args: &Args) -> Result<(), String> {
         println!("{mpath}: {n} valid metric samples");
     }
     Ok(())
+}
+
+fn cmd_trace_merge(args: &Args) -> Result<(), String> {
+    let inputs = &args.positional[1..];
+    if inputs.is_empty() {
+        return Err("trace-merge needs at least one input artifact".into());
+    }
+    let out = args.raw("out").ok_or("trace-merge requires --out FILE")?;
+    let mut labeled: Vec<(String, String)> = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let label = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path)
+            .to_string();
+        labeled.push((label, text));
+    }
+    let merged = madpipe_obs::merge_traces(&labeled)?;
+    let text = merged.to_string_pretty();
+    // Validate before writing: a merged artifact with broken parent
+    // links would only fail later, in someone else's validate-trace.
+    let s = madpipe_obs::validate::validate_chrome(&text).map_err(|e| format!("merged: {e}"))?;
+    std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} processes, {} events ({} spans, {} cross-linked), horizon {:.3} ms",
+        labeled.len(),
+        s.events,
+        s.spans,
+        s.linked_spans,
+        s.max_ts_us / 1e3,
+    );
+    Ok(())
+}
+
+/// One request/response exchange against a daemon or router (used by
+/// `madpipe top` for its `health`/`metrics` polls).
+fn probe_line(addr: &str, line: &str, timeout: std::time::Duration) -> Result<Value, String> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("recv: {e}"))?;
+    Value::parse(response.trim()).map_err(|e| format!("bad response JSON: {e}"))
+}
+
+/// One `madpipe top` frame: per-daemon rows from the health rollup plus
+/// cluster-wide latency quantiles from the summed histogram buckets.
+fn top_frame(
+    addr: &str,
+    timeout: std::time::Duration,
+    previous: &mut std::collections::HashMap<String, (u64, std::time::Instant)>,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let health = probe_line(addr, r#"{"cmd":"health"}"#, timeout)?;
+    let body = health.field("health").map_err(|e| format!("health: {e}"))?;
+    // A router rollup carries a `daemons` array; a single daemon is its
+    // own one-row cluster.
+    let daemons: Vec<(String, bool, Value)> = match body.get("daemons") {
+        Some(list) => list
+            .as_array()
+            .map_err(|e| format!("daemons: {e}"))?
+            .iter()
+            .map(|d| {
+                let name = d
+                    .get("addr")
+                    .and_then(|a| a.as_str().ok())
+                    .unwrap_or("?")
+                    .to_string();
+                let ok = d.get("ok") == Some(&Value::Bool(true));
+                (name, ok, d.get("health").cloned().unwrap_or(Value::Null))
+            })
+            .collect(),
+        None => vec![(addr.to_string(), true, body.clone())],
+    };
+    let uint = |v: &Value, key: &str| v.get(key).and_then(|x| x.as_u64().ok()).unwrap_or(0);
+    let now = std::time::Instant::now();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>5} {:>8} {:>6} {:>9} {:>6} {:>8}",
+        "daemon", "up", "workers", "queue", "req/s", "hit%", "dropped"
+    );
+    for (name, ok, h) in &daemons {
+        if !ok {
+            let _ = writeln!(out, "{name:<22} {:>5} — unreachable", "DOWN");
+            continue;
+        }
+        let requests = uint(h, "requests");
+        let rate = match previous.insert(name.clone(), (requests, now)) {
+            Some((prev, at)) if now > at && requests >= prev => {
+                (requests - prev) as f64 / (now - at).as_secs_f64()
+            }
+            _ => 0.0,
+        };
+        let hits = uint(h, "cache_hits") as f64;
+        let misses = uint(h, "cache_misses") as f64;
+        let hit_pct = if hits + misses > 0.0 {
+            100.0 * hits / (hits + misses)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>5} {:>5}/{:<2} {:>6} {:>9.1} {:>6.1} {:>8}",
+            name,
+            "up",
+            uint(h, "workers_alive"),
+            uint(h, "workers_configured"),
+            uint(h, "queue_depth"),
+            rate,
+            hit_pct,
+            uint(h, "events_dropped"),
+        );
+    }
+    // Cluster-wide request-latency quantiles, reconstructed from the
+    // (router-summed) cumulative `_bucket` series.
+    let metrics = probe_line(addr, r#"{"cmd":"metrics"}"#, timeout)?;
+    if let Ok(text) = metrics.field("metrics").and_then(Value::as_str) {
+        if let Ok(histograms) = madpipe_obs::validate::histogram_buckets(text) {
+            if let Some(buckets) = histograms.get("madpipe_serve_request_seconds") {
+                let q = |p: f64| 1e3 * madpipe_obs::quantile_from_buckets(buckets, p);
+                let _ = writeln!(
+                    out,
+                    "latency   : p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms (cluster, {} requests)",
+                    q(0.50),
+                    q(0.95),
+                    q(0.99),
+                    buckets.iter().map(|(_, n)| n).sum::<u64>(),
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+    let addr = args.raw("addr").unwrap_or("127.0.0.1:4830").to_string();
+    let interval = std::time::Duration::from_millis(args.get_or("interval-ms", 1_000u64)?.max(100));
+    let timeout = std::time::Duration::from_millis(args.get_or("timeout-ms", 5_000u64)?.max(1));
+    let once = args.has("once");
+    let mut previous = std::collections::HashMap::new();
+    loop {
+        let frame = top_frame(&addr, timeout, &mut previous)?;
+        if once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // Clear + home, then the frame: a crude but dependency-free
+        // full-screen refresh.
+        print!(
+            "\x1b[2J\x1b[Hmadpipe top — {addr} (refresh {} ms)\n\n{frame}",
+            interval.as_millis()
+        );
+        std::io::stdout().flush().ok();
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_bench_baseline(args: &Args) -> Result<(), String> {
@@ -921,6 +1123,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         peers: args.raw("peers").map(comma_list).unwrap_or_default(),
         gossip_interval: std::time::Duration::from_millis(args.get_or("gossip-ms", 500u64)?.max(1)),
         gossip_entries: args.get_or("gossip-entries", 8usize)?,
+        flight_dump: args.raw("flight-dump").map(str::to_string),
     };
     madpipe_serve::install_signal_handlers();
     let server = madpipe_serve::Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
@@ -951,6 +1154,7 @@ fn cmd_route(args: &Args) -> Result<(), String> {
         vnodes: args.get_or("vnodes", 64usize)?.max(1),
         timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 60_000u64)?.max(1)),
         cooldown: std::time::Duration::from_millis(args.get_or("cooldown-ms", 500u64)?),
+        flight_dump: args.raw("flight-dump").map(str::to_string),
     };
     madpipe_serve::install_signal_handlers();
     let router = madpipe_serve::Router::start(cfg).map_err(|e| format!("bind: {e}"))?;
@@ -977,6 +1181,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         seed: args.get_or("seed", 42u64)?,
         timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 60_000u64)?.max(1)),
         max_retries: args.get_or("max-retries", 3usize)?,
+        trace: args.has("trace"),
     };
     let report = madpipe_bench::loadgen::run(&cfg)?;
     println!("{report}");

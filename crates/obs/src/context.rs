@@ -1,0 +1,114 @@
+//! Distributed trace context: process-unique 64-bit ids and wall-clock
+//! timestamps shared across daemons.
+//!
+//! A request carries a `trace` id (constant across every hop) and a
+//! `parent` span id (the id of the hop that forwarded it). Ids are
+//! 64-bit, rendered as 16 lowercase hex digits on the wire, and drawn
+//! from a SplitMix64 stream seeded per process from the wall clock and
+//! the pid — collisions across a cluster are as unlikely as a 64-bit
+//! random collision, and id 0 is reserved to mean "absent".
+//!
+//! Flight-recorder events are stamped with [`now_unix_us`] — wall-clock
+//! microseconds since the UNIX epoch — rather than a process-local
+//! monotonic epoch, so events from different daemons merge onto one
+//! timeline (`madpipe trace-merge` rebases the merged trace to its
+//! earliest event).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// SplitMix64 finalizer: bijective, so distinct counter values can
+/// never collide within one process.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+static SEED: OnceLock<u64> = OnceLock::new();
+static COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn seed() -> u64 {
+    *SEED.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        mix(nanos ^ (u64::from(std::process::id()) << 32))
+    })
+}
+
+/// A fresh nonzero 64-bit id, unique within this process and
+/// collision-resistant across processes.
+pub fn fresh_id() -> u64 {
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = mix(seed().wrapping_add(n));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Wire form of an id: 16 lowercase hex digits.
+pub fn hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse a wire id; `None` for anything but 1–16 hex digits or for the
+/// reserved zero id.
+pub fn parse_hex_id(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    match u64::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+/// Wall-clock microseconds since the UNIX epoch, as f64 (Chrome's
+/// native trace unit). Exact to the microsecond until the year ~2255.
+pub fn now_unix_us() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64() * 1e6)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_unique_and_round_trip_hex() {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let id = fresh_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "fresh_id repeated {id:#x}");
+            let hex = hex_id(id);
+            assert_eq!(hex.len(), 16);
+            assert_eq!(parse_hex_id(&hex), Some(id));
+        }
+    }
+
+    #[test]
+    fn hex_parsing_rejects_garbage() {
+        assert_eq!(parse_hex_id(""), None);
+        assert_eq!(parse_hex_id("0000000000000000"), None, "zero is reserved");
+        assert_eq!(parse_hex_id("xyz"), None);
+        assert_eq!(parse_hex_id("11112222333344445"), None, "too long");
+        assert_eq!(parse_hex_id("ff"), Some(0xff), "short ids parse");
+    }
+
+    #[test]
+    fn unix_timestamps_advance() {
+        let a = now_unix_us();
+        let b = now_unix_us();
+        assert!(a > 1e15, "epoch-µs in 2026 is ~1.7e15, got {a}");
+        assert!(b >= a);
+    }
+}

@@ -18,9 +18,24 @@
 //!   registry — the Prometheus dump. `sim::schedule_trace` and the CLI's
 //!   `--trace-out` both emit through this one model.
 //!
+//! Two distributed-tracing pieces extend the same model across
+//! processes:
+//!
+//! * [`context`] — 64-bit trace/span ids (16-hex on the wire) plus
+//!   wall-clock UNIX-epoch timestamps, so spans emitted by the router,
+//!   each daemon and the load generator can be stitched together
+//!   without clock coordination.
+//! * [`flight`] — an always-on flight recorder: a fixed-size lock-free
+//!   ring of recent span/instant/counter events, drained to a JSONL
+//!   artifact on panic, SIGTERM, or a chaos kill. [`merge::merge_traces`]
+//!   (`madpipe trace-merge`) stitches those per-process dumps into one
+//!   cluster-wide Chrome trace with cross-process parent/child edges.
+//!
 //! [`validate`] closes the loop: it re-parses an emitted Chrome trace
 //! with the vendored JSON crate and checks the structural invariants the
-//! round-trip tests and `madpipe validate-trace` rely on.
+//! round-trip tests and `madpipe validate-trace` rely on — including,
+//! for merged cluster traces, that every span's parent exists and the
+//! parent graph is acyclic.
 //!
 //! Counter namespaces in use across the workspace: `plan.*` and `dp.*`
 //! (planner), `certify.*` (differential certification), `serve.*` (the
@@ -30,11 +45,18 @@
 //! `replan.fault.<kind>` counters, the `replan.throughput_delta` gauge,
 //! the `replan.total` span).
 
+pub mod context;
 mod event;
+pub mod flight;
+pub mod merge;
 mod metrics;
 mod span;
 pub mod validate;
 
+pub use context::{fresh_id, hex_id, now_unix_us, parse_hex_id};
 pub use event::{Phase, Trace, TraceEvent, PLANNER_PID, SCHEDULE_PID};
-pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+pub use merge::merge_traces;
+pub use metrics::{
+    quantile_from_buckets, HistogramSnapshot, MetricsSnapshot, Registry, EXPORTED_QUANTILES,
+};
 pub use span::{drain_spans, set_enabled, span, timed, tracing_enabled, SpanGuard, SpanRecord};

@@ -1,0 +1,166 @@
+//! Stitch per-daemon trace artifacts into one cluster-wide Chrome
+//! trace (`madpipe trace-merge`).
+//!
+//! Inputs are flight-recorder JSONL dumps or Chrome documents, one per
+//! process (router, each daemon, a client). Every input becomes one
+//! Chrome process in the merged view — pid = input order, named by its
+//! label — and every event keeps its `args` untouched, so the
+//! distributed `trace`/`span`/`parent` ids survive and the merged
+//! document carries cross-process parent/child edges that
+//! [`crate::validate::validate_chrome`] checks.
+//!
+//! Flight events are stamped with wall-clock UNIX-epoch microseconds
+//! precisely so this merge is possible without clock coordination; the
+//! merged trace is rebased to its earliest event, putting t=0 at the
+//! start of the run (and keeping Perfetto's UI away from year-2026
+//! timestamp offsets).
+
+use madpipe_json::Value;
+
+/// Parse one input artifact (Chrome document or JSONL) into its event
+/// objects.
+fn events_of_text(label: &str, text: &str) -> Result<Vec<Value>, String> {
+    if let Ok(doc) = Value::parse(text) {
+        if let Some(events) = doc.get("traceEvents") {
+            let events = events
+                .as_array()
+                .map_err(|e| format!("{label}: traceEvents is not an array: {e}"))?;
+            return Ok(events.to_vec());
+        }
+    }
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .enumerate()
+        .map(|(i, line)| {
+            Value::parse(line).map_err(|e| format!("{label}: line {}: bad JSON: {e}", i + 1))
+        })
+        .collect()
+}
+
+fn set_field(v: &mut Value, key: &str, value: Value) {
+    if let Value::Object(fields) = v {
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            fields.push((key.to_string(), value));
+        }
+    }
+}
+
+/// Merge `(label, artifact text)` inputs into one Chrome trace value.
+/// Input order is identity: input `i` becomes Chrome pid `i + 1`, its
+/// process named `label`. Timestamps are rebased so the earliest timed
+/// event across all inputs lands at t = 0.
+pub fn merge_traces(inputs: &[(String, String)]) -> Result<Value, String> {
+    if inputs.is_empty() {
+        return Err("trace-merge needs at least one input artifact".into());
+    }
+    let mut parsed: Vec<(String, Vec<Value>)> = Vec::with_capacity(inputs.len());
+    let mut min_ts = f64::INFINITY;
+    for (label, text) in inputs {
+        let events = events_of_text(label, text)?;
+        for e in &events {
+            if let Some(ts) = e.get("ts").and_then(|t| t.as_f64().ok()) {
+                min_ts = min_ts.min(ts);
+            }
+        }
+        parsed.push((label.clone(), events));
+    }
+    if !min_ts.is_finite() {
+        min_ts = 0.0;
+    }
+    let mut out: Vec<Value> = Vec::new();
+    for (i, (label, events)) in parsed.into_iter().enumerate() {
+        let pid = (i + 1) as u64;
+        out.push(Value::Object(vec![
+            ("name".into(), Value::Str("process_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::UInt(pid)),
+            ("tid".into(), Value::UInt(0)),
+            (
+                "args".into(),
+                Value::Object(vec![("name".into(), Value::Str(label))]),
+            ),
+        ]));
+        for mut e in events {
+            set_field(&mut e, "pid", Value::UInt(pid));
+            if let Some(ts) = e.get("ts").and_then(|t| t.as_f64().ok()) {
+                set_field(&mut e, "ts", Value::Float(ts - min_ts));
+            }
+            out.push(e);
+        }
+    }
+    Ok(Value::Object(vec![
+        ("traceEvents".into(), Value::Array(out)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_chrome;
+
+    fn jsonl(events: &[&str]) -> String {
+        events.join("\n")
+    }
+
+    #[test]
+    fn merges_jsonl_dumps_with_rebasing_and_per_input_pids() {
+        let router = jsonl(&[concat!(
+            r#"{"name":"router.forward","ph":"X","pid":900,"tid":0,"ts":1000100.0,"dur":50.0,"#,
+            r#""cat":"flight","args":{"trace":"00000000000000aa","span":"0000000000000001"}}"#
+        )]);
+        let daemon = jsonl(&[
+            concat!(
+                r#"{"name":"serve.request","ph":"X","pid":901,"tid":3,"ts":1000110.0,"dur":30.0,"#,
+                r#""cat":"flight","args":{"trace":"00000000000000aa","span":"0000000000000002","parent":"0000000000000001"}}"#
+            ),
+            r#"{"name":"serve.cache.miss","ph":"i","pid":901,"tid":3,"ts":1000112.0,"cat":"flight"}"#,
+        ]);
+        let merged = merge_traces(&[
+            ("router".to_string(), router),
+            ("daemon1".to_string(), daemon),
+        ])
+        .unwrap();
+        let text = merged.to_string_pretty();
+        let summary = validate_chrome(&text).unwrap();
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.linked_spans, 2);
+        assert_eq!(
+            summary.pids.iter().copied().collect::<Vec<u64>>(),
+            vec![1, 2],
+            "each input becomes its own Chrome process"
+        );
+        // Rebased: the earliest event now starts at 0.
+        let events = merged.field("traceEvents").unwrap().as_array().unwrap();
+        let router_span = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str().ok()) == Some("router.forward"))
+            .unwrap();
+        assert_eq!(router_span.field("ts").unwrap().as_f64(), Ok(0.0));
+        assert_eq!(
+            summary.max_ts_us, 50.0,
+            "router span ends latest: 0 + 50 µs"
+        );
+    }
+
+    #[test]
+    fn merged_traces_fail_validation_on_broken_parent_links() {
+        let orphan = concat!(
+            r#"{"name":"serve.worker","ph":"X","pid":1,"tid":0,"ts":5.0,"dur":1.0,"#,
+            r#""cat":"flight","args":{"span":"000000000000000b","parent":"00000000000000ff"}}"#
+        )
+        .to_string();
+        let merged = merge_traces(&[("daemon".to_string(), orphan)]).unwrap();
+        let err = validate_chrome(&merged.to_string_pretty()).unwrap_err();
+        assert!(err.contains("no event defines"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_input_sets_and_garbage() {
+        assert!(merge_traces(&[]).is_err());
+        assert!(merge_traces(&[("x".into(), "not json".into())]).is_err());
+    }
+}

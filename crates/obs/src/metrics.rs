@@ -182,6 +182,53 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by rank interpolation
+    /// within the owning log₂ bucket, clamped into the exact observed
+    /// `[min, max]` — so a single-observation histogram reports that
+    /// observation for every quantile. `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let est = quantile_from_buckets(&self.buckets, q);
+        if est.is_nan() {
+            est
+        } else {
+            est.clamp(self.min, self.max)
+        }
+    }
+}
+
+/// Quantile estimate over `(upper_bound, count)` buckets in ascending
+/// bound order (non-cumulative counts, log₂ bounds — a bucket's lower
+/// edge is `bound / 2`). This is the reconstruction `madpipe top`
+/// applies to cluster-summed `_bucket` series, where no exact min/max
+/// exists to clamp against. `NaN` when the buckets are empty.
+pub fn quantile_from_buckets(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    // Rank of the target observation, 1-based: the smallest bucket whose
+    // cumulative count reaches it owns the quantile.
+    let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+    let mut cumulative = 0u64;
+    for (bound, n) in buckets {
+        if *n == 0 {
+            continue;
+        }
+        let before = cumulative as f64;
+        cumulative += n;
+        if cumulative as f64 >= rank {
+            let lower = bound / 2.0;
+            let frac = ((rank - before) / *n as f64).clamp(0.0, 1.0);
+            return lower + frac * (bound - lower);
+        }
+    }
+    buckets.last().map(|(b, _)| *b).unwrap_or(f64::NAN)
+}
+
+/// The quantiles every histogram exports (and `madpipe top` renders).
+pub const EXPORTED_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
 /// A frozen registry: sorted name → value lists, directly renderable.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
@@ -256,6 +303,13 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{n}_sum {}", h.sum);
             let _ = writeln!(out, "{n}_count {}", h.count);
+            // Estimated quantiles as labeled gauges. Quantiles do not
+            // sum; rollups must aggregate the `_bucket` series instead
+            // (see `validate::histogram_buckets`) — which is exactly why
+            // these carry a label the plain-sample extractors skip.
+            for q in EXPORTED_QUANTILES {
+                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", h.quantile(q));
+            }
         }
         out
     }
@@ -410,6 +464,68 @@ mod tests {
             let value = parts.next().unwrap();
             assert!(value.parse::<f64>().is_ok(), "bad sample line: {line}");
         }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let r = Registry::new();
+        // 100 observations spread across two buckets: 90 in (0.25, 0.5],
+        // 10 in (0.5, 1.0].
+        for _ in 0..90 {
+            r.observe("lat", 0.3);
+        }
+        for _ in 0..10 {
+            r.observe("lat", 0.9);
+        }
+        let snap = r.snapshot();
+        let (_, h) = snap.histograms.iter().find(|(k, _)| k == "lat").unwrap();
+        let p50 = h.quantile(0.5);
+        assert!(
+            (0.25..=0.5).contains(&p50),
+            "p50 must land in the 90%-bucket, got {p50}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(
+            (0.5..=0.9).contains(&p99),
+            "p99 must land in the tail bucket, clamped to max, got {p99}"
+        );
+        assert!(h.quantile(1.0) <= h.max);
+        assert_eq!(
+            h.quantile(0.0),
+            h.min.max(0.25),
+            "p0 is the first bucket's lower edge, clamped to min"
+        );
+
+        // A single observation answers itself for every quantile.
+        let r1 = Registry::new();
+        r1.observe("one", 0.0123);
+        let snap1 = r1.snapshot();
+        let (_, h1) = &snap1.histograms[0];
+        for q in EXPORTED_QUANTILES {
+            assert_eq!(h1.quantile(q), 0.0123);
+        }
+
+        // Empty buckets: NaN, never a panic.
+        assert!(quantile_from_buckets(&[], 0.5).is_nan());
+        assert!(HistogramSnapshot::default().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn prometheus_dump_exports_quantile_series() {
+        let r = Registry::new();
+        r.observe("dp.solve.seconds", 0.001);
+        r.observe("dp.solve.seconds", 0.1);
+        let text = r.snapshot().to_prometheus();
+        for q in EXPORTED_QUANTILES {
+            assert!(
+                text.contains(&format!("madpipe_dp_solve_seconds{{quantile=\"{q}\"}} ")),
+                "missing quantile {q} in:\n{text}"
+            );
+        }
+        // Quantile lines are labeled, so the plain-sample extractor a
+        // cluster rollup sums must skip them.
+        let samples = crate::validate::prometheus_samples(&text).unwrap();
+        assert!(samples.iter().all(|(n, _)| !n.contains("quantile")));
     }
 
     #[test]

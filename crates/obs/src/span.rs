@@ -46,6 +46,12 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Dense per-process id of the calling thread — shared with the flight
+/// recorder so its rows line up with tracer rows in a merged view.
+pub(crate) fn current_tid() -> u64 {
+    THREAD_TID.with(|t| *t)
+}
+
 /// Turn span collection on or off. Spans opened while disabled are
 /// never recorded, even if tracing is enabled before they close.
 pub fn set_enabled(on: bool) {

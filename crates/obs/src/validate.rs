@@ -24,6 +24,12 @@ pub struct TraceSummary {
     pub counter_peaks: BTreeMap<String, u64>,
     /// Distinct counter track names (integer- and float-valued).
     pub counter_tracks: BTreeSet<String>,
+    /// Spans carrying a distributed `args.span` id (merged cluster
+    /// traces): each id was unique, every `args.parent` referenced an
+    /// existing span, and the parent edges formed no cycle.
+    pub linked_spans: usize,
+    /// Distinct `pid`s seen — one per daemon in a merged trace.
+    pub pids: BTreeSet<u64>,
 }
 
 /// Parse and validate a Chrome trace document.
@@ -42,6 +48,9 @@ pub fn validate_chrome(text: &str) -> Result<TraceSummary, String> {
         events: events.len(),
         ..TraceSummary::default()
     };
+    // Distributed span links (merged cluster traces): span id → parent
+    // id (0 = root). Checked after the walk, once every id is known.
+    let mut links: BTreeMap<u64, u64> = BTreeMap::new();
     for (i, e) in events.iter().enumerate() {
         let at = |msg: &str| format!("event {i}: {msg}");
         let name = e
@@ -52,9 +61,11 @@ pub fn validate_chrome(text: &str) -> Result<TraceSummary, String> {
             .field("ph")
             .and_then(|v| v.as_str())
             .map_err(|err| at(&format!("bad ph: {err}")))?;
-        e.field("pid")
+        let pid = e
+            .field("pid")
             .and_then(|v| v.as_u64())
             .map_err(|err| at(&format!("bad pid: {err}")))?;
+        summary.pids.insert(pid);
         match ph {
             "M" => continue,
             "X" | "C" | "i" => {}
@@ -79,6 +90,28 @@ pub fn validate_chrome(text: &str) -> Result<TraceSummary, String> {
             end += dur;
             summary.spans += 1;
             summary.span_names.insert(name.to_string());
+            let arg_id = |key: &str| -> Result<Option<u64>, String> {
+                let Some(s) = e.get("args").and_then(|a| a.get(key)) else {
+                    return Ok(None);
+                };
+                let s = s
+                    .as_str()
+                    .map_err(|err| at(&format!("bad args.{key}: {err}")))?;
+                crate::context::parse_hex_id(s)
+                    .map(Some)
+                    .ok_or_else(|| at(&format!("args.{key} is not a hex id: {s:?}")))
+            };
+            if let Some(span_id) = arg_id("span")? {
+                let parent = arg_id("parent")?.unwrap_or(0);
+                if links.insert(span_id, parent).is_some() {
+                    return Err(at(&format!("duplicate span id {span_id:016x}")));
+                }
+                summary.linked_spans += 1;
+            } else if let Some(parent) = arg_id("parent")? {
+                return Err(at(&format!(
+                    "span has parent {parent:016x} but no span id of its own"
+                )));
+            }
         }
         if ph == "C" {
             summary.counter_tracks.insert(name.to_string());
@@ -96,7 +129,58 @@ pub fn validate_chrome(text: &str) -> Result<TraceSummary, String> {
         }
         summary.max_ts_us = summary.max_ts_us.max(end);
     }
+    check_links(&links)?;
     Ok(summary)
+}
+
+/// Every referenced parent must exist and the parent edges must form a
+/// forest — a cycle (possible only through id corruption, since each
+/// hop creates a fresh id) would make a merged cluster trace
+/// meaningless.
+fn check_links(links: &BTreeMap<u64, u64>) -> Result<(), String> {
+    let mut resolved: BTreeSet<u64> = BTreeSet::new();
+    for (&span, &parent) in links {
+        if parent != 0 && !links.contains_key(&parent) {
+            return Err(format!(
+                "span {span:016x} references parent {parent:016x}, which no event defines"
+            ));
+        }
+        // Walk to a root (or an already-verified span); chains are a
+        // few hops deep, so the linear path scan stays cheap.
+        let mut path: Vec<u64> = Vec::new();
+        let mut cur = span;
+        while !resolved.contains(&cur) {
+            if path.contains(&cur) {
+                return Err(format!("span {cur:016x} sits on a parent cycle"));
+            }
+            path.push(cur);
+            match links.get(&cur) {
+                Some(&p) if p != 0 => cur = p,
+                _ => break,
+            }
+        }
+        resolved.extend(path);
+    }
+    Ok(())
+}
+
+/// Validate a trace artifact in either format: a Chrome document
+/// (`{"traceEvents":[…]}`) or flight-dump/merge-input JSONL (one event
+/// object per line). Both run the full [`validate_chrome`] checks,
+/// including the distributed span-link rules.
+pub fn validate_trace_text(text: &str) -> Result<TraceSummary, String> {
+    if let Ok(doc) = Value::parse(text) {
+        if doc.get("traceEvents").is_some() {
+            return validate_chrome(text);
+        }
+    }
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let doc = format!("{{\"traceEvents\":[{}]}}", lines.join(","));
+    validate_chrome(&doc)
 }
 
 /// Validate a Prometheus-style metrics dump; returns the number of
@@ -150,6 +234,66 @@ pub fn prometheus_samples(text: &str) -> Result<Vec<(String, f64)>, String> {
         }
     }
     Ok(samples)
+}
+
+/// Extract per-bucket (non-cumulative) histogram counts from a
+/// Prometheus text dump: base name (without `_bucket`) → ascending
+/// `(le, count_in_bucket)`.
+///
+/// This is the series a cluster rollup may sum across daemons. Summing
+/// the *cumulative* `_bucket` lines directly would be wrong whenever
+/// daemons emit different (sparse) bucket sets — a bound one daemon
+/// skips silently loses the other daemons' counts below it — so the
+/// rollup differences each daemon's cumulative counts here, sums the
+/// per-bucket counts, and re-renders one cluster-wide cumulative
+/// series. Quantile-labeled lines are ignored: quantiles do not sum.
+pub fn histogram_buckets(text: &str) -> Result<BTreeMap<String, Vec<(f64, u64)>>, String> {
+    let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: no value: {line:?}", lineno + 1));
+        };
+        let Some((base, rest)) = name.split_once("_bucket{le=\"") else {
+            continue;
+        };
+        let Some(bound) = rest.strip_suffix("\"}") else {
+            continue;
+        };
+        if bound == "+Inf" {
+            continue; // equals `_count`, carried by the plain samples
+        }
+        let bound: f64 = bound
+            .parse()
+            .map_err(|_| format!("line {}: bad le bound {bound:?}", lineno + 1))?;
+        let cumulative: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        series
+            .entry(base.to_string())
+            .or_default()
+            .push((bound, cumulative));
+    }
+    let mut out: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    for (base, mut points) in series {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev = 0.0;
+        let mut buckets = Vec::with_capacity(points.len());
+        for (bound, cumulative) in points {
+            if cumulative < prev {
+                return Err(format!(
+                    "histogram {base}: cumulative count drops at le={bound:e}"
+                ));
+            }
+            buckets.push((bound, (cumulative - prev) as u64));
+            prev = cumulative;
+        }
+        out.insert(base, buckets);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -242,5 +386,128 @@ mod tests {
             .iter()
             .any(|(n, v)| n == "madpipe_serve_cache_hits" && *v == 7.0));
         assert!(prometheus_samples("broken-line\n").is_err());
+    }
+
+    fn span_event(name: &str, span: &str, parent: Option<&str>) -> String {
+        let parent = parent
+            .map(|p| format!(",\"parent\":\"{p}\""))
+            .unwrap_or_default();
+        format!(
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1.0,\"dur\":2.0,\
+             \"args\":{{\"span\":\"{span}\"{parent}}}}}"
+        )
+    }
+
+    #[test]
+    fn distributed_span_links_are_checked() {
+        // A valid two-hop chain: router span → daemon span.
+        let ok = format!(
+            "{}\n{}\n",
+            span_event("router.forward", "0a", None),
+            span_event("serve.request", "0b", Some("0a"))
+        );
+        let s = validate_trace_text(&ok).unwrap();
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.linked_spans, 2);
+
+        // Orphan parent: no event defines it.
+        let orphan = span_event("serve.request", "0b", Some("ff"));
+        let err = validate_trace_text(&orphan).unwrap_err();
+        assert!(err.contains("no event defines"), "{err}");
+
+        // Duplicate span ids are corruption, not coincidence.
+        let dup = format!(
+            "{}\n{}\n",
+            span_event("a", "0c", None),
+            span_event("b", "0c", None)
+        );
+        let err = validate_trace_text(&dup).unwrap_err();
+        assert!(err.contains("duplicate span id"), "{err}");
+
+        // A parent cycle can never describe a real request.
+        let cycle = format!(
+            "{}\n{}\n",
+            span_event("a", "01", Some("02")),
+            span_event("b", "02", Some("01"))
+        );
+        let err = validate_trace_text(&cycle).unwrap_err();
+        assert!(err.contains("parent cycle"), "{err}");
+
+        // A parent without a span id of its own is malformed.
+        let headless = concat!(
+            r#"{"name":"x","ph":"X","pid":1,"tid":0,"ts":1.0,"dur":2.0,"#,
+            r#""args":{"parent":"0a"}}"#
+        );
+        let err = validate_trace_text(headless).unwrap_err();
+        assert!(err.contains("no span id of its own"), "{err}");
+
+        // Garbage hex ids are rejected, and unlinked spans stay legal.
+        let bad_hex = span_event("x", "nothex", None);
+        assert!(validate_trace_text(&bad_hex).is_err());
+        let plain = r#"{"name":"x","ph":"X","pid":1,"tid":0,"ts":1.0,"dur":2.0}"#;
+        let s = validate_trace_text(plain).unwrap();
+        assert_eq!((s.spans, s.linked_spans), (1, 0));
+    }
+
+    #[test]
+    fn trace_text_accepts_both_chrome_docs_and_jsonl() {
+        let event = span_event("serve.worker", "0d", None);
+        let jsonl = format!(
+            "{event}\n\n  \n{event2}\n",
+            event2 = span_event("serve.dp", "0e", Some("0d"))
+        );
+        let from_lines = validate_trace_text(&jsonl).unwrap();
+        let chrome = format!(
+            "{{\"traceEvents\":[{event},{e2}]}}",
+            e2 = span_event("serve.dp", "0e", Some("0d"))
+        );
+        let from_doc = validate_trace_text(&chrome).unwrap();
+        assert_eq!(from_lines, from_doc);
+        assert!(validate_trace_text("not json at all").is_err());
+    }
+
+    #[test]
+    fn histogram_buckets_difference_cumulative_counts() {
+        // Two daemons with *different* sparse bucket sets — the case
+        // where summing cumulative lines directly would be wrong.
+        let a = "m_bucket{le=\"2.5e-1\"} 3\nm_bucket{le=\"5e-1\"} 10\nm_bucket{le=\"+Inf\"} 10\nm_count 10\n";
+        let b = "m_bucket{le=\"5e-1\"} 4\nm_bucket{le=\"1e0\"} 6\n";
+        let ba = histogram_buckets(a).unwrap();
+        let bb = histogram_buckets(b).unwrap();
+        assert_eq!(ba["m"], vec![(0.25, 3), (0.5, 7)]);
+        assert_eq!(bb["m"], vec![(0.5, 4), (1.0, 2)]);
+        // Per-bucket counts sum cleanly: cluster total at le=0.5 is
+        // 3 + 7 + 4 = 14, which naive cumulative summing at le=2.5e-1
+        // (3 + nothing) would misplace.
+        let mut cluster: BTreeMap<u64, u64> = BTreeMap::new();
+        for buckets in [&ba["m"], &bb["m"]] {
+            for &(le, n) in buckets.iter() {
+                *cluster.entry(le.to_bits()).or_insert(0) += n;
+            }
+        }
+        let cum: Vec<(f64, u64)> = cluster
+            .iter()
+            .scan(0u64, |acc, (&le, &n)| {
+                *acc += n;
+                Some((f64::from_bits(le), *acc))
+            })
+            .collect();
+        assert_eq!(cum, vec![(0.25, 3), (0.5, 14), (1.0, 16)]);
+
+        // Quantile lines and plain samples are ignored; a registry dump
+        // parses end to end.
+        let r = crate::Registry::new();
+        r.observe("serve.request.seconds", 0.3);
+        r.observe("serve.request.seconds", 0.9);
+        let parsed = histogram_buckets(&r.snapshot().to_prometheus()).unwrap();
+        let total: u64 = parsed["madpipe_serve_request_seconds"]
+            .iter()
+            .map(|&(_, n)| n)
+            .sum();
+        assert_eq!(total, 2);
+
+        // A cumulative count that drops is corruption.
+        let bad = "m_bucket{le=\"2.5e-1\"} 5\nm_bucket{le=\"5e-1\"} 3\n";
+        assert!(histogram_buckets(bad).unwrap_err().contains("drops"));
     }
 }

@@ -25,6 +25,14 @@
 //! gossip and route verbatim, so every served plan — warmed, routed or
 //! direct — stays f64-bit-identical to offline planning.
 //!
+//! Every request is traceable end to end: a line carrying a `trace`
+//! context field ([`protocol::TraceContext`]) gets per-hop spans —
+//! `router.forward`, `serve.request`, `serve.queue.wait`,
+//! `serve.worker`, `serve.dp` — stamped into the always-on
+//! [`madpipe_obs::flight`] ring, the responses echo `trace`/`span` ids
+//! back, and `madpipe trace-merge` stitches the per-process dumps into
+//! one cluster-wide Chrome trace.
+//!
 //! See [`protocol`] for the wire format, [`cache`] for the keying and
 //! eviction rules, [`server`] for the worker pool, supervision and
 //! drain story, and [`reactor`] for the connection state machines.
@@ -38,8 +46,8 @@ pub mod server;
 
 pub use cache::PlanCache;
 pub use protocol::{
-    canonical_instance, parse_request, plan_to_json, PlanRequest, ReplanRequest, Request,
-    ServeError, MAX_GOSSIP_ENTRIES,
+    attach_trace, canonical_instance, inject_context, parse_line, parse_request, plan_to_json,
+    PlanRequest, ReplanRequest, Request, ServeError, TraceContext, MAX_GOSSIP_ENTRIES,
 };
 pub use router::{Ring, Router, RouterConfig};
 pub use server::{install_signal_handlers, term_requested, ServeConfig, Server};

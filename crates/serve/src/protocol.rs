@@ -33,6 +33,18 @@
 //! Responses are `{"ok":true,…}` or
 //! `{"ok":false,"error":{"kind":…,"message":…}}`. A bad request never
 //! kills the connection, let alone the server.
+//!
+//! # Distributed trace context
+//!
+//! Any request line may carry two optional string fields, `trace` (an
+//! end-to-end trace id) and `parent` (the caller's span id), both 16
+//! lower-hex digits of a nonzero `u64`. A traced hop stamps its own
+//! spans with that context into the flight recorder, rewrites the
+//! fields when it forwards (the router becomes the daemon's `parent`),
+//! and echoes `"trace"`/`"span"` back on its response so the caller can
+//! correlate. Untraced lines — no `trace` field — are forwarded and
+//! answered byte-identically to a build without tracing; the context is
+//! advisory and never fails a request.
 
 use madpipe_core::{MadPipePlan, PlannerConfig};
 use madpipe_json::{FromJson, ToJson, Value};
@@ -156,19 +168,53 @@ pub struct ReplanRequest {
     pub degraded: PlanRequest,
 }
 
+/// Distributed trace context found on a request line: the end-to-end
+/// trace id plus the caller's span id (0 = this hop is the trace root).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace: u64,
+    pub parent: u64,
+}
+
+/// Parse one request line together with its optional trace context.
+/// The context is `Some` only when the line carries a valid nonzero
+/// `trace` hex id; a malformed context is ignored (tracing is advisory,
+/// it never fails a request), and the single JSON parse is shared with
+/// command dispatch.
+pub fn parse_line(line: &str) -> Result<(Request, Option<TraceContext>), ServeError> {
+    let v = Value::parse(line).map_err(|e| ServeError::malformed(format!("bad JSON: {e}")))?;
+    let hex_field = |key: &str| -> u64 {
+        v.get(key)
+            .and_then(|t| t.as_str().ok())
+            .and_then(madpipe_obs::parse_hex_id)
+            .unwrap_or(0)
+    };
+    let ctx = match hex_field("trace") {
+        0 => None,
+        trace => Some(TraceContext {
+            trace,
+            parent: hex_field("parent"),
+        }),
+    };
+    Ok((request_of_value(&v)?, ctx))
+}
+
 /// Parse one request line. Returns a structured error instead of
 /// panicking on anything a client could possibly send.
 pub fn parse_request(line: &str) -> Result<Request, ServeError> {
-    let v = Value::parse(line).map_err(|e| ServeError::malformed(format!("bad JSON: {e}")))?;
+    parse_line(line).map(|(req, _)| req)
+}
+
+fn request_of_value(v: &Value) -> Result<Request, ServeError> {
     let cmd = v
         .get("cmd")
         .ok_or_else(|| ServeError::malformed("missing field `cmd`"))?
         .as_str()
         .map_err(|_| ServeError::malformed("`cmd` must be a string"))?;
     match cmd {
-        "plan" => Ok(Request::Plan(Box::new(parse_plan_request(&v)?))),
-        "replan" => Ok(Request::Replan(Box::new(parse_replan_request(&v)?))),
-        "gossip" => Ok(Request::Gossip(parse_gossip_request(&v)?)),
+        "plan" => Ok(Request::Plan(Box::new(parse_plan_request(v)?))),
+        "replan" => Ok(Request::Replan(Box::new(parse_replan_request(v)?))),
+        "gossip" => Ok(Request::Gossip(parse_gossip_request(v)?)),
         "metrics" => Ok(Request::Metrics),
         "health" => Ok(Request::Health),
         "ping" => Ok(Request::Ping),
@@ -557,6 +603,44 @@ pub fn gossip_response(applied: u64, already_held: u64) -> String {
     )
 }
 
+/// Re-render `line` with `trace`/`parent` set (replacing any inbound
+/// values) — how the router forwards a traced request so its own span
+/// becomes the daemon's parent. Returns `None` if the line is not a
+/// JSON object; the router only calls this on lines that already parsed.
+pub fn inject_context(line: &str, trace: u64, parent: u64) -> Option<String> {
+    let mut v = Value::parse(line).ok()?;
+    let Value::Object(fields) = &mut v else {
+        return None;
+    };
+    let mut set = |key: &str, id: u64| {
+        let value = Value::Str(madpipe_obs::hex_id(id));
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            fields.push((key.to_string(), value));
+        }
+    };
+    set("trace", trace);
+    set("parent", parent);
+    Some(v.to_string_compact())
+}
+
+/// Splice `"trace"`/`"span"` echo fields into a rendered single-line
+/// response. Every response renderer above emits `{…}`, so the splice
+/// lands before the closing brace; a non-object response (impossible
+/// today) is left untouched rather than corrupted.
+pub fn attach_trace(response: &mut String, trace: u64, span: u64) {
+    if !response.ends_with('}') || response.ends_with("{}") {
+        return;
+    }
+    response.truncate(response.len() - 1);
+    response.push_str(&format!(
+        ",\"trace\":\"{}\",\"span\":\"{}\"}}",
+        madpipe_obs::hex_id(trace),
+        madpipe_obs::hex_id(span)
+    ));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -799,6 +883,70 @@ mod tests {
             panic!("both must parse");
         };
         assert_ne!(pa.canonical, pb.canonical);
+    }
+
+    #[test]
+    fn trace_context_parses_injects_and_echoes() {
+        // No trace field → no context, same request.
+        let (req, ctx) = parse_line(r#"{"cmd":"ping"}"#).unwrap();
+        assert!(matches!(req, Request::Ping));
+        assert_eq!(ctx, None);
+
+        // A valid trace id, with and without a parent.
+        let (_, ctx) = parse_line(r#"{"cmd":"ping","trace":"00000000000000ab"}"#).unwrap();
+        assert_eq!(
+            ctx,
+            Some(TraceContext {
+                trace: 0xab,
+                parent: 0
+            })
+        );
+        let (_, ctx) =
+            parse_line(r#"{"cmd":"ping","trace":"ab","parent":"000000000000cdef"}"#).unwrap();
+        assert_eq!(
+            ctx,
+            Some(TraceContext {
+                trace: 0xab,
+                parent: 0xcdef
+            })
+        );
+
+        // Malformed context is advisory garbage, never an error.
+        for bad in [
+            r#"{"cmd":"ping","trace":"nothex"}"#,
+            r#"{"cmd":"ping","trace":7}"#,
+            r#"{"cmd":"ping","trace":"0000000000000000"}"#,
+        ] {
+            let (req, ctx) = parse_line(bad).unwrap();
+            assert!(matches!(req, Request::Ping), "{bad}");
+            assert_eq!(ctx, None, "{bad}");
+        }
+
+        // Injection replaces inbound context and round-trips.
+        let forwarded =
+            inject_context(r#"{"cmd":"ping","trace":"ab","parent":"01"}"#, 0xab, 0x99).unwrap();
+        assert!(!forwarded.contains('\n'));
+        let (_, ctx) = parse_line(&forwarded).unwrap();
+        assert_eq!(
+            ctx,
+            Some(TraceContext {
+                trace: 0xab,
+                parent: 0x99
+            })
+        );
+        assert!(inject_context("not json", 1, 2).is_none());
+
+        // Response echo splices before the closing brace and parses.
+        let mut resp = ok_response("pong", Value::Bool(true));
+        attach_trace(&mut resp, 0xab, 0x42);
+        let v = Value::parse(&resp).unwrap();
+        assert_eq!(v.field("trace").unwrap().as_str(), Ok("00000000000000ab"));
+        assert_eq!(v.field("span").unwrap().as_str(), Ok("0000000000000042"));
+        assert_eq!(v.field("ok").unwrap(), &Value::Bool(true));
+        // Degenerate non-object strings are left alone.
+        let mut odd = "{}".to_string();
+        attach_trace(&mut odd, 1, 2);
+        assert_eq!(odd, "{}");
     }
 
     #[test]

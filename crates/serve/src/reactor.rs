@@ -42,8 +42,8 @@ use madpipe_json::Value;
 use madpipe_model::{Platform, PlatformFault};
 
 use crate::protocol::{
-    error_response, gossip_response, ok_response, parse_request, plan_response, replan_response,
-    GossipEntry, PlanRequest, Request, ServeError,
+    attach_trace, error_response, gossip_response, ok_response, parse_line, plan_response,
+    replan_response, GossipEntry, PlanRequest, Request, ServeError,
 };
 use crate::server::{health_value, Ctx, Job, PlanOutcome, MAX_LINE_BYTES};
 
@@ -194,13 +194,48 @@ enum Slot {
     Replan(Box<ReplanSlot>),
 }
 
+/// A [`Slot`] plus its per-request trace state. Every request gets a
+/// request span in the flight recorder (ids are 0-cost to mint); only
+/// requests whose line carried a `trace` context echo `trace`/`span`
+/// fields on their response — untraced traffic is answered
+/// byte-identically to a build without tracing.
+struct InFlight {
+    slot: Slot,
+    /// Inbound distributed trace id (0 = untraced).
+    trace: u64,
+    /// Inbound parent span id (the router's forward span).
+    parent: u64,
+    /// This request's span id: parent of queue/worker/DP spans, echoed
+    /// on traced responses.
+    span: u64,
+    /// The line carried a trace context → echo it back.
+    echo: bool,
+    /// Wall-clock pair for the retire-time request span.
+    started: Instant,
+    started_us: f64,
+}
+
+impl InFlight {
+    fn untraced(slot: Slot) -> Self {
+        InFlight {
+            slot,
+            trace: 0,
+            parent: 0,
+            span: madpipe_obs::fresh_id(),
+            echo: false,
+            started: Instant::now(),
+            started_us: madpipe_obs::now_unix_us(),
+        }
+    }
+}
+
 struct Conn {
     stream: TcpStream,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
     /// Bytes of `write_buf` already on the wire.
     write_pos: usize,
-    inflight: VecDeque<Slot>,
+    inflight: VecDeque<InFlight>,
     /// Skipping the rest of an already-rejected oversized line.
     discarding: bool,
     peer_eof: bool,
@@ -272,7 +307,14 @@ pub(crate) fn reactor_loop(
             progress |= flush_writes(conn);
         }
         let draining = ctx.draining();
-        conns.retain(|c| !c.finished(draining));
+        conns.retain_mut(|c| {
+            if c.finished(draining) {
+                abandon_inflight(c, &ctx);
+                false
+            } else {
+                true
+            }
+        });
         if draining && conns.is_empty() {
             break;
         }
@@ -380,7 +422,8 @@ fn extract_lines(conn: &mut Conn, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> boo
             break;
         };
         if pos > MAX_LINE_BYTES {
-            conn.inflight.push_back(oversized_slot(ctx));
+            conn.inflight
+                .push_back(InFlight::untraced(oversized_slot(ctx)));
             conn.read_buf.drain(..=pos);
             progress = true;
             continue;
@@ -397,7 +440,8 @@ fn extract_lines(conn: &mut Conn, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> boo
     // A partial line past the bound is rejected the moment it crosses
     // it — the buffer never grows on — and the rest is discarded.
     if conn.read_buf.len() > MAX_LINE_BYTES && !conn.read_buf.contains(&b'\n') {
-        conn.inflight.push_back(oversized_slot(ctx));
+        conn.inflight
+            .push_back(InFlight::untraced(oversized_slot(ctx)));
         conn.read_buf.clear();
         conn.read_buf.shrink_to_fit();
         conn.discarding = true;
@@ -412,28 +456,41 @@ fn oversized_slot(ctx: &Arc<Ctx>) -> Slot {
     Slot::Ready(error_response(&err))
 }
 
-/// Parse one request line into its slot. Everything except a planning
-/// cache miss is answered on the spot.
-fn slot_for_line(line: &str, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> Slot {
+/// Parse one request line into its in-flight entry. Everything except a
+/// planning cache miss is answered on the spot.
+fn slot_for_line(line: &str, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> InFlight {
+    let started = Instant::now();
+    let started_us = madpipe_obs::now_unix_us();
     let _span = madpipe_obs::span("serve.request");
     ctx.registry.inc("serve.requests");
-    let req = match parse_request(line) {
-        Ok(req) => req,
+    let (req, tctx) = match parse_line(line) {
+        Ok(parsed) => parsed,
         Err(err) => {
             ctx.registry.inc(match err.kind {
                 "invalid" => "serve.errors.invalid",
                 _ => "serve.errors.malformed",
             });
-            return Slot::Ready(error_response(&err));
+            return InFlight::untraced(Slot::Ready(error_response(&err)));
         }
     };
-    match req {
+    // The request span: root of this hop's flight spans, child of the
+    // inbound context (the router's forward span) when one arrived.
+    let span_id = madpipe_obs::fresh_id();
+    let (trace, parent, echo) = match tctx {
+        Some(c) => (c.trace, c.parent, true),
+        None => (0, 0, false),
+    };
+    let slot = match req {
         Request::Ping => Slot::Ready(ok_response("pong", Value::Bool(true))),
         Request::Metrics => {
+            sync_events_dropped(ctx);
             let text = ctx.registry.snapshot().to_prometheus();
             Slot::Ready(ok_response("metrics", Value::Str(text)))
         }
-        Request::Health => Slot::Ready(ok_response("health", health_value(ctx))),
+        Request::Health => {
+            sync_events_dropped(ctx);
+            Slot::Ready(ok_response("health", health_value(ctx)))
+        }
         Request::Shutdown => {
             ctx.draining.store(true, Ordering::SeqCst);
             Slot::Ready(ok_response("draining", Value::Bool(true)))
@@ -442,7 +499,7 @@ fn slot_for_line(line: &str, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> Slot {
         Request::Plan(plan) => {
             ctx.registry.inc("serve.requests.plan");
             let deadline = Instant::now() + ctx.timeout;
-            Slot::Plan(submit_plan(*plan, deadline, ctx, jobs))
+            Slot::Plan(submit_plan(*plan, deadline, ctx, jobs, trace, span_id))
         }
         Request::Replan(replan) => {
             let _span = madpipe_obs::span("serve.replan");
@@ -454,10 +511,30 @@ fn slot_for_line(line: &str, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> Slot {
             Slot::Replan(Box::new(ReplanSlot {
                 fault: replan.fault,
                 degraded_platform,
-                baseline: submit_plan(replan.baseline, deadline, ctx, jobs),
-                degraded: submit_plan(replan.degraded, deadline, ctx, jobs),
+                baseline: submit_plan(replan.baseline, deadline, ctx, jobs, trace, span_id),
+                degraded: submit_plan(replan.degraded, deadline, ctx, jobs, trace, span_id),
             }))
         }
+    };
+    InFlight {
+        slot,
+        trace,
+        parent,
+        span: span_id,
+        echo,
+        started,
+        started_us,
+    }
+}
+
+/// Fold the flight recorder's loss count into the registry as the
+/// monotone `serve.events.dropped` counter, so metrics dumps (and the
+/// router's cluster rollup, which sums them) surface ring overwrites.
+fn sync_events_dropped(ctx: &Arc<Ctx>) {
+    let dropped = madpipe_obs::flight::dropped();
+    let seen = ctx.registry.counter("serve.events.dropped");
+    if dropped > seen {
+        ctx.registry.add("serve.events.dropped", dropped - seen);
     }
 }
 
@@ -486,12 +563,26 @@ fn submit_plan(
     deadline: Instant,
     ctx: &Arc<Ctx>,
     jobs: &SyncSender<Job>,
+    trace: u64,
+    span: u64,
 ) -> PlanWait {
     if let Some(plan) = ctx.cache.get(&req.canonical) {
         ctx.registry.inc("serve.cache.hits");
+        madpipe_obs::flight::record_instant(
+            "serve.cache.hit",
+            madpipe_obs::now_unix_us(),
+            trace,
+            span,
+        );
         return PlanWait::Done(Ok((plan, true)));
     }
     ctx.registry.inc("serve.cache.misses");
+    madpipe_obs::flight::record_instant(
+        "serve.cache.miss",
+        madpipe_obs::now_unix_us(),
+        trace,
+        span,
+    );
     if ctx.draining() {
         return PlanWait::Done(Err(ServeError::unavailable()));
     }
@@ -500,6 +591,9 @@ fn submit_plan(
         req: Box::new(req),
         deadline,
         reply: reply_tx,
+        trace,
+        span,
+        enqueued: Instant::now(),
     };
     match jobs.try_send(job) {
         Ok(()) => {
@@ -548,11 +642,14 @@ fn outcome_response(outcome: &PlanOutcome) -> String {
 }
 
 /// Retire completed slots from the front of the queue into the write
-/// buffer — front-only, so pipelined responses keep request order.
+/// buffer — front-only, so pipelined responses keep request order. A
+/// retiring request stamps its `serve.request` span (traced or not) and
+/// the `serve.request.seconds` latency histogram; traced requests also
+/// get the `trace`/`span` echo spliced onto their response line.
 fn retire_slots(conn: &mut Conn, ctx: &Arc<Ctx>) -> bool {
     let mut progress = false;
     while let Some(front) = conn.inflight.front_mut() {
-        let response = match front {
+        let response = match &mut front.slot {
             Slot::Ready(s) => std::mem::take(s),
             Slot::Plan(w) => {
                 if !poll_wait(w, ctx) {
@@ -592,12 +689,47 @@ fn retire_slots(conn: &mut Conn, ctx: &Arc<Ctx>) -> bool {
                 }
             }
         };
-        conn.inflight.pop_front();
+        let done = conn.inflight.pop_front().expect("front just matched");
+        let mut response = response;
+        ctx.registry.observe(
+            "serve.request.seconds",
+            done.started.elapsed().as_secs_f64(),
+        );
+        madpipe_obs::flight::record_span(
+            "serve.request",
+            done.started_us,
+            done.started.elapsed().as_secs_f64() * 1e6,
+            done.trace,
+            done.span,
+            done.parent,
+        );
+        if done.echo {
+            attach_trace(&mut response, done.trace, done.span);
+        }
         conn.write_buf.extend_from_slice(response.as_bytes());
         conn.write_buf.push(b'\n');
         progress = true;
     }
     progress
+}
+
+/// Close out the request spans of a connection dropped with work still
+/// in flight (peer hung up, write error): nobody will read the
+/// responses, but the flight recorder still gets a complete span per
+/// request — a worker span recorded later must never reference a
+/// request span that was silently discarded.
+fn abandon_inflight(conn: &mut Conn, ctx: &Arc<Ctx>) {
+    for dropped in conn.inflight.drain(..) {
+        ctx.registry.inc("serve.abandoned");
+        madpipe_obs::flight::record_span(
+            "serve.request",
+            dropped.started_us,
+            dropped.started.elapsed().as_secs_f64() * 1e6,
+            dropped.trace,
+            dropped.span,
+            dropped.parent,
+        );
+    }
 }
 
 fn flush_writes(conn: &mut Conn) -> bool {

@@ -4,7 +4,12 @@
 //! The router speaks the same NDJSON protocol as the daemons. `plan` and
 //! `replan` lines are forwarded *verbatim* to the backend that owns the
 //! request's canonical key on the hash ring — the daemon re-parses and
-//! answers, so a routed response is byte-identical to a direct one. The
+//! answers, so a routed response is byte-identical to a direct one. (The
+//! one exception is a line carrying a distributed `trace` field: the
+//! router rewrites its `parent` to the freshly minted `router.forward`
+//! span before forwarding, so the daemon's request span hangs off the
+//! router hop in the merged cluster trace — see
+//! [`crate::protocol::inject_context`].) The
 //! same instance always lands on the same daemon (maximizing warm
 //! [`ProbeSession`](madpipe_core::ProbeSession) and cache reuse), and
 //! adding or removing a daemon only remaps the keys the ring assigned to
@@ -35,7 +40,9 @@ use std::time::{Duration, Instant};
 use madpipe_json::Value;
 use madpipe_obs::Registry;
 
-use crate::protocol::{error_response, ok_response, parse_request, Request, ServeError};
+use crate::protocol::{
+    error_response, inject_context, ok_response, parse_line, Request, ServeError, TraceContext,
+};
 use crate::server::{lock_unpoisoned, MAX_LINE_BYTES};
 
 /// Poll cadence of the router's accept loop and drain checks.
@@ -63,6 +70,9 @@ pub struct RouterConfig {
     /// How long a failed backend sits out before it is tried first
     /// again (it stays reachable as a last resort throughout).
     pub cooldown: Duration,
+    /// Where `join()` dumps the flight-recorder ring (JSONL). `None`
+    /// skips the dump; the ring records regardless.
+    pub flight_dump: Option<String>,
 }
 
 impl Default for RouterConfig {
@@ -73,6 +83,7 @@ impl Default for RouterConfig {
             vnodes: 64,
             timeout: Duration::from_secs(60),
             cooldown: Duration::from_millis(500),
+            flight_dump: None,
         }
     }
 }
@@ -136,6 +147,7 @@ struct RouterCtx {
     dead_until: Vec<Mutex<Option<Instant>>>,
     timeout: Duration,
     cooldown: Duration,
+    flight_dump: Option<String>,
 }
 
 impl RouterCtx {
@@ -184,6 +196,7 @@ impl Router {
             backends: cfg.backends,
             timeout: cfg.timeout,
             cooldown: cfg.cooldown,
+            flight_dump: cfg.flight_dump,
         });
         let acceptor = {
             let ctx = Arc::clone(&ctx);
@@ -219,6 +232,9 @@ impl Router {
     pub fn join(mut self) {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
+        }
+        if let Some(path) = &self.ctx.flight_dump {
+            let _ = madpipe_obs::flight::write_dump(path);
         }
     }
 }
@@ -337,8 +353,8 @@ fn handle_line(
     backends: &mut HashMap<usize, TcpStream>,
 ) -> String {
     ctx.registry.inc("router.requests");
-    let req = match parse_request(line) {
-        Ok(req) => req,
+    let (req, trace) = match parse_line(line) {
+        Ok(parsed) => parsed,
         Err(err) => {
             ctx.registry.inc("router.errors.malformed");
             return error_response(&err);
@@ -355,9 +371,40 @@ fn handle_line(
         Request::Gossip(_) => error_response(&ServeError::invalid(
             "gossip is daemon-to-daemon; the router does not hold a plan cache",
         )),
-        Request::Plan(p) => forward(line, &p.canonical, ctx, backends),
-        Request::Replan(r) => forward(line, &r.baseline.canonical, ctx, backends),
+        Request::Plan(p) => traced_forward(line, &p.canonical, trace, ctx, backends),
+        Request::Replan(r) => traced_forward(line, &r.baseline.canonical, trace, ctx, backends),
     }
+}
+
+/// Forward a plan/replan line, stamping the router hop into the flight
+/// recorder. An untraced line goes through byte-for-byte; a traced one
+/// gets its `parent` rewritten to a fresh `router.forward` span id so
+/// the daemon's request span nests under this hop in the merged trace.
+fn traced_forward(
+    line: &str,
+    key: &str,
+    trace: Option<TraceContext>,
+    ctx: &Arc<RouterCtx>,
+    backends: &mut HashMap<usize, TcpStream>,
+) -> String {
+    let Some(tc) = trace else {
+        return forward(line, key, ctx, backends);
+    };
+    let span = madpipe_obs::fresh_id();
+    let injected = inject_context(line, tc.trace, span);
+    let relay = injected.as_deref().unwrap_or(line);
+    let started = Instant::now();
+    let started_us = madpipe_obs::now_unix_us();
+    let response = forward(relay, key, ctx, backends);
+    madpipe_obs::flight::record_span(
+        "router.forward",
+        started_us,
+        started.elapsed().as_secs_f64() * 1e6,
+        tc.trace,
+        span,
+        tc.parent,
+    );
+    response
 }
 
 /// Relay the original line to the key's owner, failing over along the
@@ -506,9 +553,19 @@ fn health_rollup(ctx: &Arc<RouterCtx>) -> String {
 /// Cluster `metrics`: the sum of every daemon's plain Prometheus
 /// samples, plus `madpipe_cluster_*` gauges and the router's own
 /// counters. Summing plain samples is the right aggregation for
-/// counters and histogram `_sum`/`_count` lines alike.
+/// counters and histogram `_sum`/`_count` lines alike. Histogram
+/// `_bucket` series sum too — but per bucket, after differencing each
+/// daemon's cumulative counts (see
+/// [`madpipe_obs::validate::histogram_buckets`]) — and are re-rendered
+/// cumulative, so `madpipe top` can reconstruct cluster-wide quantiles.
+/// Per-daemon `{quantile=…}` gauges are deliberately dropped: quantiles
+/// do not sum.
 fn metrics_rollup(ctx: &Arc<RouterCtx>) -> String {
     let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    // Histogram name → bucket upper-bound bits → summed per-bucket count.
+    // Keying on `to_bits()` keeps exact bound identity while staying
+    // ordered like the (positive, finite) bounds themselves.
+    let mut buckets: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
     let mut reporting = 0u64;
     for (idx, addr) in ctx.backends.iter().enumerate() {
         let Ok(v) = probe(addr, r#"{"cmd":"metrics"}"#, ctx.timeout) else {
@@ -526,10 +583,27 @@ fn metrics_rollup(ctx: &Arc<RouterCtx>) -> String {
         for (name, value) in samples {
             *sums.entry(name).or_insert(0.0) += value;
         }
+        if let Ok(histograms) = madpipe_obs::validate::histogram_buckets(text) {
+            for (name, series) in histograms {
+                let merged = buckets.entry(name).or_default();
+                for (le, n) in series {
+                    *merged.entry(le.to_bits()).or_insert(0) += n;
+                }
+            }
+        }
     }
     let mut text = String::new();
     for (name, value) in &sums {
         text.push_str(&format!("{name} {value}\n"));
+    }
+    for (name, series) in &buckets {
+        let mut cumulative = 0u64;
+        for (bits, n) in series {
+            cumulative += n;
+            let le = f64::from_bits(*bits);
+            text.push_str(&format!("{name}_bucket{{le=\"{le:e}\"}} {cumulative}\n"));
+        }
+        text.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
     }
     text.push_str(&format!("madpipe_cluster_daemons_reporting {reporting}\n"));
     text.push_str(&format!(

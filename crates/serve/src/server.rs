@@ -104,6 +104,10 @@ pub struct ServeConfig {
     pub gossip_interval: Duration,
     /// How many of the hottest cache entries each gossip round ships.
     pub gossip_entries: usize,
+    /// Where to dump the flight recorder (JSONL) when the daemon drains
+    /// or a worker panics. `None` disables post-mortem dumps; the ring
+    /// still records (it is always on), it just never reaches disk.
+    pub flight_dump: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +122,7 @@ impl Default for ServeConfig {
             peers: Vec::new(),
             gossip_interval: Duration::from_millis(500),
             gossip_entries: 8,
+            flight_dump: None,
         }
     }
 }
@@ -137,6 +142,12 @@ pub(crate) struct Job {
     pub(crate) req: Box<PlanRequest>,
     pub(crate) deadline: Instant,
     pub(crate) reply: SyncSender<PlanOutcome>,
+    /// Distributed trace id (0 = untraced request).
+    pub(crate) trace: u64,
+    /// The request span's id — parent of the worker/DP spans.
+    pub(crate) span: u64,
+    /// When the reactor queued the job, for the queue-wait span.
+    pub(crate) enqueued: Instant,
 }
 
 pub(crate) struct Ctx {
@@ -159,6 +170,8 @@ pub(crate) struct Ctx {
     pub(crate) peers: Mutex<Vec<String>>,
     pub(crate) gossip_interval: Duration,
     pub(crate) gossip_entries: usize,
+    /// Post-mortem flight-recorder dump path (panic and drain).
+    pub(crate) flight_dump: Option<String>,
 }
 
 impl Ctx {
@@ -213,6 +226,7 @@ impl Server {
             peers: Mutex::new(cfg.peers.clone()),
             gossip_interval: cfg.gossip_interval,
             gossip_entries: cfg.gossip_entries,
+            flight_dump: cfg.flight_dump.clone(),
         });
 
         let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(depth);
@@ -303,6 +317,13 @@ impl Server {
         if let Some(h) = self.gossip.take() {
             let _ = h.join();
         }
+        // Post-mortem artifact: whatever the ring still holds when the
+        // daemon exits (SIGTERM drain, chaos kill) lands on disk. Worker
+        // panics dump earlier, at the panic site; this drain of the ring
+        // then appends nothing new for those events.
+        if let Some(path) = &self.ctx.flight_dump {
+            let _ = madpipe_obs::flight::write_dump(path);
+        }
     }
 }
 
@@ -386,6 +407,24 @@ pub(crate) fn health_value(ctx: &Arc<Ctx>) -> Value {
             "respawns".into(),
             Value::UInt(ctx.registry.counter("serve.workers.respawned")),
         ),
+        // Flight-recorder loss plus the request/cache counters `madpipe
+        // top` turns into per-daemon req/s and hit-ratio columns.
+        (
+            "events_dropped".into(),
+            Value::UInt(madpipe_obs::flight::dropped()),
+        ),
+        (
+            "requests".into(),
+            Value::UInt(ctx.registry.counter("serve.requests")),
+        ),
+        (
+            "cache_hits".into(),
+            Value::UInt(ctx.registry.counter("serve.cache.hits")),
+        ),
+        (
+            "cache_misses".into(),
+            Value::UInt(ctx.registry.counter("serve.cache.misses")),
+        ),
     ])
 }
 
@@ -408,6 +447,22 @@ fn worker_loop(ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) {
         };
         serve_instance(ctx, rx, job, &mut pending);
     }
+}
+
+/// Stamp how long a job sat on the queue before a worker picked it up:
+/// the `serve.queue.seconds` histogram plus a `serve.queue.wait` flight
+/// span parented under the request span.
+fn record_queue_wait(ctx: &Arc<Ctx>, job: &Job) {
+    let wait = job.enqueued.elapsed().as_secs_f64();
+    ctx.registry.observe("serve.queue.seconds", wait);
+    madpipe_obs::flight::record_span(
+        "serve.queue.wait",
+        madpipe_obs::now_unix_us() - wait * 1e6,
+        wait * 1e6,
+        job.trace,
+        madpipe_obs::fresh_id(),
+        job.span,
+    );
 }
 
 /// Render a human-readable panic message from a caught payload.
@@ -438,6 +493,7 @@ fn serve_instance(
     job: Job,
     pending: &mut Option<Job>,
 ) {
+    record_queue_wait(ctx, &job);
     if Instant::now() >= job.deadline {
         // Sat in the queue past its deadline; the client already gave up.
         ctx.registry.inc("serve.expired");
@@ -452,8 +508,12 @@ fn serve_instance(
         canonical,
     } = *job.req;
     let mut reply = job.reply;
+    let (mut trace, mut parent) = (job.trace, job.span);
     let mut session = ProbeSession::new(&chain, &platform, &cfg.algorithm1.discretization);
     loop {
+        let worker_t0 = Instant::now();
+        let worker_ts = madpipe_obs::now_unix_us();
+        let worker_span = madpipe_obs::fresh_id();
         // Re-probe the cache: another worker may have finished the same
         // instance while this job sat in the queue.
         let outcome: PlanOutcome = match ctx.cache.get(&canonical) {
@@ -466,7 +526,18 @@ fn serve_instance(
                             panic!("chaos marker `{marker}` in chain name");
                         }
                     }
-                    madpipe_plan_with_session(&mut session, &cfg)
+                    let dp_t0 = Instant::now();
+                    let dp_ts = madpipe_obs::now_unix_us();
+                    let out = madpipe_plan_with_session(&mut session, &cfg);
+                    madpipe_obs::flight::record_span(
+                        "serve.dp",
+                        dp_ts,
+                        dp_t0.elapsed().as_secs_f64() * 1e6,
+                        trace,
+                        madpipe_obs::fresh_id(),
+                        worker_span,
+                    );
+                    out
                 }));
                 let (result, _stats) = match planned {
                     Ok(r) => r,
@@ -477,6 +548,26 @@ fn serve_instance(
                             panic_message(payload.as_ref())
                         ))));
                         ctx.waker.wake();
+                        // Post-mortem: the panic instant joins the request's
+                        // trace, and the ring reaches disk *now* — this
+                        // thread is about to die and take no dump with it.
+                        madpipe_obs::flight::record_instant(
+                            "serve.panic",
+                            madpipe_obs::now_unix_us(),
+                            trace,
+                            worker_span,
+                        );
+                        madpipe_obs::flight::record_span(
+                            "serve.worker",
+                            worker_ts,
+                            worker_t0.elapsed().as_secs_f64() * 1e6,
+                            trace,
+                            worker_span,
+                            parent,
+                        );
+                        if let Some(path) = &ctx.flight_dump {
+                            let _ = madpipe_obs::flight::write_dump(path);
+                        }
                         // The session may be mid-update; never reuse it.
                         // Resuming lets the thread die and the supervisor
                         // replace it with a clean one.
@@ -497,6 +588,14 @@ fn serve_instance(
                 }
             }
         };
+        madpipe_obs::flight::record_span(
+            "serve.worker",
+            worker_ts,
+            worker_t0.elapsed().as_secs_f64() * 1e6,
+            trace,
+            worker_span,
+            parent,
+        );
         // The reactor may have timed the slot out and dropped the
         // receiver; the plan still went into the cache, so the retry
         // will hit. The wake gets the response on the wire without
@@ -512,6 +611,7 @@ fn serve_instance(
                 Ok(j) => {
                     ctx.queue_depth.fetch_sub(1, Ordering::SeqCst);
                     if j.req.canonical == canonical {
+                        record_queue_wait(ctx, &j);
                         if Instant::now() >= j.deadline {
                             ctx.registry.inc("serve.expired");
                             let _ = j.reply.try_send(Err(ServeError::timeout()));
@@ -519,6 +619,7 @@ fn serve_instance(
                             continue;
                         }
                         reply = j.reply;
+                        (trace, parent) = (j.trace, j.span);
                         break; // serve it through the warm session
                     }
                     *pending = Some(j);

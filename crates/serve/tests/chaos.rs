@@ -123,6 +123,11 @@ fn served_period_bits(v: &Value) -> u64 {
 
 #[test]
 fn chaos_drill_never_kills_the_daemon_and_every_plan_is_bit_identical() {
+    let dump_path = std::env::temp_dir()
+        .join(format!("madpipe-chaos-flight-{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let _ = std::fs::remove_file(&dump_path);
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".into(),
         threads: 2,
@@ -130,6 +135,7 @@ fn chaos_drill_never_kills_the_daemon_and_every_plan_is_bit_identical() {
         timeout: Duration::from_secs(60),
         queue_depth: 64,
         panic_marker: Some(MARKER.into()),
+        flight_dump: Some(dump_path.clone()),
         ..ServeConfig::default()
     })
     .expect("bind");
@@ -274,4 +280,26 @@ fn chaos_drill_never_kills_the_daemon_and_every_plan_is_bit_identical() {
         TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
         "listener must be closed after the drill"
     );
+
+    // Post-mortem: every worker panic dumped the flight ring at the
+    // panic site and the drain appended the rest, so the accumulated
+    // artifact is non-empty, carries one `serve.panic` marker per
+    // injected panic, and replays through the trace validator — every
+    // recorded span's parent resolves, even for requests whose
+    // connections chaos killed mid-flight.
+    let dump = std::fs::read_to_string(&dump_path).expect("flight dump written on drain");
+    assert!(!dump.trim().is_empty(), "flight dump must not be empty");
+    let panic_markers = dump
+        .lines()
+        .filter(|l| l.contains(r#""name":"serve.panic""#))
+        .count() as u64;
+    assert_eq!(
+        panic_markers, panics_injected,
+        "one panic instant per injected panic"
+    );
+    let summary = madpipe_obs::validate::validate_trace_text(&dump)
+        .expect("flight dump replays through validate-trace");
+    assert!(summary.span_names.contains("serve.request"));
+    assert!(summary.span_names.contains("serve.worker"));
+    let _ = std::fs::remove_file(&dump_path);
 }
