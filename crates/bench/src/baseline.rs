@@ -13,9 +13,10 @@
 use std::io;
 use std::path::Path;
 
-use madpipe_json::{JsonError, Value};
+use madpipe_json::{FromJson, JsonError, ToJson, Value};
+use madpipe_model::PolicySpec;
 
-use crate::grid::{CellResult, GridConfig};
+use crate::grid::{Cell, CellResult, GridConfig};
 
 /// Format version of `BENCH_*.json` files.
 pub const BASELINE_VERSION: u64 = 1;
@@ -27,6 +28,10 @@ pub struct BaselineRecord {
     pub p: usize,
     pub m_gb: u64,
     pub beta_gb: f64,
+    /// Stage-policy axis the cell planned under. Defaults to the paper's
+    /// model; serialized only when non-default, so default-policy
+    /// records keep the original JSON shape.
+    pub policy: PolicySpec,
     /// MadPipe achieved period (seconds; `None` = infeasible).
     pub madpipe: Option<f64>,
     /// PipeDream achieved period.
@@ -45,12 +50,13 @@ pub struct BaselineRecord {
 
 impl BaselineRecord {
     /// Identity of the cell this record measures.
-    pub fn key(&self) -> (String, usize, u64, u64) {
+    pub fn key(&self) -> (String, usize, u64, u64, PolicySpec) {
         (
             self.network.clone(),
             self.p,
             self.m_gb,
             self.beta_gb.to_bits(),
+            self.policy,
         )
     }
 
@@ -89,6 +95,9 @@ impl BaselineRecord {
             ),
             ("jitter_margin".into(), Self::opt_f64(self.jitter_margin)),
         ];
+        if !self.policy.is_default() {
+            fields.push(("policy".into(), self.policy.to_json()));
+        }
         if let Some(stats) = &self.stats {
             fields.push(("stats".into(), stats.clone()));
         }
@@ -114,6 +123,10 @@ impl BaselineRecord {
                 }
             },
             jitter_margin: Self::read_opt_f64(v, "jitter_margin")?,
+            policy: match v.get("policy") {
+                None | Some(Value::Null) => PolicySpec::default(),
+                Some(p) => PolicySpec::from_json(p)?,
+            },
             stats: match v.get("stats") {
                 None | Some(Value::Null) => None,
                 Some(s) => Some(s.clone()),
@@ -129,6 +142,7 @@ impl From<&CellResult> for BaselineRecord {
             p: r.cell.p,
             m_gb: r.cell.m_gb,
             beta_gb: r.cell.beta_gb,
+            policy: r.cell.policy,
             madpipe: r.madpipe,
             pipedream: r.pipedream,
             planning_seconds: r.planning_seconds,
@@ -150,6 +164,81 @@ pub fn smoke_grid() -> GridConfig {
         batch: 8,
         image_size: 1000,
     }
+}
+
+/// The tight-memory policy-flip pair appended to the smoke grid: the
+/// weight-dominated [`madpipe_dnn::networks::mlp12`] stack on 4 × 2 GB
+/// GPUs. Under the paper's `3·W` model no partition fits (three weight
+/// versions of three 268 MB blocks alone exceed 2 GB), so the default
+/// cell gates as `Infeasible`; under `--recompute auto --weights 2bw`
+/// the same platform point plans and certifies.
+pub fn tight_cells() -> Vec<Cell> {
+    let base = Cell {
+        network: "mlp12".into(),
+        p: 4,
+        m_gb: 2,
+        beta_gb: 12.0,
+        policy: PolicySpec::default(),
+    };
+    let mut flipped = base.clone();
+    flipped.policy = PolicySpec {
+        recompute: madpipe_model::RecomputeMode::Auto,
+        weights: madpipe_model::WeightPolicy::TwoBw,
+    };
+    vec![base, flipped]
+}
+
+/// Every cell `bench-baseline` runs: the smoke grid plus the
+/// tight-memory policy-flip pair.
+pub fn smoke_cells() -> Vec<Cell> {
+    let mut cells = smoke_grid().cells();
+    cells.extend(tight_cells());
+    cells
+}
+
+/// Check the tight-memory policy flip on a finished run: the default
+/// cell must be infeasible and its policy twin must plan *and* certify.
+/// Returns human-readable violations (empty = the flip holds).
+pub fn tight_cell_flip_violations(records: &[BaselineRecord]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for cell in tight_cells() {
+        let Some(r) = records.iter().find(|r| {
+            r.network == cell.network
+                && r.p == cell.p
+                && r.m_gb == cell.m_gb
+                && r.beta_gb.to_bits() == cell.beta_gb.to_bits()
+                && r.policy == cell.policy
+        }) else {
+            violations.push(format!(
+                "{}: tight cell missing from the run",
+                cell.describe()
+            ));
+            continue;
+        };
+        if cell.policy.is_default() {
+            if r.madpipe.is_some() {
+                violations.push(format!(
+                    "{}: expected Infeasible under the default policy, got a plan",
+                    cell.describe()
+                ));
+            }
+        } else {
+            if r.madpipe.is_none() {
+                violations.push(format!(
+                    "{}: expected a feasible plan under the policy axis",
+                    cell.describe()
+                ));
+            }
+            if r.madpipe.is_some() && r.certified != Some(true) {
+                violations.push(format!(
+                    "{}: the flipped plan must certify (got {:?})",
+                    cell.describe(),
+                    r.certified
+                ));
+            }
+        }
+    }
+    violations
 }
 
 /// Serialize `records` as a `BENCH_*.json` document.
@@ -210,10 +299,18 @@ pub fn compare_baselines(
 ) -> Vec<String> {
     let mut violations = Vec::new();
     let describe = |r: &BaselineRecord| {
-        format!(
+        let mut s = format!(
             "{} P={} M={}GB beta={}GB/s",
             r.network, r.p, r.m_gb, r.beta_gb
-        )
+        );
+        if !r.policy.is_default() {
+            s.push_str(&format!(
+                " policy={}/{}",
+                r.policy.recompute.as_str(),
+                r.policy.weights.as_str()
+            ));
+        }
+        s
     };
     for base in baseline {
         let Some(cur) = current.iter().find(|c| c.key() == base.key()) else {
@@ -289,6 +386,7 @@ mod tests {
             p: 4,
             m_gb: m,
             beta_gb: 12.0,
+            policy: PolicySpec::default(),
             madpipe,
             pipedream: madpipe.map(|x| x * 1.2),
             planning_seconds: 0.5,
@@ -383,5 +481,64 @@ mod tests {
         let g = smoke_grid();
         assert_eq!(g.cells().len(), 8);
         assert!(g.networks.contains(&"resnet50".to_string()));
+        // Plus the tight-memory policy-flip pair.
+        let cells = smoke_cells();
+        assert_eq!(cells.len(), 10);
+        let tight = tight_cells();
+        assert!(tight[0].policy.is_default());
+        assert!(!tight[1].policy.is_default());
+        assert_eq!(tight[0].network, tight[1].network);
+    }
+
+    #[test]
+    fn policy_records_round_trip_and_key_separately() {
+        let mut flipped = record("mlp12", 2, Some(0.004));
+        flipped.policy = PolicySpec {
+            recompute: madpipe_model::RecomputeMode::Auto,
+            weights: madpipe_model::WeightPolicy::TwoBw,
+        };
+        let records = vec![record("mlp12", 2, None), flipped.clone()];
+        let parsed = parse(&render(&records)).unwrap();
+        assert_eq!(parsed, records);
+        // Same platform point, different policy: distinct cells.
+        assert_ne!(parsed[0].key(), parsed[1].key());
+        // Default-policy records keep the original JSON shape.
+        assert!(!record("resnet50", 6, Some(0.1))
+            .to_json()
+            .to_string_compact()
+            .contains("policy"));
+        assert!(flipped.to_json().to_string_compact().contains("policy"));
+    }
+
+    #[test]
+    fn tight_cell_flip_gate_checks_both_sides() {
+        let tight = tight_cells();
+        let as_record = |cell: &Cell, madpipe: Option<f64>| {
+            let mut r = record(&cell.network, cell.m_gb, madpipe);
+            r.p = cell.p;
+            r.policy = cell.policy;
+            r
+        };
+        // The expected outcome: default infeasible, policy certified.
+        let good = vec![
+            as_record(&tight[0], None),
+            as_record(&tight[1], Some(0.0037)),
+        ];
+        assert!(tight_cell_flip_violations(&good).is_empty());
+        // Default side regresses to feasible: flagged.
+        let bad = vec![
+            as_record(&tight[0], Some(0.004)),
+            as_record(&tight[1], Some(0.0037)),
+        ];
+        assert!(!tight_cell_flip_violations(&bad).is_empty());
+        // Policy side fails to plan or certify: flagged.
+        let bad = vec![as_record(&tight[0], None), as_record(&tight[1], None)];
+        assert!(!tight_cell_flip_violations(&bad).is_empty());
+        let mut uncert = as_record(&tight[1], Some(0.0037));
+        uncert.certified = Some(false);
+        let bad = vec![as_record(&tight[0], None), uncert];
+        assert!(!tight_cell_flip_violations(&bad).is_empty());
+        // Missing cells are flagged.
+        assert_eq!(tight_cell_flip_violations(&[]).len(), 2);
     }
 }

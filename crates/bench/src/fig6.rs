@@ -3,6 +3,12 @@
 //! Four series per panel, exactly as in the paper: the two partitioners'
 //! *predicted* periods (dashed) and the periods of their valid schedules
 //! (solid). Lower is better; throughput is `1/period`.
+//!
+//! Cells planned under a non-default stage policy (`--recompute` /
+//! `--weights`) render as extra rows tagged with the policy — the
+//! "below the leftmost point" extension of the paper's figure, showing
+//! where recompute and 2BW weight versioning keep planning feasible or
+//! faster at memory limits the paper's model cannot reach.
 
 use std::fmt::Write as _;
 
@@ -17,6 +23,7 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         "P",
         "beta_gb",
         "M_gb",
+        "policy",
         "madpipe_est_ms",
         "madpipe_ms",
         "pipedream_est_ms",
@@ -32,10 +39,11 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         .filter(|r| r.cell.network == "resnet50")
         .collect();
     cells.sort_by(|a, b| {
-        (a.cell.p, a.cell.beta_gb as u64, a.cell.m_gb).cmp(&(
+        (a.cell.p, a.cell.beta_gb as u64, a.cell.m_gb, a.cell.policy).cmp(&(
             b.cell.p,
             b.cell.beta_gb as u64,
             b.cell.m_gb,
+            b.cell.policy,
         ))
     });
 
@@ -59,9 +67,18 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
         let fmt = |v: Option<f64>| -> String {
             v.map(|x| format!("{:.1}", x * 1e3)).unwrap_or("inf".into())
         };
+        let tag = if r.cell.policy.is_default() {
+            String::new()
+        } else {
+            format!(
+                "  [{}, {}]",
+                r.cell.policy.recompute.as_str(),
+                r.cell.policy.weights.as_str()
+            )
+        };
         let _ = writeln!(
             text,
-            "  {:>5} | {:>10} {:>10} | {:>10} {:>10}",
+            "  {:>5} | {:>10} {:>10} | {:>10} {:>10}{tag}",
             r.cell.m_gb,
             fmt(r.madpipe_estimate),
             fmt(r.madpipe),
@@ -73,6 +90,11 @@ pub fn generate(results: &[CellResult]) -> (String, Table) {
             r.cell.p.to_string(),
             format!("{}", r.cell.beta_gb),
             r.cell.m_gb.to_string(),
+            format!(
+                "{}/{}",
+                r.cell.policy.recompute.as_str(),
+                r.cell.policy.weights.as_str()
+            ),
             ms(r.madpipe_estimate),
             ms(r.madpipe),
             ms(r.pipedream_estimate),
@@ -99,6 +121,7 @@ mod tests {
                 p,
                 m_gb: m,
                 beta_gb: 12.0,
+                policy: Default::default(),
             },
             sequential: 0.3,
             madpipe_estimate: Some(0.1),
@@ -120,6 +143,24 @@ mod tests {
         assert!(text.contains("P = 2, beta = 12 GB/s"));
         assert!(text.contains("P = 4, beta = 12 GB/s"));
         assert!(text.contains("110.0"));
+    }
+
+    #[test]
+    fn policy_rows_are_tagged_and_sorted_after_default() {
+        use madpipe_model::{PolicySpec, RecomputeMode, WeightPolicy};
+        let mut flipped = cell(2, 3);
+        flipped.cell.policy = PolicySpec {
+            recompute: RecomputeMode::Auto,
+            weights: WeightPolicy::TwoBw,
+        };
+        flipped.madpipe = Some(0.09);
+        let (text, table) = generate(&[flipped, cell(2, 3)]);
+        assert_eq!(table.len(), 2);
+        assert!(text.contains("[auto, 2bw]"));
+        // Default row first within the same (P, beta, M) panel slot.
+        let csv: Vec<String> = table.to_csv().lines().map(str::to_string).collect();
+        assert!(csv[1].contains("never/3w"));
+        assert!(csv[2].contains("auto/2bw"));
     }
 
     #[test]

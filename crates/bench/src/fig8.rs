@@ -95,6 +95,7 @@ mod tests {
                 p,
                 m_gb: m,
                 beta_gb: 12.0,
+                policy: Default::default(),
             },
             sequential: 1.0,
             madpipe_estimate: Some(mp),

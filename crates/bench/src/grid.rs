@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use madpipe_core::{certify_plan, compare, CertifyConfig, PlannerConfig, PlannerStats};
 use madpipe_dnn::{networks, GpuModel};
-use madpipe_model::{Chain, Platform};
+use madpipe_model::{Chain, Platform, PolicySpec};
 
 /// Grid of instances to evaluate.
 #[derive(Debug, Clone)]
@@ -62,6 +62,7 @@ impl GridConfig {
                             p,
                             m_gb: m,
                             beta_gb: beta,
+                            policy: PolicySpec::default(),
                         });
                     }
                 }
@@ -71,13 +72,35 @@ impl GridConfig {
     }
 }
 
-/// One `(network, P, M, β)` instance.
+/// One `(network, P, M, β, policy)` instance. The policy axis defaults
+/// to the paper's model (store activations, three weight versions);
+/// non-default cells evaluate the same platform point under a recompute
+/// / weight-versioning configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     pub network: String,
     pub p: usize,
     pub m_gb: u64,
     pub beta_gb: f64,
+    pub policy: PolicySpec,
+}
+
+impl Cell {
+    /// Human-readable cell identity (policy suffix only when set).
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "{} P={} M={}GB beta={}GB/s",
+            self.network, self.p, self.m_gb, self.beta_gb
+        );
+        if !self.policy.is_default() {
+            s.push_str(&format!(
+                " policy={}/{}",
+                self.policy.recompute.as_str(),
+                self.policy.weights.as_str()
+            ));
+        }
+        s
+    }
 }
 
 /// Both planners' results on one cell. Periods are seconds per
@@ -145,14 +168,19 @@ impl CellResult {
 
 /// Profile the four paper networks once (batch/image size from `cfg`).
 pub fn paper_chains(cfg: &GridConfig) -> Vec<Chain> {
+    chains_for(&cfg.networks, cfg.batch, cfg.image_size)
+}
+
+/// Profile each named network once at the given batch/image size.
+pub fn chains_for(names: &[String], batch: u64, image_size: u64) -> Vec<Chain> {
     let gpu = GpuModel::default();
-    cfg.networks
+    names
         .iter()
         .map(|name| {
             networks::by_name(name)
                 .unwrap_or_else(|| panic!("unknown network {name}"))
-                .profile(cfg.batch, cfg.image_size, &gpu)
-                .expect("paper networks profile cleanly")
+                .profile(batch, image_size, &gpu)
+                .expect("bench networks profile cleanly")
         })
         .collect()
 }
@@ -164,6 +192,13 @@ pub fn paper_chains(cfg: &GridConfig) -> Vec<Chain> {
 pub fn run_cell(chain: &Chain, cell: &Cell, planner: &PlannerConfig) -> CellResult {
     debug_assert_eq!(chain.name(), cell.network);
     let platform = Platform::gb(cell.p, cell.m_gb, cell.beta_gb).expect("valid grid platform");
+    // The cell's policy axis overrides the shared planner config; a
+    // default-policy cell reproduces the paper's planner bit for bit.
+    let planner = PlannerConfig {
+        policy: cell.policy,
+        ..*planner
+    };
+    let planner = &planner;
     let start = Instant::now();
     let mut cmp = compare(chain, &platform, planner);
     let planning_seconds = start.elapsed().as_secs_f64();

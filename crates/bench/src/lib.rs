@@ -20,6 +20,6 @@ pub mod plan_speed;
 pub mod summary;
 
 pub use baseline::{compare_baselines, smoke_grid, BaselineRecord};
-pub use grid::{paper_chains, run_cell, Cell, CellResult, GridConfig};
+pub use grid::{chains_for, paper_chains, run_cell, Cell, CellResult, GridConfig};
 pub use parallel::run_cells;
 pub use plan_speed::{compare_plan_speed, plan_speed_grid, run_plan_speed, PlanSpeedRecord};

@@ -215,6 +215,7 @@ mod tests {
                 p: 4,
                 m_gb: m,
                 beta_gb: 12.0,
+                policy: Default::default(),
             },
             sequential: 1.0,
             madpipe_estimate: mp.map(|x| x * 0.9),

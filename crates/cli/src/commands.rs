@@ -3,7 +3,8 @@
 use std::path::PathBuf;
 
 use madpipe_bench::{
-    baseline, fig6, fig7, fig8, paper_chains, plan_speed, run_cells, summary, GridConfig,
+    baseline, chains_for, fig6, fig7, fig8, paper_chains, plan_speed, run_cells, summary,
+    GridConfig,
 };
 use madpipe_core::{
     certify_plan, compare, madpipe_plan, madpipe_plan_with_stats, replan, CertifyConfig,
@@ -12,10 +13,12 @@ use madpipe_core::{
 use madpipe_dnn::profile::Profile;
 use madpipe_dnn::{networks, GpuModel, RandomChainConfig};
 use madpipe_json::Value;
-use madpipe_model::{Chain, Platform, PlatformFault, UnitSequence};
+use madpipe_model::{
+    Chain, Platform, PlatformFault, PolicySpec, RecomputeMode, UnitSequence, WeightPolicy,
+};
 use madpipe_obs::{Trace, PLANNER_PID};
 use madpipe_schedule::gantt;
-use madpipe_sim::{replay_pattern, simulate_eager, EagerConfig};
+use madpipe_sim::{replay_pattern_with, simulate_eager, EagerConfig};
 
 use crate::args::{parse, Args};
 
@@ -28,9 +31,16 @@ USAGE:
   madpipe plan <network> [--gpus P] [--memory-gb M] [--bandwidth-gb B]
                [--batch N] [--image S] [--profile FILE]
                [--gpu-model v100|a100|rtx3090] [--max-layers N]
+               [--recompute never|always|auto] [--weights 3w|2bw]
                [--threads N] [--stats] [--trace-out FILE] [--periods N]
                [--metrics-out FILE] [--stats-json FILE]
       Plan with MadPipe and the PipeDream baseline, print both.
+      --recompute lets every stage drop its interior activations and
+      recompute them in the backward phase: `always` forces it, `auto`
+      lets the DP pick per stage (default `never`, the paper's model);
+      --weights 2bw holds two weight versions (2BW-style) instead of the
+      default three. Both flags change the stage memory/time model, so
+      non-default plans are certified under the same policy.
       --threads evaluates independent probes in parallel (default 1);
       --stats prints planner counters and the probe timeline;
       --trace-out writes a Chrome/Perfetto trace of the planner spans
@@ -84,12 +94,15 @@ USAGE:
       --once prints a single frame and exits (no screen clearing).
   madpipe bench-baseline [--out FILE] [--baseline FILE] [--tolerance T]
                [--time-factor F] [--threads N] [--stats-json FILE]
-      Run the fixed smoke benchmark grid, write the results as JSON to
-      FILE (default BENCH_smoke.json), and — when --baseline is given —
-      gate against the committed reference: periods within T (default
-      0.10 relative), planning time within F× (default 5), no
-      certification regressions. --stats-json writes per-cell
-      PlannerStats payloads.
+      Run the fixed smoke benchmark grid plus the tight-memory policy
+      pair (mlp12 on 4 × 2 GB GPUs, default vs --recompute auto
+      --weights 2bw), write the results as JSON to FILE (default
+      BENCH_smoke.json), and — when --baseline is given — gate against
+      the committed reference: periods within T (default 0.10
+      relative), planning time within F× (default 5), no certification
+      regressions. The policy pair always gates: the default cell must
+      stay infeasible and its 2BW twin must plan and certify.
+      --stats-json writes per-cell PlannerStats payloads.
   madpipe bench-plan-speed [--out FILE] [--baseline FILE] [--repeat N]
                [--time-factor F]
       Measure MadPipe planning time over the 42-cell ResNet-50 fig6
@@ -160,7 +173,8 @@ USAGE:
       responses echoed a span back.
 
 All <network> slots also accept `synthetic` (--layers N, --seed S): a
-reproducible random CNN-profile chain.
+reproducible random CNN-profile chain. All planning commands accept
+--recompute/--weights as described under `plan`.
 
 Defaults: --gpus 4, --memory-gb 8, --bandwidth-gb 12, --batch 8,
 --image 1000.";
@@ -258,10 +272,11 @@ fn write_trace(
     // Build the schedule timeline first, while the tracer is still on,
     // so the replay behind it contributes its `sim.replay` span.
     let schedule = plan.map(|plan| {
-        madpipe_sim::schedule_trace(
+        madpipe_sim::schedule_trace_with(
             chain,
             platform,
             &plan.allocation,
+            &plan.policies,
             &plan.schedule.pattern,
             periods,
         )
@@ -301,6 +316,28 @@ fn write_stats_json(out: &str, stats: &madpipe_core::PlannerStats) -> Result<(),
         .map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Parse `--recompute never|always|auto` and `--weights 3w|2bw` into
+/// the planner's policy space (both default to the paper's model).
+fn policy_spec(args: &Args) -> Result<PolicySpec, String> {
+    let mut spec = PolicySpec::default();
+    if let Some(r) = args.raw("recompute") {
+        spec.recompute = RecomputeMode::parse(r).map_err(|e| format!("--recompute: {e}"))?;
+    }
+    if let Some(w) = args.raw("weights") {
+        spec.weights = WeightPolicy::parse(w).map_err(|e| format!("--weights: {e}"))?;
+    }
+    Ok(spec)
+}
+
+/// The shared `PlannerConfig` for planning commands: threads + policy.
+fn planner_config(args: &Args) -> Result<PlannerConfig, String> {
+    Ok(PlannerConfig {
+        threads: args.get_or("threads", 1usize)?.max(1),
+        policy: policy_spec(args)?,
+        ..PlannerConfig::default()
+    })
 }
 
 fn load_platform(args: &Args) -> Result<Platform, String> {
@@ -344,10 +381,7 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         platform.memory_bytes as f64 / (1u64 << 30) as f64,
         platform.bandwidth / (1u64 << 30) as f64,
     );
-    let planner = PlannerConfig {
-        threads: args.get_or("threads", 1usize)?.max(1),
-        ..PlannerConfig::default()
-    };
+    let planner = planner_config(args)?;
     arm_tracer(args);
     let cmp = compare(&chain, &platform, &planner);
     match &cmp.madpipe {
@@ -358,9 +392,19 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
                 8.0 * plan.throughput(),
                 plan.phase1.period * 1e3
             );
-            for s in plan.allocation.stages() {
+            for (i, s) in plan.allocation.stages().iter().enumerate() {
+                let policy = plan.policies.get(i).copied().unwrap_or_default();
+                let tag = if policy.is_default() {
+                    String::new()
+                } else {
+                    format!(
+                        "  [{}, {}]",
+                        policy.activation.as_str(),
+                        policy.weights.as_str()
+                    )
+                };
                 println!(
-                    "    layers {:>3}..{:<3} -> GPU {}",
+                    "    layers {:>3}..{:<3} -> GPU {}{tag}",
                     s.layers.start, s.layers.end, s.gpu
                 );
             }
@@ -441,10 +485,7 @@ fn cmd_replan(args: &Args) -> Result<(), String> {
         .raw("fault")
         .ok_or("replan requires --fault SPEC (gpu-loss:N, memory:F or link:F with F in (0, 1))")?;
     let fault = PlatformFault::parse_spec(spec).map_err(|e| e.to_string())?;
-    let planner = PlannerConfig {
-        threads: args.get_or("threads", 1usize)?.max(1),
-        ..PlannerConfig::default()
-    };
+    let planner = planner_config(args)?;
     let out = replan(&chain, &platform, fault, &planner).map_err(|e| e.to_string())?;
 
     let gb = (1u64 << 30) as f64;
@@ -505,9 +546,10 @@ fn cmd_replan(args: &Args) -> Result<(), String> {
 fn cmd_gantt(args: &Args) -> Result<(), String> {
     let chain = load_chain(args)?;
     let platform = load_platform(args)?;
-    let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
+    let plan = madpipe_plan(&chain, &platform, &planner_config(args)?)
         .map_err(|e| format!("planning failed: {e}"))?;
-    let seq = UnitSequence::from_allocation(&chain, &platform, &plan.allocation);
+    let seq =
+        UnitSequence::from_allocation_with(&chain, &platform, &plan.allocation, &plan.policies);
     print!("{}", gantt::render(&seq, &plan.schedule.pattern, 100));
     Ok(())
 }
@@ -516,12 +558,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let chain = load_chain(args)?;
     let platform = load_platform(args)?;
     let batches = args.get_or("batches", 100usize)?;
-    let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
+    let plan = madpipe_plan(&chain, &platform, &planner_config(args)?)
         .map_err(|e| format!("planning failed: {e}"))?;
-    let replay = replay_pattern(
+    let replay = replay_pattern_with(
         &chain,
         &platform,
         &plan.allocation,
+        &plan.policies,
         &plan.schedule.pattern,
         batches,
     );
@@ -553,7 +596,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 fn cmd_hybrid(args: &Args) -> Result<(), String> {
     let chain = load_chain(args)?;
     let platform = load_platform(args)?;
-    let hybrid = madpipe_core::best_hybrid(&chain, &platform, &PlannerConfig::default())
+    let hybrid = madpipe_core::best_hybrid(&chain, &platform, &planner_config(args)?)
         .map_err(|e| format!("no hybrid configuration plans: {e}"))?;
     println!(
         "best hybrid for {} on {} GPUs: {} replica group(s) x {} GPUs",
@@ -580,15 +623,17 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let platform = load_platform(args)?;
     let periods = args.get_or("periods", 6usize)?;
     let out: PathBuf = args.raw("out").ok_or("trace requires --out FILE")?.into();
-    let plan = madpipe_plan(&chain, &platform, &PlannerConfig::default())
+    let plan = madpipe_plan(&chain, &platform, &planner_config(args)?)
         .map_err(|e| format!("planning failed: {e}"))?;
-    let json = madpipe_sim::chrome_trace(
+    let json = madpipe_sim::schedule_trace_with(
         &chain,
         &platform,
         &plan.allocation,
+        &plan.policies,
         &plan.schedule.pattern,
         periods,
-    );
+    )
+    .render_chrome();
     std::fs::write(&out, json).map_err(|e| e.to_string())?;
     println!(
         "wrote {} ({} periods of a {:.1} ms pattern)",
@@ -602,10 +647,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 fn cmd_certify(args: &Args) -> Result<(), String> {
     let chain = load_chain(args)?;
     let platform = load_platform(args)?;
-    let planner = PlannerConfig {
-        threads: args.get_or("threads", 1usize)?.max(1),
-        ..PlannerConfig::default()
-    };
+    let planner = planner_config(args)?;
     arm_tracer(args);
     let (plan, mut stats) = madpipe_plan_with_stats(&chain, &platform, &planner);
     let plan = plan.map_err(|e| format!("planning failed: {e}"))?;
@@ -659,13 +701,15 @@ fn cmd_certify(args: &Args) -> Result<(), String> {
     );
 
     if let Some(out) = args.raw("chrome-trace") {
-        let json = madpipe_sim::chrome_trace(
+        let json = madpipe_sim::schedule_trace_with(
             &chain,
             &platform,
             &plan.allocation,
+            &plan.policies,
             &plan.schedule.pattern,
             cfg.periods.min(12),
-        );
+        )
+        .render_chrome();
         std::fs::write(out, json).map_err(|e| e.to_string())?;
         println!("wrote {out}");
     }
@@ -790,6 +834,18 @@ fn probe_line(addr: &str, line: &str, timeout: std::time::Duration) -> Result<Va
     Value::parse(response.trim()).map_err(|e| format!("bad response JSON: {e}"))
 }
 
+/// Render one latency quantile for `madpipe top`. An idle cluster has
+/// all-zero histogram buckets, for which no quantile is defined
+/// ([`madpipe_obs::quantile_from_buckets`] returns NaN) — render `-`
+/// instead of a raw NaN.
+fn latency_cell(ms: f64) -> String {
+    if ms.is_finite() {
+        format!("{ms:.2} ms")
+    } else {
+        "-".to_string()
+    }
+}
+
 /// One `madpipe top` frame: per-daemon rows from the health rollup plus
 /// cluster-wide latency quantiles from the summed histogram buckets.
 fn top_frame(
@@ -865,10 +921,10 @@ fn top_frame(
     if let Ok(text) = metrics.field("metrics").and_then(Value::as_str) {
         if let Ok(histograms) = madpipe_obs::validate::histogram_buckets(text) {
             if let Some(buckets) = histograms.get("madpipe_serve_request_seconds") {
-                let q = |p: f64| 1e3 * madpipe_obs::quantile_from_buckets(buckets, p);
+                let q = |p: f64| latency_cell(1e3 * madpipe_obs::quantile_from_buckets(buckets, p));
                 let _ = writeln!(
                     out,
-                    "latency   : p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms (cluster, {} requests)",
+                    "latency   : p50 {}, p95 {}, p99 {} (cluster, {} requests)",
                     q(0.50),
                     q(0.95),
                     q(0.99),
@@ -906,15 +962,29 @@ fn cmd_top(args: &Args) -> Result<(), String> {
 
 fn cmd_bench_baseline(args: &Args) -> Result<(), String> {
     let grid = baseline::smoke_grid();
-    let cells = grid.cells();
+    let cells = baseline::smoke_cells();
     let threads = args.get_or("threads", 0usize)?;
     let out: PathBuf = args.raw("out").unwrap_or("BENCH_smoke.json").into();
     eprintln!("running the {}-cell smoke grid...", cells.len());
-    let chains = paper_chains(&grid);
+    let mut networks: Vec<String> = cells.iter().map(|c| c.network.clone()).collect();
+    networks.sort();
+    networks.dedup();
+    let chains = chains_for(&networks, grid.batch, grid.image_size);
     let results = run_cells(&chains, &cells, &PlannerConfig::default(), threads, true);
     let records: Vec<baseline::BaselineRecord> = results.iter().map(Into::into).collect();
     baseline::save(&records, &out).map_err(|e| e.to_string())?;
     println!("wrote {} ({} cells)", out.display(), records.len());
+
+    let flip_violations = baseline::tight_cell_flip_violations(&records);
+    if !flip_violations.is_empty() {
+        for v in &flip_violations {
+            eprintln!("FAIL: {v}");
+        }
+        return Err(format!(
+            "tight-memory policy flip check failed with {} violation(s)",
+            flip_violations.len()
+        ));
+    }
 
     if let Some(path) = args.raw("stats-json") {
         let doc = Value::Array(
@@ -1047,6 +1117,35 @@ fn cmd_experiments(args: &Args) -> Result<(), String> {
     for c in grid6.cells() {
         if !cells.contains(&c) {
             cells.push(c);
+        }
+    }
+
+    // "Below the leftmost point": re-plan the tightest fig6 memory
+    // points under recompute + 2BW weight versioning, plus one grid
+    // step below the paper's axis where the default model is typically
+    // infeasible. These render as policy-tagged rows in the fig6 panels.
+    let policy = PolicySpec {
+        recompute: RecomputeMode::Auto,
+        weights: WeightPolicy::TwoBw,
+    };
+    let m_min = grid6.m_values.iter().copied().min().unwrap_or(3);
+    for &p in &grid6.p_values {
+        for &beta_gb in &grid6.beta_values {
+            for m_gb in [m_min.saturating_sub(1), m_min] {
+                if m_gb == 0 {
+                    continue;
+                }
+                let cell = madpipe_bench::Cell {
+                    network: "resnet50".into(),
+                    p,
+                    m_gb,
+                    beta_gb,
+                    policy,
+                };
+                if !cells.contains(&cell) {
+                    cells.push(cell);
+                }
+            }
         }
     }
 
@@ -1226,4 +1325,51 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         println!("expect-hits: ok (hits={hits}, misses={misses})");
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_cells_never_render_a_raw_nan() {
+        // An idle cluster's all-zero histogram yields a NaN quantile;
+        // the dashboard must print `-`, not `NaN ms`.
+        let empty: Vec<(f64, u64)> = vec![];
+        let idle = latency_cell(1e3 * madpipe_obs::quantile_from_buckets(&empty, 0.99));
+        assert_eq!(idle, "-");
+        assert_eq!(latency_cell(f64::NAN), "-");
+        assert_eq!(latency_cell(f64::INFINITY), "-");
+        assert_eq!(latency_cell(1.234), "1.23 ms");
+    }
+
+    #[test]
+    fn policy_flags_parse_into_the_planner_config() {
+        let argv: Vec<String> = [
+            "plan",
+            "resnet50",
+            "--recompute",
+            "auto",
+            "--weights",
+            "2bw",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = parse(&argv, &[]).unwrap();
+        let spec = policy_spec(&args).unwrap();
+        assert_eq!(spec.recompute, RecomputeMode::Auto);
+        assert_eq!(spec.weights, WeightPolicy::TwoBw);
+
+        // Defaults reproduce the paper's model exactly.
+        let bare = parse(&["plan".to_string()], &[]).unwrap();
+        assert!(policy_spec(&bare).unwrap().is_default());
+
+        // Bad values are reported, not silently defaulted.
+        let bad: Vec<String> = ["plan", "--recompute", "sometimes"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(policy_spec(&parse(&bad, &[]).unwrap()).is_err());
+    }
 }

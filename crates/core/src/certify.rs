@@ -25,10 +25,10 @@
 //! The CLI front end is `madpipe certify`; the bench grid records the
 //! verdict and jitter margin per cell.
 
-use madpipe_model::{Allocation, Chain, Platform, UnitSequence};
+use madpipe_model::{Allocation, Chain, Platform, StagePolicy, UnitSequence};
 use madpipe_schedule::check::{check_pattern, PatternReport};
 use madpipe_schedule::Pattern;
-use madpipe_sim::{replay_pattern, replay_perturbed, FaultSpec, SimReport};
+use madpipe_sim::{replay_pattern_with, replay_perturbed_with, FaultSpec, SimReport};
 use madpipe_solver::exact_optimum;
 
 use crate::planner::MadPipePlan;
@@ -166,21 +166,41 @@ pub fn certify_plan(
     plan: &MadPipePlan,
     cfg: &CertifyConfig,
 ) -> Certificate {
-    certify(
+    certify_with(
         chain,
         platform,
         &plan.allocation,
+        &plan.policies,
         plan.period(),
         &plan.schedule.pattern,
         cfg,
     )
 }
 
-/// Certify an arbitrary `(allocation, period, pattern)` triple.
+/// Certify an arbitrary `(allocation, period, pattern)` triple under
+/// all-default stage policies.
 pub fn certify(
     chain: &Chain,
     platform: &Platform,
     alloc: &Allocation,
+    period: f64,
+    pattern: &Pattern,
+    cfg: &CertifyConfig,
+) -> Certificate {
+    let policies = vec![StagePolicy::default(); alloc.stages().len()];
+    certify_with(chain, platform, alloc, &policies, period, pattern, cfg)
+}
+
+/// Certify under explicit per-stage policies: the analytic checker and
+/// both replays model recompute time and the policy-dependent memory.
+/// The exhaustive cross-check only runs under all-default policies (the
+/// enumerator solves the paper's store-everything model; a recompute or
+/// 2BW plan legitimately beats it on memory-bound instances).
+pub fn certify_with(
+    chain: &Chain,
+    platform: &Platform,
+    alloc: &Allocation,
+    policies: &[StagePolicy],
     period: f64,
     pattern: &Pattern,
     cfg: &CertifyConfig,
@@ -195,7 +215,7 @@ pub fn certify(
         failures: Vec::new(),
         seconds: 0.0,
     };
-    let seq = UnitSequence::from_allocation(chain, platform, alloc);
+    let seq = UnitSequence::from_allocation_with(chain, platform, alloc, policies);
     let tol = cfg.period_rel_tol * period.max(1e-12);
 
     // 1. Analytic checker.
@@ -225,7 +245,7 @@ pub fn certify(
 
     // 2. Event replay, plus the fault executor at zero fault — both must
     // agree with the checker on period (tolerance) and peaks (exactly).
-    let replay = replay_pattern(chain, platform, alloc, pattern, cfg.periods);
+    let replay = replay_pattern_with(chain, platform, alloc, policies, pattern, cfg.periods);
     if (replay.period - analytic.period).abs() > tol {
         cert.failures.push(format!(
             "replayed period {} disagrees with the analytic period {}",
@@ -238,10 +258,11 @@ pub fn certify(
             replay.gpu_peak_bytes, analytic.gpu_peak_bytes
         ));
     }
-    let zero = replay_perturbed(
+    let zero = replay_perturbed_with(
         chain,
         platform,
         alloc,
+        policies,
         pattern,
         cfg.periods,
         &FaultSpec::zero(),
@@ -256,7 +277,11 @@ pub fn certify(
     }
 
     // 3. Tiny instances: the plan must not beat the exhaustive optimum.
-    if chain.len() <= cfg.exact_max_layers && platform.n_gpus <= cfg.exact_max_gpus {
+    // Only meaningful under the store-everything model the enumerator
+    // solves: a recompute/2BW plan can legitimately exist (and win) where
+    // the enumerator finds nothing.
+    let all_default = policies.iter().all(|p| p.is_default());
+    if all_default && chain.len() <= cfg.exact_max_layers && platform.n_gpus <= cfg.exact_max_gpus {
         match exact_optimum(chain, platform) {
             Some(exact) => {
                 let ep = exact.schedule.period;
@@ -284,7 +309,15 @@ pub fn certify(
     if cert.failures.is_empty() {
         let target = analytic.period * (1.0 + cfg.headroom) + tol;
         let holds = |fault: &FaultSpec| -> bool {
-            let r = replay_perturbed(chain, platform, alloc, pattern, cfg.periods, fault);
+            let r = replay_perturbed_with(
+                chain,
+                platform,
+                alloc,
+                policies,
+                pattern,
+                cfg.periods,
+                fault,
+            );
             !r.memory_violation && r.period <= target
         };
         cert.jitter_margin = bisect_margin(cfg.jitter_cap, cfg.margin_iters, |x| {
@@ -452,6 +485,119 @@ mod tests {
             stats.total_seconds
         );
         assert_eq!(stats.metrics.counter(counters::CERTIFY_PASSED), 1);
+    }
+
+    use madpipe_model::{ActivationPolicy, PolicySpec, RecomputeMode, StagePolicy, WeightPolicy};
+    use proptest::proptest;
+    use proptest::test_runner::ProptestConfig;
+
+    /// Deterministic pseudo-random chain from a seed (SplitMix64).
+    fn seeded_chain(seed: u64) -> Chain {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        };
+        let n = 3 + (next() % 3) as usize;
+        let layers = (0..n)
+            .map(|i| {
+                let f = 0.5 + (next() % 8) as f64 * 0.25;
+                let b = 0.5 + (next() % 8) as f64 * 0.25;
+                let w = 1u64 << (6 + next() % 4);
+                let a = 1u64 << (8 + next() % 4);
+                Layer::new(format!("l{i}"), f, b, w, a)
+            })
+            .collect();
+        Chain::new("seeded", 1 << 10, layers).unwrap()
+    }
+
+    const CORNERS: [PolicySpec; 4] = [
+        PolicySpec {
+            recompute: RecomputeMode::Never,
+            weights: WeightPolicy::Full,
+        },
+        PolicySpec {
+            recompute: RecomputeMode::Never,
+            weights: WeightPolicy::TwoBw,
+        },
+        PolicySpec {
+            recompute: RecomputeMode::Always,
+            weights: WeightPolicy::Full,
+        },
+        PolicySpec {
+            recompute: RecomputeMode::Always,
+            weights: WeightPolicy::TwoBw,
+        },
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Satellite: under all four policy corners, a produced plan must
+        /// certify — the analytic checker, the event replay and the
+        /// zero-fault executor agree on the period (tolerance) and on
+        /// every per-GPU memory peak byte for byte (a peak mismatch is a
+        /// certification failure, so `passed()` asserts the bitwise
+        /// agreement).
+        #[test]
+        fn all_four_policy_corners_certify(seed in 0u64..8) {
+            let c = seeded_chain(seed);
+            let platform = Platform::new(2, 1 << 20, 1e6).unwrap();
+            // The bitwise cross-checks (steps 1–3) are the point here;
+            // skip the margin bisections to keep the sweep fast.
+            let certify_cfg = CertifyConfig {
+                periods: 12,
+                margin_iters: 0,
+                jitter_cap: 0.0,
+                beta_cap: 0.0,
+                trials: 1,
+                ..CertifyConfig::default()
+            };
+            for policy in CORNERS {
+                let cfg = PlannerConfig {
+                    policy,
+                    ..PlannerConfig::default()
+                };
+                let Ok(plan) = madpipe_plan(&c, &platform, &cfg) else {
+                    continue;
+                };
+                let cert = certify_plan(&c, &platform, &plan, &certify_cfg);
+                assert!(
+                    cert.passed(),
+                    "seed {seed} policy {policy:?}: {:?}",
+                    cert.failures
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// Satellite: recompute + 2BW never needs more memory than the
+        /// default policy for the same stage at the same pipeline depth
+        /// (`2W ≤ 3W` and `g·a_in + (ā − a_in) ≤ g·ā`), checked across
+        /// every stage range and a sweep of depths.
+        #[test]
+        fn recompute_2bw_stage_memory_dominated_by_default(seed in 0u64..64) {
+            let c = seeded_chain(seed);
+            let tight = StagePolicy {
+                activation: ActivationPolicy::Recompute,
+                weights: WeightPolicy::TwoBw,
+            };
+            for start in 0..c.len() {
+                for end in start + 1..=c.len() {
+                    for g in 1u64..=4 {
+                        let pol = c.stage_memory_with(start..end, g, tight);
+                        let def = c.stage_memory_with(start..end, g, StagePolicy::default());
+                        assert!(
+                            pol <= def,
+                            "stage {start}..{end} g={g}: policy {pol} > default {def}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -98,7 +98,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use madpipe_model::util::ceil_div;
-use madpipe_model::{Allocation, Chain, Layer, Platform, Stage};
+use madpipe_model::{
+    ActivationPolicy, Allocation, Chain, Layer, Platform, PolicySpec, RecomputeMode, Stage,
+    StagePolicy,
+};
 use madpipe_obs::Registry;
 
 use crate::discrete::{Axis, Discretization};
@@ -115,6 +118,10 @@ pub struct DpOutcome {
     /// The reconstructed allocation: the special processor is GPU 0,
     /// normal stages occupy GPUs `1..P`. `None` iff `period` is infinite.
     pub allocation: Option<Allocation>,
+    /// Per-stage execution policies chosen for `allocation` (same order
+    /// as its stages). Empty iff `allocation` is `None`. Under the
+    /// default [`PolicySpec`] every entry is the default policy.
+    pub policies: Vec<StagePolicy>,
     /// Number of distinct memoized states (including states seeded from
     /// a parent session's slab on derived sessions).
     pub states: usize,
@@ -125,6 +132,7 @@ impl DpOutcome {
         Self {
             period: f64::INFINITY,
             allocation: None,
+            policies: Vec::new(),
             states: 0,
         }
     }
@@ -137,31 +145,35 @@ enum Choice {
     /// `l == 0`: nothing left to place.
     Done,
     /// Stage `[k, l)` on a normal processor.
-    Normal(u16),
+    Normal { k: u16, recompute: bool },
     /// Stage `[k, l)` on the special processor.
-    Special(u16),
+    Special { k: u16, recompute: bool },
 }
 
-/// [`Choice`] packed into 32 bits: tag in bits 16.., split point `k` in
-/// the low 16 (the memo stores value and choice side by side per state).
+/// [`Choice`] packed into 32 bits: tag in bits 16–17, the recompute flag
+/// in bit 18, split point `k` in the low 16 (the memo stores value and
+/// choice side by side per state). A clear recompute bit reproduces the
+/// pre-policy encoding verbatim.
 #[inline]
 fn encode_choice(c: Choice) -> u32 {
+    let pack = |tag: u32, k: u16, rec: bool| tag << 16 | (rec as u32) << 18 | k as u32;
     match c {
         Choice::Infeasible => 0,
         Choice::Done => 1 << 16,
-        Choice::Normal(k) => (2 << 16) | k as u32,
-        Choice::Special(k) => (3 << 16) | k as u32,
+        Choice::Normal { k, recompute } => pack(2, k, recompute),
+        Choice::Special { k, recompute } => pack(3, k, recompute),
     }
 }
 
 #[inline]
 fn decode_choice(bits: u32) -> Choice {
     let k = (bits & 0xffff) as u16;
-    match bits >> 16 {
+    let recompute = bits & (1 << 18) != 0;
+    match (bits >> 16) & 0x3 {
         0 => Choice::Infeasible,
         1 => Choice::Done,
-        2 => Choice::Normal(k),
-        _ => Choice::Special(k),
+        2 => Choice::Normal { k, recompute },
+        _ => Choice::Special { k, recompute },
     }
 }
 
@@ -433,10 +445,18 @@ struct StageTables {
     stride: usize,
     /// `U(k, l)` — total compute time of the stage.
     u: Vec<f64>,
-    /// `3·Σ W_i` over `[k, l)` (the tripled weight term of `M`).
-    weights3: Vec<u64>,
+    /// `F(k, l)` — forward time of the stage, the extra backward-path
+    /// cost when the stage recomputes.
+    fwd: Vec<f64>,
+    /// `Σ W_i` over `[k, l)` — *single* weight copy; the DP multiplies
+    /// by the session's weight-policy factor (3 or 2), so the default
+    /// reproduces the old tripled table exactly.
+    weights: Vec<u64>,
     /// `Σ a_{i-1}` over `[k, l)` (per-copy stored activations).
     stored: Vec<u64>,
+    /// `a_in(k)` — the boundary input activation of a stage starting at
+    /// `k` (the per-batch pin under recompute), indexed by `k` alone.
+    a_in: Vec<u64>,
     /// Boundary communication buffers of stage `[k, l)` (counted only at
     /// real cuts, as in [`Chain::stage_memory`]).
     buffers: Vec<u64>,
@@ -454,8 +474,10 @@ impl StageTables {
         let mut t = Self {
             stride,
             u: vec![0.0; stride * stride],
-            weights3: vec![0; stride * stride],
+            fwd: vec![0.0; stride * stride],
+            weights: vec![0; stride * stride],
             stored: vec![0; stride * stride],
+            a_in: (0..stride).map(|k| chain.activation_in(k)).collect(),
             buffers: vec![0; stride * stride],
             max_layer_prefix: vec![0.0; stride],
             u_prefix: vec![0.0; stride],
@@ -464,7 +486,8 @@ impl StageTables {
             for k in 0..l {
                 let i = l * stride + k;
                 t.u[i] = chain.compute_time(k..l);
-                t.weights3[i] = 3 * chain.weight_bytes(k..l);
+                t.fwd[i] = chain.forward_time(k..l);
+                t.weights[i] = chain.weight_bytes(k..l);
                 t.stored[i] = chain.stored_activation_bytes(k..l);
                 let mut buf = 0;
                 if k > 0 {
@@ -517,6 +540,10 @@ pub struct ProbeSession<'a> {
     chain: &'a Chain,
     platform: &'a Platform,
     disc: Discretization,
+    /// The solve-level policy configuration: weight versioning and the
+    /// recompute stance every probe of this session solves under. Part
+    /// of the session identity — the axes and stage tables depend on it.
+    policy: PolicySpec,
     t_axis: Axis,
     m_axis: Axis,
     v_max: f64,
@@ -548,18 +575,40 @@ pub struct ProbeSession<'a> {
 
 impl<'a> ProbeSession<'a> {
     /// Build a session for `chain` on `platform`; every probe of one
-    /// planning run should go through the same session.
+    /// planning run should go through the same session. Solves under the
+    /// default (paper-exact) policy — see [`ProbeSession::new_with_policy`].
     pub fn new(chain: &'a Chain, platform: &'a Platform, disc: &Discretization) -> Self {
+        Self::new_with_policy(chain, platform, disc, PolicySpec::default())
+    }
+
+    /// [`ProbeSession::new`] under an explicit [`PolicySpec`]. When the
+    /// recompute mode is not `Never`, a stage's effective load can grow
+    /// by its forward time, so the `t_P` axis and the delay cap are
+    /// widened by the total forward time; under the default spec both
+    /// stay exactly the historical values (adding `0.0` is a bitwise
+    /// no-op on the non-negative totals involved), which is what keeps
+    /// default-policy plans f64-bit-identical.
+    pub fn new_with_policy(
+        chain: &'a Chain,
+        platform: &'a Platform,
+        disc: &Discretization,
+        policy: PolicySpec,
+    ) -> Self {
         let total_u = chain.total_compute_time();
+        let extra = match policy.recompute {
+            RecomputeMode::Never => 0.0,
+            RecomputeMode::Always | RecomputeMode::Auto => chain.forward_time(0..chain.len()),
+        };
         let cut_times: Vec<f64> = (0..=chain.len())
             .map(|k| platform.cut_time(chain, k))
             .collect();
-        let v_max = total_u + cut_times.iter().sum::<f64>();
+        let v_max = total_u + extra + cut_times.iter().sum::<f64>();
         Self {
             chain,
             platform,
             disc: *disc,
-            t_axis: Axis::new(total_u, disc.t_points),
+            policy,
+            t_axis: Axis::new(total_u + extra, disc.t_points),
             m_axis: Axis::new(platform.memory_bytes as f64, disc.m_points),
             v_max,
             cut_times,
@@ -590,7 +639,8 @@ impl<'a> ProbeSession<'a> {
     where
         'a: 'b,
     {
-        let mut child = ProbeSession::new(self.chain, platform, &self.disc);
+        let mut child =
+            ProbeSession::new_with_policy(self.chain, platform, &self.disc, self.policy);
         let shrink_only = platform.n_gpus <= self.platform.n_gpus
             && platform.memory_bytes == self.platform.memory_bytes
             && platform.bandwidth.to_bits() == self.platform.bandwidth.to_bits()
@@ -617,6 +667,11 @@ impl<'a> ProbeSession<'a> {
     /// The platform this session was built for (see [`ProbeSession::chain`]).
     pub fn platform(&self) -> &'a Platform {
         self.platform
+    }
+
+    /// The policy configuration every probe of this session solves under.
+    pub fn policy(&self) -> PolicySpec {
+        self.policy
     }
 
     /// Aggregate counters so far (the [`DpStats`] view over the
@@ -839,10 +894,20 @@ impl<'a> ProbeSession<'a> {
             Some(slab) => memo.seed_from(slab) as u64,
             None => 0,
         };
+        // Under `Auto` the transition caches carry one lane per
+        // activation choice (the effective stage load differs); fixed
+        // modes collapse to a single lane.
+        let n_pol = match self.policy.recompute {
+            RecomputeMode::Auto => 2,
+            _ => 1,
+        };
         let mut dp = Dp {
             platform: self.platform,
             t_hat,
             use_special,
+            policy: self.policy,
+            w_mult: self.policy.weights.multiplier(),
+            n_pol,
             t_axis: &self.t_axis,
             m_axis: &self.m_axis,
             v_axis: Axis::new(self.v_max.max(t_hat), self.disc.v_points),
@@ -851,19 +916,22 @@ impl<'a> ProbeSession<'a> {
             memo,
             trans: vec![
                 TransEntry { g: 0, iv_next: 0 };
-                (self.chain.len() + 1) * self.tables.stride * self.disc.v_points
+                (self.chain.len() + 1) * self.tables.stride * self.disc.v_points * n_pol
             ],
-            trans_t: vec![u16::MAX; (self.chain.len() + 1) * self.tables.stride * t_len],
+            trans_t: vec![u16::MAX; (self.chain.len() + 1) * self.tables.stride * t_len * n_pol],
             memo_hits: 0,
             load_prunes: 0,
             memory_prunes: 0,
             branch_prunes: 0,
         };
         let period = dp.solve(self.chain.len(), p_normal, 0, 0, 0);
-        let allocation = if period.is_finite() {
-            dp.reconstruct(self.chain.len(), p_normal)
+        let (allocation, policies) = if period.is_finite() {
+            match dp.reconstruct(self.chain.len(), p_normal) {
+                Some((alloc, policies)) => (Some(alloc), policies),
+                None => (None, Vec::new()),
+            }
         } else {
-            None
+            (None, Vec::new())
         };
         let states = dp.memo.len();
         self.arena_hint
@@ -880,6 +948,7 @@ impl<'a> ProbeSession<'a> {
             outcome: DpOutcome {
                 period,
                 allocation,
+                policies,
                 states,
             },
         }
@@ -923,10 +992,24 @@ struct TransEntry {
     iv_next: u16,
 }
 
+/// Const-generic recompute modes for [`Dp::solve_mode`] — one
+/// monomorphized solver body per session stance.
+const MODE_NEVER: u8 = 0;
+const MODE_ALWAYS: u8 = 1;
+const MODE_AUTO: u8 = 2;
+
 struct Dp<'a> {
     platform: &'a Platform,
     t_hat: f64,
     use_special: bool,
+    /// The session's solve-level policy configuration.
+    policy: PolicySpec,
+    /// Weight bytes multiplier (`3` full versioning, `2` 2BW) applied to
+    /// the single-copy weight table.
+    w_mult: u64,
+    /// Transition-cache lanes: 2 under `Auto` (store/recompute differ in
+    /// effective load), 1 under the fixed modes.
+    n_pol: usize,
     t_axis: &'a Axis,
     m_axis: &'a Axis,
     v_axis: Axis,
@@ -975,12 +1058,14 @@ impl Dp<'_> {
     }
 
     /// `(g, iv_next)` for extending the plan with stage `k..l` from delay
-    /// coordinate `iv`, computed once per distinct `(l, k, iv)` and then
-    /// served from the cache. `v_val`, `u` and `cut` are pure functions
-    /// of those coordinates, so caching is bit-transparent.
+    /// coordinate `iv` under policy lane `pol`, computed once per
+    /// distinct `(l, k, iv, pol)` and then served from the cache.
+    /// `idx` is the caller-computed flat cache slot
+    /// `((l·stride + k)·v_len + iv)·n_pol + pol`; `v_val`, `u` and
+    /// `cut` are pure functions of those coordinates (`u` is the
+    /// policy's *effective* load), so caching is bit-transparent.
     #[inline]
-    fn transition(&mut self, row_k: usize, iv: u16, v_val: f64, u: f64, cut: f64) -> (u64, u16) {
-        let idx = row_k * self.v_axis.len() + iv as usize;
+    fn transition(&mut self, idx: usize, v_val: f64, u: f64, cut: f64) -> (u64, u16) {
         let cached = self.trans[idx];
         if cached.g != 0 {
             return (cached.g, cached.iv_next);
@@ -993,10 +1078,11 @@ impl Dp<'_> {
     }
 
     /// Rounded-up special-processor load index after taking stage `k..l`
-    /// from load coordinate `it`, cached per `(l, k, it)`.
+    /// from load coordinate `it` under policy lane `pol`, cached per
+    /// `(l, k, it, pol)` — `idx` is the caller-computed flat slot over
+    /// those coordinates.
     #[inline]
-    fn transition_t(&mut self, row_k: usize, it: u16, t_val: f64, u: f64) -> u16 {
-        let idx = row_k * self.t_axis.len() + it as usize;
+    fn transition_t(&mut self, idx: usize, t_val: f64, u: f64) -> u16 {
         let cached = self.trans_t[idx];
         if cached != u16::MAX {
             return cached;
@@ -1024,8 +1110,23 @@ impl Dp<'_> {
         self.child(l, p, it, im, iv)
     }
 
-    /// Evaluate a state known to be absent from the memo.
+    /// Evaluate a state known to be absent from the memo. One-time
+    /// dispatch into the mode-monomorphized body: the recompute stance
+    /// is fixed for a whole session, so baking it in as a const lets
+    /// the compiler delete the policy lane loop, the recompute memory
+    /// terms, and the `fwd`/`a_in` table loads from the `Never` (paper
+    /// default) scan — keeping the default hot path's instruction
+    /// stream and cache footprint identical to the pre-policy planner.
     fn solve_uncached(&mut self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> f64 {
+        match self.policy.recompute {
+            RecomputeMode::Never => self.solve_mode::<MODE_NEVER>(l, p, it, im, iv),
+            RecomputeMode::Always => self.solve_mode::<MODE_ALWAYS>(l, p, it, im, iv),
+            RecomputeMode::Auto => self.solve_mode::<MODE_AUTO>(l, p, it, im, iv),
+        }
+    }
+
+    /// [`Self::solve_uncached`] body, monomorphized per recompute mode.
+    fn solve_mode<const MODE: u8>(&mut self, l: usize, p: usize, it: u16, im: u16, iv: u16) -> f64 {
         if l == 0 {
             let v = self.t_axis.value(it);
             self.memo.insert(l, p, it, im, iv, v, Choice::Done);
@@ -1043,8 +1144,10 @@ impl Dp<'_> {
         // self` reborrows inside the loop.
         let tables = self.tables;
         let us = &tables.u[row..row + l];
-        let weights3 = &tables.weights3[row..row + l];
+        let fwds = &tables.fwd[row..row + l];
+        let weightss = &tables.weights[row..row + l];
         let storeds = &tables.stored[row..row + l];
+        let a_ins = &tables.a_in[..l];
         let bufferss = &tables.buffers[row..row + l];
         let u_prefix = &tables.u_prefix[..l];
         let max_layer_prefix = &tables.max_layer_prefix[..l];
@@ -1058,34 +1161,83 @@ impl Dp<'_> {
         let mut best = f64::INFINITY;
         let mut choice = Choice::Infeasible;
 
+        // Policy facts as consts of the monomorphized mode: the
+        // optimizer folds the lane loop away entirely for the fixed
+        // modes and dead-codes the untaken branch's memory terms.
+        let offers_store = MODE != MODE_ALWAYS;
+        let offers_rec = MODE != MODE_NEVER;
+        let n_pol: usize = if MODE == MODE_AUTO { 2 } else { 1 };
+        debug_assert_eq!(n_pol, self.n_pol);
+        let w_mult = self.w_mult;
+        let v_len = self.v_axis.len();
+        let t_len = self.t_axis.len();
+
         for k in (0..l).rev() {
-            let u = us[k];
-            // Both options cost at least the stage load `u`, and `u` only
-            // grows as the stage extends towards the front — once it
-            // reaches the best period found at this state, no larger
-            // stage can improve it (exact prune).
-            if u >= best {
+            let u_store = us[k];
+            let fwd = if offers_rec { fwds[k] } else { 0.0 };
+            // Every offered option costs at least the stage's smallest
+            // effective load (store: `U`; recompute adds the forward
+            // pass), and both grow as the stage extends towards the
+            // front — once the minimum reaches the best period found at
+            // this state, no larger stage can improve it (exact prune).
+            let u_min = if offers_store { u_store } else { u_store + fwd };
+            if u_min >= best {
                 self.load_prunes += 1;
                 break;
             }
             let cut = cuts[k];
-            let (g, iv_next) = self.transition(row + k, iv, v_val, u, cut);
 
-            // Memory terms of `M(k, l, g)`, all hoisted: cores (without
-            // boundary buffers) are monotone as `k` decreases — used for
-            // the early break below.
-            let weights = weights3[k];
+            let weights = w_mult * weightss[k];
             let stored = storeds[k];
             let buffers = bufferss[k];
-            let normal_core = weights + g * stored;
-            let special_core = m_val as u64 + weights + (g - 1) * stored;
+            let a_in = if offers_rec { a_ins[k] } else { 0 };
+            let working_set = stored - a_in;
 
-            // Both options also cost at least the boundary cut time, so a
-            // candidate whose cut already meets the incumbent cannot win
-            // whatever its subtree solves to — skip straight to the
-            // memory break test. (Cuts are not monotone in `k`, so this
-            // cannot break out of the scan the way the load prune does.)
-            if cut < best {
+            // Store-lane cores of this `k`, kept for the memory early
+            // break below. Set whenever the store option is offered: the
+            // load prune above uses the store load in that case, so the
+            // store lane is never skipped by its own load check.
+            let mut store_cores: Option<(u64, u64)> = None;
+
+            for pol in 0..n_pol {
+                let rec = match MODE {
+                    MODE_NEVER => false,
+                    MODE_ALWAYS => true,
+                    _ => pol == 1,
+                };
+                let u = if rec { u_store + fwd } else { u_store };
+                if u >= best {
+                    continue;
+                }
+                let idx = ((row + k) * v_len + iv as usize) * n_pol + pol;
+                let (g, iv_next) = self.transition(idx, v_val, u, cut);
+
+                // Memory terms of `M(k, l, g)` under this policy: a
+                // storing stage pins `ā` per live batch; a recomputing
+                // stage pins only the boundary input per batch and holds
+                // the rest of its activations once, as a static
+                // recompute working set.
+                let (live, static_extra) = if rec {
+                    (a_in, working_set)
+                } else {
+                    (stored, 0)
+                };
+                let normal_core = weights + g * live + static_extra;
+                let special_core = m_val as u64 + weights + (g - 1) * live + static_extra;
+                if !rec {
+                    store_cores = Some((normal_core, special_core));
+                }
+
+                // Both options also cost at least the boundary cut time,
+                // so a candidate whose cut already meets the incumbent
+                // cannot win whatever its subtree solves to — skip
+                // straight to the memory break test. (Cuts are not
+                // monotone in `k`, so this cannot break out of the scan
+                // the way the load prune does.)
+                if cut >= best {
+                    continue;
+                }
+
                 // Normal processor option. Recurse only when even the
                 // optimistic subtree period can still beat the incumbent
                 // (the bound is `subtree_bound` inlined against the
@@ -1117,7 +1269,10 @@ impl Dp<'_> {
                         let t_n = u.max(cut).max(sub);
                         if t_n < best {
                             best = t_n;
-                            choice = Choice::Normal(k as u16);
+                            choice = Choice::Normal {
+                                k: k as u16,
+                                recompute: rec,
+                            };
                         }
                     } else {
                         self.branch_prunes += 1;
@@ -1125,9 +1280,10 @@ impl Dp<'_> {
                 }
 
                 // Special processor option, same branch-and-bound.
-                let m_next = m_val + (weights + (g - 1) * stored + buffers) as f64;
+                let m_next = m_val + (weights + (g - 1) * live + static_extra + buffers) as f64;
                 if self.use_special && !self.m_axis.overflows(m_next) && m_next <= memory as f64 {
-                    let it_next = self.transition_t(row + k, it, t_val, u);
+                    let idx_t = ((row + k) * t_len + it as usize) * n_pol + pol;
+                    let it_next = self.transition_t(idx_t, t_val, u);
                     let im_next = self.m_axis.index_up(m_next);
                     let t_next_val = self.t_axis.value(it_next);
                     let bound = if k == 0 {
@@ -1151,7 +1307,10 @@ impl Dp<'_> {
                         let t_s = t_next_val.max(cut).max(sub);
                         if t_s < best {
                             best = t_s;
-                            choice = Choice::Special(k as u16);
+                            choice = Choice::Special {
+                                k: k as u16,
+                                recompute: rec,
+                            };
                         }
                     } else {
                         self.branch_prunes += 1;
@@ -1159,9 +1318,25 @@ impl Dp<'_> {
                 }
             }
 
-            // Early break: both cores already exceed memory; growing the
-            // stage (smaller k) only increases weights, activations and g.
-            if normal_core > memory && (special_core > memory || !self.use_special) {
+            // Early break: every offered policy's cores already exceed
+            // memory at every smaller `k` too. The store lane uses its
+            // exact cores (monotone: weights, `ā` and `g` only grow as
+            // the stage extends). The recompute lane uses `g`-free lower
+            // bounds — `g·a_in + (ā − a_in) ≥ ā` since `g ≥ 1`, and both
+            // `ā(k, l)` and `ā(k, l) − a_in(k)` grow as `k` decreases —
+            // so breaking is sound for it as well.
+            let store_blocked = match store_cores {
+                Some((nc, sc)) => nc > memory && (sc > memory || !self.use_special),
+                None => true, // store not offered under `Always`
+            };
+            let rec_blocked = if offers_rec {
+                let qn = weights + stored;
+                let qs = m_val as u64 + weights + working_set;
+                qn > memory && (qs > memory || !self.use_special)
+            } else {
+                true
+            };
+            if store_blocked && rec_blocked {
                 self.memory_prunes += 1;
                 break;
             }
@@ -1171,10 +1346,22 @@ impl Dp<'_> {
         best
     }
 
-    /// Walk the memoized choices from the root and emit the allocation.
-    fn reconstruct(&self, l0: usize, p0: usize) -> Option<Allocation> {
+    /// The [`StagePolicy`] the session's spec assigns to a stage whose
+    /// recompute flag was `rec`.
+    fn stage_policy(&self, rec: bool) -> StagePolicy {
+        self.policy.stage_policy(if rec {
+            ActivationPolicy::Recompute
+        } else {
+            ActivationPolicy::Store
+        })
+    }
+
+    /// Walk the memoized choices from the root and emit the allocation
+    /// plus the per-stage policies (same order as the stages).
+    fn reconstruct(&self, l0: usize, p0: usize) -> Option<(Allocation, Vec<StagePolicy>)> {
         let n_gpus = self.platform.n_gpus;
         let mut stages_rev: Vec<Stage> = Vec::new();
+        let mut policies_rev: Vec<StagePolicy> = Vec::new();
         let (mut l, mut p, mut it, mut im, mut iv) = (l0, p0, 0u16, 0u16, 0u16);
         let mut next_normal_gpu = n_gpus - 1; // count down; GPU 0 is special
         loop {
@@ -1188,15 +1375,19 @@ impl Dp<'_> {
             match choice {
                 Choice::Infeasible => return None,
                 Choice::Done => break,
-                Choice::Normal(k16) => {
+                Choice::Normal { k: k16, recompute } => {
                     let k = k16 as usize;
                     stages_rev.push(Stage {
                         layers: k..l,
                         gpu: next_normal_gpu,
                     });
+                    policies_rev.push(self.stage_policy(recompute));
                     next_normal_gpu = next_normal_gpu.saturating_sub(1);
                     let v_val = self.v_axis.value(iv);
-                    let u = self.tables.u[row + k];
+                    let mut u = self.tables.u[row + k];
+                    if recompute {
+                        u += self.tables.fwd[row + k];
+                    }
                     let cut = self.cut_times[k];
                     iv = self
                         .v_axis
@@ -1204,20 +1395,32 @@ impl Dp<'_> {
                     l = k;
                     p -= 1;
                 }
-                Choice::Special(k16) => {
+                Choice::Special { k: k16, recompute } => {
                     let k = k16 as usize;
                     stages_rev.push(Stage {
                         layers: k..l,
                         gpu: 0,
                     });
+                    policies_rev.push(self.stage_policy(recompute));
                     let v_val = self.v_axis.value(iv);
                     let t_val = self.t_axis.value(it);
                     let m_val = self.m_axis.value(im);
-                    let u = self.tables.u[row + k];
+                    let mut u = self.tables.u[row + k];
+                    if recompute {
+                        u += self.tables.fwd[row + k];
+                    }
                     let g = ceil_div(v_val + u, self.t_hat).max(1);
                     let cut = self.cut_times[k];
-                    let stage_mem = self.tables.weights3[row + k]
-                        + (g - 1) * self.tables.stored[row + k]
+                    let stored = self.tables.stored[row + k];
+                    let a_in = self.tables.a_in[k];
+                    let (live, static_extra) = if recompute {
+                        (a_in, stored - a_in)
+                    } else {
+                        (stored, 0)
+                    };
+                    let stage_mem = self.w_mult * self.tables.weights[row + k]
+                        + (g - 1) * live
+                        + static_extra
                         + self.tables.buffers[row + k];
                     it = self.t_axis.index_up(t_val + u);
                     im = self.m_axis.index_up(m_val + stage_mem as f64);
@@ -1229,7 +1432,9 @@ impl Dp<'_> {
             }
         }
         stages_rev.reverse();
-        Allocation::new(stages_rev, l0, n_gpus).ok()
+        policies_rev.reverse();
+        let alloc = Allocation::new(stages_rev, l0, n_gpus).ok()?;
+        Some((alloc, policies_rev))
     }
 }
 
@@ -1464,16 +1669,24 @@ mod tests {
 
     #[test]
     fn dense_memo_inserts_gets_and_compacts() {
+        let normal = Choice::Normal {
+            k: 9,
+            recompute: false,
+        };
+        let special = Choice::Special {
+            k: 3,
+            recompute: true,
+        };
         let mut m = DenseMemo::new(4, 3, 5, 2, 7);
         assert_eq!(m.len(), 0);
         assert!(m.get(1, 2, 3, 1, 6).is_none());
-        m.insert(1, 2, 3, 1, 6, 2.5, Choice::Normal(9));
+        m.insert(1, 2, 3, 1, 6, 2.5, normal);
         m.insert(0, 0, 0, 0, 0, f64::INFINITY, Choice::Infeasible);
-        m.insert(3, 1, 4, 0, 2, 7.0, Choice::Special(3));
+        m.insert(3, 1, 4, 0, 2, 7.0, special);
         // Overwrite does not double-count.
         m.insert(3, 1, 4, 0, 2, 8.0, Choice::Done);
         assert_eq!(m.len(), 3);
-        assert_eq!(m.get(1, 2, 3, 1, 6), Some((2.5, Choice::Normal(9))));
+        assert_eq!(m.get(1, 2, 3, 1, 6), Some((2.5, normal)));
         assert_eq!(
             m.get(0, 0, 0, 0, 0),
             Some((f64::INFINITY, Choice::Infeasible))
@@ -1487,7 +1700,7 @@ mod tests {
         // every entry (this is the replan-reuse path).
         let mut back = DenseMemo::new(4, 3, 5, 2, 7);
         assert_eq!(back.seed_from(&slab), 3);
-        assert_eq!(back.get(1, 2, 3, 1, 6), Some((2.5, Choice::Normal(9))));
+        assert_eq!(back.get(1, 2, 3, 1, 6), Some((2.5, normal)));
         assert_eq!(back.get(3, 1, 4, 0, 2), Some((8.0, Choice::Done)));
         // A shrunken p axis only takes the surviving prefix.
         let mut shrunk = DenseMemo::new(4, 2, 5, 2, 7);
@@ -1580,6 +1793,132 @@ mod tests {
         );
     }
 
+    fn spec(recompute: RecomputeMode, weights: madpipe_model::WeightPolicy) -> PolicySpec {
+        PolicySpec { recompute, weights }
+    }
+
+    #[test]
+    fn default_probes_report_default_policies() {
+        let c = chain(&[(1.0, 1.0); 8], 1, 0);
+        let platform = Platform::new(4, 1 << 30, 1e9).unwrap();
+        let out = madpipe_dp(&c, &platform, 4.0, &disc());
+        let alloc = out.allocation.unwrap();
+        assert_eq!(out.policies.len(), alloc.stages().len());
+        assert!(out.policies.iter().all(|p| p.is_default()));
+    }
+
+    #[test]
+    fn fixed_recompute_probes_report_recompute_policies() {
+        let c = chain(&[(1.0, 1.0); 8], 1, 0);
+        let platform = Platform::new(4, 1 << 30, 1e9).unwrap();
+        let s = spec(RecomputeMode::Always, madpipe_model::WeightPolicy::TwoBw);
+        let out = ProbeSession::new_with_policy(&c, &platform, &disc(), s).probe(
+            8.0,
+            true,
+            ProbeSource::Bisection,
+        );
+        let alloc = out.allocation.unwrap();
+        assert_eq!(out.policies.len(), alloc.stages().len());
+        assert!(out.policies.iter().all(|p| p.recomputes()));
+        assert!(out
+            .policies
+            .iter()
+            .all(|p| p.weights == madpipe_model::WeightPolicy::TwoBw));
+    }
+
+    #[test]
+    fn auto_is_feasible_whenever_the_default_model_is() {
+        // Auto's transition set is a superset of Never's and feasibility
+        // is decided on exact (undiscretized) memory arithmetic, so a
+        // feasible default probe implies a feasible auto probe.
+        let c = chain(&[(1.0, 1.0); 6], 1 << 20, 1 << 10);
+        let platform = Platform::new(3, 6 << 20, 1e8).unwrap();
+        for t_hat in [2.0, 4.0, 8.0, 16.0] {
+            let never = madpipe_dp(&c, &platform, t_hat, &disc());
+            let auto = ProbeSession::new_with_policy(
+                &c,
+                &platform,
+                &disc(),
+                spec(RecomputeMode::Auto, madpipe_model::WeightPolicy::Full),
+            )
+            .probe(t_hat, true, ProbeSource::Bisection);
+            if never.period.is_finite() {
+                assert!(
+                    auto.period.is_finite(),
+                    "auto must stay feasible at T̂ = {t_hat}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_unlocks_memory_tight_targets() {
+        // Alternating 4 MiB internal / 64 KiB boundary activations: a
+        // two-layer stage stores ≈ 4 MiB per live batch, but recompute
+        // pins only the 64 KiB boundary input per batch (the 4 MiB
+        // becomes a one-time working set) — at a tight target the front
+        // stages need g ≥ 2 live batches, which only recompute fits into
+        // 5 MiB.
+        let s = 64u64 << 10;
+        let b = 4u64 << 20;
+        let acts = [b, s, b, s, b, s];
+        let layers = (0..6)
+            .map(|i| Layer::new(format!("l{i}"), 1.0, 1.0, 0, acts[i]))
+            .collect();
+        let c = Chain::new("t", s, layers).unwrap();
+        let tight = Platform::new(3, 5 << 20, 1e9).unwrap();
+        let t_hat = 4.0;
+        let never = madpipe_dp(&c, &tight, t_hat, &disc());
+        let auto = ProbeSession::new_with_policy(
+            &c,
+            &tight,
+            &disc(),
+            spec(RecomputeMode::Auto, madpipe_model::WeightPolicy::Full),
+        )
+        .probe(t_hat, true, ProbeSource::Bisection);
+        assert!(
+            never.period.is_infinite(),
+            "default model should be memory-blocked at T̂ = {t_hat}, got {}",
+            never.period
+        );
+        assert!(
+            auto.period.is_finite(),
+            "recompute should unlock the target"
+        );
+        assert!(
+            auto.policies.iter().any(|p| p.recomputes()),
+            "the unlocking plan must actually recompute somewhere: {:?}",
+            auto.policies
+        );
+    }
+
+    #[test]
+    fn two_bw_unlocks_weight_bound_instances() {
+        // Weights dominate: 3·W exceeds memory on every split, 2·W fits.
+        let w = 1u64 << 20;
+        let c = chain(&[(1.0, 1.0); 4], 1 << 10, w);
+        // Per GPU: 2 layers → W = 2 MiB; 3·W = 6 MiB > 5.5 MiB > 2·W + slack.
+        let platform = Platform::new(2, (5 << 20) + (1 << 19), 1e9).unwrap();
+        let full = madpipe_dp(&c, &platform, 8.0, &disc());
+        let two_bw = ProbeSession::new_with_policy(
+            &c,
+            &platform,
+            &disc(),
+            spec(RecomputeMode::Never, madpipe_model::WeightPolicy::TwoBw),
+        )
+        .probe(8.0, true, ProbeSource::Bisection);
+        assert!(
+            full.period.is_infinite(),
+            "3·W must not fit: {}",
+            full.period
+        );
+        assert!(two_bw.period.is_finite(), "2·W must fit");
+        assert!(two_bw
+            .policies
+            .iter()
+            .all(|p| p.weights == madpipe_model::WeightPolicy::TwoBw));
+    }
+
     #[test]
     fn key_fields_round_trip_at_the_limits() {
         for &(l, p, it, im, iv) in &[
@@ -1616,8 +1955,14 @@ mod tests {
         }
 
         #[test]
-        fn choice_encoding_round_trips(k in 0u16..=u16::MAX) {
-            for c in [Choice::Infeasible, Choice::Done, Choice::Normal(k), Choice::Special(k)] {
+        fn choice_encoding_round_trips(k in 0u16..=u16::MAX, rec_bit in 0u8..2) {
+            let rec = rec_bit == 1;
+            for c in [
+                Choice::Infeasible,
+                Choice::Done,
+                Choice::Normal { k, recompute: rec },
+                Choice::Special { k, recompute: rec },
+            ] {
                 prop_assert_eq!(decode_choice(encode_choice(c)), c);
             }
         }

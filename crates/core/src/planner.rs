@@ -13,9 +13,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use madpipe_model::{Allocation, Chain, Platform};
+use madpipe_model::{Allocation, Chain, Platform, PolicySpec, StagePolicy};
 use madpipe_schedule::ScheduleError;
-use madpipe_solver::{best_period, PlaceConfig, SolvedSchedule};
+use madpipe_solver::{best_period_with, PlaceConfig, SolvedSchedule};
 
 use crate::algorithm1::{madpipe_allocation_session, Algorithm1Config, Algorithm1Outcome};
 use crate::dp::ProbeSession;
@@ -41,6 +41,10 @@ pub struct PlannerConfig {
     /// phase-2 candidate scheduling. `1` (the default) runs everything
     /// on the calling thread; any value produces bit-identical plans.
     pub threads: usize,
+    /// Per-stage execution policy configuration: the recompute stance
+    /// and the weight-versioning policy every DP probe solves under. The
+    /// default reproduces the paper's memory model bit-for-bit.
+    pub policy: PolicySpec,
 }
 
 impl Default for PlannerConfig {
@@ -50,6 +54,7 @@ impl Default for PlannerConfig {
             place: PlaceConfig::default(),
             refine_probes: 8,
             threads: 1,
+            policy: PolicySpec::default(),
         }
     }
 }
@@ -65,6 +70,16 @@ pub enum PlanError {
     Phase1Infeasible,
     /// Phase 2 could not schedule the phase-1 allocation at any period.
     Phase2(ScheduleError),
+    /// A caller-owned [`ProbeSession`] was built under a different
+    /// [`PolicySpec`] than the requested plan. Policy shapes the DP axes
+    /// and transition set, so reusing the session would silently answer
+    /// probes under the wrong memory/time model — rejected instead.
+    PolicyMismatch {
+        /// Policy the session was built with.
+        session: PolicySpec,
+        /// Policy the planner config asked for.
+        requested: PolicySpec,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -75,6 +90,15 @@ impl std::fmt::Display for PlanError {
                 write!(f, "no memory-feasible allocation at any target period")
             }
             PlanError::Phase2(e) => write!(f, "phase-1 allocation unschedulable: {e}"),
+            PlanError::PolicyMismatch { session, requested } => write!(
+                f,
+                "probe session solves under policy (recompute={}, weights={}) but the plan \
+                 requests (recompute={}, weights={}); build a session with the matching policy",
+                session.recompute.as_str(),
+                session.weights.as_str(),
+                requested.recompute.as_str(),
+                requested.weights.as_str(),
+            ),
         }
     }
 }
@@ -90,6 +114,9 @@ pub struct MadPipePlan {
     /// The allocation actually scheduled — the probe whose phase-2
     /// schedule achieved the smallest valid period.
     pub allocation: madpipe_model::Allocation,
+    /// Per-stage execution policies of `allocation` (same order as its
+    /// stages). All-default under the default [`PolicySpec`].
+    pub policies: Vec<StagePolicy>,
     /// The valid schedule found by phase 2 (the solid line).
     pub schedule: SolvedSchedule,
 }
@@ -169,21 +196,21 @@ fn validate(chain: &Chain, platform: &Platform) -> Result<(), PlanError> {
 fn schedule_batch(
     chain: &Chain,
     platform: &Platform,
-    candidates: &[Allocation],
+    candidates: &[(Allocation, Vec<StagePolicy>)],
     place: &PlaceConfig,
     threads: usize,
 ) -> Vec<Result<SolvedSchedule, ScheduleError>> {
-    let solve_one = |alloc: &Allocation| -> Result<SolvedSchedule, ScheduleError> {
+    let solve_one = |(alloc, policies): &(Allocation, Vec<StagePolicy>)| -> Result<SolvedSchedule, ScheduleError> {
         if alloc.is_contiguous() {
-            madpipe_schedule::best_contiguous_period(chain, platform, alloc).map(|b| {
-                SolvedSchedule {
+            madpipe_schedule::best_contiguous_period_with(chain, platform, alloc, policies).map(
+                |b| SolvedSchedule {
                     period: b.period,
                     pattern: b.pattern,
                     report: b.report,
-                }
-            })
+                },
+            )
         } else {
-            best_period(chain, platform, alloc, place)
+            best_period_with(chain, platform, alloc, policies, place)
         }
     };
 
@@ -254,7 +281,12 @@ pub fn madpipe_plan_with_stats(
     let result = match validate(chain, platform) {
         Err(e) => Err(e),
         Ok(()) => {
-            let mut session = ProbeSession::new(chain, platform, &cfg.algorithm1.discretization);
+            let mut session = ProbeSession::new_with_policy(
+                chain,
+                platform,
+                &cfg.algorithm1.discretization,
+                cfg.policy,
+            );
             plan_inner(&mut session, cfg, &mut stats)
         }
     };
@@ -281,9 +313,18 @@ pub fn madpipe_plan_with_session(
         threads: cfg.threads.max(1),
         ..PlannerStats::default()
     };
-    let result = match validate(session.chain(), session.platform()) {
-        Err(e) => Err(e),
-        Ok(()) => plan_inner(session, cfg, &mut stats),
+    let result = if session.policy() != cfg.policy {
+        // Reusing a session across policy specs would answer probes
+        // under the wrong axes/memory model; refuse loudly.
+        Err(PlanError::PolicyMismatch {
+            session: session.policy(),
+            requested: cfg.policy,
+        })
+    } else {
+        match validate(session.chain(), session.platform()) {
+            Err(e) => Err(e),
+            Ok(()) => plan_inner(session, cfg, &mut stats),
+        }
     };
     stats.total_seconds = total.finish();
     mirror_into_metrics(&mut stats);
@@ -381,34 +422,35 @@ fn plan_inner(
 
     // Candidates from both bisections, deduplicated up front (best
     // phase-1 estimate first, fallback after) so the parallel scheduler
-    // never solves the same allocation twice.
-    let mut candidates: Vec<Allocation> = Vec::new();
-    for alloc in phase1.candidate_allocations() {
-        if !candidates.contains(alloc) {
-            candidates.push(alloc.clone());
-        }
-    }
-    if let Some(f) = &fallback {
-        for alloc in f.candidate_allocations() {
-            if !candidates.contains(alloc) {
-                candidates.push(alloc.clone());
+    // never solves the same (allocation, policies) pair twice.
+    let mut candidates: Vec<(Allocation, Vec<StagePolicy>)> = Vec::new();
+    let push_candidates = |candidates: &mut Vec<(Allocation, Vec<StagePolicy>)>,
+                           outcome: &Algorithm1Outcome| {
+        for (alloc, policies) in outcome.candidate_allocations() {
+            let pair = (alloc.clone(), policies.to_vec());
+            if !candidates.contains(&pair) {
+                candidates.push(pair);
             }
         }
+    };
+    push_candidates(&mut candidates, &phase1);
+    if let Some(f) = &fallback {
+        push_candidates(&mut candidates, f);
     }
 
     // Phase 2: schedule every candidate; fold in submission order with a
     // strict `<` so ties keep the earlier (better-estimate) candidate.
-    let mut best: Option<(Allocation, SolvedSchedule)> = None;
+    let mut best: Option<(Allocation, Vec<StagePolicy>, SolvedSchedule)> = None;
     let mut last_err: Option<ScheduleError> = None;
     let clock = madpipe_obs::timed("plan.phase2.schedule");
     let solved = schedule_batch(chain, platform, &candidates, &cfg.place, threads);
     stats.schedules_attempted += candidates.len();
-    for (alloc, res) in candidates.iter().zip(solved) {
+    for ((alloc, policies), res) in candidates.iter().zip(solved) {
         match res {
             Ok(s) => {
                 stats.schedules_solved += 1;
-                if best.as_ref().is_none_or(|(_, b)| s.period < b.period) {
-                    best = Some((alloc.clone(), s));
+                if best.as_ref().is_none_or(|(_, _, b)| s.period < b.period) {
+                    best = Some((alloc.clone(), policies.clone(), s));
                 }
             }
             Err(e) => last_err = Some(e),
@@ -419,7 +461,7 @@ fn plan_inner(
     // Refinement: probe extra targets between the load lower bound and
     // the best achieved period, selecting by achieved period. The grid
     // targets are independent, so they fan out in one parallel batch.
-    if let Some((_, s)) = &best {
+    if let Some((_, _, s)) = &best {
         let lb = chain.total_compute_time() / platform.n_gpus as f64;
         let hi = s.period * 1.02;
         if cfg.refine_probes > 0 && hi > lb {
@@ -442,23 +484,24 @@ fn plan_inner(
             );
             stats.refine_seconds = clock.finish();
 
-            let mut fresh: Vec<Allocation> = Vec::new();
+            let mut fresh: Vec<(Allocation, Vec<StagePolicy>)> = Vec::new();
             for out in outcomes {
                 if let Some(alloc) = out.allocation {
-                    if !candidates.contains(&alloc) && !fresh.contains(&alloc) {
-                        fresh.push(alloc);
+                    let pair = (alloc, out.policies);
+                    if !candidates.contains(&pair) && !fresh.contains(&pair) {
+                        fresh.push(pair);
                     }
                 }
             }
             let clock = madpipe_obs::timed("plan.phase2.schedule");
             let solved = schedule_batch(chain, platform, &fresh, &cfg.place, threads);
             stats.schedules_attempted += fresh.len();
-            for (alloc, res) in fresh.iter().zip(solved) {
+            for ((alloc, policies), res) in fresh.iter().zip(solved) {
                 match res {
                     Ok(s) => {
                         stats.schedules_solved += 1;
-                        if best.as_ref().is_none_or(|(_, b)| s.period < b.period) {
-                            best = Some((alloc.clone(), s));
+                        if best.as_ref().is_none_or(|(_, _, b)| s.period < b.period) {
+                            best = Some((alloc.clone(), policies.clone(), s));
                         }
                     }
                     Err(e) => last_err = Some(e),
@@ -470,9 +513,10 @@ fn plan_inner(
 
     finalize(stats, session);
     match best {
-        Some((allocation, schedule)) => Ok(MadPipePlan {
+        Some((allocation, policies, schedule)) => Ok(MadPipePlan {
             phase1,
             allocation,
+            policies,
             schedule,
         }),
         None => Err(PlanError::Phase2(
@@ -673,6 +717,147 @@ mod tests {
         assert!(res.is_err());
         assert!(!stats.probes.is_empty());
         assert!(stats.probes.iter().all(|p| p.period.is_infinite()));
+    }
+
+    #[test]
+    fn session_reuse_under_a_different_policy_is_rejected() {
+        use madpipe_model::{RecomputeMode, WeightPolicy};
+        let c = chain(&[(1.0, 1.0); 4], 1 << 10, 1 << 8);
+        let platform = Platform::new(2, 1 << 20, 1e6).unwrap();
+        let cfg = PlannerConfig {
+            policy: PolicySpec {
+                recompute: RecomputeMode::Always,
+                weights: WeightPolicy::TwoBw,
+            },
+            ..PlannerConfig::default()
+        };
+        // Session built under the default policy, plan requested under a
+        // different one: must refuse with a structured error rather than
+        // silently answering probes under the wrong memory model.
+        let mut session = ProbeSession::new(&c, &platform, &cfg.algorithm1.discretization);
+        let (res, _) = madpipe_plan_with_session(&mut session, &cfg);
+        match res.unwrap_err() {
+            PlanError::PolicyMismatch { session, requested } => {
+                assert_eq!(session, PolicySpec::default());
+                assert_eq!(requested, cfg.policy);
+            }
+            other => panic!("expected PolicyMismatch, got {other:?}"),
+        }
+        // A session built with the matching policy plans fine.
+        let mut session = ProbeSession::new_with_policy(
+            &c,
+            &platform,
+            &cfg.algorithm1.discretization,
+            cfg.policy,
+        );
+        let (res, _) = madpipe_plan_with_session(&mut session, &cfg);
+        res.unwrap();
+    }
+
+    #[test]
+    fn non_default_policy_plans_carry_per_stage_policies() {
+        use madpipe_model::{ActivationPolicy, RecomputeMode, WeightPolicy};
+        let c = chain(
+            &[(1.0, 2.0), (2.0, 1.0), (3.0, 2.0), (1.0, 1.0)],
+            1 << 10,
+            1 << 8,
+        );
+        let platform = Platform::new(2, 1 << 20, 1e6).unwrap();
+
+        let default_plan = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap();
+        assert_eq!(
+            default_plan.policies.len(),
+            default_plan.allocation.stages().len()
+        );
+        assert!(default_plan.policies.iter().all(|p| p.is_default()));
+
+        let cfg = PlannerConfig {
+            policy: PolicySpec {
+                recompute: RecomputeMode::Always,
+                weights: WeightPolicy::TwoBw,
+            },
+            ..PlannerConfig::default()
+        };
+        let plan = madpipe_plan(&c, &platform, &cfg).unwrap();
+        assert_eq!(plan.policies.len(), plan.allocation.stages().len());
+        assert!(plan.policies.iter().all(
+            |p| p.activation == ActivationPolicy::Recompute && p.weights == WeightPolicy::TwoBw
+        ));
+    }
+
+    /// Alternating activation sizes — big internal activations, tiny
+    /// stage boundaries — so recompute pins only the boundary input per
+    /// in-flight batch while storing pins the big internals `g` times.
+    fn alternating_chain(w: u64) -> Chain {
+        let s = 64u64 << 10;
+        let b = 4u64 << 20;
+        let layers: Vec<Layer> = [b, s, b, s, b, s]
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Layer::new(format!("l{i}"), 1.0, 1.0, w, a))
+            .collect();
+        Chain::new("alt", s, layers).unwrap()
+    }
+
+    #[test]
+    fn auto_recompute_beats_the_default_on_memory_tight_instances() {
+        use madpipe_model::RecomputeMode;
+        // At 5 MiB the default only fits at loose targets (g = 1, deep
+        // pipeline impossible), while auto recompute unlocks g ≥ 2 stages
+        // and roughly halves the achieved period.
+        let c = alternating_chain(0);
+        let platform = Platform::new(3, 5 << 20, 1e9).unwrap();
+
+        let default_plan = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap();
+        let cfg = PlannerConfig {
+            policy: PolicySpec {
+                recompute: RecomputeMode::Auto,
+                ..PolicySpec::default()
+            },
+            ..PlannerConfig::default()
+        };
+        let auto_plan = madpipe_plan(&c, &platform, &cfg).unwrap();
+        assert!(
+            auto_plan.period() < default_plan.period() * 0.75,
+            "auto {} vs default {}",
+            auto_plan.period(),
+            default_plan.period()
+        );
+        assert!(
+            auto_plan.policies.iter().any(|p| p.recomputes()),
+            "auto must actually use recompute on this instance: {:?}",
+            auto_plan.policies
+        );
+    }
+
+    #[test]
+    fn auto_recompute_with_2bw_plans_instances_the_default_cannot() {
+        use madpipe_model::{RecomputeMode, WeightPolicy};
+        // With 1 MiB weights per layer at 9 MiB memory, every store
+        // partition exceeds memory even at g = 1 (3·W per stage plus the
+        // stored activations), and the whole-chain fallback needs 3·6 MiB
+        // of weight versions alone. Double-buffered weights plus
+        // recompute fit a 3-deep pipeline.
+        let c = alternating_chain(1 << 20);
+        let platform = Platform::new(3, 9 << 20, 1e9).unwrap();
+
+        let err = madpipe_plan(&c, &platform, &PlannerConfig::default()).unwrap_err();
+        assert_eq!(err, PlanError::Phase1Infeasible);
+
+        let cfg = PlannerConfig {
+            policy: PolicySpec {
+                recompute: RecomputeMode::Auto,
+                weights: WeightPolicy::TwoBw,
+            },
+            ..PlannerConfig::default()
+        };
+        let plan = madpipe_plan(&c, &platform, &cfg).unwrap();
+        assert!(plan.period().is_finite());
+        assert!(
+            plan.policies.iter().any(|p| p.recomputes()),
+            "auto must actually use recompute on this instance: {:?}",
+            plan.policies
+        );
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! A wide MLP stack: the weight-dominated memory regime.
+//!
+//! Not part of the paper's evaluation. The four CNNs all store far more
+//! activation bytes than weight bytes (ResNet-50 at batch 8 is ~40:1),
+//! which means the weight-versioning axis (`3·W` vs 2BW's `2·W`) can
+//! never move their feasibility boundary by a whole grid step. Large
+//! language models sit at the opposite end — PipeDream-2BW's motivating
+//! workloads are stacks of wide matmuls whose memory is almost entirely
+//! weight versions — and this network reproduces that regime with the
+//! ops the profiler already has: a global pool into a stack of
+//! 8192-wide fully connected blocks (≈268 MB of fp32 parameters each,
+//! ≈256 KB of activations at batch 8). It is the tight-memory fixture
+//! behind the bench grid's policy flip cell: with three weight versions
+//! a 2 GB GPU cannot hold three blocks, with two it can.
+
+use crate::block::Block;
+use crate::ops::Op;
+
+use super::NetworkSpec;
+
+/// Hidden width of every fully connected block.
+const WIDTH: u64 = 8192;
+
+/// `mlp12`: global pool, an embedding into the hidden width, twelve
+/// fully connected blocks, and a 1000-way head — ≈3.2 GB of parameters
+/// against a few hundred KB of activations per batch.
+pub fn mlp12() -> NetworkSpec {
+    let mut blocks = vec![
+        Block::seq("pool", vec![Op::GlobalAvgPool]),
+        Block::seq(
+            "embed",
+            vec![
+                Op::Linear {
+                    out_features: WIDTH,
+                },
+                Op::Relu,
+            ],
+        ),
+    ];
+    for i in 0..12 {
+        blocks.push(Block::seq(
+            format!("fc{i}"),
+            vec![
+                Op::Linear {
+                    out_features: WIDTH,
+                },
+                Op::Relu,
+            ],
+        ));
+    }
+    blocks.push(Block::seq("head", vec![Op::Linear { out_features: 1000 }]));
+    NetworkSpec {
+        name: "mlp12".to_string(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::GpuModel;
+
+    #[test]
+    fn weights_dominate_activations() {
+        let chain = mlp12().profile(8, 1000, &GpuModel::default()).unwrap();
+        assert_eq!(chain.len(), 15);
+        let weights = chain.weight_bytes(0..chain.len());
+        // 12 full-width matmuls at 8192² fp32 parameters each (the
+        // embed's input is the tiny pooled feature vector, so only the
+        // fc blocks are full 8192 × 8192).
+        assert!(weights > 12 * (WIDTH * WIDTH * 4), "weights = {weights}");
+        // Stored activations past the pool are tiny: the whole chain
+        // minus the image-sized pool input stays under one weight block.
+        let acts = chain.stored_activation_bytes(1..chain.len());
+        assert!(acts < WIDTH * WIDTH * 4, "activations = {acts}");
+        // The classifier head outputs batch × 1000 logits like the CNNs.
+        assert_eq!(chain.layer(chain.len() - 1).activation_bytes, 8 * 1000 * 4);
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod densenet;
 pub mod inception;
+pub mod mlp;
 pub mod resnet;
 pub mod vgg;
 
@@ -13,6 +14,7 @@ use crate::tensor::TensorShape;
 
 pub use densenet::densenet121;
 pub use inception::inception_v3;
+pub use mlp::mlp12;
 pub use resnet::{resnet101, resnet152, resnet50};
 pub use vgg::vgg16;
 
@@ -68,6 +70,7 @@ pub fn extended_networks() -> Vec<NetworkSpec> {
     let mut nets = all_networks();
     nets.push(resnet152());
     nets.push(vgg16());
+    nets.push(mlp12());
     nets
 }
 
@@ -79,6 +82,7 @@ pub fn by_name(name: &str) -> Option<NetworkSpec> {
         "resnet101" => Some(resnet101()),
         "resnet152" => Some(resnet152()),
         "vgg" | "vgg16" => Some(vgg16()),
+        "mlp" | "mlp12" => Some(mlp12()),
         "inception" | "inceptionv3" => Some(inception_v3()),
         "densenet" | "densenet121" => Some(densenet121()),
         _ => None,

@@ -6,6 +6,7 @@ use madpipe_json::{FromJson, JsonError, ToJson, Value};
 
 use crate::error::ModelError;
 use crate::layer::Layer;
+use crate::policy::{ActivationPolicy, StagePolicy};
 
 /// A linearized DNN: a chain of `L` layers plus the size of the network
 /// input (the paper's `a^{(0)}`, the tensor consumed by layer 1).
@@ -185,6 +186,55 @@ impl Chain {
         weights + activations + buffers
     }
 
+    /// Static bytes of a stage covering `range` under `policy`: the
+    /// weight versions (`w_mult·Σ W_i`) plus — when the stage recomputes —
+    /// the recompute working set `ā − a_in`, the activations regenerated
+    /// during backward on top of the stashed boundary input. Batch-count
+    /// independent.
+    pub fn stage_static_bytes(&self, range: Range<usize>, policy: StagePolicy) -> u64 {
+        let weights = policy.weights.multiplier() * self.weight_bytes(range.clone());
+        let working_set = match policy.activation {
+            ActivationPolicy::Store => 0,
+            ActivationPolicy::Recompute => self.recompute_working_set_bytes(range.clone()),
+        };
+        weights + working_set
+    }
+
+    /// The recompute working set of a stage covering `range`: the
+    /// activations regenerated during backward on top of the stashed
+    /// boundary input, `ā − a_in`. Never underflows: `ā` includes
+    /// `a_in(range.start)` as its first term.
+    pub fn recompute_working_set_bytes(&self, range: Range<usize>) -> u64 {
+        self.stored_activation_bytes(range.clone()) - self.activation_in(range.start)
+    }
+
+    /// Bytes pinned per in-flight mini-batch by a stage covering `range`
+    /// under `policy`: the full stored activations `ā` when storing, only
+    /// the boundary input `a_in` when recomputing.
+    pub fn stage_live_batch_bytes(&self, range: Range<usize>, policy: StagePolicy) -> u64 {
+        match policy.activation {
+            ActivationPolicy::Store => self.stored_activation_bytes(range),
+            ActivationPolicy::Recompute => self.activation_in(range.start),
+        }
+    }
+
+    /// Policy-aware stage memory: `stage_static_bytes + g·stage_live_batch_bytes`
+    /// plus the same communication buffers as [`Chain::stage_memory`].
+    /// With the default policy this equals `stage_memory(range, g)`
+    /// exactly (same integer arithmetic).
+    pub fn stage_memory_with(&self, range: Range<usize>, g: u64, policy: StagePolicy) -> u64 {
+        let static_bytes = self.stage_static_bytes(range.clone(), policy);
+        let live = g * self.stage_live_batch_bytes(range.clone(), policy);
+        let mut buffers = 0;
+        if range.start > 0 {
+            buffers += 2 * self.activation_in(range.start);
+        }
+        if range.end < self.len() {
+            buffers += 2 * self.activation_out(range.end - 1);
+        }
+        static_bytes + live + buffers
+    }
+
     /// Largest single-layer compute time — a lower bound on any period.
     pub fn max_layer_compute_time(&self) -> f64 {
         self.layers
@@ -288,6 +338,56 @@ mod tests {
         assert_eq!(c.stage_memory(0..1, 1), 30 + 100 + 400);
         // whole chain: no buffers at all
         assert_eq!(c.stage_memory(0..3, 2), 3 * 60 + 2 * 600);
+    }
+
+    #[test]
+    fn policy_memory_defaults_match_stage_memory_exactly() {
+        let c = chain3();
+        let d = StagePolicy::default();
+        for range in [0..1, 1..2, 0..3, 1..3, 2..3] {
+            for g in 0..5 {
+                assert_eq!(
+                    c.stage_memory_with(range.clone(), g, d),
+                    c.stage_memory(range.clone(), g),
+                    "range {range:?} g {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_pins_only_the_boundary_input_per_batch() {
+        let c = chain3();
+        let rec = StagePolicy {
+            activation: ActivationPolicy::Recompute,
+            ..StagePolicy::default()
+        };
+        // Stage [1,3): ā = a_1 + a_2 = 200 + 300 = 500, a_in = 200.
+        assert_eq!(c.stage_live_batch_bytes(1..3, rec), 200);
+        assert_eq!(c.stage_live_batch_bytes(1..3, StagePolicy::default()), 500);
+        // static = 3·(20+30) + (500 − 200) = 150 + 300
+        assert_eq!(c.stage_static_bytes(1..3, rec), 150 + 300);
+        // memory at g=3: static + 3·200 + input buffer 2·200 (end = len →
+        // no output buffer)
+        assert_eq!(c.stage_memory_with(1..3, 3, rec), 450 + 600 + 400);
+    }
+
+    #[test]
+    fn recompute_with_2bw_never_uses_more_memory_than_default() {
+        use crate::policy::WeightPolicy;
+        let c = chain3();
+        let lean = StagePolicy {
+            activation: ActivationPolicy::Recompute,
+            weights: WeightPolicy::TwoBw,
+        };
+        for range in [0..1, 1..2, 0..3, 1..3, 2..3] {
+            for g in 1..6 {
+                assert!(
+                    c.stage_memory_with(range.clone(), g, lean) <= c.stage_memory(range.clone(), g),
+                    "range {range:?} g {g}"
+                );
+            }
+        }
     }
 
     #[test]

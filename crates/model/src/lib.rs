@@ -26,6 +26,7 @@ pub mod fault;
 pub mod layer;
 pub mod partition;
 pub mod platform;
+pub mod policy;
 pub mod units;
 pub mod util;
 
@@ -36,4 +37,5 @@ pub use fault::PlatformFault;
 pub use layer::Layer;
 pub use partition::Partition;
 pub use platform::Platform;
+pub use policy::{ActivationPolicy, PolicySpec, RecomputeMode, StagePolicy, WeightPolicy};
 pub use units::{Resource, Unit, UnitKind, UnitSequence};

@@ -1,0 +1,297 @@
+//! Per-stage execution policies: activation recompute and weight
+//! versioning.
+//!
+//! The paper's memory model (§3) fixes every stage to `3·W` weight bytes
+//! (two versions + accumulated gradient) and one stored copy of the
+//! stage's activations per in-flight batch. Two well-known alternatives
+//! trade compute or staleness for memory:
+//!
+//! * **recompute** (GPipe-style): a stage stashes only its boundary input
+//!   activation per in-flight batch and re-runs its forward pass during
+//!   backward — the per-batch pin shrinks from `ā` to `a_in`, at the cost
+//!   of a static recompute working set `ā − a_in` and an extra forward
+//!   pass on the backward critical path;
+//! * **2BW double-buffered weights** (PipeDream-2BW): `2·W` instead of
+//!   `3·W`, with no time cost in this model.
+//!
+//! A [`StagePolicy`] is the per-stage choice on both axes; the default
+//! policy reproduces the paper's model bit-for-bit. A [`PolicySpec`] is
+//! the solve-level configuration: the weight policy is uniform across
+//! stages (it dominates: `2·W` is never worse in this cost model), while
+//! recompute is a per-stage discrete choice the DP can optimize under
+//! [`RecomputeMode::Auto`].
+
+use madpipe_json::{FromJson, JsonError, ToJson, Value};
+
+/// What a stage does with its activations between forward and backward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum ActivationPolicy {
+    /// Store every layer input for the backward pass (the paper's model).
+    #[default]
+    Store,
+    /// Stash only the stage's boundary input; re-run the stage forward
+    /// during backward.
+    Recompute,
+}
+
+impl ActivationPolicy {
+    /// Canonical string form (used in JSON and CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ActivationPolicy::Store => "store",
+            ActivationPolicy::Recompute => "recompute",
+        }
+    }
+
+    /// Parse the canonical string form.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "store" => Ok(ActivationPolicy::Store),
+            "recompute" => Ok(ActivationPolicy::Recompute),
+            other => Err(format!(
+                "unknown activation policy {other:?} (expected store|recompute)"
+            )),
+        }
+    }
+}
+
+/// How many weight versions a stage keeps resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum WeightPolicy {
+    /// Full versioning, `3·W` (the paper's model).
+    #[default]
+    Full,
+    /// PipeDream-2BW double buffering, `2·W`.
+    TwoBw,
+}
+
+impl WeightPolicy {
+    /// The multiplier on `W` in the stage memory formula.
+    pub fn multiplier(self) -> u64 {
+        match self {
+            WeightPolicy::Full => 3,
+            WeightPolicy::TwoBw => 2,
+        }
+    }
+
+    /// Canonical string form (used in JSON and CLI).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WeightPolicy::Full => "3w",
+            WeightPolicy::TwoBw => "2bw",
+        }
+    }
+
+    /// Parse the canonical string form.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "3w" => Ok(WeightPolicy::Full),
+            "2bw" => Ok(WeightPolicy::TwoBw),
+            other => Err(format!("unknown weight policy {other:?} (expected 3w|2bw)")),
+        }
+    }
+}
+
+/// The complete per-stage policy choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct StagePolicy {
+    /// Activation handling.
+    pub activation: ActivationPolicy,
+    /// Weight versioning.
+    pub weights: WeightPolicy,
+}
+
+impl StagePolicy {
+    /// True iff this is the paper's default (store + full versioning).
+    pub fn is_default(self) -> bool {
+        self == StagePolicy::default()
+    }
+
+    /// True iff the stage recomputes its forward during backward.
+    pub fn recomputes(self) -> bool {
+        self.activation == ActivationPolicy::Recompute
+    }
+}
+
+impl ToJson for StagePolicy {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("activation".into(), self.activation.as_str().to_json()),
+            ("weights".into(), self.weights.as_str().to_json()),
+        ])
+    }
+}
+
+impl FromJson for StagePolicy {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let activation = ActivationPolicy::parse(&String::from_json(v.field("activation")?)?)
+            .map_err(JsonError::new)?;
+        let weights = WeightPolicy::parse(&String::from_json(v.field("weights")?)?)
+            .map_err(JsonError::new)?;
+        Ok(StagePolicy {
+            activation,
+            weights,
+        })
+    }
+}
+
+/// Solve-level recompute mode: the planner's stance on the per-stage
+/// activation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum RecomputeMode {
+    /// Every stage stores (the paper's model; bit-identical plans).
+    #[default]
+    Never,
+    /// Every stage recomputes.
+    Always,
+    /// Each stage independently chooses in the DP.
+    Auto,
+}
+
+impl RecomputeMode {
+    /// Canonical string form (used in JSON and CLI).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecomputeMode::Never => "never",
+            RecomputeMode::Always => "always",
+            RecomputeMode::Auto => "auto",
+        }
+    }
+
+    /// Parse the canonical string form.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "never" => Ok(RecomputeMode::Never),
+            "always" => Ok(RecomputeMode::Always),
+            "auto" => Ok(RecomputeMode::Auto),
+            other => Err(format!(
+                "unknown recompute mode {other:?} (expected never|always|auto)"
+            )),
+        }
+    }
+}
+
+/// Solve-level policy configuration: recompute stance plus the (uniform)
+/// weight-versioning policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct PolicySpec {
+    /// Stance on the per-stage activation axis.
+    pub recompute: RecomputeMode,
+    /// Weight versioning, applied to every stage.
+    pub weights: WeightPolicy,
+}
+
+impl PolicySpec {
+    /// True iff this spec reproduces the paper's model exactly.
+    pub fn is_default(self) -> bool {
+        self == PolicySpec::default()
+    }
+
+    /// The fixed per-stage activation policy, when the mode is not
+    /// [`RecomputeMode::Auto`].
+    pub fn fixed_activation(self) -> Option<ActivationPolicy> {
+        match self.recompute {
+            RecomputeMode::Never => Some(ActivationPolicy::Store),
+            RecomputeMode::Always => Some(ActivationPolicy::Recompute),
+            RecomputeMode::Auto => None,
+        }
+    }
+
+    /// The stage policy for a given activation choice under this spec.
+    pub fn stage_policy(self, activation: ActivationPolicy) -> StagePolicy {
+        StagePolicy {
+            activation,
+            weights: self.weights,
+        }
+    }
+}
+
+impl ToJson for PolicySpec {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("recompute".into(), self.recompute.as_str().to_json()),
+            ("weights".into(), self.weights.as_str().to_json()),
+        ])
+    }
+}
+
+impl FromJson for PolicySpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let recompute = RecomputeMode::parse(&String::from_json(v.field("recompute")?)?)
+            .map_err(JsonError::new)?;
+        let weights = WeightPolicy::parse(&String::from_json(v.field("weights")?)?)
+            .map_err(JsonError::new)?;
+        Ok(PolicySpec { recompute, weights })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_the_paper_model() {
+        let p = StagePolicy::default();
+        assert_eq!(p.activation, ActivationPolicy::Store);
+        assert_eq!(p.weights, WeightPolicy::Full);
+        assert_eq!(p.weights.multiplier(), 3);
+        assert!(p.is_default());
+        assert!(!p.recomputes());
+        assert!(PolicySpec::default().is_default());
+    }
+
+    #[test]
+    fn string_forms_round_trip() {
+        for a in [ActivationPolicy::Store, ActivationPolicy::Recompute] {
+            assert_eq!(ActivationPolicy::parse(a.as_str()), Ok(a));
+        }
+        for w in [WeightPolicy::Full, WeightPolicy::TwoBw] {
+            assert_eq!(WeightPolicy::parse(w.as_str()), Ok(w));
+        }
+        for m in [
+            RecomputeMode::Never,
+            RecomputeMode::Always,
+            RecomputeMode::Auto,
+        ] {
+            assert_eq!(RecomputeMode::parse(m.as_str()), Ok(m));
+        }
+        assert!(ActivationPolicy::parse("yes").is_err());
+        assert!(WeightPolicy::parse("4w").is_err());
+        assert!(RecomputeMode::parse("maybe").is_err());
+    }
+
+    #[test]
+    fn fixed_activation_matches_mode() {
+        let spec = |m| PolicySpec {
+            recompute: m,
+            weights: WeightPolicy::TwoBw,
+        };
+        assert_eq!(
+            spec(RecomputeMode::Never).fixed_activation(),
+            Some(ActivationPolicy::Store)
+        );
+        assert_eq!(
+            spec(RecomputeMode::Always).fixed_activation(),
+            Some(ActivationPolicy::Recompute)
+        );
+        assert_eq!(spec(RecomputeMode::Auto).fixed_activation(), None);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let p = StagePolicy {
+            activation: ActivationPolicy::Recompute,
+            weights: WeightPolicy::TwoBw,
+        };
+        let back = StagePolicy::from_json(&Value::parse(&p.to_json().to_string_compact()).unwrap())
+            .unwrap();
+        assert_eq!(back, p);
+        let s = PolicySpec {
+            recompute: RecomputeMode::Auto,
+            weights: WeightPolicy::TwoBw,
+        };
+        let back = PolicySpec::from_json(&Value::parse(&s.to_json().to_string_compact()).unwrap())
+            .unwrap();
+        assert_eq!(back, s);
+    }
+}

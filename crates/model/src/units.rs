@@ -12,6 +12,7 @@ use std::ops::Range;
 use crate::allocation::Allocation;
 use crate::chain::Chain;
 use crate::platform::Platform;
+use crate::policy::StagePolicy;
 
 /// An exclusive resource of the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,10 +52,13 @@ pub struct Unit {
     pub kind: UnitKind,
     /// Forward duration (stage: `U_F(s)`; comm: `a/β`).
     pub forward_time: f64,
-    /// Backward duration (stage: `U_B(s)`; comm: `a/β`).
+    /// Backward duration (stage: `U_B(s)`, plus the recompute forward
+    /// pass when the stage policy recomputes; comm: `a/β`).
     pub backward_time: f64,
     /// Resource the unit occupies.
     pub resource: Resource,
+    /// Execution policy of the stage (default for comm units).
+    pub policy: StagePolicy,
 }
 
 impl Unit {
@@ -81,17 +85,45 @@ impl UnitSequence {
     /// inserted between consecutive stages exactly when they live on
     /// different GPUs.
     pub fn from_allocation(chain: &Chain, platform: &Platform, alloc: &Allocation) -> Self {
+        let policies = vec![StagePolicy::default(); alloc.stages().len()];
+        Self::from_allocation_with(chain, platform, alloc, &policies)
+    }
+
+    /// Build the unit sequence for `alloc` with a per-stage policy.
+    /// A recomputing stage's backward duration includes the recompute
+    /// forward pass (`U_B + U_F`), so every schedule construction and
+    /// checker downstream accounts for recompute time automatically.
+    ///
+    /// Panics if `policies.len()` differs from the number of stages.
+    pub fn from_allocation_with(
+        chain: &Chain,
+        platform: &Platform,
+        alloc: &Allocation,
+        policies: &[StagePolicy],
+    ) -> Self {
         let stages = alloc.stages();
+        assert_eq!(
+            policies.len(),
+            stages.len(),
+            "one policy per stage required"
+        );
         let mut units = Vec::with_capacity(2 * stages.len());
         for (i, s) in stages.iter().enumerate() {
+            let policy = policies[i];
+            let forward_time = chain.forward_time(s.layers.clone());
+            let mut backward_time = chain.backward_time(s.layers.clone());
+            if policy.recomputes() {
+                backward_time += forward_time;
+            }
             units.push(Unit {
                 kind: UnitKind::Stage {
                     stage: i,
                     layers: s.layers.clone(),
                 },
-                forward_time: chain.forward_time(s.layers.clone()),
-                backward_time: chain.backward_time(s.layers.clone()),
+                forward_time,
+                backward_time,
                 resource: Resource::Gpu(s.gpu),
+                policy,
             });
             if i + 1 < stages.len() && alloc.cut_is_remote(i) {
                 let cut_layer = stages[i + 1].layers.start;
@@ -104,6 +136,7 @@ impl UnitSequence {
                     forward_time: one_way,
                     backward_time: one_way,
                     resource: Resource::link(s.gpu, stages[i + 1].gpu),
+                    policy: StagePolicy::default(),
                 });
             }
         }
@@ -220,5 +253,36 @@ mod tests {
     #[test]
     fn resource_link_normalizes() {
         assert_eq!(Resource::link(3, 1), Resource::Link(1, 3));
+    }
+
+    #[test]
+    fn recompute_policy_extends_backward_time() {
+        use crate::policy::{ActivationPolicy, StagePolicy};
+        let c = chain4();
+        let platform = Platform::new(2, 1 << 30, 100.0).unwrap();
+        let part = Partition::from_cuts(&[2], 4).unwrap();
+        let alloc = Allocation::contiguous(&part, 2).unwrap();
+        let rec = StagePolicy {
+            activation: ActivationPolicy::Recompute,
+            ..StagePolicy::default()
+        };
+        let seq = UnitSequence::from_allocation_with(
+            &c,
+            &platform,
+            &alloc,
+            &[StagePolicy::default(), rec],
+        );
+        // Stage 0 stores: unchanged. Stage 1 recomputes: U_B + U_F.
+        assert_eq!(seq.units()[0].backward_time, 6.0);
+        assert_eq!(seq.units()[2].forward_time, 12.0);
+        assert_eq!(seq.units()[2].backward_time, 14.0 + 12.0);
+        assert_eq!(seq.units()[2].policy, rec);
+        // Comm units carry the default policy.
+        assert_eq!(seq.units()[1].policy, StagePolicy::default());
+        // The default constructor is the all-default special case.
+        let default_seq = UnitSequence::from_allocation(&c, &platform, &alloc);
+        let all_store =
+            UnitSequence::from_allocation_with(&c, &platform, &alloc, &[StagePolicy::default(); 2]);
+        assert_eq!(default_seq, all_store);
     }
 }

@@ -409,6 +409,22 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_rollup_has_no_defined_quantile() {
+        // A cluster that has served no requests rolls up to all-zero
+        // buckets; every quantile is NaN (callers render `-`, never a
+        // raw NaN), and zero-count buckets never shift the estimate.
+        assert!(quantile_from_buckets(&[], 0.5).is_nan());
+        assert!(quantile_from_buckets(&[(0.5, 0), (2.0, 0)], 0.99).is_nan());
+        let empty = HistogramSnapshot::default();
+        for q in EXPORTED_QUANTILES {
+            assert!(empty.quantile(q).is_nan());
+        }
+        // One observation later, the quantile is defined again.
+        let one = [(2.0, 1u64)];
+        assert!(quantile_from_buckets(&one, 0.5).is_finite());
+    }
+
+    #[test]
     fn merge_folds_counters_gauges_and_histograms() {
         let a = Registry::new();
         let b = Registry::new();

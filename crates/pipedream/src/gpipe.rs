@@ -101,9 +101,12 @@ fn gpipe_memory(chain: &Chain, partition: &Partition, m: usize, recompute: bool)
             let weights = 2 * chain.weight_bytes(range.clone());
             let activations = if recompute {
                 // m stage-input micro-tensors (= one mini-batch worth of
-                // the boundary tensor) + one micro-batch of internals.
+                // the boundary tensor) + one micro-batch of the recompute
+                // working set ā − a_in. The boundary input's own 1/m
+                // share lives in the stashed tensors already — counting
+                // ā/m here would double-charge it.
                 chain.activation_in(range.start)
-                    + chain.stored_activation_bytes(range.clone()) / m as u64
+                    + chain.recompute_working_set_bytes(range.clone()) / m as u64
             } else {
                 // All m micro-batches of every internal activation —
                 // exactly one mini-batch worth.
@@ -287,6 +290,55 @@ mod tests {
         assert_eq!(
             plan.gpu_peak_bytes[0],
             4000 + c.stored_activation_bytes(0..2)
+        );
+    }
+
+    #[test]
+    fn recompute_memory_matches_the_lifted_model() {
+        use madpipe_model::{ActivationPolicy, StagePolicy, WeightPolicy};
+        // Differential pin: GPipe's recompute activation bytes must equal
+        // the model-crate formulation — one mini-batch of the boundary
+        // input (the per-live-batch pin, stashed as m micro-tensors) plus
+        // 1/m of the recompute working set ā − a_in. The historic
+        // `a_in + ā/m` double-counted the boundary input's 1/m share.
+        let c = chain(8, 1 << 20, 64);
+        let rec = StagePolicy {
+            activation: ActivationPolicy::Recompute,
+            weights: WeightPolicy::TwoBw,
+        };
+        for s in [1usize, 2, 4] {
+            let platform = Platform::new(4, 1 << 40, 1e9).unwrap();
+            let part = balanced_partition(&c, &platform, s).unwrap();
+            for m in [1usize, 4, 8] {
+                let mem = gpipe_memory(&c, &part, m, true);
+                for (i, range) in part.stages().iter().enumerate() {
+                    let weights = 2 * c.weight_bytes(range.clone());
+                    let expect_act = c.stage_live_batch_bytes(range.clone(), rec)
+                        + c.recompute_working_set_bytes(range.clone()) / m as u64;
+                    let mut buffers = 0;
+                    if range.start > 0 {
+                        buffers += 2 * c.activation_in(range.start) / m as u64;
+                    }
+                    if i + 1 < s {
+                        buffers += 2 * c.activation_out(range.end - 1) / m as u64;
+                    }
+                    assert_eq!(mem[i], weights + expect_act + buffers, "s={s} m={m} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_at_one_micro_batch_stores_exactly_one_batch() {
+        // At m = 1 the recompute peak equals the store peak: stashing the
+        // boundary input and regenerating ā − a_in is the same bytes as
+        // storing ā outright. The pre-fix formula was a_in larger.
+        let c = chain(6, 1 << 16, 128);
+        let platform = Platform::new(3, 1 << 40, 1e9).unwrap();
+        let part = balanced_partition(&c, &platform, 3).unwrap();
+        assert_eq!(
+            gpipe_memory(&c, &part, 1, true),
+            gpipe_memory(&c, &part, 1, false)
         );
     }
 

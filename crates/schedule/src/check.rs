@@ -13,9 +13,10 @@
 //!   whose forward completes at phase `φ_F` with offset `κ_F` (and
 //!   backward at `φ_B`, `κ_B`) holds
 //!   `κ_B − κ_F + [τ ≥ φ_F] − [τ ≥ φ_B]` live mini-batches at phase `τ`,
-//!   each pinning its stored activations `ā_s`; weights (`3W`) and
-//!   communication buffers (`2a` on both sides of every remote cut) are
-//!   static.
+//!   each pinning the stage's per-batch bytes (`ā_s` when storing, only
+//!   the boundary input when the stage policy recomputes); weights
+//!   (`w_mult·W`), any recompute working set, and communication buffers
+//!   (`2a` on both sides of every remote cut) are static.
 
 use std::fmt;
 
@@ -253,7 +254,7 @@ pub fn check_pattern(
         let base = bo.completion_offset(t_period) as i64 - fo.completion_offset(t_period) as i64;
         per_gpu[gpu].push(LiveStage {
             unit: u,
-            stored_bytes: chain.stored_activation_bytes(layers.clone()),
+            stored_bytes: chain.stage_live_batch_bytes(layers.clone(), unit.policy),
             base,
             phi_f: fo.completion_phase(t_period),
             phi_b: bo.completion_phase(t_period),
@@ -329,7 +330,7 @@ pub fn memory_profile(
         }
         let fo = pattern.op(u, Dir::Forward).expect("complete");
         let bo = pattern.op(u, Dir::Backward).expect("complete");
-        let stored = chain.stored_activation_bytes(layers.clone()) as i64;
+        let stored = chain.stage_live_batch_bytes(layers.clone(), unit.policy) as i64;
         let base = bo.completion_offset(t_period) as i64 - fo.completion_offset(t_period) as i64;
         base_total += base * stored;
         events.push((fo.completion_phase(t_period), stored));
@@ -347,24 +348,30 @@ pub fn memory_profile(
     MemoryProfile { steps }
 }
 
-/// Static memory per GPU: `3W` for each hosted layer plus `2a` of
-/// communication buffer on both end GPUs of every remote cut.
+/// Static memory per GPU: each hosted stage's policy-dependent static
+/// bytes (`w_mult·W`, plus the recompute working set for recomputing
+/// stages) plus `2a` of communication buffer on both end GPUs of every
+/// remote cut. With all-default policies this is exactly `3W` per layer.
 pub fn static_memory(chain: &Chain, alloc: &Allocation, seq: &UnitSequence) -> Vec<u64> {
     let mut bytes = vec![0u64; alloc.n_gpus()];
-    for s in alloc.stages() {
-        bytes[s.gpu] += 3 * chain.weight_bytes(s.layers.clone());
-    }
     for unit in seq.units() {
-        if let UnitKind::Comm {
-            cut_layer,
-            stage_before,
-        } = unit.kind
-        {
-            let buf = 2 * chain.activation_in(cut_layer);
-            let before = alloc.stages()[stage_before].gpu;
-            let after = alloc.stages()[stage_before + 1].gpu;
-            bytes[before] += buf;
-            bytes[after] += buf;
+        match &unit.kind {
+            UnitKind::Stage { layers, .. } => {
+                let Resource::Gpu(gpu) = unit.resource else {
+                    continue;
+                };
+                bytes[gpu] += chain.stage_static_bytes(layers.clone(), unit.policy);
+            }
+            UnitKind::Comm {
+                cut_layer,
+                stage_before,
+            } => {
+                let buf = 2 * chain.activation_in(*cut_layer);
+                let before = alloc.stages()[*stage_before].gpu;
+                let after = alloc.stages()[*stage_before + 1].gpu;
+                bytes[before] += buf;
+                bytes[after] += buf;
+            }
         }
     }
     bytes

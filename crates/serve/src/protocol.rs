@@ -389,6 +389,20 @@ fn config_from_json(v: Option<&Value>) -> Result<PlannerConfig, ServeError> {
             .map_err(|e| ServeError::invalid(format!("config iterations: {e}")))?
             .clamp(1, 64) as usize;
     }
+    if let Some(r) = v.get("recompute") {
+        let s = r
+            .as_str()
+            .map_err(|e| ServeError::invalid(format!("config recompute: {e}")))?;
+        cfg.policy.recompute = madpipe_model::RecomputeMode::parse(s)
+            .map_err(|e| ServeError::invalid(format!("config recompute: {e}")))?;
+    }
+    if let Some(w) = v.get("weights") {
+        let s = w
+            .as_str()
+            .map_err(|e| ServeError::invalid(format!("config weights: {e}")))?;
+        cfg.policy.weights = madpipe_model::WeightPolicy::parse(s)
+            .map_err(|e| ServeError::invalid(format!("config weights: {e}")))?;
+    }
     Ok(cfg)
 }
 
@@ -426,10 +440,18 @@ pub fn canonical_instance(chain: &Chain, platform: &Platform, cfg: &PlannerConfi
                     Value::UInt(cfg.algorithm1.iterations as u64),
                 ),
                 (
+                    "recompute".into(),
+                    Value::Str(cfg.policy.recompute.as_str().into()),
+                ),
+                (
                     "refine_probes".into(),
                     Value::UInt(cfg.refine_probes as u64),
                 ),
                 ("threads".into(), Value::UInt(cfg.threads as u64)),
+                (
+                    "weights".into(),
+                    Value::Str(cfg.policy.weights.as_str().into()),
+                ),
             ]),
         ),
         (
@@ -458,11 +480,18 @@ pub fn plan_to_json(plan: &MadPipePlan) -> Value {
                 plan.allocation
                     .stages()
                     .iter()
-                    .map(|s| {
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let policy = plan.policies.get(i).copied().unwrap_or_default();
                         Value::Object(vec![
                             ("start".into(), Value::UInt(s.layers.start as u64)),
                             ("end".into(), Value::UInt(s.layers.end as u64)),
                             ("gpu".into(), Value::UInt(s.gpu as u64)),
+                            (
+                                "activation".into(),
+                                Value::Str(policy.activation.as_str().into()),
+                            ),
+                            ("weights".into(), Value::Str(policy.weights.as_str().into())),
                         ])
                     })
                     .collect(),

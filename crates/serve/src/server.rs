@@ -509,7 +509,15 @@ fn serve_instance(
     } = *job.req;
     let mut reply = job.reply;
     let (mut trace, mut parent) = (job.trace, job.span);
-    let mut session = ProbeSession::new(&chain, &platform, &cfg.algorithm1.discretization);
+    // The session must solve under the request's policy spec — a
+    // default-built session would (correctly) refuse any non-default
+    // request with `PlanError::PolicyMismatch`.
+    let mut session = ProbeSession::new_with_policy(
+        &chain,
+        &platform,
+        &cfg.algorithm1.discretization,
+        cfg.policy,
+    );
     loop {
         let worker_t0 = Instant::now();
         let worker_ts = madpipe_obs::now_unix_us();

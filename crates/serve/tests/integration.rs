@@ -486,3 +486,67 @@ fn ping_and_metrics_commands() {
     server.shutdown();
     server.join();
 }
+
+/// Regression: the worker must build its probe session under the
+/// request's policy spec. A default-built session refuses non-default
+/// requests with `PolicyMismatch`, which used to surface as a `plan`
+/// error for every `--recompute`/`--weights` request over the wire.
+#[test]
+fn policy_requests_plan_and_match_solo_planning() {
+    use madpipe_model::{PolicySpec, RecomputeMode, WeightPolicy};
+
+    let server = start_server();
+    let addr = server.local_addr();
+    let (chain, platform) = instance(1);
+
+    let policy = PolicySpec {
+        recompute: RecomputeMode::Always,
+        weights: WeightPolicy::TwoBw,
+    };
+    let cfg = PlannerConfig {
+        policy,
+        ..PlannerConfig::default()
+    };
+    let expected = madpipe_plan(&chain, &platform, &cfg).expect("solo policy plan");
+
+    let mut line = plan_line(&chain, &platform);
+    line.truncate(line.len() - 1); // drop the closing `}`
+    line.push_str(r#", "config": {"recompute": "always", "weights": "2bw"}}"#);
+    let v = roundtrip(addr, &line);
+    assert_eq!(
+        v.field("ok").unwrap(),
+        &Value::Bool(true),
+        "policy plan failed: {}",
+        v.to_string_compact()
+    );
+    let plan = v.field("plan").unwrap();
+    let period = plan.field("period").unwrap().as_f64().unwrap();
+    assert_eq!(
+        period.to_bits(),
+        expected.period().to_bits(),
+        "served policy plan must be bit-identical to solo planning"
+    );
+    // Per-stage policies ride the wire.
+    for stage in plan.field("stages").unwrap().as_array().unwrap() {
+        assert_eq!(stage.field("activation").unwrap().as_str(), Ok("recompute"));
+        assert_eq!(stage.field("weights").unwrap().as_str(), Ok("2bw"));
+    }
+    // The same instance under the default policy is a different cache
+    // entry with a different (or absent) plan — never an alias.
+    let default = roundtrip(addr, &plan_line(&chain, &platform));
+    if default.field("ok").unwrap() == &Value::Bool(true) {
+        let p = default
+            .field("plan")
+            .unwrap()
+            .field("period")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let solo = madpipe_plan(&chain, &platform, &PlannerConfig::default())
+            .expect("solo default plan")
+            .period();
+        assert_eq!(p.to_bits(), solo.to_bits());
+    }
+    server.shutdown();
+    server.join();
+}

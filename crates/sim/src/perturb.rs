@@ -19,7 +19,7 @@
 //! `[1, 1 + comm_jitter]` on top of a bandwidth degradation
 //! `β → (1 − beta_degradation)·β`.
 
-use madpipe_model::{Allocation, Chain, Platform, Resource, UnitKind, UnitSequence};
+use madpipe_model::{Allocation, Chain, Platform, Resource, StagePolicy, UnitKind, UnitSequence};
 use madpipe_schedule::check::static_memory;
 use madpipe_schedule::{Dir, Pattern};
 
@@ -127,8 +127,24 @@ pub fn replay_perturbed(
     periods: usize,
     fault: &FaultSpec,
 ) -> SimReport {
+    let policies = vec![StagePolicy::default(); alloc.stages().len()];
+    replay_perturbed_with(chain, platform, alloc, &policies, pattern, periods, fault)
+}
+
+/// Policy-aware [`replay_perturbed`]: stage units carry per-stage
+/// policies (recompute extends backward durations; memory moves the
+/// policy-dependent per-batch bytes).
+pub fn replay_perturbed_with(
+    chain: &Chain,
+    platform: &Platform,
+    alloc: &Allocation,
+    policies: &[StagePolicy],
+    pattern: &Pattern,
+    periods: usize,
+    fault: &FaultSpec,
+) -> SimReport {
     let mut sp = madpipe_obs::span("sim.perturb");
-    let seq = UnitSequence::from_allocation(chain, platform, alloc);
+    let seq = UnitSequence::from_allocation_with(chain, platform, alloc, policies);
     let t_period = pattern.period;
     let warmup = pattern.max_shift() as usize + 1;
     let total_periods = warmup + periods.max(2);
@@ -301,7 +317,7 @@ pub fn replay_perturbed(
         makespan = makespan.max(t);
         let unit = &seq.units()[op.unit];
         if let (UnitKind::Stage { layers, .. }, Resource::Gpu(g)) = (&unit.kind, unit.resource) {
-            let stored = chain.stored_activation_bytes(layers.clone()) as i64;
+            let stored = chain.stage_live_batch_bytes(layers.clone(), unit.policy) as i64;
             match op.dir {
                 Dir::Forward => dyn_bytes[g] += stored,
                 Dir::Backward => dyn_bytes[g] -= stored,

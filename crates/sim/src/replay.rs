@@ -6,7 +6,7 @@
 //! moves at op completions, and the report must agree with the checker —
 //! which the cross-validation tests in the workspace assert.
 
-use madpipe_model::{Allocation, Chain, Platform, Resource, UnitKind, UnitSequence};
+use madpipe_model::{Allocation, Chain, Platform, Resource, StagePolicy, UnitKind, UnitSequence};
 use madpipe_schedule::check::static_memory;
 use madpipe_schedule::{Dir, Pattern};
 
@@ -26,7 +26,30 @@ pub fn replay_pattern(
     pattern: &Pattern,
     periods: usize,
 ) -> SimReport {
-    replay_with(chain, platform, alloc, pattern, periods, |_, _, _| {})
+    let policies = vec![StagePolicy::default(); alloc.stages().len()];
+    replay_pattern_with(chain, platform, alloc, &policies, pattern, periods)
+}
+
+/// Policy-aware [`replay_pattern`]: stage units carry per-stage policies,
+/// so recomputing stages move only their boundary input per batch and
+/// their backward durations include the recomputed forward.
+pub fn replay_pattern_with(
+    chain: &Chain,
+    platform: &Platform,
+    alloc: &Allocation,
+    policies: &[StagePolicy],
+    pattern: &Pattern,
+    periods: usize,
+) -> SimReport {
+    replay_with(
+        chain,
+        platform,
+        alloc,
+        policies,
+        pattern,
+        periods,
+        |_, _, _| {},
+    )
 }
 
 /// [`replay_pattern`] with a memory observer: `on_mem(time, gpu, bytes)`
@@ -40,12 +63,13 @@ pub fn replay_with(
     chain: &Chain,
     platform: &Platform,
     alloc: &Allocation,
+    policies: &[StagePolicy],
     pattern: &Pattern,
     periods: usize,
     mut on_mem: impl FnMut(f64, usize, u64),
 ) -> SimReport {
     madpipe_obs::span!("sim.replay");
-    let seq = UnitSequence::from_allocation(chain, platform, alloc);
+    let seq = UnitSequence::from_allocation_with(chain, platform, alloc, policies);
     let t_period = pattern.period;
     let warmup = pattern.max_shift() as usize + 1;
     let total_periods = warmup + periods.max(2);
@@ -84,7 +108,7 @@ pub fn replay_with(
         let op = &pattern.ops[oi];
         let unit = &seq.units()[op.unit];
         if let (UnitKind::Stage { layers, .. }, Resource::Gpu(g)) = (&unit.kind, unit.resource) {
-            let stored = chain.stored_activation_bytes(layers.clone()) as i64;
+            let stored = chain.stage_live_batch_bytes(layers.clone(), unit.policy) as i64;
             match op.dir {
                 Dir::Forward => dyn_bytes[g] += stored,
                 Dir::Backward => dyn_bytes[g] -= stored,

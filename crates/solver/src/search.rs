@@ -1,6 +1,6 @@
 //! Period minimization for arbitrary allocations.
 
-use madpipe_model::{Allocation, Chain, Platform, UnitSequence};
+use madpipe_model::{Allocation, Chain, Platform, Resource, StagePolicy, UnitKind, UnitSequence};
 use madpipe_schedule::{check_pattern, Pattern, PatternReport, ScheduleError};
 
 use crate::place::{schedule_at_period, PlaceConfig};
@@ -32,7 +32,21 @@ pub fn best_period(
     alloc: &Allocation,
     cfg: &PlaceConfig,
 ) -> Result<SolvedSchedule, ScheduleError> {
-    let seq = UnitSequence::from_allocation(chain, platform, alloc);
+    let policies = vec![StagePolicy::default(); alloc.stages().len()];
+    best_period_with(chain, platform, alloc, &policies, cfg)
+}
+
+/// Policy-aware variant of [`best_period`]: stage units carry `policies`
+/// (recompute extends backward durations; memory checks use the
+/// per-policy static/live bytes).
+pub fn best_period_with(
+    chain: &Chain,
+    platform: &Platform,
+    alloc: &Allocation,
+    policies: &[StagePolicy],
+    cfg: &PlaceConfig,
+) -> Result<SolvedSchedule, ScheduleError> {
+    let seq = UnitSequence::from_allocation_with(chain, platform, alloc, policies);
     let t_lo = alloc.load_bound(chain, platform).max(seq.max_unit_load());
     let t_hi = seq.total_load().max(t_lo);
 
@@ -123,8 +137,10 @@ fn diagnose_infeasible(
     // static bytes plus one live batch of every hosted stage.
     let static_bytes = madpipe_schedule::check::static_memory(chain, alloc, seq);
     let mut need = static_bytes.clone();
-    for s in alloc.stages() {
-        need[s.gpu] += chain.stored_activation_bytes(s.layers.clone());
+    for unit in seq.units() {
+        if let (UnitKind::Stage { layers, .. }, Resource::Gpu(gpu)) = (&unit.kind, unit.resource) {
+            need[gpu] += chain.stage_live_batch_bytes(layers.clone(), unit.policy);
+        }
     }
     let worst = need
         .iter()
