@@ -1,12 +1,20 @@
-//! Closed-loop load generator for `madpipe serve` — single daemon or
-//! cluster.
+//! Load generator for `madpipe serve` — single daemon or cluster,
+//! closed-loop or open-loop.
 //!
 //! N connections each fire M requests over a deterministic pool of
-//! mixed instances, and the report aggregates p50/p99 latency, error
-//! counts and the cache hit rate observed in the responses. A closed
-//! loop measures the service time distribution without coordinated
-//! omission — every request's latency is recorded, including the ones
-//! that queue.
+//! mixed instances, and the report aggregates p50/p95/p99 latency, a
+//! per-outcome breakdown (`ok`/`cache_hit`/`shed`/`timeout`/`error`)
+//! and the cache hit rate observed in the responses.
+//!
+//! Closed loop (the default): each connection sends its next batch as
+//! soon as the previous one is answered — the classic service-time
+//! measurement. Open loop ([`LoadgenConfig::rate`] > 0): requests are
+//! fired on a fixed schedule (`rate` req/s split across connections)
+//! *regardless* of how fast the server answers, which is what real
+//! overload looks like; each request's latency is measured from its
+//! **scheduled** send time, so a server that falls behind accrues the
+//! queueing delay in the recorded quantiles instead of silently
+//! suppressing it (the coordinated-omission correction).
 //!
 //! Pipelining: with [`LoadgenConfig::pipeline_depth`] > 1 each
 //! connection writes a whole batch of newline-delimited requests before
@@ -59,6 +67,11 @@ pub struct LoadgenConfig {
     /// Reconnect attempts per batch on transient transport failures
     /// (connect refused, server closed the connection). 0 fails fast.
     pub max_retries: usize,
+    /// Open-loop arrival rate in requests/second across all
+    /// connections; 0 keeps the classic closed loop. Open-loop requests
+    /// are timestamped by schedule, not by actual send, so latency
+    /// includes any backlog the server built up.
+    pub rate: f64,
     /// Inject a distributed trace context (`"trace"` field, unique id
     /// per request) into every request line, and count the responses
     /// that echo one back. This is how `madpipe loadgen --trace` seeds
@@ -78,6 +91,7 @@ impl Default for LoadgenConfig {
             seed: 42,
             timeout: Duration::from_secs(60),
             max_retries: 3,
+            rate: 0.0,
             trace: false,
         }
     }
@@ -88,7 +102,14 @@ impl Default for LoadgenConfig {
 pub struct LoadgenReport {
     pub total: usize,
     pub ok: usize,
+    /// Structured errors that were neither shed nor timed out
+    /// (`malformed`, `internal`, `plan`, …).
     pub errors: usize,
+    /// Requests the server shed under overload (`overloaded` errors —
+    /// a full queue or the admission gate).
+    pub shed: usize,
+    /// Requests whose deadline elapsed server-side (`timeout` errors).
+    pub timeouts: usize,
     pub cached: usize,
     /// Responses that echoed a `trace`/`span` context back (0 unless
     /// [`LoadgenConfig::trace`] was set and the server speaks tracing).
@@ -96,6 +117,7 @@ pub struct LoadgenReport {
     /// Reconnect-and-resend attempts taken across all connections.
     pub retries: usize,
     pub p50_ms: f64,
+    pub p95_ms: f64,
     pub p99_ms: f64,
     /// Wall clock of the whole run, backoff sleeps included.
     pub elapsed_seconds: f64,
@@ -137,13 +159,13 @@ impl fmt::Display for LoadgenReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests  : {} total, {} ok, {} errors, {} retries",
-            self.total, self.ok, self.errors, self.retries
+            "requests  : {} total | ok {} | cache_hit {} | shed {} | timeout {} | error {} | retries {}",
+            self.total, self.ok, self.cached, self.shed, self.timeouts, self.errors, self.retries
         )?;
         writeln!(
             f,
-            "latency   : p50 {:.2} ms, p99 {:.2} ms",
-            self.p50_ms, self.p99_ms
+            "latency   : p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            self.p50_ms, self.p95_ms, self.p99_ms
         )?;
         writeln!(
             f,
@@ -331,29 +353,74 @@ fn inject_trace(line: &str, id: u64) -> String {
     }
 }
 
-/// Per-connection outcome: (latencies in ms, ok count, cached count,
-/// traced count, retries taken, backoff slept in seconds, loop wall
-/// clock in seconds).
-type ConnStats = Result<(Vec<f64>, usize, usize, usize, usize, f64, f64), String>;
+/// What one response was, for the report's outcome columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Ok { cached: bool },
+    Shed,
+    Timeout,
+    Error,
+}
 
-/// Run the closed loop and aggregate the report.
+/// Classify a structured response. Shed (`overloaded`, `unavailable`)
+/// and `timeout` are the server's overload-control verdicts; everything
+/// else that is not `ok` is a plain error.
+fn classify(v: &Value) -> Outcome {
+    if v.get("ok") == Some(&Value::Bool(true)) {
+        return Outcome::Ok {
+            cached: v.get("cached") == Some(&Value::Bool(true)),
+        };
+    }
+    match v
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(|k| k.as_str().ok())
+    {
+        Some("overloaded") | Some("unavailable") => Outcome::Shed,
+        Some("timeout") => Outcome::Timeout,
+        _ => Outcome::Error,
+    }
+}
+
+/// Per-connection tallies.
+#[derive(Debug, Default)]
+struct ConnStats {
+    latencies: Vec<f64>,
+    ok: usize,
+    cached: usize,
+    shed: usize,
+    timeouts: usize,
+    errors: usize,
+    traced: usize,
+    retries: usize,
+    backoff_seconds: f64,
+    loop_seconds: f64,
+}
+
+/// Run the load loop (closed or open) and aggregate the report.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     if cfg.addrs.is_empty() {
         return Err("loadgen needs at least one address".into());
     }
     let lines = request_lines(cfg.instances, cfg.seed);
     let depth = cfg.pipeline_depth.max(1);
+    // Open loop: this connection's share of the arrival schedule, in
+    // seconds between consecutive requests.
+    let interval = if cfg.rate > 0.0 {
+        Some(cfg.connections.max(1) as f64 / cfg.rate)
+    } else {
+        None
+    };
     let started = Instant::now();
-    let per_conn: Vec<ConnStats> = std::thread::scope(|scope| {
+    let per_conn: Vec<Result<ConnStats, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.connections.max(1))
             .map(|conn| {
                 let lines = &lines;
-                scope.spawn(move || -> ConnStats {
+                scope.spawn(move || -> Result<ConnStats, String> {
                     let addr = &cfg.addrs[conn % cfg.addrs.len()];
                     let loop_started = Instant::now();
                     let mut open: Option<Conn> = Some(connect(cfg, addr)?);
-                    let mut latencies = Vec::with_capacity(cfg.requests_per_conn);
-                    let (mut ok, mut cached, mut traced) = (0usize, 0usize, 0usize);
+                    let mut stats = ConnStats::default();
                     let mut retries = 0usize;
                     let mut slept = Duration::ZERO;
                     // With tracing on, every request instance gets its
@@ -373,36 +440,57 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                     let sequence: Vec<&str> = owned.iter().map(String::as_str).collect();
                     for (b, batch) in sequence.chunks(depth).enumerate() {
                         let jitter_seed = mix(cfg.seed ^ ((conn as u64) << 32) ^ b as u64);
+                        // Open loop: wait for the batch's scheduled slot
+                        // (never hurry a late one), and measure each
+                        // request from its *schedule* — a backlogged
+                        // server pays the wait in recorded latency.
+                        let scheduled: Option<Vec<Instant>> = interval.map(|dt| {
+                            (0..batch.len())
+                                .map(|i| {
+                                    loop_started
+                                        + Duration::from_secs_f64((b * depth + i) as f64 * dt)
+                                })
+                                .collect()
+                        });
+                        if let Some(first) = scheduled.as_ref().and_then(|s| s.first()) {
+                            let now = Instant::now();
+                            if *first > now {
+                                std::thread::sleep(*first - now);
+                            }
+                        }
                         let t0 = Instant::now();
                         let (vs, r, s) =
                             batch_with_retry(cfg, addr, &mut open, batch, jitter_seed)?;
-                        // Amortized per-request latency: the batch round
-                        // trip shared evenly across its requests.
-                        let per_request = t0.elapsed().as_secs_f64() * 1e3 / batch.len() as f64;
+                        let done = Instant::now();
+                        // Closed loop: amortized per-request latency (the
+                        // batch round trip shared evenly across it).
+                        let per_request = (done - t0).as_secs_f64() * 1e3 / batch.len() as f64;
                         retries += r;
                         slept += s;
-                        for v in vs {
-                            latencies.push(per_request);
-                            if v.get("ok") == Some(&Value::Bool(true)) {
-                                ok += 1;
-                                if v.get("cached") == Some(&Value::Bool(true)) {
-                                    cached += 1;
+                        for (i, v) in vs.iter().enumerate() {
+                            let ms = match &scheduled {
+                                Some(s) => (done - s[i].min(done)).as_secs_f64() * 1e3,
+                                None => per_request,
+                            };
+                            stats.latencies.push(ms);
+                            match classify(v) {
+                                Outcome::Ok { cached } => {
+                                    stats.ok += 1;
+                                    stats.cached += usize::from(cached);
                                 }
+                                Outcome::Shed => stats.shed += 1,
+                                Outcome::Timeout => stats.timeouts += 1,
+                                Outcome::Error => stats.errors += 1,
                             }
                             if v.get("span").and_then(|s| s.as_str().ok()).is_some() {
-                                traced += 1;
+                                stats.traced += 1;
                             }
                         }
                     }
-                    Ok((
-                        latencies,
-                        ok,
-                        cached,
-                        traced,
-                        retries,
-                        slept.as_secs_f64(),
-                        loop_started.elapsed().as_secs_f64(),
-                    ))
+                    stats.retries = retries;
+                    stats.backoff_seconds = slept.as_secs_f64();
+                    stats.loop_seconds = loop_started.elapsed().as_secs_f64();
+                    Ok(stats)
                 })
             })
             .collect();
@@ -414,20 +502,26 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let elapsed_seconds = started.elapsed().as_secs_f64();
 
     let mut latencies = Vec::new();
-    let (mut ok, mut cached, mut traced) = (0usize, 0usize, 0usize);
-    let (mut total, mut retries) = (0usize, 0usize);
-    let (mut backoff_seconds, mut request_seconds) = (0.0f64, 0.0f64);
+    let mut report = LoadgenReport {
+        elapsed_seconds,
+        ..LoadgenReport::default()
+    };
     for outcome in per_conn {
-        let (lat, o, c, t, r, slept, loop_secs) = outcome?;
-        total += lat.len();
-        latencies.extend(lat);
-        ok += o;
-        cached += c;
-        traced += t;
-        retries += r;
-        backoff_seconds += slept;
+        let stats = outcome?;
+        report.total += stats.latencies.len();
+        latencies.extend(stats.latencies);
+        report.ok += stats.ok;
+        report.cached += stats.cached;
+        report.shed += stats.shed;
+        report.timeouts += stats.timeouts;
+        report.errors += stats.errors;
+        report.traced += stats.traced;
+        report.retries += stats.retries;
+        report.backoff_seconds += stats.backoff_seconds;
         // The run is as long as its busiest connection's sleep-free loop.
-        request_seconds = request_seconds.max(loop_secs - slept);
+        report.request_seconds = report
+            .request_seconds
+            .max(stats.loop_seconds - stats.backoff_seconds);
     }
     latencies.sort_by(f64::total_cmp);
     let pct = |p: f64| -> f64 {
@@ -437,19 +531,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
         latencies[idx]
     };
-    Ok(LoadgenReport {
-        total,
-        ok,
-        errors: total - ok,
-        cached,
-        traced,
-        retries,
-        p50_ms: pct(0.50),
-        p99_ms: pct(0.99),
-        elapsed_seconds,
-        backoff_seconds,
-        request_seconds,
-    })
+    report.p50_ms = pct(0.50);
+    report.p95_ms = pct(0.95);
+    report.p99_ms = pct(0.99);
+    Ok(report)
 }
 
 /// Committed serve-throughput baseline — the `BENCH_serve_speed.json`
@@ -504,20 +589,26 @@ impl ServeSpeedBaseline {
     }
 
     /// Gate a report against the floor. `Ok` carries a human-readable
-    /// verdict line; `Err` the failure message.
+    /// verdict line; `Err` the failure message. Both record the run's
+    /// outcome breakdown, so a floor pass that leaned on shed or
+    /// timed-out responses is visible in the gate's own output.
     pub fn check(&self, report: &LoadgenReport) -> Result<String, String> {
         let got = report.throughput();
         let floor = self.floor();
+        let split = format!(
+            "[ok {} | cache_hit {} | shed {} | timeout {} | error {}]",
+            report.ok, report.cached, report.shed, report.timeouts, report.errors
+        );
         if got >= floor {
             Ok(format!(
                 "throughput floor ok: {got:.1} req/s >= {floor:.1} req/s \
-                 (baseline {:.1} x {:.2}, grace {:.1})",
+                 (baseline {:.1} x {:.2}, grace {:.1}) {split}",
                 self.rps, self.rel_factor, self.abs_grace_rps
             ))
         } else {
             Err(format!(
                 "throughput {got:.1} req/s below the floor {floor:.1} req/s \
-                 (baseline {:.1} x {:.2}, grace {:.1})",
+                 (baseline {:.1} x {:.2}, grace {:.1}) {split}",
                 self.rps, self.rel_factor, self.abs_grace_rps
             ))
         }
@@ -562,12 +653,15 @@ mod tests {
         // throughput uses the 2 s request-loop denominator, not the wall.
         let r = LoadgenReport {
             total: 10,
-            ok: 8,
-            errors: 2,
-            cached: 4,
+            ok: 6,
+            errors: 1,
+            shed: 2,
+            timeouts: 1,
+            cached: 3,
             traced: 10,
             retries: 3,
             p50_ms: 1.0,
+            p95_ms: 1.5,
             p99_ms: 2.0,
             elapsed_seconds: 2.5,
             backoff_seconds: 0.5,
@@ -577,8 +671,12 @@ mod tests {
         assert_eq!(r.throughput(), 5.0);
         let text = r.to_string();
         assert!(text.contains("p50 1.00 ms"), "{text}");
+        assert!(text.contains("p95 1.50 ms"), "{text}");
         assert!(text.contains("50% hit rate"), "{text}");
-        assert!(text.contains("3 retries"), "{text}");
+        assert!(text.contains("shed 2"), "{text}");
+        assert!(text.contains("timeout 1"), "{text}");
+        assert!(text.contains("error 1"), "{text}");
+        assert!(text.contains("retries 3"), "{text}");
         assert!(text.contains("0.50 s retry backoff"), "{text}");
         assert!(text.contains("2.50 s wall"), "{text}");
         assert!(text.contains("10 responses echoed a span"), "{text}");
@@ -587,6 +685,36 @@ mod tests {
             !untraced.contains("tracing"),
             "no tracing line without traced responses: {untraced}"
         );
+    }
+
+    #[test]
+    fn responses_classify_into_outcome_columns() {
+        let case = |text: &str| classify(&Value::parse(text).unwrap());
+        assert_eq!(
+            case(r#"{"ok":true,"cached":true}"#),
+            Outcome::Ok { cached: true }
+        );
+        assert_eq!(
+            case(r#"{"ok":true,"cached":false}"#),
+            Outcome::Ok { cached: false }
+        );
+        assert_eq!(
+            case(r#"{"ok":false,"error":{"kind":"overloaded","message":"m"}}"#),
+            Outcome::Shed
+        );
+        assert_eq!(
+            case(r#"{"ok":false,"error":{"kind":"unavailable","message":"m"}}"#),
+            Outcome::Shed
+        );
+        assert_eq!(
+            case(r#"{"ok":false,"error":{"kind":"timeout","message":"m"}}"#),
+            Outcome::Timeout
+        );
+        assert_eq!(
+            case(r#"{"ok":false,"error":{"kind":"internal","message":"m"}}"#),
+            Outcome::Error
+        );
+        assert_eq!(case(r#"{"ok":false}"#), Outcome::Error);
     }
 
     #[test]
@@ -738,6 +866,60 @@ mod tests {
             "responses must come back in request order"
         );
         server.join().unwrap();
+    }
+
+    #[test]
+    fn open_loop_paces_arrivals_and_charges_backlog_to_latency() {
+        use std::io::BufRead;
+        use std::net::TcpListener;
+
+        // A server that takes 25 ms per response: a closed loop would
+        // record ~25 ms for every request, silently omitting the queue
+        // that builds when arrivals outpace service. The open loop fires
+        // on schedule (4x faster than the server drains) and measures
+        // from the schedule, so the backlog must show up as growing
+        // recorded latency.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            for _ in 0..8 {
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap() == 0 {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+                s.write_all(b"{\"ok\":true,\"cached\":false}\n").unwrap();
+            }
+        });
+
+        let cfg = LoadgenConfig {
+            addrs: vec![addr.to_string()],
+            connections: 1,
+            requests_per_conn: 8,
+            rate: 160.0, // schedule: one request every 6.25 ms
+            timeout: Duration::from_secs(5),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&cfg).unwrap();
+        server.join().unwrap();
+        assert_eq!(report.total, 8);
+        assert_eq!(report.ok, 8);
+        // The last arrival was scheduled at ~44 ms but answered at
+        // ~200 ms: far beyond the 25 ms service time. With coordinated
+        // omission the p99 would sit at ~25 ms; corrected it must not.
+        assert!(
+            report.p99_ms > 60.0,
+            "open-loop p99 must include queueing delay, got {:.2} ms",
+            report.p99_ms
+        );
+        assert!(
+            report.p50_ms > report.p99_ms / 10.0,
+            "latencies should grow with the backlog: p50 {:.2} p99 {:.2}",
+            report.p50_ms,
+            report.p99_ms
+        );
     }
 
     #[test]

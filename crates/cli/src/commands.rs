@@ -123,54 +123,85 @@ USAGE:
       with F in (0, 1). The degraded plan is bit-identical to
       `madpipe plan` on the surviving platform.
   madpipe serve [--addr HOST:PORT] [--threads N] [--cache-entries N]
-               [--timeout-ms T] [--peers A,B,..] [--gossip-ms T]
-               [--gossip-entries K] [--flight-dump FILE]
+               [--cache-bytes B] [--timeout-ms T] [--shed-target-ms T]
+               [--shed-window-ms T] [--journal FILE] [--peers A,B,..]
+               [--gossip-ms T] [--gossip-entries K] [--flight-dump FILE]
       Run the planning daemon: newline-delimited JSON requests
       ({\"cmd\":\"plan\"|\"replan\"|\"metrics\"|\"health\"|\"ping\"|\"shutdown\"}),
       served by an event-driven reactor (pipelined requests answered in
       order), a sharded LRU cache keyed by the canonical instance, N
       planner workers (default 2), per-request deadline T ms (default
-      30000). Workers are supervised: a panicking request gets a
-      structured `internal` error and the worker is respawned; `health`
-      reports queue depth and worker liveness. --peers names sibling
-      daemons to gossip the K hottest cache entries to (default 8) every
-      T ms (default 500) — peers warm their caches with the shipped
-      plans verbatim, so warmed answers stay bit-identical. Prints
+      30000). The worker queue is deadline-ordered (earliest first);
+      jobs whose deadline passed while queued are dropped at dequeue
+      without running the DP (`serve.shed.expired`), and a CoDel-style
+      admission gate sheds a growing fraction of new misses with a
+      structured `overloaded` error (`serve.shed.overload`) whenever
+      the minimum queue sojourn stays above --shed-target-ms (default
+      off) for a full --shed-window-ms (default 100). Workers are
+      supervised: a panicking request gets a structured `internal`
+      error and the worker is respawned; `health` reports queue depth,
+      worker liveness, shed counts and journal stats. --journal appends
+      every freshly planned entry to a checksummed JSONL file and
+      replays it on startup — the warmed cache serves plans
+      byte-identical to the pre-restart daemon, a torn tail from a
+      mid-append crash is tolerated, and a clean drain compacts the
+      file to the live cache. --cache-bytes caps the cache's resident
+      plan bytes (0 = entries-only). --peers names sibling daemons to
+      gossip the K hottest cache entries to (default 8) every T ms
+      (default 500) — peers warm their caches with the shipped plans
+      verbatim, so warmed answers stay bit-identical. Prints
       `listening on ADDR` once live; drains gracefully on SIGTERM,
       SIGINT or a shutdown request. Default address 127.0.0.1:4835;
       --cache-entries 0 disables the cache. --flight-dump writes the
       always-on flight-recorder ring (recent spans/counters) as JSONL
       on exit — panics inside a worker dump it immediately.
   madpipe route --backends A,B,.. [--addr HOST:PORT] [--vnodes N]
-               [--timeout-ms T] [--cooldown-ms T] [--flight-dump FILE]
+               [--timeout-ms T] [--probe-timeout-ms T]
+               [--breaker-threshold N] [--breaker-open-ms T]
+               [--flight-dump FILE]
       Run the cluster router: a consistent-hash ring (N vnodes per
       backend, default 64) keyed on the canonical instance string routes
       each plan/replan to its owning daemon and fails over around dead
-      ones (dead backends cool down T ms, default 500, before retry).
-      `health` and `metrics` answer cluster-wide rollups across all
-      backends (histogram buckets are summed per bucket, so quantiles
-      reconstruct cluster-wide). A request line carrying a `trace` field
-      is forwarded with its `parent` rewritten to the router's own
-      `router.forward` span, linking the daemon's spans under the router
-      hop. Prints `routing on ADDR -> N backends` once live; drains like
-      serve. Default address 127.0.0.1:4830; --flight-dump as in serve.
+      ones. Each backend sits behind a circuit breaker: N consecutive
+      failures (default 3) open it for T ms (default 500), an open
+      breaker is skipped outright, and recovery goes through a single
+      half-open probe request that closes the breaker on success.
+      Failovers past the first attempt draw from a retry budget that
+      refills at ~10% of forwarded traffic, so a sick cluster can't be
+      swamped by retries. `health` and `metrics` answer cluster-wide
+      rollups across all backends (histogram buckets are summed per
+      bucket, so quantiles reconstruct cluster-wide) using the shorter
+      --probe-timeout-ms (default 2000) per backend probe; `health`
+      reports each backend's breaker state. A request line carrying a
+      `trace` field is forwarded with its `parent` rewritten to the
+      router's own `router.forward` span, linking the daemon's spans
+      under the router hop. Prints `routing on ADDR -> N backends` once
+      live; drains like serve. Default address 127.0.0.1:4830;
+      --flight-dump as in serve.
   madpipe loadgen [--addr HOST:PORT[,HOST:PORT..]] [--connections N]
                [--requests M] [--pipeline D] [--instances K] [--seed S]
-               [--timeout-ms T] [--max-retries R] [--floor FILE]
-               [--expect-hits] [--trace]
-      Closed-loop client for the daemon: N connections × M requests over
-      K mixed instances; prints p50/p99 latency, hit rate, retries and
-      the server's serve.* counters. --addr may list several daemons
-      (connection i targets addr i mod len); --pipeline D keeps D
-      requests in flight per connection (batched writes, in-order
+               [--rate R] [--timeout-ms T] [--max-retries R]
+               [--floor FILE] [--expect-hits] [--trace]
+      Load client for the daemon: N connections × M requests over K
+      mixed instances; prints ok/cache_hit/shed/timeout/error counts,
+      p50/p95/p99 latency, hit rate, retries and the server's serve.*
+      counters. Closed-loop by default; --rate R switches to an
+      open-loop arrival process pacing R requests/s across the
+      connections, with latency charged from each request's *scheduled*
+      send time, so server backlog shows up in the quantiles instead of
+      being hidden by coordinated omission. --addr may list several
+      daemons (connection i targets addr i mod len); --pipeline D keeps
+      D requests in flight per connection (batched writes, in-order
       reads). Transient transport failures are retried up to R times
-      (default 3) with capped jittered backoff. --floor gates the run
-      against a committed BENCH_serve_speed.json throughput baseline;
-      --expect-hits exits nonzero unless every request succeeded and the
-      server reports both cache hits and misses (the CI smoke gate).
-      --trace injects a unique distributed trace id into every request
-      (the root of the cluster-wide trace) and reports how many
-      responses echoed a span back.
+      (default 3) with capped jittered backoff; shed (`overloaded`,
+      `unavailable`) and `timeout` verdicts are structured outcomes,
+      not transport errors. --floor gates the run against a committed
+      BENCH_serve_speed.json throughput baseline; --expect-hits exits
+      nonzero unless every request succeeded and the server reports
+      both cache hits and misses (the CI smoke gate). --trace injects a
+      unique distributed trace id into every request (the root of the
+      cluster-wide trace) and reports how many responses echoed a span
+      back.
 
 All <network> slots also accept `synthetic` (--layers N, --seed S): a
 reproducible random CNN-profile chain. All planning commands accept
@@ -858,7 +889,7 @@ fn top_frame(
     let body = health.field("health").map_err(|e| format!("health: {e}"))?;
     // A router rollup carries a `daemons` array; a single daemon is its
     // own one-row cluster.
-    let daemons: Vec<(String, bool, Value)> = match body.get("daemons") {
+    let daemons: Vec<(String, bool, String, Value)> = match body.get("daemons") {
         Some(list) => list
             .as_array()
             .map_err(|e| format!("daemons: {e}"))?
@@ -870,22 +901,37 @@ fn top_frame(
                     .unwrap_or("?")
                     .to_string();
                 let ok = d.get("ok") == Some(&Value::Bool(true));
-                (name, ok, d.get("health").cloned().unwrap_or(Value::Null))
+                let breaker = d
+                    .get("breaker")
+                    .and_then(|b| b.as_str().ok())
+                    .unwrap_or("-")
+                    .to_string();
+                (
+                    name,
+                    ok,
+                    breaker,
+                    d.get("health").cloned().unwrap_or(Value::Null),
+                )
             })
             .collect(),
-        None => vec![(addr.to_string(), true, body.clone())],
+        // A direct daemon has no router in front of it, hence no breaker.
+        None => vec![(addr.to_string(), true, "-".into(), body.clone())],
     };
     let uint = |v: &Value, key: &str| v.get(key).and_then(|x| x.as_u64().ok()).unwrap_or(0);
     let now = std::time::Instant::now();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<22} {:>5} {:>8} {:>6} {:>9} {:>6} {:>8}",
-        "daemon", "up", "workers", "queue", "req/s", "hit%", "dropped"
+        "{:<22} {:>5} {:>8} {:>6} {:>9} {:>6} {:>8} {:>9} {:>9}",
+        "daemon", "up", "workers", "queue", "req/s", "hit%", "dropped", "shed", "breaker"
     );
-    for (name, ok, h) in &daemons {
+    for (name, ok, breaker, h) in &daemons {
         if !ok {
-            let _ = writeln!(out, "{name:<22} {:>5} — unreachable", "DOWN");
+            let _ = writeln!(
+                out,
+                "{name:<22} {:>5} — unreachable (breaker {breaker})",
+                "DOWN"
+            );
             continue;
         }
         let requests = uint(h, "requests");
@@ -904,7 +950,7 @@ fn top_frame(
         };
         let _ = writeln!(
             out,
-            "{:<22} {:>5} {:>5}/{:<2} {:>6} {:>9.1} {:>6.1} {:>8}",
+            "{:<22} {:>5} {:>5}/{:<2} {:>6} {:>9.1} {:>6.1} {:>8} {:>9} {:>9}",
             name,
             "up",
             uint(h, "workers_alive"),
@@ -913,6 +959,8 @@ fn top_frame(
             rate,
             hit_pct,
             uint(h, "events_dropped"),
+            uint(h, "shed_expired") + uint(h, "shed_overload"),
+            breaker,
         );
     }
     // Cluster-wide request-latency quantiles, reconstructed from the
@@ -1223,6 +1271,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         gossip_interval: std::time::Duration::from_millis(args.get_or("gossip-ms", 500u64)?.max(1)),
         gossip_entries: args.get_or("gossip-entries", 8usize)?,
         flight_dump: args.raw("flight-dump").map(str::to_string),
+        journal: args.raw("journal").map(str::to_string),
+        cache_bytes: args.get_or("cache-bytes", 0usize)?,
+        shed_target: std::time::Duration::from_millis(args.get_or("shed-target-ms", 0u64)?),
+        shed_window: std::time::Duration::from_millis(
+            args.get_or("shed-window-ms", 100u64)?.max(1),
+        ),
     };
     madpipe_serve::install_signal_handlers();
     let server = madpipe_serve::Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
@@ -1252,7 +1306,11 @@ fn cmd_route(args: &Args) -> Result<(), String> {
         backends,
         vnodes: args.get_or("vnodes", 64usize)?.max(1),
         timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 60_000u64)?.max(1)),
-        cooldown: std::time::Duration::from_millis(args.get_or("cooldown-ms", 500u64)?),
+        probe_timeout: std::time::Duration::from_millis(
+            args.get_or("probe-timeout-ms", 2_000u64)?.max(1),
+        ),
+        breaker_threshold: args.get_or("breaker-threshold", 3u32)?.max(1),
+        breaker_open: std::time::Duration::from_millis(args.get_or("breaker-open-ms", 500u64)?),
         flight_dump: args.raw("flight-dump").map(str::to_string),
     };
     madpipe_serve::install_signal_handlers();
@@ -1280,6 +1338,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         seed: args.get_or("seed", 42u64)?,
         timeout: std::time::Duration::from_millis(args.get_or("timeout-ms", 60_000u64)?.max(1)),
         max_retries: args.get_or("max-retries", 3usize)?,
+        rate: args.get_or("rate", 0.0f64)?.max(0.0),
         trace: args.has("trace"),
     };
     let report = madpipe_bench::loadgen::run(&cfg)?;
@@ -1311,10 +1370,11 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         };
         let hits = counter("madpipe_serve_cache_hits");
         let misses = counter("madpipe_serve_cache_misses");
-        if report.errors > 0 {
+        let failed = report.errors + report.shed + report.timeouts;
+        if failed > 0 {
             return Err(format!(
-                "{} of {} requests failed",
-                report.errors, report.total
+                "{failed} of {} requests failed ({} error, {} shed, {} timeout)",
+                report.total, report.errors, report.shed, report.timeouts
             ));
         }
         if hits == 0 || misses == 0 {

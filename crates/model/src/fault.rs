@@ -93,8 +93,12 @@ impl PlatformFault {
 
     /// Parse a compact CLI spec: `gpu-loss:N` (alias `gpu:N`),
     /// `memory:F` (alias `mem:F`) and `link:F`, with `F` a fraction in
-    /// `(0, 1)`. Validation of the fraction range happens in
-    /// [`PlatformFault::apply`], against the actual platform.
+    /// `(0, 1)`. Magnitudes are validated here — a zero GPU count, a
+    /// negative/NaN/out-of-range fraction, or trailing garbage after
+    /// the number all fail at parse time, before any platform is
+    /// consulted ([`PlatformFault::apply`] re-checks against the actual
+    /// platform; parse-time rejection just fails sooner and names the
+    /// spec).
     pub fn parse_spec(spec: &str) -> Result<Self, ModelError> {
         let bad = |why: &str| ModelError::BadFault {
             detail: format!("fault spec `{spec}`: {why}"),
@@ -102,25 +106,30 @@ impl PlatformFault {
         let (kind, value) = spec
             .split_once(':')
             .ok_or_else(|| bad("expected KIND:VALUE (gpu-loss:N, memory:F, link:F)"))?;
+        let fraction = |what: &str| -> Result<f64, ModelError> {
+            let f: f64 = value
+                .parse()
+                .map_err(|_| bad(&format!("{what} fraction must be a number")))?;
+            check_fraction(what, f)
+                .map_err(|_| bad(&format!("{what} fraction must be in (0, 1), got `{value}`")))?;
+            Ok(f)
+        };
         match kind {
             "gpu-loss" | "gpu" => {
                 let count: usize = value
                     .parse()
-                    .map_err(|_| bad("GPU count must be a number"))?;
+                    .map_err(|_| bad("GPU count must be a positive integer"))?;
+                if count == 0 {
+                    return Err(bad("gpu loss of 0 GPUs is not a fault"));
+                }
                 Ok(PlatformFault::GpuLoss { count })
             }
-            "memory" | "mem" => {
-                let fraction: f64 = value
-                    .parse()
-                    .map_err(|_| bad("fraction must be a number"))?;
-                Ok(PlatformFault::MemoryReduction { fraction })
-            }
-            "link" => {
-                let fraction: f64 = value
-                    .parse()
-                    .map_err(|_| bad("fraction must be a number"))?;
-                Ok(PlatformFault::LinkSlowdown { fraction })
-            }
+            "memory" | "mem" => Ok(PlatformFault::MemoryReduction {
+                fraction: fraction("memory reduction")?,
+            }),
+            "link" => Ok(PlatformFault::LinkSlowdown {
+                fraction: fraction("link slowdown")?,
+            }),
             other => Err(bad(&format!(
                 "unknown fault kind `{other}` (gpu-loss, memory, link)"
             ))),
@@ -260,6 +269,65 @@ mod tests {
         for bad in ["", "gpu-loss", "warp:0.5", "gpu:x", "mem:y"] {
             assert!(PlatformFault::parse_spec(bad).is_err(), "`{bad}` must fail");
         }
+    }
+
+    #[test]
+    fn spec_rejects_bad_kinds_with_a_named_error() {
+        for spec in ["meteor:1", "gpu-gain:2", "memory-loss:0.5", ":0.5"] {
+            let err = PlatformFault::parse_spec(spec).unwrap_err().to_string();
+            assert!(
+                err.contains(&format!("`{spec}`")),
+                "error must quote the spec: {err}"
+            );
+            assert!(
+                err.contains("unknown fault kind"),
+                "`{spec}` should fail on the kind: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_rejects_bad_magnitudes_at_parse_time() {
+        // Negative, zero, out-of-range and non-finite magnitudes fail
+        // before any platform is consulted.
+        for spec in [
+            "gpu:0",
+            "gpu:-1",
+            "memory:-0.5",
+            "memory:0",
+            "memory:1",
+            "memory:1.5",
+            "memory:NaN",
+            "memory:inf",
+            "link:-0.01",
+            "link:0.0",
+            "link:1.0",
+        ] {
+            let err = PlatformFault::parse_spec(spec).unwrap_err().to_string();
+            assert!(err.contains(&format!("`{spec}`")), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn spec_rejects_trailing_garbage() {
+        for spec in [
+            "gpu:2x",
+            "gpu:2 ",
+            "gpu:2:3",
+            "memory:0.25junk",
+            "memory:0.25 extra",
+            "link:0.5;rm",
+        ] {
+            assert!(
+                PlatformFault::parse_spec(spec).is_err(),
+                "`{spec}` must fail"
+            );
+        }
+        // But plain well-formed numbers keep parsing.
+        assert_eq!(
+            PlatformFault::parse_spec("memory:0.125").unwrap(),
+            PlatformFault::MemoryReduction { fraction: 0.125 }
+        );
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! monotone stamp from one shared counter; eviction scans the (small,
 //! bounded) shard for the minimum stamp — O(capacity/shards), no
 //! intrusive list to get wrong under contention.
+//!
+//! Besides the entry-count bound the cache can carry a *byte* budget
+//! ([`PlanCache::with_byte_budget`]): each entry is charged its key
+//! length plus an estimate of its plan's in-memory size, eviction frees
+//! however many entries it takes to fit a newcomer, and a single plan
+//! too large to ever fit its shard is refused outright — caching it
+//! would evict an entire shard and still blow the budget, so the cache
+//! stays unchanged and the plan is simply served uncached.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,11 +27,15 @@ const SHARDS: usize = 8;
 struct Entry {
     stamp: u64,
     plan: Arc<Value>,
+    /// Byte charge against the shard's budget (0 when unbudgeted).
+    cost: usize,
 }
 
 #[derive(Default)]
 struct Shard {
     map: HashMap<String, Entry>,
+    /// Sum of the resident entries' costs.
+    bytes: usize,
 }
 
 /// The plan cache. `capacity == 0` disables caching entirely (every
@@ -32,6 +44,27 @@ pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     clock: AtomicU64,
     per_shard: usize,
+    /// Per-shard byte budget; 0 means unbudgeted (entry count only).
+    per_shard_bytes: usize,
+}
+
+/// Estimate a plan's in-memory footprint: string payloads plus a flat
+/// per-node charge for the enum/container overhead. Deliberately cheap
+/// (no rendering) and deliberately an estimate — the budget bounds
+/// memory to within a small constant factor, it is not an allocator.
+pub fn approx_plan_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null | Value::Bool(_) => 8,
+        Value::UInt(_) | Value::Int(_) | Value::Float(_) => 24,
+        Value::Str(s) => 24 + s.len(),
+        Value::Array(items) => 24 + items.iter().map(approx_plan_bytes).sum::<usize>(),
+        Value::Object(fields) => {
+            24 + fields
+                .iter()
+                .map(|(k, v)| k.len() + 24 + approx_plan_bytes(v))
+                .sum::<usize>()
+        }
+    }
 }
 
 /// Shard locks ignore poisoning: a panicking worker may die while a
@@ -56,10 +89,20 @@ impl PlanCache {
     /// A cache holding at most `capacity` plans (rounded up to a
     /// multiple of the shard count; 0 disables caching).
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, 0)
+    }
+
+    /// A cache bounded by both entry count and an approximate byte
+    /// budget (`budget_bytes == 0` leaves bytes unbounded). The budget
+    /// is spread over the shards; an entry larger than one shard's
+    /// slice — in particular any plan larger than the whole budget — is
+    /// refused rather than admitted-and-thrashed.
+    pub fn with_byte_budget(capacity: usize, budget_bytes: usize) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             clock: AtomicU64::new(0),
             per_shard: capacity.div_ceil(SHARDS),
+            per_shard_bytes: budget_bytes.div_ceil(SHARDS),
         }
     }
 
@@ -75,12 +118,24 @@ impl PlanCache {
     }
 
     /// Insert (or refresh) a plan; returns how many entries were evicted
-    /// to make room (0 or 1).
+    /// to make room (0 or 1 under the entry bound; possibly more under a
+    /// byte budget). An entry too large for its shard's byte slice is
+    /// refused — the cache stays unchanged.
     pub fn insert(&self, key: String, plan: Arc<Value>) -> u64 {
         if self.per_shard == 0 {
             return 0;
         }
+        let cost = self.cost_of(&key, &plan);
+        if self.oversized(cost) {
+            return 0;
+        }
         let mut shard = lock_shard(&self.shards[shard_of(&key)]);
+        // A replace frees its own slot and bytes before the room check,
+        // so re-inserting a key never evicts a sibling spuriously.
+        if let Some(prior) = shard.map.remove(&key) {
+            shard.bytes -= prior.cost;
+        }
+        let evicted = self.make_room(&mut shard, cost);
         // The stamp must be drawn *inside* the shard lock (as `get` does).
         // Drawn outside, an insert could take stamp N, stall, and store N
         // only after concurrent hits refreshed sibling entries with
@@ -92,51 +147,74 @@ impl PlanCache {
         // cross-thread accesses — the counter is only a tie-free source
         // of unique values.
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let fresh = !shard.map.contains_key(&key);
-        let mut evicted = 0;
-        if fresh && shard.map.len() >= self.per_shard {
-            if let Some(oldest) = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| k.clone())
-            {
-                shard.map.remove(&oldest);
-                evicted = 1;
-            }
-        }
-        shard.map.insert(key, Entry { stamp, plan });
+        shard.bytes += cost;
+        shard.map.insert(key, Entry { stamp, plan, cost });
         evicted
     }
 
-    /// Insert a plan only if the key is absent — the gossip-warming
-    /// path. Returns `(inserted, evicted)`. Unlike [`PlanCache::insert`]
-    /// a repeat does *not* refresh the entry's recency stamp: a peer
-    /// re-shipping a key this cache already holds says nothing about
-    /// local demand, so it must not protect the entry from eviction.
+    /// Insert a plan only if the key is absent — the gossip-warming and
+    /// journal-replay path. Returns `(inserted, evicted)`. Unlike
+    /// [`PlanCache::insert`] a repeat does *not* refresh the entry's
+    /// recency stamp: a peer re-shipping a key this cache already holds
+    /// says nothing about local demand, so it must not protect the entry
+    /// from eviction.
     pub fn warm(&self, key: String, plan: Arc<Value>) -> (bool, u64) {
         if self.per_shard == 0 {
+            return (false, 0);
+        }
+        let cost = self.cost_of(&key, &plan);
+        if self.oversized(cost) {
             return (false, 0);
         }
         let mut shard = lock_shard(&self.shards[shard_of(&key)]);
         if shard.map.contains_key(&key) {
             return (false, 0);
         }
+        let evicted = self.make_room(&mut shard, cost);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        shard.bytes += cost;
+        shard.map.insert(key, Entry { stamp, plan, cost });
+        (true, evicted)
+    }
+
+    /// Byte charge for an entry; 0 when the cache carries no budget (the
+    /// estimate walk is skipped entirely on the unbudgeted path).
+    fn cost_of(&self, key: &str, plan: &Value) -> usize {
+        if self.per_shard_bytes == 0 {
+            0
+        } else {
+            key.len() + approx_plan_bytes(plan)
+        }
+    }
+
+    /// True when `cost` can never fit a shard, even emptied.
+    fn oversized(&self, cost: usize) -> bool {
+        self.per_shard_bytes > 0 && cost > self.per_shard_bytes
+    }
+
+    /// Evict minimum-stamp entries until a `cost`-sized newcomer fits
+    /// both bounds; returns how many were evicted.
+    fn make_room(&self, shard: &mut Shard, cost: usize) -> u64 {
         let mut evicted = 0;
-        if shard.map.len() >= self.per_shard {
+        while !shard.map.is_empty()
+            && (shard.map.len() >= self.per_shard
+                || (self.per_shard_bytes > 0 && shard.bytes + cost > self.per_shard_bytes))
+        {
             if let Some(oldest) = shard
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k.clone())
             {
-                shard.map.remove(&oldest);
-                evicted = 1;
+                if let Some(e) = shard.map.remove(&oldest) {
+                    shard.bytes -= e.cost;
+                }
+                evicted += 1;
+            } else {
+                break;
             }
         }
-        shard.map.insert(key, Entry { stamp, plan });
-        (true, evicted)
+        evicted
     }
 
     /// The `k` most recently touched plans across all shards, hottest
@@ -230,6 +308,68 @@ mod tests {
         c.insert(same[2].clone(), plan(2)); // shard full → evicts [1]
         assert!(c.get(&same[0]).is_some(), "refreshed entry survives");
         assert!(c.get(&same[1]).is_none(), "stale entry evicted");
+    }
+
+    /// A plan string of roughly `n` payload bytes.
+    fn sized_plan(n: usize) -> Arc<Value> {
+        Arc::new(Value::Str("x".repeat(n)))
+    }
+
+    #[test]
+    fn a_plan_larger_than_the_whole_budget_is_refused_and_disturbs_nothing() {
+        // 8 KiB across 8 shards → 1 KiB per shard. A resident small
+        // entry, then a plan bigger than the *entire* cache budget: the
+        // insert must be a no-op — not admitted, not evicting the
+        // resident — and the same plan must be refused via `warm` too.
+        let c = PlanCache::with_byte_budget(64, 8 << 10);
+        c.insert("small".into(), plan(1));
+        assert_eq!(c.insert("huge".into(), sized_plan(16 << 10)), 0);
+        assert!(c.get("huge").is_none(), "oversized plan must not be cached");
+        assert_eq!(
+            c.get("small").as_deref(),
+            Some(&Value::UInt(1)),
+            "refusal must not evict residents"
+        );
+        assert_eq!(c.len(), 1);
+        let (inserted, evicted) = c.warm("huge2".into(), sized_plan(16 << 10));
+        assert!(!inserted);
+        assert_eq!(evicted, 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_as_many_entries_as_it_takes() {
+        // One shard's slice is 1 KiB; three ~300 B same-shard entries
+        // fit, then a ~900 B newcomer must evict more than one of them.
+        let c = PlanCache::with_byte_budget(64, 8 << 10);
+        let mut same: Vec<String> = Vec::new();
+        let mut i = 0;
+        while same.len() < 4 {
+            let k = format!("b{i}");
+            if shard_of(&k) == shard_of("b0") {
+                same.push(k);
+            }
+            i += 1;
+        }
+        for k in &same[..3] {
+            assert_eq!(c.insert(k.clone(), sized_plan(300)), 0);
+        }
+        assert_eq!(c.len(), 3);
+        let evicted = c.insert(same[3].clone(), sized_plan(900));
+        assert!(evicted >= 2, "expected a multi-eviction, got {evicted}");
+        assert!(c.get(&same[3]).is_some());
+    }
+
+    #[test]
+    fn replacing_a_key_under_budget_reaccounts_its_bytes() {
+        let c = PlanCache::with_byte_budget(64, 8 << 10);
+        c.insert("k".into(), sized_plan(800));
+        // Shrink it, then grow it back: neither replace may evict the
+        // entry itself or misaccount the shard's byte sum (which a
+        // follow-up same-shard insert would expose as a bogus eviction).
+        assert_eq!(c.insert("k".into(), sized_plan(100)), 0);
+        assert_eq!(c.insert("k".into(), sized_plan(800)), 0);
+        assert!(c.get("k").is_some());
     }
 
     #[test]

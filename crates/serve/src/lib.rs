@@ -39,12 +39,14 @@
 
 pub mod cache;
 pub mod gossip;
+pub mod journal;
 pub mod protocol;
 pub mod reactor;
 pub mod router;
 pub mod server;
 
 pub use cache::PlanCache;
+pub use journal::{Journal, ReplayStats};
 pub use protocol::{
     attach_trace, canonical_instance, inject_context, parse_line, parse_request, plan_to_json,
     PlanRequest, ReplanRequest, Request, ServeError, TraceContext, MAX_GOSSIP_ENTRIES,

@@ -26,15 +26,23 @@
 //!
 //! Accepting: transient `accept(2)` failures (`EMFILE`, `ENFILE`,
 //! `ECONNABORTED`, …) put the listener on exponential backoff
-//! (1 ms → 200 ms, counter `serve.accept.errors`) instead of
+//! (1 ms → 200 ms, counters `serve.accept.errors` and
+//! `serve.accept.backoff_ms`, both surfaced in `health`) instead of
 //! tight-looping; `EINTR` retries immediately and `WouldBlock` resets
 //! the backoff.
+//!
+//! Overload: a plan miss consults the [`Ctx::gate`] admission gate
+//! before touching the queue — when queue sojourn has been above target
+//! for a sustained window the miss is shed with a structured
+//! `overloaded` error (`serve.shed.overload`) instead of joining a
+//! standing queue; a full queue is still an immediate reject
+//! (`serve.rejects`).
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,7 +53,7 @@ use crate::protocol::{
     attach_trace, error_response, gossip_response, ok_response, parse_line, plan_response,
     replan_response, GossipEntry, PlanRequest, Request, ServeError,
 };
-use crate::server::{health_value, Ctx, Job, PlanOutcome, MAX_LINE_BYTES};
+use crate::server::{health_value, Ctx, DeadlineQueue, Job, PlanOutcome, MAX_LINE_BYTES};
 
 /// Per-connection cap on queued (unanswered) pipelined requests; past
 /// it the reactor stops reading the socket until slots retire.
@@ -280,13 +288,12 @@ impl Conn {
 
 // --- the reactor loop ------------------------------------------------------
 
-/// Run the reactor until drain completes. Owns the job-queue sender:
-/// dropping it on exit is what lets the workers finish the queue and
-/// leave.
+/// Run the reactor until drain completes. Closing the job queue on
+/// exit is what lets the workers finish the remaining jobs and leave.
 pub(crate) fn reactor_loop(
     listener: TcpListener,
     ctx: Arc<Ctx>,
-    jobs: SyncSender<Job>,
+    jobs: Arc<DeadlineQueue>,
     wake: WakeRx,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
@@ -330,7 +337,7 @@ pub(crate) fn reactor_loop(
             wait_for_events(&listener, &conns, &wake, timeout, accepting);
         }
     }
-    drop(jobs);
+    jobs.close();
 }
 
 /// Accept until `WouldBlock`. Transient failures arm the exponential
@@ -371,6 +378,11 @@ fn accept_burst(
                 } else {
                     (*backoff * 2).min(ACCEPT_BACKOFF_MAX)
                 };
+                // Total backoff armed, in ms — lets a monitor tell "one
+                // blip" from "the listener has been throttled for
+                // minutes" without scraping logs.
+                ctx.registry
+                    .add("serve.accept.backoff_ms", backoff.as_millis() as u64);
                 *retry_at = Some(Instant::now() + *backoff);
                 break;
             }
@@ -415,7 +427,7 @@ fn read_some(conn: &mut Conn) -> bool {
 
 /// Turn buffered complete lines into in-flight slots, and reject an
 /// over-bound line (complete or still streaming) in pipeline position.
-fn extract_lines(conn: &mut Conn, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> bool {
+fn extract_lines(conn: &mut Conn, ctx: &Arc<Ctx>, jobs: &Arc<DeadlineQueue>) -> bool {
     let mut progress = false;
     while conn.inflight.len() < MAX_INFLIGHT {
         let Some(pos) = conn.read_buf.iter().position(|b| *b == b'\n') else {
@@ -458,7 +470,7 @@ fn oversized_slot(ctx: &Arc<Ctx>) -> Slot {
 
 /// Parse one request line into its in-flight entry. Everything except a
 /// planning cache miss is answered on the spot.
-fn slot_for_line(line: &str, ctx: &Arc<Ctx>, jobs: &SyncSender<Job>) -> InFlight {
+fn slot_for_line(line: &str, ctx: &Arc<Ctx>, jobs: &Arc<DeadlineQueue>) -> InFlight {
     let started = Instant::now();
     let started_us = madpipe_obs::now_unix_us();
     let _span = madpipe_obs::span("serve.request");
@@ -562,7 +574,7 @@ fn submit_plan(
     req: PlanRequest,
     deadline: Instant,
     ctx: &Arc<Ctx>,
-    jobs: &SyncSender<Job>,
+    jobs: &Arc<DeadlineQueue>,
     trace: u64,
     span: u64,
 ) -> PlanWait {
@@ -586,6 +598,13 @@ fn submit_plan(
     if ctx.draining() {
         return PlanWait::Done(Err(ServeError::unavailable()));
     }
+    // CoDel-style admission: when queue sojourn has exceeded its target
+    // for a sustained window, shed a growing fraction of new misses so
+    // the requests that *are* admitted still meet their deadlines.
+    if !ctx.gate.admit(ctx.queue_depth.load(Ordering::SeqCst)) {
+        ctx.registry.inc("serve.shed.overload");
+        return PlanWait::Done(Err(ServeError::overloaded()));
+    }
     let (reply_tx, reply_rx) = mpsc::sync_channel::<PlanOutcome>(1);
     let job = Job {
         req: Box::new(req),
@@ -595,7 +614,7 @@ fn submit_plan(
         span,
         enqueued: Instant::now(),
     };
-    match jobs.try_send(job) {
+    match jobs.try_push(job) {
         Ok(()) => {
             ctx.queue_depth.fetch_add(1, Ordering::SeqCst);
             PlanWait::Pending {
@@ -603,11 +622,11 @@ fn submit_plan(
                 deadline,
             }
         }
-        Err(TrySendError::Full(_)) => {
+        Err(_) if ctx.draining() => PlanWait::Done(Err(ServeError::unavailable())),
+        Err(_) => {
             ctx.registry.inc("serve.rejects");
             PlanWait::Done(Err(ServeError::overloaded()))
         }
-        Err(TrySendError::Disconnected(_)) => PlanWait::Done(Err(ServeError::unavailable())),
     }
 }
 

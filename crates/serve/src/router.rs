@@ -15,12 +15,18 @@
 //! adding or removing a daemon only remaps the keys the ring assigned to
 //! it — the consistent-hashing property, tested on [`Ring`] directly.
 //!
-//! Failover: a backend that fails an exchange is marked dead for a
-//! cooldown and the request retries on the next distinct ring candidate
-//! (counters `router.backend_errors`, `router.failover`). Dead backends
-//! are still probed last-resort, so a recovered daemon rejoins without
-//! operator action. Only when every backend fails does the client see an
-//! `unavailable` error.
+//! Failover: every backend sits behind a circuit [`Breaker`]
+//! (closed → open → half-open). An exchange failure counts against the
+//! backend; at the threshold the breaker trips open and requests skip
+//! the backend outright — no dial timeout burned on a corpse — until
+//! the open window lapses and a single half-open probe is admitted,
+//! whose success closes the breaker (counters `router.backend_errors`,
+//! `router.failover`, `router.breaker.*`). Failover retries themselves
+//! are metered by a token-bucket retry budget (a deposit per request,
+//! a withdrawal per retry, so retries stay a bounded fraction of
+//! traffic and a dead cluster cannot trigger a retry storm). Only when
+//! every candidate is down, shed, or out of budget does the client see
+//! an `unavailable` error.
 //!
 //! Rollups: `health` fans out to every backend and reports per-daemon
 //! status plus an `alive` count; `metrics` sums each daemon's plain
@@ -67,9 +73,17 @@ pub struct RouterConfig {
     pub vnodes: usize,
     /// Per-exchange dial + I/O budget against one backend.
     pub timeout: Duration,
-    /// How long a failed backend sits out before it is tried first
-    /// again (it stays reachable as a last resort throughout).
-    pub cooldown: Duration,
+    /// Dial + I/O budget for `health`/`metrics` rollup probes. Much
+    /// shorter than `timeout`: a rollup should detect a dead daemon in
+    /// probe time, not hang a cluster health check for a full planning
+    /// budget.
+    pub probe_timeout: Duration,
+    /// Consecutive exchange failures that trip a backend's circuit
+    /// breaker open.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before it admits a single
+    /// half-open probe.
+    pub breaker_open: Duration,
     /// Where `join()` dumps the flight-recorder ring (JSONL). `None`
     /// skips the dump; the ring records regardless.
     pub flight_dump: Option<String>,
@@ -82,8 +96,162 @@ impl Default for RouterConfig {
             backends: Vec::new(),
             vnodes: 64,
             timeout: Duration::from_secs(60),
-            cooldown: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(2),
+            breaker_threshold: 3,
+            breaker_open: Duration::from_millis(500),
             flight_dump: None,
+        }
+    }
+}
+
+/// Retry-budget token bucket, accounted in integer *tenths* of a token
+/// (exact, no float drift): each forwarded request deposits one tenth,
+/// each failover retry withdraws ten. Retries therefore converge to at
+/// most ~10% of offered traffic, with a burst allowance of
+/// [`RETRY_CAP`] whole tokens — enough to ride out a single backend
+/// dying, not enough to amplify a dead cluster into a retry storm.
+const RETRY_CAP: u64 = 100;
+const TENTHS_PER_RETRY: u64 = 10;
+
+struct RetryBudget {
+    tenths: Mutex<u64>,
+}
+
+impl RetryBudget {
+    /// The bucket starts full so cold-start failovers are never starved.
+    fn new() -> RetryBudget {
+        RetryBudget {
+            tenths: Mutex::new(RETRY_CAP * TENTHS_PER_RETRY),
+        }
+    }
+
+    fn deposit(&self) {
+        let mut tenths = lock_unpoisoned(&self.tenths);
+        *tenths = (*tenths + 1).min(RETRY_CAP * TENTHS_PER_RETRY);
+    }
+
+    /// Take one retry token; `false` means the budget is exhausted and
+    /// the caller must stop failing over.
+    fn withdraw(&self) -> bool {
+        let mut tenths = lock_unpoisoned(&self.tenths);
+        if *tenths >= TENTHS_PER_RETRY {
+            *tenths -= TENTHS_PER_RETRY;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-backend circuit breaker: closed → open → half-open → closed.
+///
+/// Closed counts *consecutive* failures; at the threshold the breaker
+/// opens for `open_for` and requests shed the backend instantly instead
+/// of burning a dial timeout on it. When the window lapses, the next
+/// caller is admitted as the single half-open canary: its success
+/// closes the breaker, its failure re-opens it, and everyone else keeps
+/// shedding until the canary reports.
+struct Breaker {
+    threshold: u32,
+    open_for: Duration,
+    state: Mutex<BreakerState>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen { since: Instant },
+}
+
+/// What [`Breaker::admit`] tells a request it may do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admit {
+    /// Breaker closed: exchange normally.
+    Yes,
+    /// Breaker half-open and this caller drew the single canary slot.
+    Probe,
+    /// Breaker open (or another canary is in flight): skip the backend.
+    No,
+}
+
+impl Breaker {
+    fn new(threshold: u32, open_for: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            open_for,
+            state: Mutex::new(BreakerState::Closed { failures: 0 }),
+        }
+    }
+
+    fn admit(&self) -> Admit {
+        let mut st = lock_unpoisoned(&self.state);
+        match *st {
+            BreakerState::Closed { .. } => Admit::Yes,
+            BreakerState::Open { until } => {
+                if Instant::now() >= until {
+                    *st = BreakerState::HalfOpen {
+                        since: Instant::now(),
+                    };
+                    Admit::Probe
+                } else {
+                    Admit::No
+                }
+            }
+            BreakerState::HalfOpen { since } => {
+                // A canary that never reported (its thread died, its
+                // dial hung) must not wedge the breaker half-open
+                // forever: after a full open window the next caller
+                // becomes the new canary.
+                if since.elapsed() > self.open_for {
+                    *st = BreakerState::HalfOpen {
+                        since: Instant::now(),
+                    };
+                    Admit::Probe
+                } else {
+                    Admit::No
+                }
+            }
+        }
+    }
+
+    fn on_success(&self) {
+        *lock_unpoisoned(&self.state) = BreakerState::Closed { failures: 0 };
+    }
+
+    /// Record a failed exchange; `true` when this failure tripped the
+    /// breaker open (closed at threshold, or a failed canary).
+    fn on_failure(&self) -> bool {
+        let mut st = lock_unpoisoned(&self.state);
+        match *st {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.threshold {
+                    *st = BreakerState::Open {
+                        until: Instant::now() + self.open_for,
+                    };
+                    true
+                } else {
+                    *st = BreakerState::Closed { failures };
+                    false
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                *st = BreakerState::Open {
+                    until: Instant::now() + self.open_for,
+                };
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Stable state name for rollups and `madpipe top`.
+    fn state_name(&self) -> &'static str {
+        match *lock_unpoisoned(&self.state) {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half_open",
         }
     }
 }
@@ -143,10 +311,11 @@ struct RouterCtx {
     registry: Registry,
     backends: Vec<String>,
     ring: Ring,
-    /// Per-backend cooldown deadline after a failed exchange.
-    dead_until: Vec<Mutex<Option<Instant>>>,
+    /// Per-backend circuit breaker.
+    breakers: Vec<Breaker>,
+    retry_budget: RetryBudget,
     timeout: Duration,
-    cooldown: Duration,
+    probe_timeout: Duration,
     flight_dump: Option<String>,
 }
 
@@ -155,16 +324,15 @@ impl RouterCtx {
         self.draining.load(Ordering::SeqCst) || crate::server::term_requested()
     }
 
-    fn is_cooling(&self, idx: usize) -> bool {
-        lock_unpoisoned(&self.dead_until[idx]).is_some_and(|t| Instant::now() < t)
+    /// Record a successful/failed exchange or probe against a backend.
+    fn mark_alive(&self, idx: usize) {
+        self.breakers[idx].on_success();
     }
 
     fn mark_dead(&self, idx: usize) {
-        *lock_unpoisoned(&self.dead_until[idx]) = Some(Instant::now() + self.cooldown);
-    }
-
-    fn mark_alive(&self, idx: usize) {
-        *lock_unpoisoned(&self.dead_until[idx]) = None;
+        if self.breakers[idx].on_failure() {
+            self.registry.inc("router.breaker.opened");
+        }
     }
 }
 
@@ -192,10 +360,15 @@ impl Router {
             draining: AtomicBool::new(false),
             registry: Registry::new(),
             ring: Ring::new(&cfg.backends, cfg.vnodes),
-            dead_until: cfg.backends.iter().map(|_| Mutex::new(None)).collect(),
+            breakers: cfg
+                .backends
+                .iter()
+                .map(|_| Breaker::new(cfg.breaker_threshold, cfg.breaker_open))
+                .collect(),
+            retry_budget: RetryBudget::new(),
             backends: cfg.backends,
             timeout: cfg.timeout,
-            cooldown: cfg.cooldown,
+            probe_timeout: cfg.probe_timeout,
             flight_dump: cfg.flight_dump,
         });
         let acceptor = {
@@ -409,21 +582,33 @@ fn traced_forward(
 
 /// Relay the original line to the key's owner, failing over along the
 /// ring. The line goes verbatim, so the response is byte-identical to
-/// what the daemon would have sent a direct client.
+/// what the daemon would have sent a direct client. Backends with an
+/// open breaker are skipped outright; failover retries past the first
+/// attempt each spend a retry-budget token.
 fn forward(
     line: &str,
     key: &str,
     ctx: &Arc<RouterCtx>,
     backends: &mut HashMap<usize, TcpStream>,
 ) -> String {
+    ctx.retry_budget.deposit();
     let candidates = ctx.ring.candidates(key);
     let primary = candidates.first().copied();
-    // Healthy backends keep ring order; cooling ones drop to the back
-    // as last-resort probes (that's also how a recovered daemon gets
-    // rediscovered after its cooldown-era failures).
-    let (healthy, cooling): (Vec<usize>, Vec<usize>) =
-        candidates.iter().partition(|i| !ctx.is_cooling(**i));
-    for idx in healthy.into_iter().chain(cooling) {
+    let mut attempted = 0usize;
+    for idx in candidates {
+        match ctx.breakers[idx].admit() {
+            Admit::No => {
+                ctx.registry.inc("router.breaker.shed");
+                continue;
+            }
+            Admit::Probe => ctx.registry.inc("router.breaker.probes"),
+            Admit::Yes => {}
+        }
+        if attempted >= 1 && !ctx.retry_budget.withdraw() {
+            ctx.registry.inc("router.retry_budget.exhausted");
+            break;
+        }
+        attempted += 1;
         match exchange(backends, idx, &ctx.backends[idx], line, ctx.timeout) {
             Ok(response) => {
                 ctx.mark_alive(idx);
@@ -510,15 +695,16 @@ fn probe(addr: &str, line: &str, timeout: Duration) -> std::io::Result<Value> {
         .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}")))
 }
 
-/// Cluster `health`: per-daemon status plus the alive count. A failed
-/// probe marks the backend cooling, so rollups double as failure
-/// detection.
+/// Cluster `health`: per-daemon status (with its breaker state) plus
+/// the alive count. Probes run on the short `probe_timeout` and feed
+/// the breakers, so rollups double as failure detection *and* as the
+/// path by which a recovered daemon's breaker closes again.
 fn health_rollup(ctx: &Arc<RouterCtx>) -> String {
     let mut daemons = Vec::new();
     let mut alive = 0u64;
     for (idx, addr) in ctx.backends.iter().enumerate() {
         let mut fields = vec![("addr".to_string(), Value::Str(addr.clone()))];
-        match probe(addr, r#"{"cmd":"health"}"#, ctx.timeout) {
+        match probe(addr, r#"{"cmd":"health"}"#, ctx.probe_timeout) {
             Ok(v)
                 if v.field("ok")
                     .map(|ok| ok == &Value::Bool(true))
@@ -536,6 +722,10 @@ fn health_rollup(ctx: &Arc<RouterCtx>) -> String {
                 fields.push(("ok".into(), Value::Bool(false)));
             }
         }
+        fields.push((
+            "breaker".into(),
+            Value::Str(ctx.breakers[idx].state_name().into()),
+        ));
         daemons.push(Value::Object(fields));
     }
     ok_response(
@@ -568,7 +758,7 @@ fn metrics_rollup(ctx: &Arc<RouterCtx>) -> String {
     let mut buckets: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
     let mut reporting = 0u64;
     for (idx, addr) in ctx.backends.iter().enumerate() {
-        let Ok(v) = probe(addr, r#"{"cmd":"metrics"}"#, ctx.timeout) else {
+        let Ok(v) = probe(addr, r#"{"cmd":"metrics"}"#, ctx.probe_timeout) else {
             ctx.mark_dead(idx);
             continue;
         };
@@ -672,5 +862,87 @@ mod tests {
         assert!(Ring::new(&[], 64).candidates("k").is_empty());
         let one = Ring::new(&backends(1), 8);
         assert_eq!(one.candidates("anything"), vec![0]);
+    }
+
+    #[test]
+    fn breaker_trips_at_threshold_then_recovers_through_a_single_probe() {
+        let b = Breaker::new(3, Duration::from_millis(20));
+        assert_eq!(b.state_name(), "closed");
+
+        // Two failures stay closed; the third trips the breaker.
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert_eq!(b.admit(), Admit::Yes, "still closed below threshold");
+        assert!(b.on_failure(), "threshold failure must report the trip");
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.admit(), Admit::No, "open breakers shed instantly");
+
+        // After the open window: exactly one canary is admitted, the
+        // rest keep shedding until it reports.
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), Admit::Probe);
+        assert_eq!(b.state_name(), "half_open");
+        assert_eq!(b.admit(), Admit::No, "only one canary at a time");
+
+        // A failed canary re-opens; a successful one closes.
+        assert!(b.on_failure());
+        assert_eq!(b.state_name(), "open");
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), Admit::Probe);
+        b.on_success();
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.admit(), Admit::Yes);
+
+        // Success also resets the consecutive-failure count.
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        b.on_success();
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn a_wedged_canary_is_replaced_after_a_full_open_window() {
+        let b = Breaker::new(1, Duration::from_millis(10));
+        assert!(b.on_failure());
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.admit(), Admit::Probe);
+        // The canary never reports. After another open window the slot
+        // is re-issued rather than wedging half-open forever.
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.admit(), Admit::Probe);
+    }
+
+    #[test]
+    fn retry_budget_meters_retries_against_traffic() {
+        let budget = RetryBudget::new();
+        // The bucket starts full: drain it.
+        let mut drained = 0;
+        while budget.withdraw() {
+            drained += 1;
+            assert!(drained <= RETRY_CAP as usize, "bucket must be bounded");
+        }
+        assert_eq!(drained, RETRY_CAP as usize);
+        assert!(!budget.withdraw(), "empty bucket refuses retries");
+
+        // Ten deposits (ten forwarded requests) buy back one retry.
+        for _ in 0..9 {
+            budget.deposit();
+        }
+        assert!(!budget.withdraw(), "0.9 tokens is not a retry");
+        budget.deposit();
+        assert!(budget.withdraw());
+        assert!(!budget.withdraw());
+
+        // The cap holds no matter how much traffic flows.
+        for _ in 0..10_000 {
+            budget.deposit();
+        }
+        let mut again = 0;
+        while budget.withdraw() {
+            again += 1;
+        }
+        assert_eq!(again, RETRY_CAP as usize);
     }
 }

@@ -15,10 +15,17 @@
 //!    back in request order.
 //! 2. The canonical key probes the [`PlanCache`]; a hit is answered
 //!    immediately (`cached:true`).
-//! 3. A miss becomes a [`Job`] on the bounded queue. A full queue is an
-//!    immediate `overloaded` reject — the server sheds load instead of
-//!    building an unbounded backlog.
-//! 4. A worker picks the job up, builds (or reuses) a [`ProbeSession`]
+//! 3. A miss becomes a [`Job`] on the bounded queue, ordered
+//!    earliest-deadline-first — under pressure the work most likely to
+//!    still matter runs first. A full queue is an immediate
+//!    `overloaded` reject, and a CoDel-style admission gate
+//!    ([`OverloadGate`]) starts shedding probabilistically
+//!    (`serve.shed.overload`) when queue sojourn has exceeded its
+//!    target for a sustained window — the server sheds load instead of
+//!    building a backlog whose every entry will miss its deadline.
+//! 4. A worker picks the job up — dropping it unrun with a structured
+//!    `timeout` (`serve.shed.expired`) if its deadline already passed
+//!    while queued — builds (or reuses) a [`ProbeSession`]
 //!    for the instance and plans. Consecutive same-instance jobs are
 //!    served through the same warm session, which is both faster and —
 //!    because probes are pure functions of (chain, platform, T̂) —
@@ -53,16 +60,22 @@
 //! Draining: `shutdown()` (or a `{"cmd":"shutdown"}` request, or
 //! SIGTERM/SIGINT via [`install_signal_handlers`]) flips one flag. The
 //! reactor stops accepting, retires every in-flight slot, flushes and
-//! closes its connections; dropping the job sender lets the workers
-//! drain the queue and exit, and the supervisor and gossip threads
-//! follow them out. `join()` then returns — no request is abandoned
-//! mid-write.
+//! closes its connections; closing the job queue lets the workers
+//! drain it and exit, and the supervisor and gossip threads follow them
+//! out. `join()` then returns — no request is abandoned mid-write.
+//!
+//! Crash recovery: with [`ServeConfig::journal`] set, every freshly
+//! computed plan is appended to a checksummed journal
+//! ([`crate::journal`]) and replayed into the cache on the next start,
+//! so even a `SIGKILL`ed daemon comes back warm, serving byte-identical
+//! plans. A clean drain compacts the journal down to the live cache.
 
+use std::collections::BinaryHeap;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -108,6 +121,22 @@ pub struct ServeConfig {
     /// or a worker panics. `None` disables post-mortem dumps; the ring
     /// still records (it is always on), it just never reaches disk.
     pub flight_dump: Option<String>,
+    /// Durable plan journal path (`--journal`). Every freshly computed
+    /// plan is appended; on startup the journal is replayed into the
+    /// cache so a crashed daemon restarts warm. `None` disables.
+    pub journal: Option<String>,
+    /// Approximate plan-cache byte budget on top of the entry bound
+    /// (0 = entries only). A plan larger than the whole budget is
+    /// served uncached rather than admitted.
+    pub cache_bytes: usize,
+    /// Overload-gate queue-sojourn target: once the *minimum* queue
+    /// wait over a [`shed_window`](ServeConfig::shed_window) stays
+    /// above this, new work is shed probabilistically until the queue
+    /// recovers. Zero (the default) derives `min(timeout / 4, 1 s)`.
+    pub shed_target: Duration,
+    /// How long sojourn must stay above target before shedding starts
+    /// (and the cadence at which the gate re-evaluates).
+    pub shed_window: Duration,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +152,10 @@ impl Default for ServeConfig {
             gossip_interval: Duration::from_millis(500),
             gossip_entries: 8,
             flight_dump: None,
+            journal: None,
+            cache_bytes: 0,
+            shed_target: Duration::ZERO,
+            shed_window: Duration::from_millis(100),
         }
     }
 }
@@ -150,6 +183,201 @@ pub(crate) struct Job {
     pub(crate) enqueued: Instant,
 }
 
+/// The bounded job queue, ordered earliest-deadline-first (FIFO within
+/// a deadline via a monotone sequence number, so equal-deadline bursts
+/// keep arrival order). Replaces the old FIFO channel: under overload a
+/// FIFO burns worker time on the *oldest* work — exactly the requests
+/// whose deadlines expire first — while EDF runs what can still make it.
+///
+/// Closing the queue (reactor exit) wakes every blocked worker; they
+/// drain the remaining jobs and return, preserving the old
+/// disconnect-on-drain semantics.
+pub(crate) struct DeadlineQueue {
+    inner: Mutex<QueueInner>,
+    avail: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner {
+    heap: BinaryHeap<QueuedJob>,
+    closed: bool,
+    seq: u64,
+}
+
+struct QueuedJob {
+    job: Job,
+    seq: u64,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    /// `BinaryHeap` is a max-heap: reverse both fields so the earliest
+    /// deadline (then the earliest arrival) surfaces first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .job
+            .deadline
+            .cmp(&self.job.deadline)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl DeadlineQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                heap: BinaryHeap::new(),
+                closed: false,
+                seq: 0,
+            }),
+            avail: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue unless the queue is full or closed (the job comes back
+    /// so the caller can answer its client).
+    pub(crate) fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut q = lock_unpoisoned(&self.inner);
+        if q.closed || q.heap.len() >= self.capacity {
+            return Err(job);
+        }
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(QueuedJob { job, seq });
+        drop(q);
+        self.avail.notify_one();
+        Ok(())
+    }
+
+    /// Block for the earliest-deadline job; `None` once the queue is
+    /// closed *and* empty — the worker-drain signal.
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut q = lock_unpoisoned(&self.inner);
+        loop {
+            if let Some(next) = q.heap.pop() {
+                return Some(next.job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.avail.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking pop — the worker lookahead.
+    pub(crate) fn try_pop(&self) -> Option<Job> {
+        lock_unpoisoned(&self.inner).heap.pop().map(|q| q.job)
+    }
+
+    /// Stop admitting and wake every blocked worker.
+    pub(crate) fn close(&self) {
+        lock_unpoisoned(&self.inner).closed = true;
+        self.avail.notify_all();
+    }
+}
+
+/// CoDel-style sojourn-time admission gate. Workers report every job's
+/// queue wait at dequeue ([`OverloadGate::observe`]); when the *minimum*
+/// wait over a whole window exceeds the target — i.e. even the luckiest
+/// job waited too long, so the queue is persistently, not transiently,
+/// full — the gate flips to shedding and the reactor drops a growing
+/// fraction of new plan misses with a structured `overloaded` error
+/// (`serve.shed.overload`) instead of queueing work that would expire.
+/// The min-over-window statistic is CoDel's: it ignores bursts that
+/// drain, reacts only to standing queues.
+pub(crate) struct OverloadGate {
+    target: Duration,
+    window: Duration,
+    /// Reactor fast path: one relaxed load while healthy.
+    shedding: AtomicBool,
+    state: Mutex<GateState>,
+}
+
+struct GateState {
+    window_start: Option<Instant>,
+    min_sojourn: Duration,
+    /// Consecutive windows above target — drives the shed ramp.
+    bad_windows: u32,
+    /// xorshift64 state for the probabilistic drop.
+    rng: u64,
+}
+
+impl OverloadGate {
+    pub(crate) fn new(target: Duration, window: Duration) -> Self {
+        Self {
+            target,
+            window,
+            shedding: AtomicBool::new(false),
+            state: Mutex::new(GateState {
+                window_start: None,
+                min_sojourn: Duration::MAX,
+                bad_windows: 0,
+                rng: 0x9E37_79B9_7F4A_7C15,
+            }),
+        }
+    }
+
+    /// Record one job's queue sojourn (called by workers at dequeue).
+    pub(crate) fn observe(&self, sojourn: Duration) {
+        let now = Instant::now();
+        let mut s = lock_unpoisoned(&self.state);
+        match s.window_start {
+            None => {
+                s.window_start = Some(now);
+                s.min_sojourn = sojourn;
+            }
+            Some(t0) => {
+                s.min_sojourn = s.min_sojourn.min(sojourn);
+                if now.duration_since(t0) >= self.window {
+                    let above = s.min_sojourn > self.target;
+                    if above {
+                        s.bad_windows += 1;
+                    } else {
+                        s.bad_windows = 0;
+                    }
+                    self.shedding.store(above, Ordering::Relaxed);
+                    s.window_start = Some(now);
+                    s.min_sojourn = sojourn;
+                }
+            }
+        }
+    }
+
+    /// Admission check for a new plan miss. `false` = shed it now.
+    pub(crate) fn admit(&self, queue_depth: usize) -> bool {
+        if queue_depth == 0 {
+            // An empty queue cannot be overloaded, whatever the last
+            // window said — clears stale shedding after a storm ends.
+            self.shedding.store(false, Ordering::Relaxed);
+            return true;
+        }
+        if !self.shedding.load(Ordering::Relaxed) {
+            return true;
+        }
+        let mut s = lock_unpoisoned(&self.state);
+        // Ramp the drop probability with how long the queue has been
+        // standing: 25% after one bad window, up to 90% — admitted
+        // traffic keeps probing whether the queue recovered.
+        let p = (0.25 * f64::from(s.bad_windows)).min(0.9);
+        s.rng ^= s.rng << 13;
+        s.rng ^= s.rng >> 7;
+        s.rng ^= s.rng << 17;
+        let draw = (s.rng >> 11) as f64 / (1u64 << 53) as f64;
+        draw >= p
+    }
+}
+
 pub(crate) struct Ctx {
     pub(crate) draining: AtomicBool,
     pub(crate) registry: Registry,
@@ -172,6 +400,11 @@ pub(crate) struct Ctx {
     pub(crate) gossip_entries: usize,
     /// Post-mortem flight-recorder dump path (panic and drain).
     pub(crate) flight_dump: Option<String>,
+    /// Overload admission gate (always present; inert until sojourn
+    /// observations cross its target).
+    pub(crate) gate: OverloadGate,
+    /// Durable plan journal (crash recovery); `None` when not configured.
+    pub(crate) journal: Option<crate::journal::Journal>,
 }
 
 impl Ctx {
@@ -212,10 +445,40 @@ impl Server {
         } else {
             cfg.queue_depth
         };
+        let registry = Registry::new();
+        let cache = PlanCache::with_byte_budget(cfg.cache_entries, cfg.cache_bytes);
+
+        // Warm restart: replay the journal into the cache before the
+        // listener goes live, so the very first request after a crash
+        // can already hit. Records are exactly as rendered, so warmed
+        // hits are byte-identical to what the dead daemon served.
+        let journal = match &cfg.journal {
+            Some(path) => {
+                let j = crate::journal::Journal::open(path)?;
+                let (entries, stats) = j.replay();
+                let mut applied = 0u64;
+                for (key, plan) in entries {
+                    let (inserted, evicted) = cache.warm(key, plan);
+                    applied += u64::from(inserted);
+                    registry.add("serve.cache.evictions", evicted);
+                }
+                registry.add("serve.journal.recovered", stats.recovered as u64);
+                registry.add("serve.journal.torn", stats.torn as u64);
+                registry.add("serve.journal.applied", applied);
+                Some(j)
+            }
+            None => None,
+        };
+
+        let shed_target = if cfg.shed_target.is_zero() {
+            (cfg.timeout / 4).min(Duration::from_secs(1))
+        } else {
+            cfg.shed_target
+        };
         let ctx = Arc::new(Ctx {
             draining: AtomicBool::new(false),
-            registry: Registry::new(),
-            cache: PlanCache::new(cfg.cache_entries),
+            registry,
+            cache,
             timeout: cfg.timeout,
             threads,
             queue_capacity: depth,
@@ -227,20 +490,20 @@ impl Server {
             gossip_interval: cfg.gossip_interval,
             gossip_entries: cfg.gossip_entries,
             flight_dump: cfg.flight_dump.clone(),
+            gate: OverloadGate::new(shed_target, cfg.shed_window),
+            journal,
         });
 
-        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(depth);
-        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
-        let workers: Vec<JoinHandle<()>> = (0..threads)
-            .map(|i| spawn_worker(i, &ctx, &jobs_rx))
-            .collect();
+        let jobs = Arc::new(DeadlineQueue::new(depth));
+        let workers: Vec<JoinHandle<()>> =
+            (0..threads).map(|i| spawn_worker(i, &ctx, &jobs)).collect();
 
         let supervisor = {
             let ctx = Arc::clone(&ctx);
-            let rx = Arc::clone(&jobs_rx);
+            let jobs = Arc::clone(&jobs);
             std::thread::Builder::new()
                 .name("serve-supervisor".into())
-                .spawn(move || supervisor_loop(&ctx, &rx, workers))
+                .spawn(move || supervisor_loop(&ctx, &jobs, workers))
                 .expect("spawn supervisor")
         };
 
@@ -248,7 +511,7 @@ impl Server {
             let ctx = Arc::clone(&ctx);
             std::thread::Builder::new()
                 .name("serve-reactor".into())
-                .spawn(move || reactor_loop(listener, ctx, jobs_tx, wake_rx))
+                .spawn(move || reactor_loop(listener, ctx, jobs, wake_rx))
                 .expect("spawn reactor")
         };
 
@@ -317,6 +580,15 @@ impl Server {
         if let Some(h) = self.gossip.take() {
             let _ = h.join();
         }
+        // Drain compaction: rewrite the journal down to what the cache
+        // actually holds — replay on the next start then costs one
+        // cache-full, not one append-history-full.
+        if let Some(j) = &self.ctx.journal {
+            let live = self.ctx.cache.hottest(usize::MAX);
+            if j.compact(&live).is_ok() {
+                self.ctx.registry.inc("serve.journal.compactions");
+            }
+        }
         // Post-mortem artifact: whatever the ring still holds when the
         // daemon exits (SIGTERM drain, chaos kill) lands on disk. Worker
         // panics dump earlier, at the panic site; this drain of the ring
@@ -337,15 +609,15 @@ impl Drop for AliveGuard<'_> {
     }
 }
 
-fn spawn_worker(id: usize, ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) -> JoinHandle<()> {
+fn spawn_worker(id: usize, ctx: &Arc<Ctx>, jobs: &Arc<DeadlineQueue>) -> JoinHandle<()> {
     let ctx = Arc::clone(ctx);
-    let rx = Arc::clone(rx);
+    let jobs = Arc::clone(jobs);
     std::thread::Builder::new()
         .name(format!("serve-worker-{id}"))
         .spawn(move || {
             ctx.workers_alive.fetch_add(1, Ordering::SeqCst);
             let _alive = AliveGuard(&ctx.workers_alive);
-            worker_loop(&ctx, &rx);
+            worker_loop(&ctx, &jobs);
         })
         .expect("spawn worker")
 }
@@ -353,12 +625,8 @@ fn spawn_worker(id: usize, ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) -> Jo
 /// Keep the pool at full strength: join workers as they finish; a panic
 /// death (join `Err`) is replaced with a fresh worker unless the server
 /// is draining. Exits once every worker has left cleanly (the job queue
-/// disconnected).
-fn supervisor_loop(
-    ctx: &Arc<Ctx>,
-    rx: &Arc<Mutex<Receiver<Job>>>,
-    mut workers: Vec<JoinHandle<()>>,
-) {
+/// closed and drained).
+fn supervisor_loop(ctx: &Arc<Ctx>, jobs: &Arc<DeadlineQueue>, mut workers: Vec<JoinHandle<()>>) {
     let mut next_id = workers.len();
     while !workers.is_empty() {
         let mut i = 0;
@@ -368,7 +636,7 @@ fn supervisor_loop(
                 if crashed {
                     ctx.registry.inc("serve.workers.respawned");
                     if !ctx.draining() {
-                        workers.push(spawn_worker(next_id, ctx, rx));
+                        workers.push(spawn_worker(next_id, ctx, jobs));
                         next_id += 1;
                     }
                 }
@@ -383,7 +651,7 @@ fn supervisor_loop(
 /// The `health` payload: supervision state an external monitor needs to
 /// decide whether the daemon is healthy, degraded or draining.
 pub(crate) fn health_value(ctx: &Arc<Ctx>) -> Value {
-    Value::Object(vec![
+    let mut fields = vec![
         ("draining".into(), Value::Bool(ctx.draining())),
         (
             "workers_alive".into(),
@@ -425,35 +693,86 @@ pub(crate) fn health_value(ctx: &Arc<Ctx>) -> Value {
             "cache_misses".into(),
             Value::UInt(ctx.registry.counter("serve.cache.misses")),
         ),
-    ])
+        // Overload accounting: what the daemon refused to do, and why.
+        (
+            "shed_expired".into(),
+            Value::UInt(ctx.registry.counter("serve.shed.expired")),
+        ),
+        (
+            "shed_overload".into(),
+            Value::UInt(ctx.registry.counter("serve.shed.overload")),
+        ),
+        (
+            "rejects".into(),
+            Value::UInt(ctx.registry.counter("serve.rejects")),
+        ),
+        // Accept-loop distress: error count and total backoff slept.
+        (
+            "accept_errors".into(),
+            Value::UInt(ctx.registry.counter("serve.accept.errors")),
+        ),
+        (
+            "accept_backoff_ms".into(),
+            Value::UInt(ctx.registry.counter("serve.accept.backoff_ms")),
+        ),
+    ];
+    if let Some(j) = &ctx.journal {
+        fields.push((
+            "journal".into(),
+            Value::Object(vec![
+                ("path".into(), Value::Str(j.path().to_string())),
+                (
+                    "recovered".into(),
+                    Value::UInt(ctx.registry.counter("serve.journal.recovered")),
+                ),
+                (
+                    "applied".into(),
+                    Value::UInt(ctx.registry.counter("serve.journal.applied")),
+                ),
+                (
+                    "torn".into(),
+                    Value::UInt(ctx.registry.counter("serve.journal.torn")),
+                ),
+                (
+                    "appended".into(),
+                    Value::UInt(ctx.registry.counter("serve.journal.appended")),
+                ),
+                (
+                    "errors".into(),
+                    Value::UInt(ctx.registry.counter("serve.journal.errors")),
+                ),
+            ]),
+        ));
+    }
+    Value::Object(fields)
 }
 
-fn worker_loop(ctx: &Arc<Ctx>, rx: &Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(ctx: &Arc<Ctx>, jobs: &Arc<DeadlineQueue>) {
     let mut pending: Option<Job> = None;
     loop {
         let job = match pending.take() {
             Some(j) => j,
-            None => {
-                let recv = lock_unpoisoned(rx).recv();
-                match recv {
-                    Ok(j) => {
-                        ctx.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                        j
-                    }
-                    // All senders gone: the queue is drained, exit.
-                    Err(_) => return,
+            None => match jobs.pop() {
+                Some(j) => {
+                    ctx.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    j
                 }
-            }
+                // Queue closed and drained: exit.
+                None => return,
+            },
         };
-        serve_instance(ctx, rx, job, &mut pending);
+        serve_instance(ctx, jobs, job, &mut pending);
     }
 }
 
 /// Stamp how long a job sat on the queue before a worker picked it up:
 /// the `serve.queue.seconds` histogram plus a `serve.queue.wait` flight
-/// span parented under the request span.
+/// span parented under the request span. The sojourn also feeds the
+/// overload gate — this is the measurement CoDel-style shedding runs on.
 fn record_queue_wait(ctx: &Arc<Ctx>, job: &Job) {
-    let wait = job.enqueued.elapsed().as_secs_f64();
+    let sojourn = job.enqueued.elapsed();
+    ctx.gate.observe(sojourn);
+    let wait = sojourn.as_secs_f64();
     ctx.registry.observe("serve.queue.seconds", wait);
     madpipe_obs::flight::record_span(
         "serve.queue.wait",
@@ -487,16 +806,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// structured `internal` error, `serve.panics` is bumped, and the panic
 /// is resumed so this worker (and its possibly-poisoned session) tears
 /// down — the supervisor spawns a replacement.
-fn serve_instance(
-    ctx: &Arc<Ctx>,
-    rx: &Arc<Mutex<Receiver<Job>>>,
-    job: Job,
-    pending: &mut Option<Job>,
-) {
+fn serve_instance(ctx: &Arc<Ctx>, jobs: &Arc<DeadlineQueue>, job: Job, pending: &mut Option<Job>) {
     record_queue_wait(ctx, &job);
     if Instant::now() >= job.deadline {
-        // Sat in the queue past its deadline; the client already gave up.
-        ctx.registry.inc("serve.expired");
+        // Sat in the queue past its deadline; the client already gave
+        // up — shed it without burning DP time on a dead request.
+        ctx.registry.inc("serve.shed.expired");
         let _ = job.reply.try_send(Err(ServeError::timeout()));
         ctx.waker.wake();
         return;
@@ -590,6 +905,16 @@ fn serve_instance(
                         let rendered = Arc::new(plan_to_json(&plan));
                         let evicted = ctx.cache.insert(canonical.clone(), Arc::clone(&rendered));
                         ctx.registry.add("serve.cache.evictions", evicted);
+                        // Durability: the journal gets the plan exactly
+                        // as rendered, so replay warms byte-identical
+                        // responses. A failed append degrades recovery,
+                        // never this response.
+                        if let Some(j) = &ctx.journal {
+                            match j.append(&canonical, &rendered) {
+                                Ok(()) => ctx.registry.inc("serve.journal.appended"),
+                                Err(_) => ctx.registry.inc("serve.journal.errors"),
+                            }
+                        }
                         Ok((rendered, false))
                     }
                     Err(e) => Err(ServeError::plan(e.to_string())),
@@ -614,14 +939,13 @@ fn serve_instance(
         // Lookahead: pull the next queued job without blocking; keep it
         // only if it is the same instance, otherwise hand it back.
         loop {
-            let next = lock_unpoisoned(rx).try_recv();
-            match next {
-                Ok(j) => {
+            match jobs.try_pop() {
+                Some(j) => {
                     ctx.queue_depth.fetch_sub(1, Ordering::SeqCst);
                     if j.req.canonical == canonical {
                         record_queue_wait(ctx, &j);
                         if Instant::now() >= j.deadline {
-                            ctx.registry.inc("serve.expired");
+                            ctx.registry.inc("serve.shed.expired");
                             let _ = j.reply.try_send(Err(ServeError::timeout()));
                             ctx.waker.wake();
                             continue;
@@ -633,7 +957,7 @@ fn serve_instance(
                     *pending = Some(j);
                     return;
                 }
-                Err(_) => return, // queue empty (or closed)
+                None => return, // queue empty (or closed)
             }
         }
     }

@@ -252,7 +252,7 @@ fn daemon_kill_from_the_chaos_schedule_fails_over_and_converges() {
         addr: "127.0.0.1:0".into(),
         backends: backends.clone(),
         timeout: Duration::from_secs(30),
-        cooldown: Duration::from_millis(100),
+        breaker_open: Duration::from_millis(100),
         ..RouterConfig::default()
     })
     .expect("bind router");

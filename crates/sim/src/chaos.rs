@@ -143,6 +143,33 @@ impl ChaosStream {
         let mut s = Self::new(seed, max_gpu_loss);
         (0..n).map(|_| s.next_cluster_event(n_daemons)).collect()
     }
+
+    /// The next client-side load event — the overload drill's vocabulary.
+    /// A separate draw path from [`next_event`] and
+    /// [`next_cluster_event`]: the frozen single-daemon and cluster
+    /// schedules stay bit-identical no matter how the client vocabulary
+    /// evolves.
+    ///
+    /// [`next_event`]: ChaosStream::next_event
+    /// [`next_cluster_event`]: ChaosStream::next_cluster_event
+    pub fn next_client_event(&mut self) -> ClientEvent {
+        let r = self.next_u64();
+        match r % 3 {
+            0 => ClientEvent::SlowLoris {
+                stall_ms: 5 + ((r >> 32) % 20),
+            },
+            _ => ClientEvent::OverloadStorm {
+                burst: 4 + ((r >> 32) % 13) as usize,
+            },
+        }
+    }
+
+    /// The first `n` client events of the schedule for `seed` — the
+    /// form the overload drill consumes.
+    pub fn client_events(seed: u64, n: usize) -> Vec<ClientEvent> {
+        let mut s = Self::new(seed, 1);
+        (0..n).map(|_| s.next_client_event()).collect()
+    }
 }
 
 /// One injected fault in a *cluster* chaos schedule: either a
@@ -171,6 +198,32 @@ impl ClusterEvent {
     pub fn daemon(&self) -> usize {
         match *self {
             ClusterEvent::Daemon { daemon, .. } | ClusterEvent::DaemonKill { daemon } => daemon,
+        }
+    }
+}
+
+/// One client-side load event in an overload drill: not a fault the
+/// daemon must survive so much as a traffic shape its admission control
+/// must absorb — a synchronized burst that outruns planning capacity,
+/// or a connection that dribbles bytes and squats on a reactor slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// Fire `burst` requests back-to-back without waiting for replies;
+    /// the daemon must keep admitted requests inside their deadline and
+    /// shed the excess with structured errors, never by stalling.
+    OverloadStorm { burst: usize },
+    /// A slow-loris client: send a request in tiny fragments with
+    /// `stall_ms` pauses between them. The reactor must keep serving
+    /// other connections at full speed while this one dribbles.
+    SlowLoris { stall_ms: u64 },
+}
+
+impl ClientEvent {
+    /// Stable name for logs and assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClientEvent::OverloadStorm { .. } => "overload_storm",
+            ClientEvent::SlowLoris { .. } => "slow_loris",
         }
     }
 }
@@ -263,5 +316,45 @@ mod tests {
         for e in ChaosStream::cluster_events(9, 16, 2, 1) {
             assert_eq!(e.daemon(), 0);
         }
+    }
+
+    #[test]
+    fn client_schedule_is_deterministic_bounded_and_leaves_others_alone() {
+        let a = ChaosStream::client_events(0xC0FFEE, 48);
+        let b = ChaosStream::client_events(0xC0FFEE, 48);
+        assert_eq!(a, b);
+        assert_ne!(a, ChaosStream::client_events(0xC0FFEF, 48));
+
+        // Both shapes appear, with bounded parameters.
+        for kind in ["overload_storm", "slow_loris"] {
+            assert!(
+                a.iter().any(|e| e.kind() == kind),
+                "48 client events must include {kind}"
+            );
+        }
+        for e in &a {
+            match *e {
+                ClientEvent::OverloadStorm { burst } => {
+                    assert!((4..=16).contains(&burst), "burst {burst} out of bounds")
+                }
+                ClientEvent::SlowLoris { stall_ms } => {
+                    assert!(
+                        (5..=24).contains(&stall_ms),
+                        "stall {stall_ms} out of bounds"
+                    )
+                }
+            }
+        }
+
+        // The client draw path never perturbs the frozen fault
+        // schedules the existing drills replay.
+        assert_eq!(
+            ChaosStream::events(0x00AD_51BE, 24, 2),
+            ChaosStream::events(0x00AD_51BE, 24, 2)
+        );
+        assert_eq!(
+            ChaosStream::cluster_events(0xC0FFEE, 64, 2, 3),
+            ChaosStream::cluster_events(0xC0FFEE, 64, 2, 3)
+        );
     }
 }

@@ -27,7 +27,7 @@ pub mod replay;
 pub mod report;
 pub mod trace;
 
-pub use chaos::{ChaosEvent, ChaosStream, ClusterEvent};
+pub use chaos::{ChaosEvent, ChaosStream, ClientEvent, ClusterEvent};
 pub use eager::{simulate_eager, EagerConfig};
 pub use perturb::{replay_perturbed, replay_perturbed_with, FaultSpec};
 pub use replay::{replay_pattern, replay_pattern_with, replay_with};
